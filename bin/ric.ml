@@ -1,0 +1,336 @@
+(* ric — relative information completeness workbench.
+
+   A small CLI over the library: audit the built-in CRM scenario,
+   decide RCDP/RCQP for its queries, and run the hardness reductions
+   on random instances.  Meant as a demonstrator; programmatic use
+   goes through the libraries. *)
+
+open Ric_relational
+open Ric_query
+open Ric_complete
+open Ric_workloads
+open Cmdliner
+
+let queries =
+  [
+    ("q0", `Cq Crm.q0, "domestic area-908 customers");
+    ("q0-all", `Cq Crm.q0_all_customers, "every customer incl. international");
+    ("q1", `Cq Crm.q1, "area-908 customers supported by e0");
+    ("q2", `Cq Crm.q2, "customers supported by e0");
+    ("q2-tuples", `Cq Crm.q2_tuples, "full support rows of e0");
+    ("q4", `Cq Crm.q4, "support rows of e0 in d0");
+    ("q3", `Fp Crm.q3_fp, "everyone above e0 (datalog)");
+  ]
+
+let constraint_sets =
+  [
+    ("domestic", [ Crm.cc_domestic_customers ], "domestic Cust rows bounded by DCust");
+    ("supported", [ Crm.cc_supported_domestic ], "supported domestic customers bounded");
+    ("fd-dept", Crm.ccs_fd_dept, "FD eid → dept on Supt");
+    ("fd-full", Crm.ccs_fd_supt, "FD eid → dept, cid on Supt");
+    ("cap3", [ Crm.cc_support_load 3 ], "an employee supports at most 3 customers");
+  ]
+
+let enum_of assoc = List.map (fun (k, _, _) -> (k, k)) assoc
+let lookup3 assoc k = match List.find_opt (fun (k', _, _) -> String.equal k k') assoc with
+  | Some (_, v, _) -> v
+  | None -> invalid_arg k
+
+let query_arg =
+  let doc =
+    "Query to analyse: " ^ String.concat ", " (List.map (fun (k, _, d) -> k ^ " (" ^ d ^ ")") queries)
+  in
+  Arg.(value & opt (enum (enum_of queries)) "q0" & info [ "q"; "query" ] ~doc)
+
+let ccs_arg =
+  let doc =
+    "Constraint set: "
+    ^ String.concat ", " (List.map (fun (k, _, d) -> k ^ " (" ^ d ^ ")") constraint_sets)
+  in
+  Arg.(value & opt (enum (enum_of constraint_sets)) "domestic" & info [ "c"; "constraints" ] ~doc)
+
+let customers_arg =
+  Arg.(value & opt int 6 & info [ "n"; "customers" ] ~doc:"Number of master customers")
+
+let keep_arg =
+  Arg.(value & opt float 0.7 & info [ "k"; "keep" ] ~doc:"Fraction of master rows present in the database")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "s"; "seed" ] ~doc:"Generator seed")
+
+let scenario ~customers ~keep ~seed =
+  let master = Crm.master ~customers ~managers:[ ("e1", "e0"); ("e2", "e1") ] () in
+  let db = Crm.db ~seed ~master ~keep ~supported_by:[ ("e0", [ "d0" ]) ] () in
+  (master, db)
+
+let as_lang = function
+  | `Cq q -> Lang.Q_cq q
+  | `Fp p -> Lang.Q_fp p
+
+let audit_cmd =
+  let run query ccs customers keep seed =
+    let master, db = scenario ~customers ~keep ~seed in
+    let q = as_lang (lookup3 queries query) in
+    let ccs = lookup3 constraint_sets ccs in
+    Format.printf "database:@.%a@.@." Database.pp db;
+    (try
+       let result = Guidance.audit ~schema:Crm.db_schema ~master ~ccs ~db q in
+       Format.printf "%a@." Guidance.pp_audit result
+     with Rcdp.Unsupported msg -> Format.printf "undecidable combination: %s@." msg);
+    0
+  in
+  Cmd.v (Cmd.info "audit" ~doc:"Audit a CRM query: complete / completable / master data must grow")
+    Term.(const run $ query_arg $ ccs_arg $ customers_arg $ keep_arg $ seed_arg)
+
+let rcdp_cmd =
+  let run query ccs customers keep seed =
+    let master, db = scenario ~customers ~keep ~seed in
+    let q = as_lang (lookup3 queries query) in
+    let ccs = lookup3 constraint_sets ccs in
+    (try
+       match Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db q with
+       | Rcdp.Complete -> Format.printf "complete@."
+       | Rcdp.Incomplete cex ->
+         Format.printf "incomplete — extension:@.%a@.new answer: %a@." Database.pp
+           cex.Rcdp.cex_extension Tuple.pp cex.Rcdp.cex_answer
+     with
+     | Rcdp.Unsupported msg -> Format.printf "undecidable (Theorem 3.1): %s@." msg
+     | Rcdp.Not_partially_closed msg -> Format.printf "input rejected: %s@." msg);
+    0
+  in
+  Cmd.v (Cmd.info "rcdp" ~doc:"Is the generated database complete for the query?")
+    Term.(const run $ query_arg $ ccs_arg $ customers_arg $ keep_arg $ seed_arg)
+
+let rcqp_cmd =
+  let run query ccs customers =
+    let master, _ = scenario ~customers ~keep:1.0 ~seed:0 in
+    let q = as_lang (lookup3 queries query) in
+    let ccs = lookup3 constraint_sets ccs in
+    (try
+       match Rcqp.decide ~schema:Crm.db_schema ~master ~ccs q with
+       | Rcqp.Nonempty { witness; reason } ->
+         Format.printf "nonempty — %s@." reason;
+         (match witness with
+          | Some w -> Format.printf "witness:@.%a@." Database.pp w
+          | None -> ())
+       | Rcqp.Empty { reason } -> Format.printf "empty — %s@." reason
+       | Rcqp.Unknown { reason } -> Format.printf "unknown — %s@." reason
+     with Rcqp.Unsupported msg -> Format.printf "undecidable (Theorem 4.1): %s@." msg);
+    0
+  in
+  Cmd.v (Cmd.info "rcqp" ~doc:"Does any complete database exist for the query?")
+    Term.(const run $ query_arg $ ccs_arg $ customers_arg)
+
+let reduction_cmd =
+  let run seed n_forall n_exists n_clauses =
+    let fe = Ric_reductions.Sat.random_fe ~seed ~n_forall ~n_exists ~n_clauses in
+    Format.printf "φ = ∀x0..x%d ∃.. %a@." (n_forall - 1) Ric_reductions.Sat.pp_cnf
+      fe.Ric_reductions.Sat.fe_cnf;
+    let inst = Ric_reductions.Rcdp_hardness.of_fe fe in
+    let expected = Ric_reductions.Rcdp_hardness.expected fe in
+    let got = Ric_reductions.Rcdp_hardness.decide inst in
+    Format.printf "QBF evaluates to %b; RCDP decider says complete=%b — %s@." expected got
+      (if expected = got then "agreement" else "MISMATCH");
+    0
+  in
+  let nf = Arg.(value & opt int 2 & info [ "forall" ] ~doc:"universal variables") in
+  let ne = Arg.(value & opt int 2 & info [ "exists" ] ~doc:"existential variables") in
+  let nc = Arg.(value & opt int 3 & info [ "clauses" ] ~doc:"3SAT clauses") in
+  Cmd.v
+    (Cmd.info "reduction"
+       ~doc:"Run the Theorem 3.6 hardness reduction on a random ∀∃3SAT instance")
+    Term.(const run $ seed_arg $ nf $ ne $ nc)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario files (.ric). *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .ric scenario file")
+
+let file_query_arg =
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~doc:"Query name (defaults to the first one)")
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON")
+
+let with_scenario path f =
+  match Ric_text.Scenario.load path with
+  | s -> f s
+  | exception Ric_text.Scenario.Parse_error (msg, line, col) ->
+    Format.eprintf "%s:%d:%d: %s@." path line col msg;
+    1
+
+let pick_query (s : Ric_text.Scenario.t) = function
+  | Some name ->
+    (match Ric_text.Scenario.find_query s name with
+     | Some q -> Ok (name, q)
+     | None ->
+       Error
+         (Format.asprintf "no query %S; available: %s" name
+            (String.concat ", " (List.map fst s.Ric_text.Scenario.queries))))
+  | None ->
+    (match s.Ric_text.Scenario.queries with
+     | (name, q) :: _ -> Ok (name, q)
+     | [] -> Error "the scenario declares no queries")
+
+let file_show_cmd =
+  let run path =
+    with_scenario path (fun s ->
+        Format.printf "%a@." Ric_text.Scenario.pp s;
+        Format.printf "# partially closed: %b@."
+          (Ric_constraints.Containment.holds_all ~db:s.Ric_text.Scenario.db
+             ~master:s.Ric_text.Scenario.master
+             (Ric_text.Scenario.all_ccs s));
+        0)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Parse a scenario and print it back (with a closure check)")
+    Term.(const run $ file_arg)
+
+let file_audit_cmd =
+  let run path qname json =
+    with_scenario path (fun s ->
+        match pick_query s qname with
+        | Error m ->
+          Format.eprintf "%s@." m;
+          1
+        | Ok (name, q) ->
+          (try
+             let result =
+               Guidance.audit ~schema:s.Ric_text.Scenario.db_schema
+                 ~master:s.Ric_text.Scenario.master
+                 ~ccs:(Ric_text.Scenario.all_ccs s)
+                 ~db:s.Ric_text.Scenario.db q
+             in
+             if json then
+               Format.printf "%a@." Ric_text.Json.pp
+                 (Ric_text.Json.Obj
+                    [ ("query", Ric_text.Json.Str name);
+                      ("result", Ric_text.Report.audit_result result) ])
+             else begin
+               Format.printf "auditing %s...@." name;
+               Format.printf "%a@." Guidance.pp_audit result
+             end
+           with Rcdp.Unsupported msg -> Format.printf "undecidable: %s@." msg);
+          0)
+  in
+  Cmd.v (Cmd.info "audit" ~doc:"Audit a query of a scenario file")
+    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+
+let file_rcqp_cmd =
+  let run path qname json =
+    with_scenario path (fun s ->
+        match pick_query s qname with
+        | Error m ->
+          Format.eprintf "%s@." m;
+          1
+        | Ok (name, q) ->
+          (try
+             let verdict =
+               Rcqp.decide ~schema:s.Ric_text.Scenario.db_schema
+                 ~master:s.Ric_text.Scenario.master
+                 ~ccs:(Ric_text.Scenario.all_ccs s) q
+             in
+             if json then
+               Format.printf "%a@." Ric_text.Json.pp
+                 (Ric_text.Json.Obj
+                    [ ("query", Ric_text.Json.Str name);
+                      ("result", Ric_text.Report.rcqp_verdict verdict) ])
+             else
+               match verdict with
+               | Rcqp.Nonempty { reason; _ } -> Format.printf "%s: nonempty — %s@." name reason
+               | Rcqp.Empty { reason } -> Format.printf "%s: empty — %s@." name reason
+               | Rcqp.Unknown { reason } -> Format.printf "%s: unknown — %s@." name reason
+           with Rcqp.Unsupported msg -> Format.printf "undecidable: %s@." msg);
+          0)
+  in
+  Cmd.v (Cmd.info "rcqp" ~doc:"Can any database be complete for a scenario query?")
+    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+
+let file_rcdp_cmd =
+  let run path qname json =
+    with_scenario path (fun s ->
+        match pick_query s qname with
+        | Error m ->
+          Format.eprintf "%s@." m;
+          1
+        | Ok (name, q) ->
+          (try
+             let verdict =
+               Rcdp.decide ~schema:s.Ric_text.Scenario.db_schema
+                 ~master:s.Ric_text.Scenario.master
+                 ~ccs:(Ric_text.Scenario.all_ccs s) ~db:s.Ric_text.Scenario.db q
+             in
+             if json then
+               Format.printf "%a@." Ric_text.Json.pp
+                 (Ric_text.Json.Obj
+                    [ ("query", Ric_text.Json.Str name);
+                      ("result", Ric_text.Report.rcdp_verdict verdict) ])
+             else
+               match verdict with
+               | Rcdp.Complete -> Format.printf "%s: complete@." name
+               | Rcdp.Incomplete cex ->
+                 Format.printf
+                   "%s: incomplete — admissible extension:@.%a@.new answer: %a@." name
+                   Database.pp cex.Rcdp.cex_extension Tuple.pp cex.Rcdp.cex_answer
+           with
+           | Rcdp.Unsupported msg -> Format.printf "undecidable: %s@." msg
+           | Rcdp.Not_partially_closed msg -> Format.printf "input rejected: %s@." msg);
+          0)
+  in
+  Cmd.v (Cmd.info "rcdp" ~doc:"Is the scenario's database complete for a query?")
+    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+
+let file_worlds_cmd =
+  (* the Section 5 analysis: enumerate the possible worlds of the
+     scenario's c-tables and audit each *)
+  let run path qname json =
+    with_scenario path (fun s ->
+        match pick_query s qname with
+        | Error m ->
+          Format.eprintf "%s@." m;
+          1
+        | Ok (name, q) ->
+          let cdb = Ric_text.Scenario.as_cdatabase s in
+          let values =
+            List.sort_uniq Ric_relational.Value.compare
+              (Database.adom s.Ric_text.Scenario.db
+              @ Database.adom s.Ric_text.Scenario.master)
+          in
+          (try
+             let report =
+               Ric_incomplete.Rc_missing.analyze ~values
+                 ~schema:s.Ric_text.Scenario.db_schema
+                 ~master:s.Ric_text.Scenario.master
+                 ~ccs:(Ric_text.Scenario.all_ccs s) cdb q
+             in
+             if json then
+               Format.printf "%a@." Ric_text.Json.pp
+                 (Ric_text.Json.Obj
+                    [
+                      ("query", Ric_text.Json.Str name);
+                      ("worlds", Ric_text.Json.Int report.Ric_incomplete.Rc_missing.n_worlds);
+                      ("closed", Ric_text.Json.Int report.Ric_incomplete.Rc_missing.n_closed);
+                      ("complete", Ric_text.Json.Int report.Ric_incomplete.Rc_missing.n_complete);
+                      ( "strongly_complete",
+                        Ric_text.Json.Bool report.Ric_incomplete.Rc_missing.strongly_complete );
+                      ( "weakly_complete",
+                        Ric_text.Json.Bool report.Ric_incomplete.Rc_missing.weakly_complete );
+                    ])
+             else
+               Format.printf "%s: %a@." name Ric_incomplete.Rc_missing.pp_report report
+           with
+           | Rcdp.Unsupported msg -> Format.printf "undecidable: %s@." msg
+           | Invalid_argument msg -> Format.printf "cannot analyse: %s@." msg);
+          0)
+  in
+  Cmd.v
+    (Cmd.info "worlds"
+       ~doc:"Analyse a query across the possible worlds of the scenario's missing values")
+    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+
+let file_group =
+  Cmd.group (Cmd.info "file" ~doc:"Work on .ric scenario files")
+    [ file_show_cmd; file_audit_cmd; file_rcdp_cmd; file_rcqp_cmd; file_worlds_cmd ]
+
+let () =
+  let doc = "relative information completeness workbench (Fan & Geerts, PODS 2009)" in
+  let info = Cmd.info "ric" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ audit_cmd; rcdp_cmd; rcqp_cmd; reduction_cmd; file_group ]))

@@ -1,0 +1,72 @@
+(* ERP completeness audit: project staffing, roles, and timesheets.
+
+   Shows how different constraints give different completeness
+   behaviour on ONE database:
+
+   - staffing queries are bounded by the master directory/registry
+     (answerable after collecting finitely much data),
+   - role lookups become complete after a single row (the FD pins it),
+   - billing queries are hopeless (no constraint touches Timesheet).
+
+   Run with: dune exec examples/erp_audit.exe *)
+
+open Ric_relational
+open Ric_query
+open Ric_complete
+open Ric_workloads
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  let master =
+    Erp.master
+      ~employees:[ ("e0", "eng"); ("e1", "eng"); ("e2", "sales") ]
+      ~projects:[ ("apollo", "eng"); ("zeus", "sales") ]
+  in
+  let db =
+    Erp.db
+      ~assignments:[ ("e0", "apollo", "lead"); ("e1", "apollo", "dev") ]
+      ~timesheets:[ ("e0", "apollo", 12) ]
+  in
+  Format.printf "master:@.%a@.@.database:@.%a@." Database.pp master Database.pp db;
+
+  section "Who staffs apollo?  (bounded by the directory)";
+  (match
+     Guidance.audit ~schema:Erp.db_schema ~master ~ccs:Erp.ccs ~db
+       (Lang.Q_cq (Erp.q_staff "apollo"))
+   with
+   | Guidance.Already_complete ->
+     Format.printf "complete — but only because every employee is already assigned?@."
+   | Guidance.Completable { additions; _ } ->
+     Format.printf "incomplete; e2 could still be assigned:@.%a@." Database.pp additions
+   | r -> Format.printf "%a@." Guidance.pp_audit r);
+
+  section "What is e0's role on apollo?  (the FD pins it)";
+  (match
+     Rcdp.decide ~schema:Erp.db_schema ~master ~ccs:Erp.ccs ~db
+       (Lang.Q_cq (Erp.q_role "e0" "apollo"))
+   with
+   | Rcdp.Complete ->
+     Format.printf
+       "complete: (eid, pid) → role means no admissible extension can add a second role@."
+   | Rcdp.Incomplete _ -> Format.printf "unexpectedly incomplete@.");
+
+  section "And e2's role on zeus?  (no row yet — RCQP says it is achievable)";
+  (match
+     Rcqp.decide ~schema:Erp.db_schema ~master ~ccs:Erp.ccs
+       (Lang.Q_cq (Erp.q_role "e2" "zeus"))
+   with
+   | Rcqp.Nonempty { reason; _ } -> Format.printf "achievable — %s@." reason
+   | r -> Format.printf "%s@." (Rcqp.verdict_name r));
+
+  section "Hours billed to apollo?  (Timesheet is pure open world)";
+  (match
+     Guidance.audit ~schema:Erp.db_schema ~master ~ccs:Erp.ccs ~db
+       (Lang.Q_cq (Erp.q_billed "apollo"))
+   with
+   | Guidance.Not_completable { reason } ->
+     Format.printf "never complete — %s@.⇒ master the timesheets if billing must be exact@."
+       reason
+   | r -> Format.printf "%a@." Guidance.pp_audit r);
+
+  Format.printf "@.Done.@."

@@ -1,0 +1,87 @@
+(* Quickstart: is my database complete enough to answer this query?
+
+   This walks the paper's running example (Examples 1.1 / 2.1 / 2.2):
+   a master list of domestic customers, a partially closed
+   transactional database, and three relative-completeness questions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  (* 1. Schemas: the database has Supt(eid, dept, cid); master data has
+     the closed-world customer list DCust(cid). *)
+  let schema =
+    Schema.make
+      [
+        Schema.relation "Supt"
+          [ Schema.attribute "eid"; Schema.attribute "dept"; Schema.attribute "cid" ];
+      ]
+  in
+  let master_schema = Schema.make [ Schema.relation "DCust" [ Schema.attribute "cid" ] ] in
+
+  (* 2. Instances. The company has three domestic customers; employee
+     e0 supports two of them so far. *)
+  let master =
+    Database.of_list master_schema
+      [ ("DCust", Relation.of_str_rows [ [ "c0" ]; [ "c1" ]; [ "c2" ] ]) ]
+  in
+  let db =
+    Database.of_list schema
+      [ ("Supt", Relation.of_str_rows [ [ "e0"; "d0"; "c0" ]; [ "e0"; "d0"; "c1" ] ]) ]
+  in
+
+  (* 3. A containment constraint: supported customers are domestic
+     customers — q(c) = ∃e,d Supt(e,d,c) ⊆ π_cid(DCust).  Everything
+     else about Supt is open world. *)
+  let v = Term.var in
+  let supported_are_domestic =
+    Containment.make ~name:"supported⊆DCust"
+      (Lang.Q_cq (Cq.make ~head:[ v "c" ] [ Atom.make "Supt" [ v "e"; v "d"; v "c" ] ]))
+      (Projection.proj "DCust" [ 0 ])
+  in
+  let ccs = [ supported_are_domestic ] in
+
+  (* 4. The query: which customers does e0 support? *)
+  let q2 = Cq.make ~head:[ v "c" ] [ Atom.make "Supt" [ Term.str "e0"; v "d"; v "c" ] ] in
+
+  section "The data";
+  Format.printf "master:@.%a@.@.database:@.%a@." Database.pp master Database.pp db;
+  Format.printf "@.constraint: %a@." Containment.pp supported_are_domestic;
+  Format.printf "query Q2:   %a@." Cq.pp q2;
+
+  section "RCDP: is this database complete for Q2?";
+  (match Rcdp.decide ~schema ~master ~ccs ~db (Lang.Q_cq q2) with
+   | Rcdp.Complete -> Format.printf "complete — the answer %a can be trusted@." Relation.pp (Cq.eval db q2)
+   | Rcdp.Incomplete cex ->
+     Format.printf
+       "incomplete — adding@.%a@.stays within the constraints and adds the answer %a@."
+       Database.pp cex.Rcdp.cex_extension Tuple.pp cex.Rcdp.cex_answer);
+
+  section "Guidance: what should we collect?";
+  (match Guidance.audit ~schema ~master ~ccs ~db (Lang.Q_cq q2) with
+   | Guidance.Completable { additions; rounds; _ } ->
+     Format.printf "collect these tuples (%d round(s) of analysis):@.%a@." rounds Database.pp
+       additions
+   | r -> Format.printf "%a@." Guidance.pp_audit r);
+
+  section "After collecting the missing support rows";
+  let db' = Database.add_tuple db "Supt" (Tuple.of_strs [ "e0"; "d1"; "c2" ]) in
+  (match Rcdp.decide ~schema ~master ~ccs ~db:db' (Lang.Q_cq q2) with
+   | Rcdp.Complete ->
+     Format.printf "complete — Q2 now returns %a and no admissible extension can change it@."
+       Relation.pp (Cq.eval db' q2)
+   | Rcdp.Incomplete _ -> Format.printf "still incomplete@.");
+
+  section "RCQP: could ANY database be complete for Q2?";
+  (match Rcqp.decide ~schema ~master ~ccs (Lang.Q_cq q2) with
+   | Rcqp.Nonempty { reason; _ } -> Format.printf "yes — %s@." reason
+   | Rcqp.Empty { reason } -> Format.printf "no — %s@." reason
+   | Rcqp.Unknown { reason } -> Format.printf "unknown — %s@." reason);
+
+  Format.printf "@.Done.@."

@@ -1,0 +1,79 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+let neqs_ground_ok (tab : Tableau.t) mu =
+  List.for_all
+    (fun (s, t) ->
+      match Valuation.term_value mu s, Valuation.term_value mu t with
+      | Some a, Some b -> not (Value.equal a b)
+      | _ -> true)
+    tab.Tableau.neqs
+
+let iter_valid ~master ~ccs ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+  let var_doms = Tableau.var_domains tab in
+  let cands x =
+    match List.assoc_opt x var_doms with
+    | Some d -> Adom.candidates adom d
+    | None -> Adom.candidates adom Domain.Infinite
+  in
+  let unbound mu (a : Atom.t) =
+    List.filter (fun x -> not (Valuation.mem x mu)) (Atom.vars a)
+  in
+  (* Greedy atom order: fewest unbound variables first, so constrained
+     atoms prune before wide ones branch. *)
+  let pick mu atoms =
+    match atoms with
+    | [] -> None
+    | _ ->
+      let best =
+        List.fold_left
+          (fun acc a ->
+            let n = List.length (unbound mu a) in
+            match acc with
+            | Some (_, m) when m <= n -> acc
+            | _ -> Some (a, n))
+          None atoms
+      in
+      (match best with
+       | None -> None
+       | Some (a, _) -> Some (a, List.filter (fun x -> x != a) atoms))
+  in
+  let base =
+    match mode with
+    | `Against_base db -> db
+    | `Delta_only -> Database.empty tab.Tableau.schema
+  in
+  let rec go mu delta combined atoms =
+    match pick mu atoms with
+    | None -> if neqs_ground_ok tab mu then visit mu delta else false
+    | Some (a, rest) ->
+      let vars = unbound mu a in
+      Valuation.enumerate_iter
+        (List.map (fun x -> (x, cands x)) vars)
+        (fun partial ->
+          let mu' =
+            List.fold_left
+              (fun m (x, c) -> Valuation.add x c m)
+              mu (Valuation.bindings partial)
+          in
+          if not (neqs_ground_ok tab mu') then false
+          else
+            match Valuation.tuple_of_terms mu' a.Atom.args with
+            | None -> assert false
+            | Some tuple ->
+              let delta' = Database.add_tuple delta a.Atom.rel tuple in
+              let combined' = Database.add_tuple combined a.Atom.rel tuple in
+              let check_db =
+                match mode with
+                | `Against_base _ -> combined'
+                | `Delta_only -> delta'
+              in
+              if Containment.holds_all ~db:check_db ~master ccs then
+                go mu' delta' combined' rest
+              else begin
+                on_prune ();
+                false
+              end)
+  in
+  go Valuation.empty (Database.empty tab.Tableau.schema) base tab.Tableau.patterns

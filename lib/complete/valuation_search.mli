@@ -1,0 +1,30 @@
+(** Pruned enumeration of valid tableau valuations over the active
+    domain — the engine behind both deciders.
+
+    A {e valid} valuation [μ] (Section 3.2) draws each variable's
+    value from its [adom(y)] and observes the tableau's inequalities.
+    The search instantiates the tableau atom by atom; after each atom
+    it checks the supplied containment constraints against either the
+    accumulated extension alone ([`Delta_only], condition C3 for INDs)
+    or the base database plus the extension ([`Against_base D],
+    condition C2).  Because the constraint languages are monotone, a
+    violation can never be repaired by binding more variables, so the
+    whole subtree is pruned. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+val iter_valid :
+  master:Database.t ->
+  ccs:Containment.t list ->
+  mode:[ `Against_base of Database.t | `Delta_only ] ->
+  adom:Adom.t ->
+  ?on_prune:(unit -> unit) ->
+  Tableau.t ->
+  (Valuation.t -> Database.t -> bool) ->
+  bool
+(** [iter_valid ~master ~ccs ~mode ~adom tab visit] calls
+    [visit μ Δ] — with [Δ = μ(T)] — for every valid valuation whose
+    extension passes the constraint check; stops early when [visit]
+    returns [true] and reports whether any visit did. *)

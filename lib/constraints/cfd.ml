@@ -1,0 +1,80 @@
+open Ric_relational
+
+type pattern = (int * Value.t) list
+
+type t = {
+  cfd_name : string;
+  rel : string;
+  lhs : int list;
+  lhs_pattern : pattern;
+  rhs : int list;
+  rhs_pattern : pattern;
+}
+
+let counter = ref 0
+
+let make ?name ~rel ~lhs ?(lhs_pattern = []) ~rhs ?(rhs_pattern = []) () =
+  List.iter
+    (fun (c, _) ->
+      if not (List.mem c lhs) then
+        invalid_arg "Cfd.make: lhs pattern column is not an X column")
+    lhs_pattern;
+  List.iter
+    (fun (c, _) ->
+      if not (List.mem c rhs) then
+        invalid_arg "Cfd.make: rhs pattern column is not a Y column")
+    rhs_pattern;
+  let cfd_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "cfd%d" !counter
+  in
+  { cfd_name; rel; lhs; lhs_pattern; rhs; rhs_pattern }
+
+let of_fd (fd : Fd.t) =
+  make ~name:fd.Fd.fd_name ~rel:fd.Fd.rel ~lhs:fd.Fd.lhs ~rhs:fd.Fd.rhs ()
+
+let matches pattern tuple =
+  List.for_all (fun (c, v) -> Value.equal (Tuple.get tuple c) v) pattern
+
+let violation db t =
+  match Database.relation db t.rel with
+  | exception Not_found -> None
+  | rel ->
+    let tuples = Relation.elements rel in
+    let matching = List.filter (matches t.lhs_pattern) tuples in
+    (* single-tuple violations: φ holds but ψ does not *)
+    (match List.find_opt (fun u -> not (matches t.rhs_pattern u)) matching with
+     | Some u -> Some (`Single u)
+     | None ->
+       let agrees cols a b = Tuple.equal (Tuple.project cols a) (Tuple.project cols b) in
+       let rec scan = function
+         | [] -> None
+         | a :: rest ->
+           (match
+              List.find_opt (fun b -> agrees t.lhs a b && not (agrees t.rhs a b)) rest
+            with
+            | Some b -> Some (`Pair (a, b))
+            | None -> scan rest)
+       in
+       scan matching)
+
+let holds db t = Option.is_none (violation db t)
+
+let pp ppf t =
+  let pp_cols =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int
+  in
+  let pp_pattern ppf = function
+    | [] -> ()
+    | p ->
+      Format.fprintf ppf " with %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (c, v) -> Format.fprintf ppf "col%d=%a" c Value.pp_quoted v))
+        p
+  in
+  Format.fprintf ppf "%s: %s: %a%a → %a%a" t.cfd_name t.rel pp_cols t.lhs pp_pattern
+    t.lhs_pattern pp_cols t.rhs pp_pattern t.rhs_pattern

@@ -1,0 +1,47 @@
+(** Conditional functional dependencies (Fan et al. 2008; paper
+    Section 2.2(b)).
+
+    A CFD extends an FD [X → Y] with constant patterns [φ(x̄)] and
+    [ψ(ȳ)]: whenever two tuples agree on [X] {e and} match the [X]
+    pattern, they must agree on [Y] and match the [Y] pattern.  A CFD
+    with both patterns empty is a plain FD.  This module keeps one
+    pattern row per constraint; a multi-row CFD is a list of these. *)
+
+open Ric_relational
+
+type pattern = (int * Value.t) list
+(** Column position ↦ required constant; unlisted columns are
+    wildcards. *)
+
+type t = {
+  cfd_name : string;
+  rel : string;
+  lhs : int list;        (** X *)
+  lhs_pattern : pattern; (** φ, over columns of X *)
+  rhs : int list;        (** Y *)
+  rhs_pattern : pattern; (** ψ, over columns of Y *)
+}
+
+val make :
+  ?name:string ->
+  rel:string ->
+  lhs:int list ->
+  ?lhs_pattern:pattern ->
+  rhs:int list ->
+  ?rhs_pattern:pattern ->
+  unit ->
+  t
+(** @raise Invalid_argument if a pattern mentions a column outside its
+    side. *)
+
+val of_fd : Fd.t -> t
+
+val matches : pattern -> Tuple.t -> bool
+
+val holds : Database.t -> t -> bool
+
+val violation : Database.t -> t -> [ `Pair of Tuple.t * Tuple.t | `Single of Tuple.t ] option
+(** [`Pair] — two pattern-matching tuples agree on [X] but differ on
+    [Y]; [`Single] — a tuple matches [φ] but breaks [ψ]. *)
+
+val pp : Format.formatter -> t -> unit

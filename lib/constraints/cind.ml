@@ -1,0 +1,71 @@
+open Ric_relational
+
+type t = {
+  cind_name : string;
+  lhs_rel : string;
+  lhs_cols : int list;
+  lhs_pattern : (int * Value.t) list;
+  rhs_rel : string;
+  rhs_cols : int list;
+  rhs_pattern : (int * Value.t) list;
+}
+
+let counter = ref 0
+
+let make ?name ~lhs:(lhs_rel, lhs_cols) ?(lhs_pattern = []) ~rhs:(rhs_rel, rhs_cols)
+    ?(rhs_pattern = []) () =
+  if List.length lhs_cols <> List.length rhs_cols then
+    invalid_arg "Cind.make: key column lists have different widths";
+  List.iter
+    (fun (c, _) ->
+      if List.mem c rhs_cols then
+        invalid_arg "Cind.make: rhs pattern column clashes with a key column")
+    rhs_pattern;
+  List.iter
+    (fun (c, _) ->
+      if List.mem c lhs_cols then
+        invalid_arg "Cind.make: lhs pattern column clashes with a key column")
+    lhs_pattern;
+  let cind_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "cind%d" !counter
+  in
+  { cind_name; lhs_rel; lhs_cols; lhs_pattern; rhs_rel; rhs_cols; rhs_pattern }
+
+let matches pattern tuple =
+  List.for_all (fun (c, v) -> Value.equal (Tuple.get tuple c) v) pattern
+
+let violation db t =
+  match Database.relation db t.lhs_rel with
+  | exception Not_found -> None
+  | left ->
+    let right =
+      try Database.relation db t.rhs_rel with Not_found -> Relation.empty
+    in
+    let has_match lt =
+      let key = Tuple.project t.lhs_cols lt in
+      Relation.exists
+        (fun rt ->
+          Tuple.equal (Tuple.project t.rhs_cols rt) key && matches t.rhs_pattern rt)
+        right
+    in
+    let bad = ref None in
+    Relation.iter
+      (fun lt ->
+        if !bad = None && matches t.lhs_pattern lt && not (has_match lt) then
+          bad := Some lt)
+      left;
+    !bad
+
+let holds db t = Option.is_none (violation db t)
+
+let pp ppf t =
+  let pp_cols =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int
+  in
+  Format.fprintf ppf "%s: %s[%a] ⊆ %s[%a] (patterns: %d lhs, %d rhs)" t.cind_name
+    t.lhs_rel pp_cols t.lhs_cols t.rhs_rel pp_cols t.rhs_cols
+    (List.length t.lhs_pattern) (List.length t.rhs_pattern)

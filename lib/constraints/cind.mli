@@ -1,0 +1,37 @@
+(** Conditional inclusion dependencies (Bravo et al. 2007; paper
+    Section 2.2(c)):
+    [∀x̄ ȳ1 z̄1 (R1(x̄, ȳ1, z̄1) ∧ φ(ȳ1) → ∃ȳ2 z̄2 (R2(x̄, ȳ2, z̄2) ∧ ψ(ȳ2)))].
+
+    A CIND with empty patterns is a plain IND.  Per Proposition 2.1(c)
+    CINDs translate to containment constraints in FO with an empty
+    master side ({!Translate.of_cind}). *)
+
+open Ric_relational
+
+type t = {
+  cind_name : string;
+  lhs_rel : string;
+  lhs_cols : int list;               (** positions of [x̄] in [R1] *)
+  lhs_pattern : (int * Value.t) list; (** [φ]: column ↦ constant in [R1] *)
+  rhs_rel : string;
+  rhs_cols : int list;               (** matching positions of [x̄] in [R2] *)
+  rhs_pattern : (int * Value.t) list; (** [ψ]: column ↦ constant in [R2] *)
+}
+
+val make :
+  ?name:string ->
+  lhs:string * int list ->
+  ?lhs_pattern:(int * Value.t) list ->
+  rhs:string * int list ->
+  ?rhs_pattern:(int * Value.t) list ->
+  unit ->
+  t
+(** @raise Invalid_argument if the two column lists have different
+    widths or a pattern column clashes with a key column. *)
+
+val holds : Database.t -> t -> bool
+
+val violation : Database.t -> t -> Tuple.t option
+(** A left tuple with no matching right tuple. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+open Ric_relational
+open Ric_query
+
+type t = {
+  cc_name : string;
+  lhs : Lang.t;
+  rhs : Projection.t;
+}
+
+let counter = ref 0
+
+let make ?name lhs rhs =
+  let cc_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "cc%d" !counter
+  in
+  (match rhs, lhs with
+   | Projection.Proj { cols; _ }, Lang.Q_cq q ->
+     if List.length cols <> Cq.arity q then
+       invalid_arg "Containment.make: lhs/rhs arity mismatch"
+   | Projection.Proj { cols; _ }, Lang.Q_ucq q ->
+     if List.length cols <> Ucq.arity q then
+       invalid_arg "Containment.make: lhs/rhs arity mismatch"
+   | _ -> ());
+  { cc_name; lhs; rhs }
+
+let holds ~db ~master t =
+  Relation.subset (Lang.eval db t.lhs) (Projection.eval master t.rhs)
+
+let violation ~db ~master t =
+  let left = Lang.eval db t.lhs in
+  let right = Projection.eval master t.rhs in
+  let diff = Relation.diff left right in
+  if Relation.is_empty diff then None else Some (List.hd (Relation.elements diff))
+
+let holds_all ~db ~master v = List.for_all (holds ~db ~master) v
+
+let first_violation ~db ~master v =
+  List.find_map
+    (fun cc -> Option.map (fun t -> (cc, t)) (violation ~db ~master cc))
+    v
+
+let lhs_monotone t = Lang.monotone t.lhs
+
+let constants t = Lang.constants t.lhs
+
+let language_name t = Lang.language_name t.lhs
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %a ⊆ %a" t.cc_name Lang.pp t.lhs Projection.pp t.rhs

@@ -1,0 +1,44 @@
+(** Containment constraints (CCs), the heart of partially closed
+    databases (Section 2.1).
+
+    A CC [φ = q(R) ⊆ p(Rm)] pairs a query [q] in [LC] over the
+    database schema with a projection [p] over the master schema.
+    [(D, Dm) ⊨ φ] iff [q(D) ⊆ p(Dm)].  A database [D] is {e partially
+    closed} w.r.t. [(Dm, V)] when [(D, Dm) ⊨ φ] for every [φ ∈ V]. *)
+
+open Ric_relational
+open Ric_query
+
+type t = {
+  cc_name : string;   (** label used in reports *)
+  lhs : Lang.t;       (** [q], a query in LC over the database schema *)
+  rhs : Projection.t; (** [p], a projection over master data *)
+}
+
+val make : ?name:string -> Lang.t -> Projection.t -> t
+(** @raise Invalid_argument if the arities of [lhs] and [rhs] are both
+    known and differ. *)
+
+val holds : db:Database.t -> master:Database.t -> t -> bool
+(** [(D, Dm) ⊨ φ]. *)
+
+val violation : db:Database.t -> master:Database.t -> t -> Tuple.t option
+(** A witness tuple in [q(D) \ p(Dm)], if any. *)
+
+val holds_all : db:Database.t -> master:Database.t -> t list -> bool
+(** [(D, Dm) ⊨ V]. *)
+
+val first_violation :
+  db:Database.t -> master:Database.t -> t list -> (t * Tuple.t) option
+
+val lhs_monotone : t -> bool
+(** Monotone LHS (CQ/UCQ/∃FO⁺/FP): adding tuples to [D] can only grow
+    [q(D)], so a violated CC stays violated under extension.  The
+    deciders exploit this (Sections 3.3, 4.3). *)
+
+val constants : t -> Value.t list
+(** Constants of the LHS query. *)
+
+val language_name : t -> string
+
+val pp : Format.formatter -> t -> unit

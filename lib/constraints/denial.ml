@@ -1,0 +1,37 @@
+open Ric_relational
+open Ric_query
+
+type t = {
+  denial_name : string;
+  forbidden : Cq.t;
+}
+
+let counter = ref 0
+
+let make ?name q =
+  if Cq.arity q <> 0 then invalid_arg "Denial.make: the forbidden pattern must be Boolean";
+  let denial_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "denial%d" !counter
+  in
+  { denial_name; forbidden = q }
+
+let holds db t = not (Cq.holds db t.forbidden)
+
+let violation db t =
+  match Cq.normalize t.forbidden with
+  | None -> None
+  | Some n ->
+    let lookup rel = try Database.relation db rel with Not_found -> Relation.empty in
+    let found = ref None in
+    let (_ : bool) =
+      Match_engine.solve ~lookup ~neqs:n.Cq.n_neqs n.Cq.n_atoms (fun v ->
+          found := Some v;
+          true)
+    in
+    !found
+
+let pp ppf t = Format.fprintf ppf "%s: ¬(%a)" t.denial_name Cq.pp t.forbidden

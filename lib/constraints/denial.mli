@@ -1,0 +1,23 @@
+(** Denial constraints (Arenas et al. 1999; paper Section 2.2(a)):
+    universally quantified sentences
+    [∀x̄ ¬(R1(x̄1) ∧ ... ∧ Rk(x̄k) ∧ φ)] where [φ] conjoins [=] and
+    [≠].  We store the forbidden pattern as a Boolean CQ; the database
+    satisfies the constraint iff the CQ has an empty answer. *)
+
+open Ric_relational
+open Ric_query
+
+type t = {
+  denial_name : string;
+  forbidden : Cq.t;  (** Boolean CQ describing the forbidden pattern *)
+}
+
+val make : ?name:string -> Cq.t -> t
+(** @raise Invalid_argument if the CQ is not Boolean. *)
+
+val holds : Database.t -> t -> bool
+
+val violation : Database.t -> t -> Valuation.t option
+(** A valuation witnessing the forbidden pattern, if any. *)
+
+val pp : Format.formatter -> t -> unit

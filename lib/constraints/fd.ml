@@ -1,0 +1,45 @@
+open Ric_relational
+
+type t = {
+  fd_name : string;
+  rel : string;
+  lhs : int list;
+  rhs : int list;
+}
+
+let counter = ref 0
+
+let make ?name ~rel ~lhs ~rhs () =
+  let fd_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "fd%d" !counter
+  in
+  { fd_name; rel; lhs; rhs }
+
+let violation db t =
+  match Database.relation db t.rel with
+  | exception Not_found -> None
+  | rel ->
+    let tuples = Relation.elements rel in
+    let agrees cols a b = Tuple.equal (Tuple.project cols a) (Tuple.project cols b) in
+    let rec scan = function
+      | [] -> None
+      | a :: rest ->
+        (match
+           List.find_opt (fun b -> agrees t.lhs a b && not (agrees t.rhs a b)) rest
+         with
+         | Some b -> Some (a, b)
+         | None -> scan rest)
+    in
+    scan tuples
+
+let holds db t = Option.is_none (violation db t)
+
+let pp ppf t =
+  let pp_cols =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int
+  in
+  Format.fprintf ppf "%s: %s: %a → %a" t.fd_name t.rel pp_cols t.lhs pp_cols t.rhs

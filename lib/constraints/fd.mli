@@ -1,0 +1,25 @@
+(** Functional dependencies [X → Y] on one relation.
+
+    Kept as a first-class constraint because the paper's examples lean
+    on them (e.g. [eid → dept, cid] on [Supt], Example 1.1); via
+    {!Translate.of_fd} every FD becomes a set of CQ containment
+    constraints with an empty master side (Proposition 2.1(b), the
+    pattern-free CFD case). *)
+
+open Ric_relational
+
+type t = {
+  fd_name : string;
+  rel : string;
+  lhs : int list;   (** X, column positions *)
+  rhs : int list;   (** Y, column positions *)
+}
+
+val make : ?name:string -> rel:string -> lhs:int list -> rhs:int list -> unit -> t
+
+val holds : Database.t -> t -> bool
+
+val violation : Database.t -> t -> (Tuple.t * Tuple.t) option
+(** A pair of tuples agreeing on [X] and disagreeing on [Y]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type t = Fd.t list
+
+let the_relation fds =
+  match fds with
+  | [] -> None
+  | fd :: rest ->
+    List.iter
+      (fun (other : Fd.t) ->
+        if not (String.equal other.Fd.rel fd.Fd.rel) then
+          invalid_arg "Fd_theory: dependencies span several relations")
+      rest;
+    Some fd.Fd.rel
+
+module IS = Set.Make (Int)
+
+let closure fds xs =
+  ignore (the_relation fds);
+  let current = ref (IS.of_list xs) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fd : Fd.t) ->
+        if
+          List.for_all (fun a -> IS.mem a !current) fd.Fd.lhs
+          && not (List.for_all (fun a -> IS.mem a !current) fd.Fd.rhs)
+        then begin
+          current := IS.union !current (IS.of_list fd.Fd.rhs);
+          changed := true
+        end)
+      fds
+  done;
+  IS.elements !current
+
+let implies fds (fd : Fd.t) =
+  (match the_relation fds with
+   | Some r when not (String.equal r fd.Fd.rel) ->
+     invalid_arg "Fd_theory.implies: dependency over a different relation"
+   | _ -> ());
+  let cl = IS.of_list (closure fds fd.Fd.lhs) in
+  List.for_all (fun a -> IS.mem a cl) fd.Fd.rhs
+
+let equivalent a b = List.for_all (implies a) b && List.for_all (implies b) a
+
+let is_key fds ~arity xs =
+  let cl = IS.of_list (closure fds xs) in
+  List.for_all (fun a -> IS.mem a cl) (List.init arity (fun i -> i))
+
+let candidate_keys fds ~arity =
+  let attrs = List.init arity (fun i -> i) in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | a :: rest ->
+      let smaller = subsets rest in
+      smaller @ List.map (fun s -> a :: s) smaller
+  in
+  let keys = List.filter (fun s -> s <> [] && is_key fds ~arity s) (subsets attrs) in
+  let minimal s =
+    not
+      (List.exists
+         (fun s' -> s' <> s && List.for_all (fun a -> List.mem a s) s' && is_key fds ~arity s')
+         keys)
+  in
+  List.filter minimal keys |> List.map (List.sort compare) |> List.sort_uniq compare
+
+let minimal_cover fds =
+  match the_relation fds with
+  | None -> []
+  | Some rel ->
+    (* 1. singleton right-hand sides *)
+    let singletons =
+      List.concat_map
+        (fun (fd : Fd.t) ->
+          List.map (fun b -> Fd.make ~rel ~lhs:fd.Fd.lhs ~rhs:[ b ] ()) fd.Fd.rhs)
+        fds
+    in
+    (* 2. drop extraneous left-hand attributes *)
+    let shrink (fd : Fd.t) =
+      let rec go lhs =
+        match
+          List.find_opt
+            (fun a ->
+              let lhs' = List.filter (fun x -> x <> a) lhs in
+              lhs' <> [] && implies singletons (Fd.make ~rel ~lhs:lhs' ~rhs:fd.Fd.rhs ()))
+            lhs
+        with
+        | Some a -> go (List.filter (fun x -> x <> a) lhs)
+        | None -> lhs
+      in
+      Fd.make ~rel ~lhs:(go fd.Fd.lhs) ~rhs:fd.Fd.rhs ()
+    in
+    let shrunk = List.map shrink singletons in
+    (* 3. drop redundant dependencies *)
+    let rec prune kept = function
+      | [] -> List.rev kept
+      | fd :: rest ->
+        if implies (List.rev_append kept rest) fd then prune kept rest
+        else prune (fd :: kept) rest
+    in
+    let pruned = prune [] shrunk in
+    (* dedup *)
+    List.sort_uniq
+      (fun (a : Fd.t) (b : Fd.t) ->
+        compare (a.Fd.lhs, a.Fd.rhs) (b.Fd.lhs, b.Fd.rhs))
+      pruned

@@ -1,0 +1,33 @@
+(** Classical functional-dependency theory: attribute-set closure
+    (Armstrong's axioms), implication, keys and minimal covers.
+
+    The completeness analyses take a set of FDs at face value; this
+    module lets a caller normalise that set first — implied FDs add
+    pure overhead to the deciders (every FD becomes containment
+    constraints that are checked over and over), so shipping a minimal
+    cover to {!Translate.of_fd} is both sound and faster. *)
+
+type t = Fd.t list
+(** All over one relation; functions raise [Invalid_argument] when the
+    relations disagree. *)
+
+val closure : t -> int list -> int list
+(** [closure fds xs] — the attribute closure [xs⁺] under the FDs,
+    sorted. *)
+
+val implies : t -> Fd.t -> bool
+(** Does the set logically imply the dependency (Armstrong)? *)
+
+val equivalent : t -> t -> bool
+
+val is_key : t -> arity:int -> int list -> bool
+(** Do the attributes determine the whole relation? *)
+
+val candidate_keys : t -> arity:int -> int list list
+(** All minimal keys, by exhaustive subset search (exponential; fine
+    for the arities this library works at). *)
+
+val minimal_cover : t -> t
+(** A minimal cover: singleton right-hand sides, no extraneous
+    left-hand attributes, no redundant dependencies.  Equivalent to
+    the input (property-tested). *)

@@ -1,0 +1,46 @@
+open Ric_relational
+open Ric_query
+
+type t = {
+  ind_name : string;
+  rel : string;
+  cols : int list;
+  target : Projection.t;
+}
+
+let counter = ref 0
+
+let make ?name ~rel ~cols target =
+  (match Projection.arity target with
+   | Some k when k <> List.length cols ->
+     invalid_arg "Ind.make: column lists have different widths"
+   | _ -> ());
+  let ind_name =
+    match name with
+    | Some n -> n
+    | None ->
+      incr counter;
+      Printf.sprintf "ind%d" !counter
+  in
+  { ind_name; rel; cols; target }
+
+let projection_cq sch t =
+  let rs = Schema.find sch t.rel in
+  let arity = Schema.arity rs in
+  let args = List.init arity (fun i -> Term.var (Printf.sprintf "x%d" i)) in
+  let head = List.map (fun c -> List.nth args c) t.cols in
+  Cq.make ~head [ Atom.make t.rel args ]
+
+let to_cc sch t =
+  Containment.make ~name:t.ind_name (Lang.Q_cq (projection_cq sch t)) t.target
+
+let holds ~db ~master t =
+  let left = Relation.project t.cols (try Database.relation db t.rel with Not_found -> Relation.empty) in
+  Relation.subset left (Projection.eval master t.target)
+
+let covers t ~rel ~col = String.equal t.rel rel && List.mem col t.cols
+
+let pp ppf t =
+  Format.fprintf ppf "%s: π_{%a}(%s) ⊆ %a" t.ind_name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+    t.cols t.rel Projection.pp t.target

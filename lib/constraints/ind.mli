@@ -1,0 +1,30 @@
+(** Inclusion dependencies as containment constraints.
+
+    A CC [qv(R) ⊆ p(Rm)] is an IND when [qv] is itself a projection
+    query (Section 2.1).  INDs are the [LC] special case with the
+    cheapest analyses: RCDP stays Σ₂ᵖ-complete (Theorem 3.6(1)) but
+    RCQP drops to coNP-complete with a purely syntactic boundedness
+    criterion (Proposition 4.3). *)
+
+open Ric_relational
+
+type t = {
+  ind_name : string;
+  rel : string;       (** database relation on the left *)
+  cols : int list;    (** projected columns of [rel] *)
+  target : Projection.t;
+}
+
+val make : ?name:string -> rel:string -> cols:int list -> Projection.t -> t
+(** @raise Invalid_argument if widths disagree. *)
+
+val to_cc : Schema.t -> t -> Containment.t
+(** The IND as a generic CC whose LHS is a CQ projection query. *)
+
+val holds : db:Database.t -> master:Database.t -> t -> bool
+
+val covers : t -> rel:string -> col:int -> bool
+(** Does this IND constrain column [col] of relation [rel]?  The
+    boundedness condition E4 of Proposition 4.3 asks exactly this. *)
+
+val pp : Format.formatter -> t -> unit

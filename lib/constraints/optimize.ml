@@ -1,0 +1,54 @@
+open Ric_query
+
+let same_target a b =
+  match a, b with
+  | Projection.Empty, Projection.Empty -> true
+  | Projection.Proj { mrel = r1; cols = c1 }, Projection.Proj { mrel = r2; cols = c2 } ->
+    String.equal r1 r2 && c1 = c2
+  | _ -> false
+
+(* the analysable fragment: an inequality-free CQ left-hand side *)
+let plain_cq (cc : Containment.t) =
+  match cc.Containment.lhs with
+  | Lang.Q_cq q when q.Cq.neqs = [] -> Some q
+  | _ -> None
+
+let classify sch ccs =
+  let keep = ref [] in
+  let drop = ref [] in
+  List.iteri
+    (fun i cc ->
+      let reason =
+        match cc.Containment.lhs with
+        | Lang.Q_cq q when not (Cq.satisfiable sch q) ->
+          Some "left-hand query is unsatisfiable: the constraint always holds"
+        | _ ->
+          (match plain_cq cc with
+           | None -> None
+           | Some q ->
+             List.find_map
+               (fun (j, other) ->
+                 if i = j then None
+                 else
+                   match plain_cq other with
+                   | Some q'
+                     when same_target cc.Containment.rhs other.Containment.rhs
+                          && Cq.contained_in sch q q' ->
+                     (* keep the subsuming one; on mutual containment
+                        (equivalence) keep the earlier *)
+                     if Cq.contained_in sch q' q && j > i then None
+                     else
+                       Some
+                         (Printf.sprintf "subsumed by %s (its query contains this one's)"
+                            other.Containment.cc_name)
+                   | _ -> None)
+               (List.mapi (fun j c -> (j, c)) ccs))
+      in
+      match reason with
+      | Some r -> drop := (cc, r) :: !drop
+      | None -> keep := cc :: !keep)
+    ccs;
+  (List.rev !keep, List.rev !drop)
+
+let normalize sch ccs = fst (classify sch ccs)
+let dropped sch ccs = snd (classify sch ccs)

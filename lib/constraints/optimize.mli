@@ -1,0 +1,27 @@
+(** Normalising a set of containment constraints before handing it to
+    the deciders.
+
+    The deciders re-check every constraint at every node of their
+    searches, so provably redundant constraints are pure overhead.
+    Three sound simplifications:
+
+    - a constraint whose left-hand query is unsatisfiable always
+      holds — drop it;
+    - duplicate constraints (same projection target, equivalent
+      inequality-free CQ left-hand sides) — keep one;
+    - subsumption: if [q1 ⊑ q2] (Chandra–Merlin) and both point at the
+      same target, then [q2 ⊆ p] implies [q1 ⊆ p] — drop the
+      subsumed one.
+
+    Constraints this module cannot analyse (UCQ/∃FO⁺/FO/FP left-hand
+    sides, or CQs with inequalities) are kept untouched. *)
+
+open Ric_relational
+
+val normalize : Schema.t -> Containment.t list -> Containment.t list
+(** Sound: a database satisfies the result iff it satisfies the input
+    (property-tested). *)
+
+val dropped : Schema.t -> Containment.t list -> (Containment.t * string) list
+(** The constraints {!normalize} would remove, with reasons — for
+    audit logs. *)

@@ -1,0 +1,29 @@
+open Ric_relational
+
+type t =
+  | Proj of {
+      mrel : string;
+      cols : int list;
+    }
+  | Empty
+
+let proj mrel cols = Proj { mrel; cols }
+let empty = Empty
+
+let arity = function
+  | Proj { cols; _ } -> Some (List.length cols)
+  | Empty -> None
+
+let eval master = function
+  | Empty -> Relation.empty
+  | Proj { mrel; cols } ->
+    (match Database.relation master mrel with
+     | rel -> Relation.project cols rel
+     | exception Not_found -> Relation.empty)
+
+let pp ppf = function
+  | Empty -> Format.fprintf ppf "∅"
+  | Proj { mrel; cols } ->
+    Format.fprintf ppf "π_{%a}(%s)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+      cols mrel

@@ -1,0 +1,28 @@
+(** The right-hand side of a containment constraint: a projection
+    query [p] over master data, [∃x̄ Rm_i(x̄, ȳ)], or the empty set
+    (the paper's shorthand [q ⊆ ∅], a projection of an empty master
+    relation). *)
+
+open Ric_relational
+
+type t =
+  | Proj of {
+      mrel : string;     (** master relation name *)
+      cols : int list;   (** projected column positions, 0-based *)
+    }
+  | Empty
+      (** projection of an empty master relation: [q ⊆ ∅] *)
+
+val proj : string -> int list -> t
+
+val empty : t
+
+val arity : t -> int option
+(** Width of the projection; [None] for {!Empty} (any width). *)
+
+val eval : Database.t -> t -> Relation.t
+(** Evaluate over the master data.  {!Empty} yields the empty
+    relation; an unknown master relation also yields the empty
+    relation (absent master relations are empty). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** Proposition 2.1: integrity constraints as containment constraints.
+
+    (a) Denial constraints and (b) CFDs become CCs in CQ; (c) CINDs
+    become CCs in FO.  All three only need an empty master side, which
+    {!Projection.Empty} provides directly — the single framework then
+    enforces consistency and relative completeness together
+    (Section 2.2).
+
+    The test-suite cross-validates every translation against the
+    direct checkers: [D ⊨ ic] iff [(D, Dm) ⊨ translate ic]. *)
+
+open Ric_relational
+
+val of_denial : Denial.t -> Containment.t
+
+val of_fd : Schema.t -> Fd.t -> Containment.t list
+(** One CC per [Y] column (the paper's "first set" with no constant
+    patterns). *)
+
+val of_cfd : Schema.t -> Cfd.t -> Containment.t list
+(** The two sets of CCs of Proposition 2.1(b): pairwise violations per
+    [Y] column, and single-tuple pattern violations per constant in
+    [ψ]. *)
+
+val of_cind : Schema.t -> Cind.t -> Containment.t
+(** The single FO containment constraint of Proposition 2.1(c). *)

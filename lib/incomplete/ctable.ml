@@ -1,0 +1,131 @@
+open Ric_relational
+
+type cell =
+  | Const of Value.t
+  | Null of string
+
+type cond =
+  | Eq of cell * cell
+  | Neq of cell * cell
+
+type row = {
+  cells : cell list;
+  guard : cond list;
+}
+
+type t = {
+  rel : string;
+  arity : int;
+  rows : row list;
+  global : cond list;
+}
+
+let row ?(guard = []) cells = { cells; guard }
+
+let ground tuple = { cells = List.map (fun v -> Const v) (Tuple.values tuple); guard = [] }
+
+let make ~rel ~arity ?(global = []) rows =
+  List.iter
+    (fun r ->
+      if List.length r.cells <> arity then
+        invalid_arg
+          (Printf.sprintf "Ctable.make: row of width %d in a %d-ary table"
+             (List.length r.cells) arity))
+    rows;
+  { rel; arity; rows; global }
+
+let cond_cells = function
+  | Eq (a, b) | Neq (a, b) -> [ a; b ]
+
+let nulls t =
+  let of_cell = function
+    | Null x -> [ x ]
+    | Const _ -> []
+  in
+  List.concat_map
+    (fun r -> List.concat_map of_cell r.cells @ List.concat_map (fun c -> List.concat_map of_cell (cond_cells c)) r.guard)
+    t.rows
+  @ List.concat_map (fun c -> List.concat_map of_cell (cond_cells c)) t.global
+  |> List.sort_uniq String.compare
+
+let is_v_table t = t.global = [] && List.for_all (fun r -> r.guard = []) t.rows
+
+let cell_value lookup = function
+  | Const v -> Some v
+  | Null x -> lookup x
+
+let cond_holds lookup c =
+  let pair a b =
+    match cell_value lookup a, cell_value lookup b with
+    | Some va, Some vb -> Some (Value.equal va vb)
+    | _ -> None
+  in
+  match c with
+  | Eq (a, b) ->
+    (match pair a b with
+     | Some r -> r
+     | None -> invalid_arg "Ctable: unvalued null in a condition")
+  | Neq (a, b) ->
+    (match pair a b with
+     | Some r -> not r
+     | None -> invalid_arg "Ctable: unvalued null in a condition")
+
+let instantiate lookup t =
+  if not (List.for_all (cond_holds lookup) t.global) then None
+  else
+    Some
+      (List.fold_left
+         (fun acc r ->
+           if List.for_all (cond_holds lookup) r.guard then begin
+             let vals =
+               List.map
+                 (fun c ->
+                   match cell_value lookup c with
+                   | Some v -> v
+                   | None -> invalid_arg "Ctable: unvalued null in a row")
+                 r.cells
+             in
+             Relation.add (Tuple.make vals) acc
+           end
+           else acc)
+         Relation.empty t.rows)
+
+let worlds ~values t =
+  let names = nulls t in
+  let rec go assignment = function
+    | [] ->
+      let lookup x = List.assoc_opt x assignment in
+      (match instantiate lookup t with
+       | Some rel -> [ rel ]
+       | None -> [])
+    | x :: rest ->
+      List.concat_map (fun v -> go ((x, v) :: assignment) rest) values
+  in
+  List.sort_uniq Relation.compare (go [] names)
+
+let pp_cell ppf = function
+  | Const v -> Value.pp ppf v
+  | Null x -> Format.fprintf ppf "⟂%s" x
+
+let pp_cond ppf = function
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_cell a pp_cell b
+  | Neq (a, b) -> Format.fprintf ppf "%a ≠ %a" pp_cell a pp_cell b
+
+let pp_conds ppf = function
+  | [] -> ()
+  | cs ->
+    Format.fprintf ppf " [%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∧ ") pp_cond)
+      cs
+
+let pp ppf t =
+  Format.fprintf ppf "%s:" t.rel;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "@.  (%a)%a"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_cell)
+        r.cells pp_conds r.guard)
+    t.rows;
+  match t.global with
+  | [] -> ()
+  | g -> Format.fprintf ppf "@.  global%a" pp_conds g

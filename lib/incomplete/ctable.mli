@@ -1,0 +1,63 @@
+(** Conditional tables (c-tables) — the representation system for
+    incomplete information the paper's Section 5 points to (Imieliński
+    & Lipski 1984; Grahne 1991) for extending relative completeness
+    from missing tuples to missing {e values}.
+
+    A c-table row holds constants and named nulls, guarded by a local
+    condition (a conjunction of [=]/[≠] literals over nulls and
+    constants); the table carries a global condition.  A {e world} is
+    a valuation of the nulls satisfying the global condition; it keeps
+    exactly the rows whose local conditions hold and grounds their
+    cells.  A v-table is the special case with no conditions.
+
+    Worlds are enumerated over a caller-supplied finite value universe
+    — exact for the toy instances this reproduction works at, and the
+    same move the deciders make with their active domains. *)
+
+open Ric_relational
+
+type cell =
+  | Const of Value.t
+  | Null of string  (** a named labelled null (marked variable) *)
+
+type cond =
+  | Eq of cell * cell
+  | Neq of cell * cell
+
+type row = {
+  cells : cell list;
+  guard : cond list;  (** local condition, conjunctive *)
+}
+
+type t = {
+  rel : string;          (** which database relation the rows belong to *)
+  arity : int;
+  rows : row list;
+  global : cond list;
+}
+
+val make : rel:string -> arity:int -> ?global:cond list -> row list -> t
+(** @raise Invalid_argument on an arity mismatch. *)
+
+val row : ?guard:cond list -> cell list -> row
+
+val ground : Tuple.t -> row
+(** A fully known row. *)
+
+val nulls : t -> string list
+(** Null names, sorted. *)
+
+val is_v_table : t -> bool
+(** No conditions anywhere. *)
+
+val instantiate : (string -> Value.t option) -> t -> Relation.t option
+(** Ground the table under a null valuation: [None] if the global
+    condition fails, otherwise the relation containing the grounded
+    rows whose guards hold.  @raise Invalid_argument if a null is left
+    unvalued. *)
+
+val worlds : values:Value.t list -> t -> Relation.t list
+(** Every world over the given universe, deduplicated.  Exponential in
+    the number of nulls — intended for small tables. *)
+
+val pp : Format.formatter -> t -> unit

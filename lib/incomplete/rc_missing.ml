@@ -1,0 +1,70 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type world_report = {
+  world : Database.t;
+  closed : bool;
+  verdict : Rcdp.verdict option;
+}
+
+type report = {
+  world_reports : world_report list;
+  n_worlds : int;
+  n_closed : int;
+  n_complete : int;
+  strongly_complete : bool;
+  weakly_complete : bool;
+}
+
+let analyze ~values ~schema ~master ~ccs cdb q =
+  let worlds = Cdatabase.worlds ~values cdb in
+  if worlds = [] then invalid_arg "Rc_missing.analyze: no possible world";
+  let world_reports =
+    List.map
+      (fun world ->
+        let closed = Containment.holds_all ~db:world ~master ccs in
+        let verdict =
+          if closed then
+            Some (Rcdp.decide ~check_partially_closed:false ~schema ~master ~ccs ~db:world q)
+          else None
+        in
+        { world; closed; verdict })
+      worlds
+  in
+  let n_closed = List.length (List.filter (fun r -> r.closed) world_reports) in
+  let complete r =
+    match r.verdict with
+    | Some Rcdp.Complete -> true
+    | _ -> false
+  in
+  let n_complete = List.length (List.filter complete world_reports) in
+  {
+    world_reports;
+    n_worlds = List.length world_reports;
+    n_closed;
+    n_complete;
+    strongly_complete = n_complete = List.length world_reports;
+    weakly_complete = n_complete > 0;
+  }
+
+let certain_answer_if_strong report q =
+  if not report.strongly_complete then None
+  else
+    match report.world_reports with
+    | [] -> None
+    | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc r -> Relation.inter acc (Lang.eval r.world q))
+           (Lang.eval first.world q) rest)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d world(s): %d partially closed, %d complete — %s" r.n_worlds r.n_closed
+    r.n_complete
+    (if r.strongly_complete then "STRONGLY complete (trust the answer whatever the nulls are)"
+     else if r.weakly_complete then
+       "weakly complete (the missing values could resolve favourably)"
+     else "incomplete in every world")

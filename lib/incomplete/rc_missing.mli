@@ -1,0 +1,57 @@
+(** Relative completeness in the presence of missing {e values} —
+    the extension Section 5 sketches (worked out in Fan & Geerts,
+    PODS 2010, "Capturing missing tuples and missing values").
+
+    A c-database [Dc] represents a set of possible worlds.  Lifting
+    the paper's notion world-wise gives two natural readings:
+
+    - [Dc] is {e strongly complete} for [Q] relative to [(Dm, V)]
+      when every possible world is partially closed and complete —
+      whatever the missing values turn out to be, the answer can be
+      trusted;
+    - [Dc] is {e weakly complete} when some world is — the missing
+      values {e could} resolve in a way that makes the data complete.
+
+    Both are decided by enumerating worlds over a finite universe and
+    running the exact RCDP decider per world, which is faithful at the
+    toy scale of this reproduction (the 2010 paper shows the general
+    problems are CP-table-hard; we do not claim better). *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type world_report = {
+  world : Database.t;
+  closed : bool;                    (** [(world, Dm) ⊨ V] *)
+  verdict : Rcdp.verdict option;    (** [None] when not partially closed *)
+}
+
+type report = {
+  world_reports : world_report list;
+  n_worlds : int;
+  n_closed : int;
+  n_complete : int;
+  strongly_complete : bool;  (** all worlds closed and complete *)
+  weakly_complete : bool;    (** some world closed and complete *)
+}
+
+val analyze :
+  values:Value.t list ->
+  schema:Schema.t ->
+  master:Database.t ->
+  ccs:Containment.t list ->
+  Cdatabase.t ->
+  Lang.t ->
+  report
+(** @raise Rcdp.Unsupported for undecidable language combinations.
+    @raise Invalid_argument if the c-database has no worlds. *)
+
+val certain_answer_if_strong : report -> Lang.t -> Relation.t option
+(** When strongly complete, every world yields the same trustworthy
+    answer only if the worlds agree; this returns the intersection
+    (the certain answers) when strong completeness holds, [None]
+    otherwise. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,61 @@
+(** Datalog (the paper's FP, Section 2.1 language (f)): rules
+    [p(x̄) ← p1(x̄1), ..., pn(x̄n)] where each [pi] is a relation atom
+    (EDB or IDB), an equality, or an inequality — ∃FO⁺ plus an
+    inflational fixpoint.
+
+    The program is positive, hence monotone, so the naive and
+    semi-naive evaluations compute the unique least fixpoint; the
+    semi-naive strategy is the default (see the [ablation] bench). *)
+
+open Ric_relational
+
+type literal =
+  | Pos of Atom.t
+  | Eq of Term.t * Term.t
+  | Neq of Term.t * Term.t
+
+type rule = {
+  rule_head : Atom.t;
+  rule_body : literal list;
+}
+
+type program = {
+  rules : rule list;
+  output : string;   (** the designated answer predicate *)
+}
+
+val rule : Atom.t -> literal list -> rule
+(** @raise Invalid_argument if the rule is unsafe: every variable of
+    the head and of each inequality must occur in a positive body
+    atom (after equality elimination). *)
+
+val program : rule list -> output:string -> program
+(** @raise Invalid_argument if a predicate is used with two arities. *)
+
+val idb : program -> string list
+(** Predicates defined by rule heads, sorted. *)
+
+val constants : program -> Value.t list
+
+type strategy = Naive | Seminaive
+
+val eval_all : ?strategy:strategy -> Database.t -> program -> (string * Relation.t) list
+(** Least fixpoint of every IDB predicate over the given EDB. *)
+
+val eval : ?strategy:strategy -> Database.t -> program -> Relation.t
+(** Value of the output predicate at the fixpoint.  An output naming
+    an EDB relation simply returns that relation. *)
+
+val holds : ?strategy:strategy -> Database.t -> program -> bool
+
+val iterations : Database.t -> program -> int
+(** Number of rounds the semi-naive fixpoint needs — a convenient
+    measure for benches. *)
+
+val transitive_closure : edge:string -> out:string -> program
+(** The classic binary transitive-closure program, used by Example 1.1
+    (query [Q3] on [Manage]) and by the 2-head-DFA reduction. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+
+val pp : Format.formatter -> program -> unit

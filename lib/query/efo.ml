@@ -1,0 +1,121 @@
+
+
+type formula =
+  | Atom of Atom.t
+  | Eq of Term.t * Term.t
+  | Neq of Term.t * Term.t
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists of string list * formula
+
+type t = {
+  head : Term.t list;
+  body : formula;
+}
+
+let make ~head body = { head; body }
+
+let tt = Eq (Term.int 0, Term.int 0)
+
+let conj = function
+  | [] -> tt
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj = function
+  | [] -> invalid_arg "Efo.disj: empty disjunction"
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let of_cq (q : Cq.t) =
+  let lits =
+    List.map (fun a -> Atom a) q.Cq.atoms
+    @ List.map (fun (s, t) -> Eq (s, t)) q.Cq.eqs
+    @ List.map (fun (s, t) -> Neq (s, t)) q.Cq.neqs
+  in
+  { head = q.Cq.head; body = conj lits }
+
+(* Alpha-rename bound variables apart from free variables and from
+   each other. *)
+let rename_apart t =
+  let counter = ref 0 in
+  let module SMap = Map.Make (String) in
+  let tm env = function
+    | Term.Var x as v -> (match SMap.find_opt x env with Some y -> Term.Var y | None -> v)
+    | c -> c
+  in
+  let rec go env = function
+    | Atom a -> Atom (Atom.make a.Atom.rel (List.map (tm env) a.Atom.args))
+    | Eq (s, u) -> Eq (tm env s, tm env u)
+    | Neq (s, u) -> Neq (tm env s, tm env u)
+    | And (f, g) -> And (go env f, go env g)
+    | Or (f, g) -> Or (go env f, go env g)
+    | Exists (xs, f) ->
+      let env =
+        List.fold_left
+          (fun env x ->
+            incr counter;
+            SMap.add x (Printf.sprintf "_b%d_%s" !counter x) env)
+          env xs
+      in
+      go env f
+  in
+  { t with body = go SMap.empty t.body }
+
+(* DNF: a disjunct is (atoms, eqs, neqs). *)
+type lits = {
+  l_atoms : Atom.t list;
+  l_eqs : (Term.t * Term.t) list;
+  l_neqs : (Term.t * Term.t) list;
+}
+
+let empty_lits = { l_atoms = []; l_eqs = []; l_neqs = [] }
+
+let merge a b =
+  {
+    l_atoms = a.l_atoms @ b.l_atoms;
+    l_eqs = a.l_eqs @ b.l_eqs;
+    l_neqs = a.l_neqs @ b.l_neqs;
+  }
+
+let rec dnf = function
+  | Atom a -> [ { empty_lits with l_atoms = [ a ] } ]
+  | Eq (s, t) ->
+    if Term.equal s t then [ empty_lits ]
+    else [ { empty_lits with l_eqs = [ (s, t) ] } ]
+  | Neq (s, t) -> [ { empty_lits with l_neqs = [ (s, t) ] } ]
+  | And (f, g) ->
+    let df = dnf f and dg = dnf g in
+    List.concat_map (fun a -> List.map (merge a) dg) df
+  | Or (f, g) -> dnf f @ dnf g
+  | Exists (_, f) -> dnf f (* binders already renamed apart *)
+
+let to_ucq t =
+  let t = rename_apart t in
+  let disjuncts = dnf t.body in
+  Ucq.make
+    (List.map
+       (fun l -> Cq.make ~eqs:l.l_eqs ~neqs:l.l_neqs ~head:t.head l.l_atoms)
+       disjuncts)
+
+let eval db t = Ucq.eval db (to_ucq t)
+let holds db t = Ucq.holds db (to_ucq t)
+let satisfiable sch t = Ucq.satisfiable sch (to_ucq t)
+
+let vars t = Ucq.vars (to_ucq t)
+let constants t = Ucq.constants (to_ucq t)
+let disjunct_count t = List.length (to_ucq t)
+
+let rec pp_formula ppf = function
+  | Atom a -> Atom.pp ppf a
+  | Eq (s, t) -> Format.fprintf ppf "%a = %a" Term.pp s Term.pp t
+  | Neq (s, t) -> Format.fprintf ppf "%a ≠ %a" Term.pp s Term.pp t
+  | And (f, g) -> Format.fprintf ppf "(%a ∧ %a)" pp_formula f pp_formula g
+  | Or (f, g) -> Format.fprintf ppf "(%a ∨ %a)" pp_formula f pp_formula g
+  | Exists (xs, f) ->
+    Format.fprintf ppf "∃%a (%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_string)
+      xs pp_formula f
+
+let pp ppf t =
+  Format.fprintf ppf "(%a) ← %a"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+    t.head pp_formula t.body

@@ -1,0 +1,54 @@
+(** Positive existential FO queries ∃FO⁺ (Section 2.1, language (c)):
+    atomic formulas closed under [∧], [∨] and [∃].
+
+    A query is a head together with a body formula; free body
+    variables not in the head are implicitly existential (the paper's
+    queries are closed except for the output).  Evaluation goes
+    through the equivalent — possibly exponentially larger — UCQ, as
+    in the paper's upper-bound proofs (Theorem 3.6(4)). *)
+
+open Ric_relational
+
+type formula =
+  | Atom of Atom.t
+  | Eq of Term.t * Term.t
+  | Neq of Term.t * Term.t
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists of string list * formula
+
+type t = {
+  head : Term.t list;
+  body : formula;
+}
+
+val make : head:Term.t list -> formula -> t
+
+val conj : formula list -> formula
+(** Right-nested conjunction; the empty list is the true formula
+    (encoded as [Eq (c, c)] on a dummy constant). *)
+
+val disj : formula list -> formula
+(** @raise Invalid_argument on the empty list. *)
+
+val of_cq : Cq.t -> t
+
+val to_ucq : t -> Ucq.t
+(** DNF expansion.  Bound variables are renamed apart first, so
+    shadowing is handled; the result can be exponentially larger. *)
+
+val eval : Database.t -> t -> Relation.t
+
+val holds : Database.t -> t -> bool
+
+val satisfiable : Schema.t -> t -> bool
+
+val vars : t -> string list
+
+val constants : t -> Value.t list
+
+val disjunct_count : t -> int
+(** Number of CQs in the DNF — the blow-up the complexity proofs dodge
+    by guessing branches. *)
+
+val pp : Format.formatter -> t -> unit

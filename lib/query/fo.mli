@@ -1,0 +1,54 @@
+(** First-order queries (Section 2.1, language (d)): atomic formulas
+    closed under [∧], [∨], [¬], [∃], [∀].
+
+    Evaluation uses {e active-domain} semantics: quantifiers range
+    over the constants of the database, the query, and any extra
+    values supplied by the caller.  This is the standard effective
+    semantics; the paper's undecidability results (Theorems 3.1 and
+    4.1) concern the unrestricted extension problem, which no
+    evaluator escapes — see {!Ric_complete.Rcdp.semi_decide}. *)
+
+open Ric_relational
+
+type formula =
+  | True
+  | Atom of Atom.t
+  | Eq of Term.t * Term.t
+  | And of formula * formula
+  | Or of formula * formula
+  | Not of formula
+  | Exists of string list * formula
+  | Forall of string list * formula
+
+type t = {
+  head : Term.t list;
+  body : formula;
+}
+
+val make : head:Term.t list -> formula -> t
+(** @raise Invalid_argument if a free variable of the body is not a
+    head variable. *)
+
+val boolean : formula -> t
+
+val neq : Term.t -> Term.t -> formula
+(** [¬(s = t)]. *)
+
+val conj : formula list -> formula
+
+val disj : formula list -> formula
+
+val of_cq : Cq.t -> t
+
+val of_efo : Efo.t -> t
+
+val free_vars : formula -> string list
+
+val constants : t -> Value.t list
+
+val eval : ?extra:Value.t list -> Database.t -> t -> Relation.t
+(** Active-domain evaluation; [extra] widens the quantifier range. *)
+
+val holds : ?extra:Value.t list -> Database.t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

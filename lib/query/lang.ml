@@ -1,0 +1,106 @@
+
+
+type t =
+  | Q_cq of Cq.t
+  | Q_ucq of Ucq.t
+  | Q_efo of Efo.t
+  | Q_fo of Fo.t
+  | Q_fp of Datalog.program
+
+let eval db = function
+  | Q_cq q -> Cq.eval db q
+  | Q_ucq q -> Ucq.eval db q
+  | Q_efo q -> Efo.eval db q
+  | Q_fo q -> Fo.eval db q
+  | Q_fp p -> Datalog.eval db p
+
+let holds db = function
+  | Q_cq q -> Cq.holds db q
+  | Q_ucq q -> Ucq.holds db q
+  | Q_efo q -> Efo.holds db q
+  | Q_fo q -> Fo.holds db q
+  | Q_fp p -> Datalog.holds db p
+
+let constants = function
+  | Q_cq q -> Cq.constants q
+  | Q_ucq q -> Ucq.constants q
+  | Q_efo q -> Efo.constants q
+  | Q_fo q -> Fo.constants q
+  | Q_fp p -> Datalog.constants p
+
+let language_name = function
+  | Q_cq _ -> "CQ"
+  | Q_ucq _ -> "UCQ"
+  | Q_efo _ -> "\xE2\x88\x83FO+"
+  | Q_fo _ -> "FO"
+  | Q_fp _ -> "FP"
+
+let monotone = function
+  | Q_cq _ | Q_ucq _ | Q_efo _ | Q_fp _ -> true
+  | Q_fo _ -> false
+
+let cq_relations q =
+  List.map (fun (a : Atom.t) -> a.Atom.rel) q.Cq.atoms
+
+let rec fo_relations = function
+  | Fo.True | Fo.Eq _ -> []
+  | Fo.Atom a -> [ a.Atom.rel ]
+  | Fo.And (f, g) | Fo.Or (f, g) -> fo_relations f @ fo_relations g
+  | Fo.Not f -> fo_relations f
+  | Fo.Exists (_, f) | Fo.Forall (_, f) -> fo_relations f
+
+let rec efo_relations = function
+  | Efo.Atom a -> [ a.Atom.rel ]
+  | Efo.Eq _ | Efo.Neq _ -> []
+  | Efo.And (f, g) | Efo.Or (f, g) -> efo_relations f @ efo_relations g
+  | Efo.Exists (_, f) -> efo_relations f
+
+let relations t =
+  (match t with
+   | Q_cq q -> cq_relations q
+   | Q_ucq q -> List.concat_map cq_relations q
+   | Q_efo q -> efo_relations q.Efo.body
+   | Q_fo q -> fo_relations q.Fo.body
+   | Q_fp p ->
+     List.concat_map
+       (fun (r : Datalog.rule) ->
+         r.Datalog.rule_head.Atom.rel
+         :: List.filter_map
+              (function
+                | Datalog.Pos a -> Some a.Atom.rel
+                | Datalog.Eq _ | Datalog.Neq _ -> None)
+              r.Datalog.rule_body)
+       p.Datalog.rules)
+  |> List.sort_uniq String.compare
+
+let var_count = function
+  | Q_cq q -> List.length (Cq.vars q)
+  | Q_ucq q -> List.length (Ucq.vars q)
+  | Q_efo q -> List.length (Ucq.vars (Efo.to_ucq q))
+  | Q_fo q -> List.length (Fo.free_vars q.Fo.body) + 4
+  | Q_fp p ->
+    List.fold_left
+      (fun n (r : Datalog.rule) ->
+        n
+        + List.length
+            (Cq.vars
+               (Cq.make ~head:r.Datalog.rule_head.Atom.args
+                  (List.filter_map
+                     (function
+                       | Datalog.Pos a -> Some a
+                       | _ -> None)
+                     r.Datalog.rule_body))))
+      0 p.Datalog.rules
+
+let as_ucq = function
+  | Q_cq q -> Some [ q ]
+  | Q_ucq q -> Some q
+  | Q_efo q -> Some (Efo.to_ucq q)
+  | Q_fo _ | Q_fp _ -> None
+
+let pp ppf = function
+  | Q_cq q -> Cq.pp ppf q
+  | Q_ucq q -> Ucq.pp ppf q
+  | Q_efo q -> Efo.pp ppf q
+  | Q_fo q -> Fo.pp ppf q
+  | Q_fp p -> Datalog.pp ppf p

@@ -1,0 +1,43 @@
+(** Dispatch over the query languages of the paper: [LQ] and [LC]
+    range over CQ, UCQ, ∃FO⁺, FO and FP (plus the IND special case on
+    the constraint side, which lives in {!Ric_constraints.Ind}). *)
+
+open Ric_relational
+
+type t =
+  | Q_cq of Cq.t
+  | Q_ucq of Ucq.t
+  | Q_efo of Efo.t
+  | Q_fo of Fo.t
+  | Q_fp of Datalog.program
+
+val eval : Database.t -> t -> Relation.t
+
+val holds : Database.t -> t -> bool
+
+val constants : t -> Value.t list
+
+val language_name : t -> string
+(** ["CQ"], ["UCQ"], ["∃FO+"], ["FO"] or ["FP"]. *)
+
+val monotone : t -> bool
+(** True for CQ, UCQ, ∃FO⁺ and FP; the completeness characterisations
+    (Propositions 3.3–4.2) rely on it. *)
+
+val relations : t -> string list
+(** Relation names the query mentions (for FP: including IDB
+    predicates).  Used by the deciders to restrict constraint
+    re-checking to constraints that an extension can actually
+    affect. *)
+
+val var_count : t -> int
+(** Number of distinct variables (for ∃FO⁺, of the UCQ expansion; for
+    FP, across all rules).  Sizes the [New] part of the active
+    domain. *)
+
+val as_ucq : t -> Ucq.t option
+(** CQ, UCQ and ∃FO⁺ normalise to a UCQ (the ∃FO⁺ case may blow up
+    exponentially, as in the paper's upper-bound proofs); [None] for
+    FO and FP. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,141 @@
+open Ric_relational
+
+(* A neq (s, t) is checked as soon as both sides are ground under the
+   current valuation; [pending] tracks the ones not yet checkable. *)
+let neq_ok v (s, t) =
+  match Valuation.term_value v s, Valuation.term_value v t with
+  | Some a, Some b -> if Value.equal a b then `Violated else `Ok
+  | _ -> `Pending
+
+let ground_count v (a : Atom.t) =
+  List.fold_left
+    (fun n t ->
+      match t with
+      | Term.Const _ -> n + 1
+      | Term.Var x -> if Valuation.mem x v then n + 1 else n)
+    0 a.Atom.args
+
+(* Try to extend [v] so that [a] maps onto [tuple]. *)
+let unify v (a : Atom.t) tuple =
+  if Tuple.arity tuple <> Atom.arity a then None
+  else
+    let rec go v i = function
+      | [] -> Some v
+      | t :: rest ->
+        let c = Tuple.get tuple i in
+        (match t with
+         | Term.Const k -> if Value.equal k c then go v (i + 1) rest else None
+         | Term.Var x ->
+           (match Valuation.find x v with
+            | Some k -> if Value.equal k c then go v (i + 1) rest else None
+            | None -> go (Valuation.add x c v) (i + 1) rest))
+    in
+    go v 0 a.Atom.args
+
+(* Lazily built hash indexes: (relation, column, value) → tuples.
+   Built once per solve per (relation, column) on first use; turns the
+   per-atom scan into a bucket probe when at least one argument is
+   ground. *)
+module Index = struct
+  type t = (string * int, (Value.t, Tuple.t list) Hashtbl.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let get (idx : t) ~lookup rel col =
+    match Hashtbl.find_opt idx (rel, col) with
+    | Some h -> h
+    | None ->
+      let h = Hashtbl.create 64 in
+      Relation.iter
+        (fun tuple ->
+          let key = Tuple.get tuple col in
+          Hashtbl.replace h key (tuple :: Option.value ~default:[] (Hashtbl.find_opt h key)))
+        (lookup rel);
+      Hashtbl.replace idx (rel, col) h;
+      h
+
+  (* the first ground argument position of [a] under [v], if any *)
+  let ground_position v (a : Atom.t) =
+    let rec go i = function
+      | [] -> None
+      | Term.Const c :: _ -> Some (i, c)
+      | Term.Var x :: rest ->
+        (match Valuation.find x v with
+         | Some c -> Some (i, c)
+         | None -> go (i + 1) rest)
+    in
+    go 0 a.Atom.args
+end
+
+let solve ~lookup ?(neqs = []) ?(init = Valuation.empty) ?(naive = false) atoms visit =
+  (* Partition the inequality checks: check what is ground now, defer
+     the rest; re-examined after every atom is matched. *)
+  let check_neqs v pending =
+    let rec go ok acc = function
+      | [] -> if ok then Some acc else None
+      | neq :: rest ->
+        (match neq_ok v neq with
+         | `Violated -> None
+         | `Ok -> go ok acc rest
+         | `Pending -> go ok (neq :: acc) rest)
+    in
+    go true [] pending
+  in
+  let pick_best v = function
+    | [] -> None
+    | atoms ->
+      if naive then
+        match atoms with
+        | a :: rest -> Some (a, rest)
+        | [] -> None
+      else begin
+        let score (a : Atom.t) =
+          let bound = ground_count v a in
+          let size = Relation.cardinal (lookup a.Atom.rel) in
+          (* prefer more bound arguments, then smaller relations *)
+          (-bound, size)
+        in
+        let best =
+          List.fold_left
+            (fun acc a ->
+              match acc with
+              | None -> Some (a, score a)
+              | Some (_, sb) ->
+                let sa = score a in
+                if compare sa sb < 0 then Some (a, sa) else acc)
+            None atoms
+        in
+        match best with
+        | None -> None
+        | Some (a, _) -> Some (a, List.filter (fun x -> x != a) atoms)
+      end
+  in
+  let idx = Index.create () in
+  let rec go v pending atoms =
+    match check_neqs v pending with
+    | None -> false
+    | Some pending ->
+      (match pick_best v atoms with
+       | None -> visit v
+       | Some (a, rest) ->
+         let try_tuple tuple =
+           match unify v a tuple with
+           | Some v' -> go v' pending rest
+           | None -> false
+         in
+         (match if naive then None else Index.ground_position v a with
+          | Some (col, value) ->
+            let h = Index.get idx ~lookup a.Atom.rel col in
+            List.exists try_tuple (Option.value ~default:[] (Hashtbl.find_opt h value))
+          | None -> Relation.exists try_tuple (lookup a.Atom.rel)))
+  in
+  go init neqs atoms
+
+let all ~lookup ?(neqs = []) ?(init = Valuation.empty) atoms =
+  let out = ref [] in
+  let (_ : bool) =
+    solve ~lookup ~neqs ~init atoms (fun v ->
+        out := v :: !out;
+        false)
+  in
+  List.rev !out

@@ -1,0 +1,160 @@
+open Ric_relational
+
+type pred =
+  | Col_eq_col of int * int
+  | Col_eq_const of int * Value.t
+  | Col_neq_col of int * int
+  | Col_neq_const of int * Value.t
+
+type t =
+  | Rel of string
+  | Select of pred list * t
+  | Project of int list * t
+  | Product of t * t
+  | Union of t * t
+  | Diff of t * t
+
+let pred_cols = function
+  | Col_eq_col (i, j) | Col_neq_col (i, j) -> [ i; j ]
+  | Col_eq_const (i, _) | Col_neq_const (i, _) -> [ i ]
+
+let rec arity sch = function
+  | Rel r ->
+    (match Schema.find sch r with
+     | rs -> Schema.arity rs
+     | exception Not_found -> invalid_arg (Printf.sprintf "Ralgebra: unknown relation %S" r))
+  | Select (preds, e) ->
+    let a = arity sch e in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun c ->
+            if c < 0 || c >= a then
+              invalid_arg (Printf.sprintf "Ralgebra: selection column %d out of range" c))
+          (pred_cols p))
+      preds;
+    a
+  | Project (cols, e) ->
+    let a = arity sch e in
+    List.iter
+      (fun c ->
+        if c < 0 || c >= a then
+          invalid_arg (Printf.sprintf "Ralgebra: projection column %d out of range" c))
+      cols;
+    List.length cols
+  | Product (a, b) -> arity sch a + arity sch b
+  | Union (a, b) | Diff (a, b) ->
+    let wa = arity sch a and wb = arity sch b in
+    if wa <> wb then invalid_arg "Ralgebra: union/difference of different widths";
+    wa
+
+let pred_holds tuple = function
+  | Col_eq_col (i, j) -> Value.equal (Tuple.get tuple i) (Tuple.get tuple j)
+  | Col_eq_const (i, v) -> Value.equal (Tuple.get tuple i) v
+  | Col_neq_col (i, j) -> not (Value.equal (Tuple.get tuple i) (Tuple.get tuple j))
+  | Col_neq_const (i, v) -> not (Value.equal (Tuple.get tuple i) v)
+
+let rec eval db = function
+  | Rel r ->
+    (match Database.relation db r with
+     | rel -> rel
+     | exception Not_found -> invalid_arg (Printf.sprintf "Ralgebra: unknown relation %S" r))
+  | Select (preds, e) ->
+    Relation.filter (fun t -> List.for_all (pred_holds t) preds) (eval db e)
+  | Project (cols, e) -> Relation.project cols (eval db e)
+  | Product (a, b) ->
+    let ra = eval db a and rb = eval db b in
+    Relation.fold
+      (fun ta acc ->
+        Relation.fold
+          (fun tb acc ->
+            Relation.add (Tuple.make (Tuple.values ta @ Tuple.values tb)) acc)
+          rb acc)
+      ra Relation.empty
+  | Union (a, b) -> Relation.union (eval db a) (eval db b)
+  | Diff (a, b) -> Relation.diff (eval db a) (eval db b)
+
+let rec positive = function
+  | Rel _ -> true
+  | Select (_, e) | Project (_, e) -> positive e
+  | Product (a, b) | Union (a, b) -> positive a && positive b
+  | Diff _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Compilation to UCQ. *)
+
+let counter = ref 0
+
+let fresh_var () =
+  incr counter;
+  Term.Var (Printf.sprintf "_ra%d" !counter)
+
+let rec compile sch e : Cq.t list =
+  match e with
+  | Rel r ->
+    let a =
+      match Schema.find sch r with
+      | rs -> Schema.arity rs
+      | exception Not_found -> invalid_arg (Printf.sprintf "Ralgebra: unknown relation %S" r)
+    in
+    let head = List.init a (fun _ -> fresh_var ()) in
+    [ Cq.make ~head [ Atom.make r head ] ]
+  | Select (preds, e) ->
+    List.map
+      (fun (q : Cq.t) ->
+        let col i = List.nth q.Cq.head i in
+        let eqs, neqs =
+          List.fold_left
+            (fun (eqs, neqs) p ->
+              match p with
+              | Col_eq_col (i, j) -> ((col i, col j) :: eqs, neqs)
+              | Col_eq_const (i, v) -> ((col i, Term.Const v) :: eqs, neqs)
+              | Col_neq_col (i, j) -> (eqs, (col i, col j) :: neqs)
+              | Col_neq_const (i, v) -> (eqs, (col i, Term.Const v) :: neqs))
+            (q.Cq.eqs, q.Cq.neqs) preds
+        in
+        { q with Cq.eqs; neqs })
+      (compile sch e)
+  | Project (cols, e) ->
+    List.map
+      (fun (q : Cq.t) -> { q with Cq.head = List.map (List.nth q.Cq.head) cols })
+      (compile sch e)
+  | Product (a, b) ->
+    let qa = compile sch a and qb = compile sch b in
+    List.concat_map
+      (fun (x : Cq.t) ->
+        List.map
+          (fun (y : Cq.t) ->
+            Cq.make
+              ~eqs:(x.Cq.eqs @ y.Cq.eqs)
+              ~neqs:(x.Cq.neqs @ y.Cq.neqs)
+              ~head:(x.Cq.head @ y.Cq.head)
+              (x.Cq.atoms @ y.Cq.atoms))
+          qb)
+      qa
+  | Union (a, b) -> compile sch a @ compile sch b
+  | Diff _ -> invalid_arg "Ralgebra.to_ucq: difference is not positive"
+
+let to_ucq sch e =
+  ignore (arity sch e);
+  Ucq.make (compile sch e)
+
+let pp_pred ppf = function
+  | Col_eq_col (i, j) -> Format.fprintf ppf "#%d = #%d" i j
+  | Col_eq_const (i, v) -> Format.fprintf ppf "#%d = %a" i Value.pp_quoted v
+  | Col_neq_col (i, j) -> Format.fprintf ppf "#%d ≠ #%d" i j
+  | Col_neq_const (i, v) -> Format.fprintf ppf "#%d ≠ %a" i Value.pp_quoted v
+
+let rec pp ppf = function
+  | Rel r -> Format.fprintf ppf "%s" r
+  | Select (preds, e) ->
+    Format.fprintf ppf "σ[%a](%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∧ ") pp_pred)
+      preds pp e
+  | Project (cols, e) ->
+    Format.fprintf ppf "π[%a](%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Format.pp_print_int)
+      cols pp e
+  | Product (a, b) -> Format.fprintf ppf "(%a × %a)" pp a pp b
+  | Union (a, b) -> Format.fprintf ppf "(%a ∪ %a)" pp a pp b
+  | Diff (a, b) -> Format.fprintf ppf "(%a − %a)" pp a pp b

@@ -1,0 +1,47 @@
+(** A small relational-algebra layer.
+
+    The paper writes many of its artefacts algebraically —
+    [π_cid(DCust)], [σ_{X1 ≠ Z}(R1) ⊆ ∅], products like
+    [R6 × T × R5] in the Theorem 3.6 query — so the library offers the
+    same vocabulary: an algebra AST over the SPJRU fragment
+    (selection, projection, join/product, renaming-free union,
+    difference) with a direct evaluator, plus a translation of the
+    positive fragment into {!Ucq} that is proved equivalent by the
+    test-suite's property tests.
+
+    Columns are addressed positionally (0-based), as everywhere else
+    in the library. *)
+
+open Ric_relational
+
+type pred =
+  | Col_eq_col of int * int
+  | Col_eq_const of int * Value.t
+  | Col_neq_col of int * int
+  | Col_neq_const of int * Value.t
+
+type t =
+  | Rel of string                  (** a database relation *)
+  | Select of pred list * t        (** σ, conjunctive condition *)
+  | Project of int list * t        (** π, set semantics *)
+  | Product of t * t               (** ×, column concatenation *)
+  | Union of t * t
+  | Diff of t * t                  (** the non-monotone operator *)
+
+val arity : Schema.t -> t -> int
+(** @raise Invalid_argument on unknown relations, out-of-range
+    columns, or arity-mismatched unions/differences. *)
+
+val eval : Database.t -> t -> Relation.t
+(** Direct evaluation.  @raise Invalid_argument as {!arity}. *)
+
+val positive : t -> bool
+(** No {!Diff} anywhere. *)
+
+val to_ucq : Schema.t -> t -> Ucq.t
+(** Translate a positive expression into a UCQ with the same
+    semantics (property-tested: [eval db e = Ucq.eval db (to_ucq e)]).
+    @raise Invalid_argument if the expression contains {!Diff} or is
+    malformed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+open Ric_relational
+
+type t = {
+  schema : Schema.t;
+  patterns : Atom.t list;
+  summary : Term.t list;
+  neqs : (Term.t * Term.t) list;
+}
+
+let of_cq schema q =
+  match Cq.normalize q with
+  | None -> None
+  | Some n ->
+    List.iter
+      (fun (a : Atom.t) ->
+        if not (Schema.mem schema a.rel) then
+          invalid_arg (Printf.sprintf "Tableau.of_cq: unknown relation %S" a.rel);
+        if Schema.arity (Schema.find schema a.rel) <> Atom.arity a then
+          invalid_arg (Printf.sprintf "Tableau.of_cq: arity mismatch on %S" a.rel))
+      n.Cq.n_atoms;
+    Some { schema; patterns = n.Cq.n_atoms; summary = n.Cq.n_head; neqs = n.Cq.n_neqs }
+
+let to_cq t = Cq.make ~neqs:t.neqs ~head:t.summary t.patterns
+
+let vars t = Cq.vars (to_cq t)
+
+let var_domains t = Cq.var_domains t.schema (to_cq t)
+
+let constants t = Cq.constants (to_cq t)
+
+let instantiate t mu =
+  List.fold_left
+    (fun db (a : Atom.t) ->
+      match Valuation.tuple_of_terms mu a.args with
+      | Some tuple -> Database.add_tuple db a.rel tuple
+      | None ->
+        invalid_arg
+          (Format.asprintf "Tableau.instantiate: unbound variable in %a" Atom.pp a))
+    (Database.empty t.schema) t.patterns
+
+let summary_tuple t mu =
+  match Valuation.tuple_of_terms mu t.summary with
+  | Some tuple -> tuple
+  | None -> invalid_arg "Tableau.summary_tuple: unbound summary variable"
+
+let neqs_ok t mu =
+  List.for_all
+    (fun (s, u) ->
+      match Valuation.term_value mu s, Valuation.term_value mu u with
+      | Some a, Some b -> not (Value.equal a b)
+      | _ -> true)
+    t.neqs
+
+let pp ppf t =
+  Format.fprintf ppf "T = [%a], u = (%a)%a"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Atom.pp)
+    t.patterns
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Term.pp)
+    t.summary
+    (fun ppf neqs ->
+      List.iter
+        (fun (s, u) -> Format.fprintf ppf ", %a ≠ %a" Term.pp s Term.pp u)
+        neqs)
+    t.neqs

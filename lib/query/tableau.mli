@@ -1,0 +1,49 @@
+(** Tableau queries [(T_Q, u_Q)] — the representation the paper's
+    characterisations are phrased in (Section 3.2).
+
+    [T_Q] is the list of tuple templates (relation atoms after
+    equality elimination), [u_Q] the output summary.  Valuations [μ]
+    of the variables of [T_Q] instantiate the templates into a set of
+    tuples [μ(T_Q)], viewed as a database over the query's schema.
+
+    Unlike the paper we do not force a single-relation schema; the
+    Lemma 3.2 encoding lives in {!Single_rel} and is validated by
+    tests instead of being baked into the decision procedures. *)
+
+open Ric_relational
+
+type t = private {
+  schema : Schema.t;
+  patterns : Atom.t list;          (** T_Q *)
+  summary : Term.t list;           (** u_Q *)
+  neqs : (Term.t * Term.t) list;   (** inequality side conditions *)
+}
+
+val of_cq : Schema.t -> Cq.t -> t option
+(** [None] when the CQ is statically unsatisfiable (contradictory
+    [=]/[≠] on ground terms).  @raise Invalid_argument when some atom
+    mentions a relation absent from the schema. *)
+
+val to_cq : t -> Cq.t
+
+val vars : t -> string list
+(** Variables of [T_Q] (and the summary), first-occurrence order. *)
+
+val var_domains : t -> (string * Domain.t) list
+(** Effective attribute domain of each variable (see
+    {!Cq.var_domains}). *)
+
+val constants : t -> Value.t list
+
+val instantiate : t -> Valuation.t -> Database.t
+(** [μ(T_Q)] as a database.  @raise Invalid_argument if the valuation
+    leaves a pattern variable unbound. *)
+
+val summary_tuple : t -> Valuation.t -> Tuple.t
+(** [μ(u_Q)].  @raise Invalid_argument if unbound. *)
+
+val neqs_ok : t -> Valuation.t -> bool
+(** Does [μ] observe every inequality?  Unbound sides count as
+    satisfied (callers pass total valuations). *)
+
+val pp : Format.formatter -> t -> unit

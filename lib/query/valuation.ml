@@ -1,0 +1,71 @@
+open Ric_relational
+module SMap = Map.Make (String)
+
+type t = Value.t SMap.t
+
+let empty = SMap.empty
+let of_list l = List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty l
+let bindings = SMap.bindings
+let find = SMap.find_opt
+let add = SMap.add
+let mem = SMap.mem
+let cardinal = SMap.cardinal
+
+let union a b =
+  let ok = ref true in
+  let merged =
+    SMap.union
+      (fun _ va vb ->
+        if Value.equal va vb then Some va
+        else begin
+          ok := false;
+          Some va
+        end)
+      a b
+  in
+  if !ok then Some merged else None
+
+let term v = function
+  | Term.Var x as t -> (match SMap.find_opt x v with Some c -> Term.Const c | None -> t)
+  | Term.Const _ as t -> t
+
+let term_value v = function
+  | Term.Var x -> SMap.find_opt x v
+  | Term.Const c -> Some c
+
+let atom v a = Atom.apply (fun x -> Option.map (fun c -> Term.Const c) (SMap.find_opt x v)) a
+
+let tuple_of_terms v terms =
+  let rec go acc = function
+    | [] -> Some (Tuple.make (List.rev acc))
+    | t :: rest ->
+      (match term_value v t with
+       | Some c -> go (c :: acc) rest
+       | None -> None)
+  in
+  go [] terms
+
+let compare = SMap.compare Value.compare
+let equal a b = compare a b = 0
+
+let pp ppf v =
+  let pp_binding ppf (x, c) = Format.fprintf ppf "%s ↦ %a" x Value.pp c in
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_binding)
+    (bindings v)
+
+let enumerate_iter doms visit =
+  let rec go acc = function
+    | [] -> visit acc
+    | (x, cands) :: rest -> List.exists (fun c -> go (add x c acc) rest) cands
+  in
+  go empty doms
+
+let enumerate doms =
+  let out = ref [] in
+  let (_ : bool) =
+    enumerate_iter doms (fun v ->
+        out := v :: !out;
+        false)
+  in
+  List.rev !out

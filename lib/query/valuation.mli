@@ -1,0 +1,61 @@
+(** Valuations: finite maps from variable names to constants.
+
+    The paper's valuations [μ] instantiate the variables of a tableau
+    query; the completeness characterisations (Sections 3.2 and 4.2)
+    quantify over {e valid} valuations drawing values from the active
+    domain. *)
+
+open Ric_relational
+
+type t
+
+val empty : t
+
+val of_list : (string * Value.t) list -> t
+
+val bindings : t -> (string * Value.t) list
+
+val find : string -> t -> Value.t option
+
+val add : string -> Value.t -> t -> t
+
+val mem : string -> t -> bool
+
+val cardinal : t -> int
+
+val union : t -> t -> t option
+(** [union a b] merges two valuations; [None] if they disagree on a
+    shared variable. *)
+
+val term : t -> Term.t -> Term.t
+(** Substitute: a bound variable becomes its constant; anything else is
+    unchanged. *)
+
+val term_value : t -> Term.t -> Value.t option
+(** [term_value v t] — the constant denoted by [t] under [v]:
+    [Some c] for constants and bound variables, [None] for unbound
+    variables. *)
+
+val atom : t -> Atom.t -> Atom.t
+
+val tuple_of_terms : t -> Term.t list -> Tuple.t option
+(** Ground the term list into a tuple; [None] if some variable is
+    unbound. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Enumeration helpers used by the deciders. *)
+
+val enumerate : (string * Value.t list) list -> t list
+(** [enumerate [(x1, c1s); ...]] — all valuations assigning each [xi]
+    one of its candidate values [cis].  The result has size
+    [Π |cis|]; callers bound their inputs. *)
+
+val enumerate_iter : (string * Value.t list) list -> (t -> bool) -> bool
+(** Short-circuiting enumeration: calls the visitor on each valuation
+    until it returns [true]; the result says whether any visit
+    returned [true].  Avoids materialising the exponential list. *)

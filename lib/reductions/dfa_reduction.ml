@@ -1,0 +1,134 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type t = {
+  schema : Schema.t;
+  master : Database.t;
+  ccs : Containment.t list;
+  db : Database.t;
+  program : Datalog.program;
+}
+
+let v = Term.var
+
+let schema =
+  Schema.make
+    [
+      Schema.relation "P" [ Schema.attribute "pos" ];
+      Schema.relation "Pbar" [ Schema.attribute "pos" ];
+      Schema.relation "F" [ Schema.attribute "from"; Schema.attribute "to" ];
+    ]
+
+let master_schema = Schema.make [ Schema.relation "Rm1" [ Schema.attribute "a" ] ]
+
+let full_head (q : Cq.t) = { q with Cq.head = List.map Term.var (Cq.vars q) }
+
+let ccs =
+  [
+    (* V1: no position is both 0 and 1 *)
+    Containment.make ~name:"V1"
+      (Lang.Q_cq (full_head (Cq.boolean [ Atom.make "P" [ v "x" ]; Atom.make "Pbar" [ v "x" ] ])))
+      Projection.Empty;
+    (* V2: F is a function *)
+    Containment.make ~name:"V2"
+      (Lang.Q_cq
+         (full_head
+            (Cq.boolean
+               ~neqs:[ (v "y", v "z") ]
+               [ Atom.make "F" [ v "x"; v "y" ]; Atom.make "F" [ v "x"; v "z" ] ])))
+      Projection.Empty;
+    (* V3: at most one end marker (k, k) *)
+    Containment.make ~name:"V3"
+      (Lang.Q_cq
+         (full_head
+            (Cq.boolean
+               ~neqs:[ (v "x", v "y") ]
+               [ Atom.make "F" [ v "x"; v "x" ]; Atom.make "F" [ v "y"; v "y" ] ])))
+      Projection.Empty;
+  ]
+
+let state q = Term.str (Printf.sprintf "q%d" q)
+
+let of_dfa (a : Two_head_dfa.t) =
+  let open Datalog in
+  let base =
+    rule
+      (Atom.make "reach" [ state a.Two_head_dfa.start; Term.int 0; Term.int 0 ])
+      [ Pos (Atom.make "F" [ Term.int 0; v "w0" ]) ]
+  in
+  let idx = ref 0 in
+  let transition_rule (tr : Two_head_dfa.transition) =
+    incr idx;
+    let i = !idx in
+    let y = v (Printf.sprintf "y%d" i) and z = v (Printf.sprintf "z%d" i) in
+    let head_gadget pos fresh_name (read : Two_head_dfa.guard) (move : Two_head_dfa.move) =
+      match read with
+      | None -> ([ Pos (Atom.make "F" [ pos; pos ]) ], pos)
+      | Some sym ->
+        let succ = v fresh_name in
+        let symbol_atom = Atom.make (if sym then "P" else "Pbar") [ pos ] in
+        let lits =
+          [
+            Pos (Atom.make "F" [ pos; succ ]);
+            Neq (pos, succ);
+            Pos symbol_atom;
+          ]
+        in
+        (lits, match move with Two_head_dfa.Advance -> succ | Two_head_dfa.Stay -> pos)
+    in
+    let lits1, y' =
+      head_gadget y (Printf.sprintf "w1_%d" i) tr.Two_head_dfa.read1 tr.Two_head_dfa.move1
+    in
+    let lits2, z' =
+      head_gadget z (Printf.sprintf "w2_%d" i) tr.Two_head_dfa.read2 tr.Two_head_dfa.move2
+    in
+    rule
+      (Atom.make "reach" [ state tr.Two_head_dfa.dst; y'; z' ])
+      ((Pos (Atom.make "reach" [ state tr.Two_head_dfa.src; y; z ]) :: lits1) @ lits2)
+  in
+  let accept =
+    rule
+      (Atom.make "accept" [])
+      [
+        Pos (Atom.make "reach" [ state a.Two_head_dfa.accept; v "y"; v "z" ]);
+        Pos (Atom.make "F" [ Term.int 0; v "ini" ]);
+        Pos (Atom.make "F" [ v "k"; v "k" ]);
+      ]
+  in
+  let program =
+    program (base :: accept :: List.map transition_rule a.Two_head_dfa.transitions)
+      ~output:"accept"
+  in
+  {
+    schema;
+    master = Database.empty master_schema;
+    ccs;
+    db = Database.empty schema;
+    program;
+  }
+
+let encode_string t (w : Two_head_dfa.symbol list) =
+  let len = List.length w in
+  let db =
+    List.fold_left
+      (fun (db, i) sym ->
+        (Database.add_tuple db (if sym then "P" else "Pbar") (Tuple.of_ints [ i ]), i + 1))
+      (Database.empty t.schema, 0)
+      w
+    |> fst
+  in
+  let db =
+    List.fold_left
+      (fun db i -> Database.add_tuple db "F" (Tuple.of_ints [ i; i + 1 ]))
+      db
+      (List.init len (fun i -> i))
+  in
+  Database.add_tuple db "F" (Tuple.of_ints [ len; len ])
+
+let accepts_via_datalog t w = Datalog.holds (encode_string t w) t.program
+
+let semi_decide ?(max_tuples = 3) ?(fresh_values = 2) t =
+  Rcdp.semi_decide ~max_tuples ~fresh_values ~schema:t.schema ~master:t.master ~ccs:t.ccs
+    ~db:t.db (Lang.Q_fp t.program)

@@ -1,0 +1,41 @@
+(** The undecidability construction of Theorem 3.1(3): RCDP(FP, CQ)
+    encodes 2-head DFA emptiness.
+
+    Strings are stored as position relations [P] (ones), [Pbar]
+    (zeros) and a successor relation [F] with an initial edge [(0, i)]
+    and a unique end marker [(k, k)]; fixed CQ containment constraints
+    [V1–V3] keep instances well-formed, and a datalog program walks
+    the automaton's configuration graph.  The empty database [D] is
+    complete for the program relative to [(Dm, V)] iff [L(A) = ∅] —
+    so a decision procedure for RCDP(FP, CQ) would decide emptiness.
+
+    Being undecidable, the row is exercised with
+    {!Ric_complete.Rcdp.semi_decide}: for an automaton accepting a
+    short string the bounded search {e refutes} completeness by
+    exhibiting the encoded string; for an empty automaton it reports
+    "no counterexample up to the bound". *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type t = {
+  schema : Schema.t;
+  master : Database.t;
+  ccs : Containment.t list;
+  db : Database.t;          (** the empty database whose completeness encodes emptiness *)
+  program : Datalog.program;
+}
+
+val of_dfa : Two_head_dfa.t -> t
+
+val encode_string : t -> Two_head_dfa.symbol list -> Database.t
+(** The well-formed encoding of one input string — the extension a
+    counterexample must (essentially) contain. *)
+
+val accepts_via_datalog : t -> Two_head_dfa.symbol list -> bool
+(** Evaluate the reachability program on the encoded string; must
+    agree with {!Two_head_dfa.accepts} (tested). *)
+
+val semi_decide : ?max_tuples:int -> ?fresh_values:int -> t -> Rcdp.semi_verdict

@@ -1,0 +1,126 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type t = {
+  schema : Schema.t;
+  master_schema : Schema.t;
+  db : Database.t;
+  master : Database.t;
+  inds : Ind.t list;
+  query : Cq.t;
+}
+
+let rel name arity =
+  Schema.relation name (List.init arity (fun i -> Schema.attribute (Printf.sprintf "a%d" i)))
+
+let i_or = [ [ 0; 0; 0 ]; [ 0; 1; 1 ]; [ 1; 0; 1 ]; [ 1; 1; 1 ] ]
+let i_and = [ [ 0; 0; 0 ]; [ 0; 1; 0 ]; [ 1; 0; 0 ]; [ 1; 1; 1 ] ]
+let i_not = [ [ 0; 1 ]; [ 1; 0 ] ]
+
+(* Ic(x, y, 1) iff x = 0, or x = 1 and y = 1. *)
+let i_c = [ [ 0; 0; 1 ]; [ 0; 1; 1 ]; [ 1; 0; 0 ]; [ 1; 1; 1 ] ]
+
+let of_fe (fe : Sat.forall_exists) =
+  if fe.Sat.fe_cnf.Sat.clauses = [] then
+    invalid_arg "Rcdp_hardness.of_fe: need at least one clause";
+  let schema =
+    Schema.make [ rel "R1" 1; rel "R2" 3; rel "R3" 3; rel "R4" 2; rel "R5" 3; rel "R6" 1 ]
+  in
+  let master_schema =
+    Schema.make
+      [ rel "m_R1" 1; rel "m_R2" 3; rel "m_R3" 3; rel "m_R4" 2; rel "m_R5" 3; rel "m_R6" 1 ]
+  in
+  let master =
+    Database.of_list master_schema
+      [
+        ("m_R1", Relation.of_int_rows [ [ 0 ]; [ 1 ] ]);
+        ("m_R2", Relation.of_int_rows i_or);
+        ("m_R3", Relation.of_int_rows i_and);
+        ("m_R4", Relation.of_int_rows i_not);
+        ("m_R5", Relation.of_int_rows i_c);
+        ("m_R6", Relation.of_int_rows [ [ 0 ]; [ 1 ] ]);
+      ]
+  in
+  let db =
+    Database.of_list schema
+      [
+        ("R1", Relation.of_int_rows [ [ 0 ]; [ 1 ] ]);
+        ("R2", Relation.of_int_rows i_or);
+        ("R3", Relation.of_int_rows i_and);
+        ("R4", Relation.of_int_rows i_not);
+        ("R5", Relation.of_int_rows i_c);
+        ("R6", Relation.of_int_rows [ [ 1 ] ]);
+      ]
+  in
+  let inds =
+    List.map
+      (fun (name, arity) ->
+        Ind.make ~name:("ind_" ^ name) ~rel:name
+          ~cols:(List.init arity (fun i -> i))
+          (Projection.proj ("m_" ^ name) (List.init arity (fun i -> i))))
+      [ ("R1", 1); ("R2", 3); ("R3", 3); ("R4", 2); ("R5", 3); ("R6", 1) ]
+  in
+  (* Query construction. *)
+  let n = fe.Sat.fe_forall and cnf = fe.Sat.fe_cnf in
+  let var i = Term.var (Printf.sprintf "v%d" i) in
+  let nvar i = Term.var (Printf.sprintf "nv%d" i) in
+  let atoms = ref [ Atom.make "R6" [ Term.var "z'" ] ] in
+  let add a = atoms := a :: !atoms in
+  List.iteri (fun i _ -> add (Atom.make "R1" [ var i ])) (List.init cnf.Sat.n_vars (fun i -> i));
+  (* complements, one per variable occurring negatively *)
+  let negated =
+    List.concat_map
+      (fun (a, b, c) ->
+        List.filter_map (fun (l : Sat.literal) -> if l.Sat.neg then Some l.Sat.var else None)
+          [ a; b; c ])
+      cnf.Sat.clauses
+    |> List.sort_uniq compare
+  in
+  List.iter (fun i -> add (Atom.make "R4" [ var i; nvar i ])) negated;
+  let term_of (l : Sat.literal) = if l.Sat.neg then nvar l.Sat.var else var l.Sat.var in
+  (* clause gadgets: c_i = l1 ∨ l2 ∨ l3 *)
+  let clause_val =
+    List.mapi
+      (fun i (l1, l2, l3) ->
+        let o = Term.var (Printf.sprintf "o%d" i) in
+        let c = Term.var (Printf.sprintf "c%d" i) in
+        add (Atom.make "R2" [ term_of l1; term_of l2; o ]);
+        add (Atom.make "R2" [ o; term_of l3; c ]);
+        c)
+      cnf.Sat.clauses
+  in
+  (* conjunction chain: z = c_1 ∧ ... ∧ c_r *)
+  let z =
+    match clause_val with
+    | [] -> assert false
+    | first :: rest ->
+      let idx = ref 0 in
+      List.fold_left
+        (fun acc c ->
+          incr idx;
+          let u = Term.var (Printf.sprintf "u%d" !idx) in
+          add (Atom.make "R3" [ acc; c; u ]);
+          u)
+        first rest
+  in
+  add (Atom.make "R5" [ Term.var "z'"; z; Term.int 1 ]);
+  let head = List.init n var in
+  let query = Cq.make ~head (List.rev !atoms) in
+  { schema; master_schema; db; master; inds; query }
+
+let expected fe = Sat.eval_fe fe
+
+let decide ?(ind_fast = true) t =
+  let verdict =
+    if ind_fast then
+      Rcdp.decide_ind ~schema:t.schema ~master:t.master ~inds:t.inds ~db:t.db
+        (Lang.Q_cq t.query)
+    else
+      let ccs = List.map (Ind.to_cc t.schema) t.inds in
+      Rcdp.decide ~schema:t.schema ~master:t.master ~ccs ~db:t.db (Lang.Q_cq t.query)
+  in
+  match verdict with
+  | Rcdp.Complete -> true
+  | Rcdp.Incomplete _ -> false

@@ -1,0 +1,38 @@
+(** The Σ₂ᵖ lower-bound construction of Theorem 3.6: from a
+    ∀*∃*-3SAT instance [φ = ∀X ∃Y C1 ∧ ... ∧ Cr] build master data
+    [Dm], a {e fixed} set [V] of INDs, a database [D] and a CQ [Q]
+    such that [D] is complete for [Q] relative to [(Dm, V)] iff [φ]
+    holds.
+
+    The encoding stores the Boolean domain in [R1], the truth tables
+    of ∨, ∧, ¬ and the conditional-selection table [Ic] in [R2]–[R5],
+    and a switch relation [R6] that holds [{1}] in [D] but is allowed
+    to grow to [{0, 1}]; [Q] returns the universally quantified
+    assignments for which the matrix is satisfiable when the switch is
+    [1], and every assignment once [0] sneaks in, so completeness of
+    [D] says exactly that every [X]-assignment already has a
+    [Y]-witness. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+type t = {
+  schema : Schema.t;
+  master_schema : Schema.t;
+  db : Database.t;
+  master : Database.t;
+  inds : Ind.t list;
+  query : Cq.t;
+}
+
+val of_fe : Sat.forall_exists -> t
+(** @raise Invalid_argument on an instance with no clauses. *)
+
+val expected : Sat.forall_exists -> bool
+(** Ground truth from the brute-force QBF evaluator: [true] iff the
+    constructed database should be relatively complete. *)
+
+val decide : ?ind_fast:bool -> t -> bool
+(** Run the RCDP decider on the constructed instance ([ind_fast]
+    selects the Corollary 3.4 C3 path); [true] means complete. *)

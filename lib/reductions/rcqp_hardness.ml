@@ -1,0 +1,69 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type t = {
+  schema : Schema.t;
+  master_schema : Schema.t;
+  master : Database.t;
+  inds : Ind.t list;
+  query : Cq.t;
+}
+
+let rel name arity =
+  Schema.relation name (List.init arity (fun i -> Schema.attribute (Printf.sprintf "a%d" i)))
+
+(* The seven satisfying rows of l1 ∨ l2 ∨ l3. *)
+let i_or3 =
+  List.filter
+    (fun row -> List.exists (fun b -> b = 1) row)
+    (List.concat_map
+       (fun a -> List.concat_map (fun b -> List.map (fun c -> [ a; b; c ]) [ 0; 1 ]) [ 0; 1 ])
+       [ 0; 1 ])
+
+let of_cnf (cnf : Sat.cnf) =
+  if cnf.Sat.clauses = [] || cnf.Sat.n_vars = 0 then
+    invalid_arg "Rcqp_hardness.of_cnf: need at least one clause and one variable";
+  let n = cnf.Sat.n_vars in
+  let schema =
+    Schema.make [ rel "Rt" 2; rel "Ror" 3; rel "R" (1 + (2 * n)) ]
+  in
+  let master_schema = Schema.make [ rel "m_Rt" 2; rel "m_Ror" 3 ] in
+  let master =
+    Database.of_list master_schema
+      [
+        ("m_Rt", Relation.of_int_rows [ [ 0; 1 ]; [ 1; 0 ] ]);
+        ("m_Ror", Relation.of_int_rows i_or3);
+      ]
+  in
+  let inds =
+    [
+      Ind.make ~name:"ind_Rt" ~rel:"Rt" ~cols:[ 0; 1 ] (Projection.proj "m_Rt" [ 0; 1 ]);
+      Ind.make ~name:"ind_Ror" ~rel:"Ror" ~cols:[ 0; 1; 2 ]
+        (Projection.proj "m_Ror" [ 0; 1; 2 ]);
+    ]
+  in
+  let x i = Term.var (Printf.sprintf "x%d" i) in
+  let xb i = Term.var (Printf.sprintf "xb%d" i) in
+  let term_of (l : Sat.literal) = if l.Sat.neg then xb l.Sat.var else x l.Sat.var in
+  let r_args =
+    Term.var "z" :: List.concat (List.init n (fun i -> [ x i; xb i ]))
+  in
+  let atoms =
+    Atom.make "R" r_args
+    :: List.init n (fun i -> Atom.make "Rt" [ x i; xb i ])
+    @ List.map
+        (fun (l1, l2, l3) -> Atom.make "Ror" [ term_of l1; term_of l2; term_of l3 ])
+        cnf.Sat.clauses
+  in
+  let query = Cq.make ~head:[ Term.var "z" ] atoms in
+  { schema; master_schema; master; inds; query }
+
+let expected_nonempty cnf = not (Sat.satisfiable cnf)
+
+let decide t =
+  match Rcqp.decide_ind ~schema:t.schema ~master:t.master ~inds:t.inds (Lang.Q_cq t.query) with
+  | Rcqp.Nonempty _ -> true
+  | Rcqp.Empty _ -> false
+  | Rcqp.Unknown _ -> assert false (* decide_ind never returns Unknown *)

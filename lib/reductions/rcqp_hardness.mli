@@ -1,0 +1,32 @@
+(** The coNP lower-bound construction of Theorem 4.5(1): from a 3SAT
+    instance [φ] build fixed master data, a fixed set of INDs, and a
+    CQ [Q] over schema
+    [Rt(x, x̄), R∨(l1, l2, l3), R(A, x1, x̄1, ..., xn, x̄n)] such that
+
+    [φ] is satisfiable  ⟺  [RCQ(Q, Dm, V)] is {e empty}.
+
+    The output column [A] is infinite-domain and IND-free, so the
+    query is unbounded (E4 fails) whenever a valid valuation exists —
+    and valid valuations are exactly the satisfying assignments. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+type t = {
+  schema : Schema.t;
+  master_schema : Schema.t;
+  master : Database.t;
+  inds : Ind.t list;
+  query : Cq.t;
+}
+
+val of_cnf : Sat.cnf -> t
+(** @raise Invalid_argument on an instance with no clauses or no
+    variables. *)
+
+val expected_nonempty : Sat.cnf -> bool
+(** Ground truth: [RCQ] should be nonempty iff [φ] is unsatisfiable. *)
+
+val decide : t -> bool
+(** Run {!Ric_complete.Rcqp.decide_ind}; [true] means nonempty. *)

@@ -1,0 +1,137 @@
+type literal = {
+  var : int;
+  neg : bool;
+}
+
+type clause = literal * literal * literal
+
+type cnf = {
+  n_vars : int;
+  clauses : clause list;
+}
+
+let lit ?(neg = false) var = { var; neg }
+
+let eval_literal assignment l = if l.neg then not assignment.(l.var) else assignment.(l.var)
+
+let eval_clause assignment (a, b, c) =
+  eval_literal assignment a || eval_literal assignment b || eval_literal assignment c
+
+let eval_cnf assignment cnf = List.for_all (eval_clause assignment) cnf.clauses
+
+(* Enumerate assignments of variables [lo, hi) on top of a partial
+   assignment; [k] combines sub-results. *)
+let rec assignments_exist assignment lo hi cnf =
+  if lo = hi then eval_cnf assignment cnf
+  else begin
+    assignment.(lo) <- false;
+    assignments_exist assignment (lo + 1) hi cnf
+    ||
+    (assignment.(lo) <- true;
+     let r = assignments_exist assignment (lo + 1) hi cnf in
+     assignment.(lo) <- false;
+     r)
+  end
+
+let rec assignments_all assignment lo hi k =
+  if lo = hi then k assignment
+  else begin
+    assignment.(lo) <- false;
+    assignments_all assignment (lo + 1) hi k
+    &&
+    (assignment.(lo) <- true;
+     let r = assignments_all assignment (lo + 1) hi k in
+     assignment.(lo) <- false;
+     r)
+  end
+
+let satisfiable cnf =
+  let a = Array.make (max 1 cnf.n_vars) false in
+  assignments_exist a 0 cnf.n_vars cnf
+
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let random_clause rand n_vars =
+  let l () = { var = rand n_vars; neg = rand 2 = 0 } in
+  (l (), l (), l ())
+
+let random_cnf ~seed ~n_vars ~n_clauses =
+  let rand = lcg seed in
+  { n_vars; clauses = List.init n_clauses (fun _ -> random_clause rand n_vars) }
+
+type forall_exists = {
+  fe_forall : int;
+  fe_exists : int;
+  fe_cnf : cnf;
+}
+
+let make_fe ~n_forall ~n_exists clauses =
+  let cnf = { n_vars = n_forall + n_exists; clauses } in
+  List.iter
+    (fun (a, b, c) ->
+      List.iter
+        (fun l ->
+          if l.var < 0 || l.var >= cnf.n_vars then
+            invalid_arg "Sat.make_fe: literal out of range")
+        [ a; b; c ])
+    clauses;
+  { fe_forall = n_forall; fe_exists = n_exists; fe_cnf = cnf }
+
+let eval_fe fe =
+  let n = fe.fe_cnf.n_vars in
+  let a = Array.make (max 1 n) false in
+  assignments_all a 0 fe.fe_forall (fun a ->
+      assignments_exist a fe.fe_forall n fe.fe_cnf)
+
+let random_fe ~seed ~n_forall ~n_exists ~n_clauses =
+  let rand = lcg seed in
+  let n_vars = n_forall + n_exists in
+  {
+    fe_forall = n_forall;
+    fe_exists = n_exists;
+    fe_cnf = { n_vars; clauses = List.init n_clauses (fun _ -> random_clause rand n_vars) };
+  }
+
+type exists_forall_exists = {
+  efe_exists1 : int;
+  efe_forall : int;
+  efe_exists2 : int;
+  efe_cnf : cnf;
+}
+
+let make_efe ~n_exists1 ~n_forall ~n_exists2 clauses =
+  let cnf = { n_vars = n_exists1 + n_forall + n_exists2; clauses } in
+  { efe_exists1 = n_exists1; efe_forall = n_forall; efe_exists2 = n_exists2; efe_cnf = cnf }
+
+let eval_efe e =
+  let n = e.efe_cnf.n_vars in
+  let a = Array.make (max 1 n) false in
+  let rec exists1 i =
+    if i = e.efe_exists1 then
+      assignments_all a e.efe_exists1
+        (e.efe_exists1 + e.efe_forall)
+        (fun a -> assignments_exist a (e.efe_exists1 + e.efe_forall) n e.efe_cnf)
+    else begin
+      a.(i) <- false;
+      exists1 (i + 1)
+      ||
+      (a.(i) <- true;
+       let r = exists1 (i + 1) in
+       a.(i) <- false;
+       r)
+    end
+  in
+  exists1 0
+
+let pp_literal ppf l = Format.fprintf ppf "%sx%d" (if l.neg then "¬" else "") l.var
+
+let pp_cnf ppf cnf =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " ∧ ")
+    (fun ppf (a, b, c) ->
+      Format.fprintf ppf "(%a ∨ %a ∨ %a)" pp_literal a pp_literal b pp_literal c)
+    ppf cnf.clauses

@@ -1,0 +1,57 @@
+(** Propositional machinery for the hardness reductions: 3SAT,
+    ∀*∃*-3SAT (Theorem 3.6's lower bound) and ∃*∀*∃*-3SAT
+    (Corollary 4.6's lower bound), with brute-force evaluators used as
+    test oracles. *)
+
+type literal = {
+  var : int;    (** 0-based variable index *)
+  neg : bool;
+}
+
+type clause = literal * literal * literal
+
+type cnf = {
+  n_vars : int;
+  clauses : clause list;
+}
+
+val lit : ?neg:bool -> int -> literal
+
+val eval_clause : bool array -> clause -> bool
+
+val eval_cnf : bool array -> cnf -> bool
+
+val satisfiable : cnf -> bool
+(** Brute force over all [2^n_vars] assignments. *)
+
+val random_cnf : seed:int -> n_vars:int -> n_clauses:int -> cnf
+(** Deterministic pseudo-random 3SAT instance. *)
+
+(** [∀X ∃Y ψ]: the first [n_forall] variables are universal, the next
+    [n_exists] existential. *)
+type forall_exists = {
+  fe_forall : int;
+  fe_exists : int;
+  fe_cnf : cnf;  (** over [fe_forall + fe_exists] variables *)
+}
+
+val make_fe : n_forall:int -> n_exists:int -> clause list -> forall_exists
+
+val eval_fe : forall_exists -> bool
+
+val random_fe : seed:int -> n_forall:int -> n_exists:int -> n_clauses:int -> forall_exists
+
+(** [∃X ∀Y ∃Z ψ] for Corollary 4.6. *)
+type exists_forall_exists = {
+  efe_exists1 : int;
+  efe_forall : int;
+  efe_exists2 : int;
+  efe_cnf : cnf;
+}
+
+val make_efe :
+  n_exists1:int -> n_forall:int -> n_exists2:int -> clause list -> exists_forall_exists
+
+val eval_efe : exists_forall_exists -> bool
+
+val pp_cnf : Format.formatter -> cnf -> unit

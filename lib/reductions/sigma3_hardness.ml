@@ -1,0 +1,183 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type t = {
+  schema : Schema.t;
+  master_schema : Schema.t;
+  master : Database.t;
+  ccs : Containment.t list;
+  query : Cq.t;
+}
+
+let rel name arity =
+  Schema.relation name (List.init arity (fun i -> Schema.attribute (Printf.sprintf "a%d" i)))
+
+let i_or = [ [ 0; 0; 0 ]; [ 0; 1; 1 ]; [ 1; 0; 1 ]; [ 1; 1; 1 ] ]
+let i_and = [ [ 0; 0; 0 ]; [ 0; 1; 0 ]; [ 1; 0; 0 ]; [ 1; 1; 1 ] ]
+let i_not = [ [ 0; 1 ]; [ 1; 0 ] ]
+
+let designated_id = Value.Str "a0"
+
+let of_efe (e : Sat.exists_forall_exists) =
+  let n = e.Sat.efe_exists1 and m = e.Sat.efe_forall and p = e.Sat.efe_exists2 in
+  if n = 0 || m = 0 then invalid_arg "Sigma3_hardness.of_efe: empty quantifier block";
+  if e.Sat.efe_cnf.Sat.clauses = [] then
+    invalid_arg "Sigma3_hardness.of_efe: need at least one clause";
+  let schema =
+    Schema.make
+      [ rel "R1" 1; rel "R2" 3; rel "R3" 3; rel "R4" 2; rel "RX" (n + 1); rel "Rb" 2 ]
+  in
+  let master_schema =
+    Schema.make [ rel "m_R1" 1; rel "m_R2" 3; rel "m_R3" 3; rel "m_R4" 2; rel "m_Rb" 1 ]
+  in
+  let master =
+    Database.of_list master_schema
+      [
+        ("m_R1", Relation.of_int_rows [ [ 0 ]; [ 1 ] ]);
+        ("m_R2", Relation.of_int_rows i_or);
+        ("m_R3", Relation.of_int_rows i_and);
+        ("m_R4", Relation.of_int_rows i_not);
+        ("m_Rb", Relation.of_int_rows [ [ 0 ] ]);
+      ]
+  in
+  let v = Term.var in
+  (* fixed constraints *)
+  let ind name arity =
+    Ind.to_cc schema
+      (Ind.make ~name:("ind_" ^ name) ~rel:name
+         ~cols:(List.init arity (fun i -> i))
+         (Projection.proj ("m_" ^ name) (List.init arity (fun i -> i))))
+  in
+  let rx_key =
+    (* id (last column) is a key of RX, via Proposition 2.1 *)
+    Translate.of_fd schema
+      (Fd.make ~name:"rx_key" ~rel:"RX" ~lhs:[ n ] ~rhs:(List.init n (fun i -> i)) ())
+  in
+  let rx_bool =
+    (* every assignment column holds a Boolean *)
+    List.init n (fun i ->
+        let args = List.init (n + 1) (fun j -> v (Printf.sprintf "rx%d" j)) in
+        Containment.make
+          ~name:(Printf.sprintf "rx_bool%d" i)
+          (Lang.Q_cq (Cq.make ~head:[ List.nth args i ] [ Atom.make "RX" args ]))
+          (Projection.proj "m_R1" [ 0 ]))
+  in
+  let qb =
+    (* rows of Rb tagged q = 1 have their pay-off column bounded *)
+    Containment.make ~name:"qb"
+      (Lang.Q_cq (Cq.make ~head:[ v "A" ] [ Atom.make "Rb" [ Term.int 1; v "A" ] ]))
+      (Projection.proj "m_Rb" [ 0 ])
+  in
+  let ccs =
+    [ ind "R1" 1; ind "R2" 3; ind "R3" 3; ind "R4" 2 ] @ rx_key @ rx_bool @ [ qb ]
+  in
+  (* ---------------------------------------------------------------- *)
+  (* The query. *)
+  let x i = v (Printf.sprintf "x%d" i) in
+  let y j = v (Printf.sprintf "y%d" (j - n)) in
+  let atoms = ref [] in
+  let add a = atoms := a :: !atoms in
+  (* designated X-assignment *)
+  add (Atom.make "RX" (List.init n x @ [ Term.const designated_id ]));
+  (* Y-assignments range over the Boolean domain *)
+  for j = n to n + m - 1 do
+    add (Atom.make "R1" [ y j ])
+  done;
+  (* complements of negatively used X/Y variables *)
+  let nvar i = v (Printf.sprintf "nv%d" i) in
+  let negated =
+    List.concat_map
+      (fun (a, b, c) ->
+        List.filter_map
+          (fun (l : Sat.literal) ->
+            if l.Sat.neg && l.Sat.var < n + m then Some l.Sat.var else None)
+          [ a; b; c ])
+      e.Sat.efe_cnf.Sat.clauses
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun i -> add (Atom.make "R4" [ (if i < n then x i else y i); nvar i ]))
+    negated;
+  let xy_term (l : Sat.literal) =
+    if l.Sat.neg then nvar l.Sat.var
+    else if l.Sat.var < n then x l.Sat.var
+    else y l.Sat.var
+  in
+  (* ψ's value for one concrete Z-assignment σ: literals over Z become
+     constants, the circuit is built from the truth-table relations *)
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    v (Printf.sprintf "%s%d" prefix !counter)
+  in
+  let z_base = n + m in
+  let psi_value (sigma : bool array) =
+    let term_of (l : Sat.literal) =
+      if l.Sat.var >= z_base then begin
+        let bit = sigma.(l.Sat.var - z_base) in
+        Term.int (if (not l.Sat.neg) = bit then 1 else 0)
+      end
+      else xy_term l
+    in
+    let clause_vals =
+      List.map
+        (fun (l1, l2, l3) ->
+          let o = fresh "o" and c = fresh "c" in
+          add (Atom.make "R2" [ term_of l1; term_of l2; o ]);
+          add (Atom.make "R2" [ o; term_of l3; c ]);
+          c)
+        e.Sat.efe_cnf.Sat.clauses
+    in
+    match clause_vals with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun acc c ->
+          let u = fresh "u" in
+          add (Atom.make "R3" [ acc; c; u ]);
+          u)
+        first rest
+  in
+  (* q = ⟦∃Z ψ⟧: OR over every Z-assignment *)
+  let all_sigmas =
+    let rec go k = if k = 0 then [ [] ] else List.concat_map (fun s -> [ false :: s; true :: s ]) (go (k - 1)) in
+    List.map Array.of_list (go p)
+  in
+  let q_term =
+    match List.map psi_value all_sigmas with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun acc t ->
+          let u = fresh "or" in
+          add (Atom.make "R2" [ acc; t; u ]);
+          u)
+        first rest
+  in
+  add (Atom.make "Rb" [ q_term; v "A" ]);
+  let head = List.init m (fun j -> y (n + j)) @ [ v "A" ] in
+  let query = Cq.make ~head (List.rev !atoms) in
+  { schema; master_schema; master; ccs; query }
+
+let expected_nonempty e = Sat.eval_efe e
+
+let witness_for t (e : Sat.exists_forall_exists) assignment =
+  let n = e.Sat.efe_exists1 in
+  let rx_row =
+    Tuple.make
+      (List.init n (fun i -> Value.Int (if assignment.(i) then 1 else 0)) @ [ designated_id ])
+  in
+  Database.of_list t.schema
+    [
+      ("R1", Relation.of_int_rows [ [ 0 ]; [ 1 ] ]);
+      ("R2", Relation.of_int_rows i_or);
+      ("R3", Relation.of_int_rows i_and);
+      ("R4", Relation.of_int_rows i_not);
+      ("RX", Relation.of_tuples [ rx_row ]);
+      ("Rb", Relation.of_int_rows [ [ 1; 0 ] ]);
+    ]
+
+let decide ?(budget = Rcqp.default_budget) t =
+  Rcqp.decide ~budget ~schema:t.schema ~master:t.master ~ccs:t.ccs (Lang.Q_cq t.query)

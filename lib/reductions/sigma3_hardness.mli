@@ -1,0 +1,52 @@
+(** The Σ₃ᵖ lower-bound construction of Corollary 4.6: with master
+    data and containment constraints fixed, RCQP(CQ, CQ) encodes
+    ∃*∀*∃*-3SAT.
+
+    From [φ = ∃X ∀Y ∃Z ψ] we build:
+
+    - truth-table relations [R1–R4] (Boolean domain, ∨, ∧, ¬) bounded
+      by fixed master copies;
+    - an assignment relation [RX(A1, ..., An, id)] whose [id] column
+      is a key (so the row with the designated id, if any, fixes one
+      [X]-assignment);
+    - a pay-off relation [Rb(q, A)] with the fixed constraint
+      [Rb(1, A) ⊆ {0}] — rows tagged [q = 1] are bounded by master
+      data, rows tagged [q = 0] are open world;
+    - a query [Q(ȳ, A)] that reads the designated [X]-assignment,
+      ranges over all [Y]-assignments, computes
+      [q = ⟦∃Z ψ(X, Y, Z)⟧] {e exactly} by an OR-chain over every
+      [Z]-assignment (exponential in [|Z|], fine at toy scale — the
+      paper's polynomial gadget is only sketched in the available
+      text), and joins [Rb(q, A)].
+
+    A database is complete iff its designated [X]-assignment makes
+    [∀Y ∃Z ψ] true: then every derivable pair carries [q = 1] and the
+    fixed constraint blocks fresh [A] values; any [Y] with
+    [¬∃Z ψ] leaves a [q = 0] row whose [A] column no constraint can
+    bound.  Hence [RCQ(Q, Dm, V) ≠ ∅ ⟺ φ]. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+type t = {
+  schema : Schema.t;
+  master_schema : Schema.t;
+  master : Database.t;
+  ccs : Containment.t list;
+  query : Cq.t;
+}
+
+val of_efe : Sat.exists_forall_exists -> t
+(** @raise Invalid_argument if any block is empty or there are no
+    clauses. *)
+
+val expected_nonempty : Sat.exists_forall_exists -> bool
+
+val witness_for : t -> Sat.exists_forall_exists -> bool array -> Database.t
+(** The hand-built witness for a given [X]-assignment (the first
+    [efe_exists1] cells of the array): truth tables + the [RX] row +
+    [Rb = {(1, 0)}].  Used by tests to validate the construction
+    against the RCDP decider directly. *)
+
+val decide : ?budget:Ric_complete.Rcqp.budget -> t -> Ric_complete.Rcqp.verdict

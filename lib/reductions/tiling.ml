@@ -1,0 +1,132 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+type problem = {
+  n_tiles : int;
+  vert : (int * int) list;
+  horiz : (int * int) list;
+  t0 : int;
+}
+
+let solvable_2x2 p =
+  let tiles = List.init p.n_tiles (fun i -> i) in
+  let v a b = List.mem (a, b) p.vert in
+  let h a b = List.mem (a, b) p.horiz in
+  List.exists
+    (fun x1 ->
+      x1 = p.t0
+      && List.exists
+           (fun x2 ->
+             h x1 x2
+             && List.exists
+                  (fun x3 ->
+                    v x1 x3
+                    && List.exists (fun x4 -> v x2 x4 && h x3 x4) tiles)
+                  tiles)
+           tiles)
+    tiles
+
+type t = {
+  schema : Schema.t;
+  master : Database.t;
+  ccs : Containment.t list;
+  query : Cq.t;
+}
+
+let v = Term.var
+
+let of_problem p =
+  let schema =
+    Schema.make
+      [
+        Schema.relation "R1"
+          [
+            Schema.attribute "id";
+            Schema.attribute "x1";
+            Schema.attribute "x2";
+            Schema.attribute "x3";
+            Schema.attribute "x4";
+            Schema.attribute "z";
+          ];
+        Schema.relation "Rb" [ Schema.attribute "w" ];
+      ]
+  in
+  let master_schema =
+    Schema.make
+      [
+        Schema.relation "mT" [ Schema.attribute "t" ];
+        Schema.relation "mV" [ Schema.attribute "t"; Schema.attribute "t'" ];
+        Schema.relation "mH" [ Schema.attribute "t"; Schema.attribute "t'" ];
+        Schema.relation "mB" [ Schema.attribute "b" ];
+      ]
+  in
+  let master =
+    Database.of_list master_schema
+      [
+        ("mT", Relation.of_int_rows (List.init p.n_tiles (fun i -> [ i ])));
+        ("mV", Relation.of_int_rows (List.map (fun (a, b) -> [ a; b ]) p.vert));
+        ("mH", Relation.of_int_rows (List.map (fun (a, b) -> [ a; b ]) p.horiz));
+        ("mB", Relation.of_int_rows [ [ 0 ] ]);
+      ]
+  in
+  let r1 args = Atom.make "R1" args in
+  let all = [ v "id"; v "x1"; v "x2"; v "x3"; v "x4"; v "z" ] in
+  let proj name cols target head_vars =
+    Containment.make ~name
+      (Lang.Q_cq (Cq.make ~head:head_vars [ r1 all ]))
+      (Projection.proj target cols)
+  in
+  let ccs =
+    [
+      (* every tile column is a tile *)
+      proj "VT1" [ 0 ] "mT" [ v "x1" ];
+      proj "VT2" [ 0 ] "mT" [ v "x2" ];
+      proj "VT3" [ 0 ] "mT" [ v "x3" ];
+      proj "VT4" [ 0 ] "mT" [ v "x4" ];
+      proj "VTz" [ 0 ] "mT" [ v "z" ];
+      (* vertical compatibility *)
+      proj "Vvert1" [ 0; 1 ] "mV" [ v "x1"; v "x3" ];
+      proj "Vvert2" [ 0; 1 ] "mV" [ v "x2"; v "x4" ];
+      (* horizontal compatibility *)
+      proj "Vhor1" [ 0; 1 ] "mH" [ v "x1"; v "x2" ];
+      proj "Vhor2" [ 0; 1 ] "mH" [ v "x3"; v "x4" ];
+      (* the top-left corner equals z; the head stays narrow — for a
+         ⊆ ∅ constraint only the inequality's variables matter, and a
+         full head would mark every column visible and blow up the
+         decider's candidate pool *)
+      Containment.make ~name:"Vtopl"
+        (Lang.Q_cq (Cq.make ~neqs:[ (v "x1", v "z") ] ~head:[ v "x1"; v "z" ] [ r1 all ]))
+        Projection.Empty;
+      (* φ: once a t0-cornered hypertile exists, Rb is bounded by mB *)
+      Containment.make ~name:"phi"
+        (Lang.Q_cq
+           (Cq.make ~head:[ v "w" ]
+              [
+                r1 [ v "id"; v "x1"; v "x2"; v "x3"; v "x4"; Term.int p.t0 ];
+                Atom.make "Rb" [ v "w" ];
+              ]))
+        (Projection.proj "mB" [ 0 ]);
+    ]
+  in
+  let query = Cq.make ~head:[ v "w" ] [ Atom.make "Rb" [ v "w" ] ] in
+  { schema; master; ccs; query }
+
+let decide ?(budget = Rcqp.default_budget) t =
+  Rcqp.decide ~budget ~schema:t.schema ~master:t.master ~ccs:t.ccs (Lang.Q_cq t.query)
+
+let free_problem n =
+  let tiles = List.init n (fun i -> i) in
+  let pairs = List.concat_map (fun a -> List.map (fun b -> (a, b)) tiles) tiles in
+  { n_tiles = n; vert = pairs; horiz = pairs; t0 = 0 }
+
+let striped =
+  {
+    n_tiles = 2;
+    vert = [ (0, 0); (1, 1) ];
+    horiz = [ (0, 1); (1, 0) ];
+    t0 = 0;
+  }
+
+let unsolvable = { n_tiles = 2; vert = [ (1, 1) ]; horiz = [ (1, 1) ]; t0 = 0 }

@@ -1,0 +1,55 @@
+(** The NEXPTIME lower-bound construction of Theorem 4.5(2): the
+    [2ⁿ × 2ⁿ] tiling problem reduces to RCQP(CQ, CQ).
+
+    Hypertiles of rank [i] are [2ⁱ × 2ⁱ] squares; a rank-1 hypertile
+    is a row of [R1(id, x1, x2, x3, x4, z)] whose four quadrant tiles
+    satisfy the vertical ([x1/x3], [x2/x4]) and horizontal ([x1/x2],
+    [x3/x4]) compatibility relations, with [z] the top-left tile.
+    A final constraint [φ] bounds the free relation [Rb] by the master
+    bit [mB = {0}] exactly when a hypertile with top-left tile [t0]
+    exists, so the query [Q(w) = Rb(w)] has a relatively complete
+    database iff a tiling exists.
+
+    This module instantiates the construction for [n = 1] (2×2
+    tilings), which already exhibits the valuation-set search the
+    NEXPTIME upper bound performs; ranks [n > 1] add the hypertile
+    join relations [R2 … Rn] whose key constraints put exact analysis
+    outside any practical budget — the paper's point. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+type problem = {
+  n_tiles : int;                 (** tiles are [0 .. n_tiles-1] *)
+  vert : (int * int) list;       (** allowed vertical neighbours (top, bottom) *)
+  horiz : (int * int) list;      (** allowed horizontal neighbours (left, right) *)
+  t0 : int;                      (** the forced top-left tile *)
+}
+
+val solvable_2x2 : problem -> bool
+(** Brute-force ground truth for the 2×2 case. *)
+
+type t = {
+  schema : Schema.t;
+  master : Database.t;
+  ccs : Containment.t list;
+  query : Cq.t;
+}
+
+val of_problem : problem -> t
+(** The [n = 1] instance of the construction. *)
+
+val decide : ?budget:Ric_complete.Rcqp.budget -> t -> Ric_complete.Rcqp.verdict
+
+(** Canned problems. *)
+
+val free_problem : int -> problem
+(** Every neighbour pair allowed — always solvable. *)
+
+val striped : problem
+(** Two tiles that may only sit next to themselves vertically and must
+    alternate horizontally — solvable. *)
+
+val unsolvable : problem
+(** Tile 0 may neighbour nothing — no 2×2 tiling with [t0 = 0]. *)

@@ -1,0 +1,112 @@
+type symbol = bool
+
+type move =
+  | Stay
+  | Advance
+
+type guard = symbol option
+
+type transition = {
+  src : int;
+  read1 : guard;
+  read2 : guard;
+  dst : int;
+  move1 : move;
+  move2 : move;
+}
+
+type t = {
+  n_states : int;
+  start : int;
+  accept : int;
+  transitions : transition list;
+}
+
+let make ~n_states ~start ~accept transitions =
+  let check_state q =
+    if q < 0 || q >= n_states then invalid_arg "Two_head_dfa.make: state out of range"
+  in
+  check_state start;
+  check_state accept;
+  List.iter
+    (fun tr ->
+      check_state tr.src;
+      check_state tr.dst;
+      if (tr.read1 = None && tr.move1 = Advance) || (tr.read2 = None && tr.move2 = Advance)
+      then invalid_arg "Two_head_dfa.make: cannot advance a head past the end")
+    transitions;
+  { n_states; start; accept; transitions }
+
+(* Configurations: (state, pos1, pos2) over a fixed input. *)
+let accepts a input =
+  let w = Array.of_list input in
+  let len = Array.length w in
+  let guard_ok pos = function
+    | None -> pos = len
+    | Some s -> pos < len && Bool.equal w.(pos) s
+  in
+  let step pos = function
+    | Stay -> pos
+    | Advance -> pos + 1
+  in
+  let visited = Hashtbl.create 64 in
+  let rec bfs frontier =
+    match frontier with
+    | [] -> false
+    | (q, p1, p2) :: rest ->
+      if q = a.accept then true
+      else if Hashtbl.mem visited (q, p1, p2) then bfs rest
+      else begin
+        Hashtbl.add visited (q, p1, p2) ();
+        let next =
+          List.filter_map
+            (fun tr ->
+              if tr.src = q && guard_ok p1 tr.read1 && guard_ok p2 tr.read2 then
+                Some (tr.dst, step p1 tr.move1, step p2 tr.move2)
+              else None)
+            a.transitions
+        in
+        bfs (next @ rest)
+      end
+  in
+  bfs [ (a.start, 0, 0) ]
+
+let strings_of_length n =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = go (n - 1) in
+      List.concat_map (fun w -> [ false :: w; true :: w ]) shorter
+  in
+  go n
+
+let shortest_accepted a ~max_len =
+  let rec try_len n =
+    if n > max_len then None
+    else
+      match List.find_opt (accepts a) (strings_of_length n) with
+      | Some w -> Some w
+      | None -> try_len (n + 1)
+  in
+  try_len 0
+
+let empty_up_to a ~max_len = Option.is_none (shortest_accepted a ~max_len)
+
+let accepts_one =
+  (* state 0 start; read (1,1) advancing both heads -> state 1; at
+     (ε, ε) from state 1 -> accept state 2. *)
+  make ~n_states:3 ~start:0 ~accept:2
+    [
+      { src = 0; read1 = Some true; read2 = Some true; dst = 1; move1 = Advance; move2 = Advance };
+      { src = 1; read1 = None; read2 = None; dst = 2; move1 = Stay; move2 = Stay };
+    ]
+
+let accepts_nothing = make ~n_states:2 ~start:0 ~accept:1 []
+
+let equal_heads =
+  (* loop on (1,1); accept at (ε,ε): the all-ones strings. *)
+  make ~n_states:2 ~start:0 ~accept:1
+    [
+      { src = 0; read1 = Some true; read2 = Some true; dst = 0; move1 = Advance; move2 = Advance };
+      { src = 0; read1 = None; read2 = None; dst = 1; move1 = Stay; move2 = Stay };
+    ]

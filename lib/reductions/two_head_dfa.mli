@@ -1,0 +1,68 @@
+(** Deterministic finite 2-head automata (Spielmann 2000), the machine
+    model behind the paper's undecidability proofs (Theorems 3.1(3,4)
+    and 4.1(1,3,4)).
+
+    A 2-head DFA reads one input string with two independent one-way
+    heads; a transition fires on the pair of symbols under the heads
+    ([None] standing for ε — the head sits at the end of the string)
+    and advances each head by 0 or 1.  Emptiness of the accepted
+    language is undecidable in general; {!empty_up_to} is the bounded
+    check the reproduction uses as a stand-in oracle. *)
+
+type symbol = bool
+(** the alphabet Σ = {0, 1}; [true] is 1 *)
+
+type move =
+  | Stay
+  | Advance
+
+type guard = symbol option
+(** [Some s] — the head reads [s]; [None] — ε, the head is past the
+    last symbol. *)
+
+type transition = {
+  src : int;
+  read1 : guard;
+  read2 : guard;
+  dst : int;
+  move1 : move;
+  move2 : move;
+}
+
+type t = {
+  n_states : int;
+  start : int;
+  accept : int;
+  transitions : transition list;
+}
+
+val make : n_states:int -> start:int -> accept:int -> transition list -> t
+(** @raise Invalid_argument on out-of-range states or on a transition
+    that advances a head past the end ([read = None] with
+    [move = Advance]). *)
+
+val accepts : t -> symbol list -> bool
+(** Simulate the automaton on one input (BFS over configurations —
+    deterministic automata have at most one enabled transition, but we
+    do not rely on it). *)
+
+val shortest_accepted : t -> max_len:int -> symbol list option
+(** The first accepted string of length ≤ [max_len], in
+    length-lexicographic order. *)
+
+val empty_up_to : t -> max_len:int -> bool
+(** No string of length ≤ [max_len] is accepted. *)
+
+(** Canned automata for tests and benches. *)
+
+val accepts_one : t
+(** Accepts exactly the string ["1"]. *)
+
+val accepts_nothing : t
+(** The accepting state is unreachable. *)
+
+val equal_heads : t
+(** Accepts strings of even length whose two halves… — concretely, a
+    small machine that accepts strings of the form [1^n] by advancing
+    both heads together; accepts every string of all-1s including the
+    empty one. *)

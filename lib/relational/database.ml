@@ -1,0 +1,105 @@
+module SMap = Map.Make (String)
+
+type t = {
+  sch : Schema.t;
+  rels : Relation.t SMap.t;
+}
+
+let empty sch =
+  let rels =
+    List.fold_left
+      (fun m (r : Schema.relation_schema) -> SMap.add r.rel_name Relation.empty m)
+      SMap.empty (Schema.relations sch)
+  in
+  { sch; rels }
+
+let schema d = d.sch
+
+let check_conforms sch name rel =
+  let rs =
+    try Schema.find sch name
+    with Not_found -> invalid_arg (Printf.sprintf "Database: unknown relation %S" name)
+  in
+  Relation.iter
+    (fun t ->
+      if not (Tuple.conforms rs t) then
+        invalid_arg
+          (Format.asprintf "Database: tuple %a does not conform to %a" Tuple.pp t
+             Schema.pp_relation rs))
+    rel
+
+let set_relation d name rel =
+  check_conforms d.sch name rel;
+  { d with rels = SMap.add name rel d.rels }
+
+let of_list sch assoc =
+  List.fold_left (fun d (name, rel) -> set_relation d name rel) (empty sch) assoc
+
+let relation d name =
+  match SMap.find_opt name d.rels with
+  | Some r -> r
+  | None -> raise Not_found
+
+let add_tuple d name t =
+  match SMap.find_opt name d.rels with
+  | Some existing -> set_relation d name (Relation.add t existing)
+  | None -> invalid_arg (Printf.sprintf "Database: unknown relation %S" name)
+
+let add_tuples d pairs = List.fold_left (fun d (name, t) -> add_tuple d name t) d pairs
+
+let contained a b =
+  SMap.for_all
+    (fun name rel ->
+      match SMap.find_opt name b.rels with
+      | Some rel' -> Relation.subset rel rel'
+      | None -> Relation.is_empty rel)
+    a.rels
+
+let union a b =
+  SMap.fold (fun name rel acc ->
+      let merged =
+        match SMap.find_opt name acc.rels with
+        | Some existing -> Relation.union existing rel
+        | None -> rel
+      in
+      set_relation acc name merged)
+    b.rels a
+
+let equal a b =
+  SMap.equal Relation.equal a.rels b.rels
+
+let total_tuples d = SMap.fold (fun _ rel acc -> acc + Relation.cardinal rel) d.rels 0
+
+let is_empty d = total_tuples d = 0
+
+let adom d =
+  SMap.fold (fun _ rel acc -> List.rev_append (Relation.values rel) acc) d.rels []
+  |> List.sort_uniq Value.compare
+
+let fold f d acc = SMap.fold f d.rels acc
+
+let rename_relations f target d =
+  SMap.fold
+    (fun name rel acc ->
+      if Relation.is_empty rel then acc
+      else
+        let name' = f name in
+        let merged =
+          match SMap.find_opt name' acc.rels with
+          | Some existing -> Relation.union existing rel
+          | None -> rel
+        in
+        set_relation acc name' merged)
+    d.rels (empty target)
+
+let pp ppf d =
+  let first = ref true in
+  SMap.iter
+    (fun name rel ->
+      if not (Relation.is_empty rel) then begin
+        if not !first then Format.pp_print_newline ppf ();
+        first := false;
+        Format.fprintf ppf "%s = %a" name Relation.pp rel
+      end)
+    d.rels;
+  if !first then Format.fprintf ppf "(empty database)"

@@ -1,0 +1,30 @@
+type t =
+  | Infinite
+  | Finite of Value.t list
+
+let infinite = Infinite
+
+let finite vs =
+  let distinct = List.sort_uniq Value.compare vs in
+  if List.length distinct < 2 then
+    invalid_arg "Domain.finite: a finite domain needs at least two elements";
+  Finite distinct
+
+let boolean = Finite [ Value.Int 0; Value.Int 1 ]
+
+let is_finite = function
+  | Infinite -> false
+  | Finite _ -> true
+
+let mem v = function
+  | Infinite -> true
+  | Finite vs -> List.exists (Value.equal v) vs
+
+let values = function
+  | Infinite -> None
+  | Finite vs -> Some vs
+
+let pp ppf = function
+  | Infinite -> Format.fprintf ppf "d (infinite)"
+  | Finite vs ->
+    Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp) vs

@@ -1,0 +1,35 @@
+(** Attribute domains.
+
+    Following Section 2.1 of the paper we distinguish a countably
+    infinite domain [d] from finite domains [d_f] (with at least two
+    elements).  Finite domains matter for the completeness analysis: a
+    query whose output variables all range over finite domains is
+    trivially relatively complete (condition E1 of Section 4.2). *)
+
+type t =
+  | Infinite
+      (** the countably infinite domain [d]; fresh values can always be
+          invented outside any given finite active domain *)
+  | Finite of Value.t list
+      (** a finite domain [d_f], listed exhaustively; must have at
+          least two elements *)
+
+val infinite : t
+
+val finite : Value.t list -> t
+(** [finite vs] builds a finite domain.
+    @raise Invalid_argument if [vs] has fewer than two distinct
+    elements, which the paper's model forbids. *)
+
+val boolean : t
+(** The two-element domain [{0, 1}], ubiquitous in the reductions. *)
+
+val is_finite : t -> bool
+
+val mem : Value.t -> t -> bool
+(** [mem v dom] — membership; every value belongs to [Infinite]. *)
+
+val values : t -> Value.t list option
+(** [values dom] is [Some vs] for finite domains, [None] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module TSet = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = TSet.t
+
+let empty = TSet.empty
+
+let check_arity t set =
+  match TSet.choose_opt set with
+  | Some witness when Tuple.arity witness <> Tuple.arity t ->
+    invalid_arg
+      (Printf.sprintf "Relation: arity mismatch (%d vs %d)" (Tuple.arity t)
+         (Tuple.arity witness))
+  | _ -> ()
+
+let add t set =
+  check_arity t set;
+  TSet.add t set
+
+let of_tuples ts = List.fold_left (fun acc t -> add t acc) empty ts
+let of_int_rows rows = of_tuples (List.map Tuple.of_ints rows)
+let of_str_rows rows = of_tuples (List.map Tuple.of_strs rows)
+
+let mem = TSet.mem
+let cardinal = TSet.cardinal
+let is_empty = TSet.is_empty
+let subset = TSet.subset
+
+let union a b =
+  (match TSet.choose_opt a, TSet.choose_opt b with
+   | Some x, Some y when Tuple.arity x <> Tuple.arity y ->
+     invalid_arg "Relation.union: arity mismatch"
+   | _ -> ());
+  TSet.union a b
+
+let diff = TSet.diff
+let inter = TSet.inter
+let equal = TSet.equal
+let compare = TSet.compare
+let fold = TSet.fold
+let iter = TSet.iter
+let exists = TSet.exists
+let for_all = TSet.for_all
+let filter = TSet.filter
+let elements = TSet.elements
+
+let project cols set = TSet.fold (fun t acc -> TSet.add (Tuple.project cols t) acc) set TSet.empty
+
+let map f set = TSet.fold (fun t acc -> TSet.add (f t) acc) set TSet.empty
+
+let values set =
+  TSet.fold (fun t acc -> List.rev_append (Tuple.values t) acc) set []
+  |> List.sort_uniq Value.compare
+
+let pp ppf set =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Tuple.pp)
+    (elements set)

@@ -1,0 +1,59 @@
+(** Relation instances: finite sets of tuples of uniform arity. *)
+
+type t
+
+val empty : t
+
+val of_tuples : Tuple.t list -> t
+(** @raise Invalid_argument if the tuples do not all share one arity. *)
+
+val of_int_rows : int list list -> t
+(** Convenience: rows of integer constants. *)
+
+val of_str_rows : string list list -> t
+
+val add : Tuple.t -> t -> t
+(** @raise Invalid_argument on an arity mismatch with existing tuples. *)
+
+val mem : Tuple.t -> t -> bool
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] — is [a ⊆ b]? *)
+
+val union : t -> t -> t
+(** @raise Invalid_argument on an arity mismatch. *)
+
+val diff : t -> t -> t
+
+val inter : t -> t -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val for_all : (Tuple.t -> bool) -> t -> bool
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val elements : t -> Tuple.t list
+(** Tuples in increasing {!Tuple.compare} order. *)
+
+val project : int list -> t -> t
+(** Set-semantics projection onto the given columns. *)
+
+val map : (Tuple.t -> Tuple.t) -> t -> t
+
+val values : t -> Value.t list
+(** All constants occurring anywhere in the relation, deduplicated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+type attribute = {
+  attr_name : string;
+  attr_dom : Domain.t;
+}
+
+type relation_schema = {
+  rel_name : string;
+  attrs : attribute list;
+}
+
+type t = relation_schema list
+
+let attribute ?(dom = Domain.Infinite) name = { attr_name = name; attr_dom = dom }
+
+let check_distinct what names =
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else dup rest
+    | _ -> None
+  in
+  match dup sorted with
+  | Some n -> invalid_arg (Printf.sprintf "Schema: duplicate %s %S" what n)
+  | None -> ()
+
+let relation name attrs =
+  check_distinct "attribute" (List.map (fun a -> a.attr_name) attrs);
+  { rel_name = name; attrs }
+
+let arity r = List.length r.attrs
+
+let attr_index r name =
+  let rec go i = function
+    | [] -> raise Not_found
+    | a :: rest -> if String.equal a.attr_name name then i else go (i + 1) rest
+  in
+  go 0 r.attrs
+
+let attr_domain r i =
+  match List.nth_opt r.attrs i with
+  | Some a -> a.attr_dom
+  | None -> invalid_arg (Printf.sprintf "Schema.attr_domain: %S has no column %d" r.rel_name i)
+
+let make rels =
+  check_distinct "relation" (List.map (fun r -> r.rel_name) rels);
+  rels
+
+let relations t = t
+
+let find t name =
+  match List.find_opt (fun r -> String.equal r.rel_name name) t with
+  | Some r -> r
+  | None -> raise Not_found
+
+let mem t name = List.exists (fun r -> String.equal r.rel_name name) t
+
+let union a b = make (a @ b)
+
+let pp_relation ppf r =
+  let pp_attr ppf a =
+    match a.attr_dom with
+    | Domain.Infinite -> Format.fprintf ppf "%s" a.attr_name
+    | Domain.Finite _ -> Format.fprintf ppf "%s:%a" a.attr_name Domain.pp a.attr_dom
+  in
+  Format.fprintf ppf "%s(%a)" r.rel_name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_attr)
+    r.attrs
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_relation ppf t

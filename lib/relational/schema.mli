@@ -1,0 +1,56 @@
+(** Relation schemas and database schemas.
+
+    A database is specified by a relational schema [R = (R1, ..., Rn)];
+    each [Ri] is defined over a fixed list of named, typed attributes.
+    Master data [Dm] is specified by a separate relational schema [Rm]
+    of exactly the same shape — no restriction is imposed on either
+    (Section 2.1). *)
+
+type attribute = {
+  attr_name : string;
+  attr_dom : Domain.t;
+}
+
+type relation_schema = {
+  rel_name : string;
+  attrs : attribute list;
+}
+
+type t
+(** A database schema: a collection of relation schemas with distinct
+    names. *)
+
+val attribute : ?dom:Domain.t -> string -> attribute
+(** [attribute name] declares an attribute over the infinite domain;
+    pass [~dom] for a finite one. *)
+
+val relation : string -> attribute list -> relation_schema
+(** [relation name attrs] builds a relation schema.
+    @raise Invalid_argument on duplicate attribute names. *)
+
+val arity : relation_schema -> int
+
+val attr_index : relation_schema -> string -> int
+(** Position of a named attribute.  @raise Not_found if absent. *)
+
+val attr_domain : relation_schema -> int -> Domain.t
+(** Domain of the [i]-th attribute (0-based).
+    @raise Invalid_argument if out of range. *)
+
+val make : relation_schema list -> t
+(** @raise Invalid_argument on duplicate relation names. *)
+
+val relations : t -> relation_schema list
+
+val find : t -> string -> relation_schema
+(** @raise Not_found if no relation with that name exists. *)
+
+val mem : t -> string -> bool
+
+val union : t -> t -> t
+(** Disjoint union of two schemas.
+    @raise Invalid_argument if they share a relation name. *)
+
+val pp : Format.formatter -> t -> unit
+
+val pp_relation : Format.formatter -> relation_schema -> unit

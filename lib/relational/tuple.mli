@@ -1,0 +1,32 @@
+(** Tuples: fixed-arity lists of constants. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+val of_ints : int list -> t
+(** Convenience: tuple of integer constants. *)
+
+val of_strs : string list -> t
+(** Convenience: tuple of string constants. *)
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+(** @raise Invalid_argument if the index is out of range. *)
+
+val compare : t -> t -> int
+(** Lexicographic; tuples of different arity are ordered by arity. *)
+
+val equal : t -> t -> bool
+
+val project : int list -> t -> t
+(** [project cols t] keeps the listed columns, in the order given.
+    @raise Invalid_argument on a bad column index. *)
+
+val conforms : Schema.relation_schema -> t -> bool
+(** Arity matches and every value lies in its attribute's domain. *)
+
+val values : t -> Value.t list
+
+val pp : Format.formatter -> t -> unit

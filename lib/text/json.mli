@@ -1,0 +1,15 @@
+(** A minimal JSON value type and printer (no external dependency),
+    used by {!Report} and the CLI's [--json] mode. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Compact, valid JSON with correctly escaped strings. *)
+
+val to_string : t -> string

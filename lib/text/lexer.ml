@@ -1,0 +1,152 @@
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | TURNSTILE
+  | ARROW
+  | FDARROW
+  | EQ
+  | NEQ
+  | COLON
+  | PIPE
+  | QMARK
+  | EOF
+
+type positioned = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of string * int * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\'' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let emit tok l c = out := { tok; line = l; col = c } :: !out in
+  let i = ref 0 in
+  let advance () =
+    (if !i < n && src.[!i] = '\n' then begin
+       incr line;
+       col := 1
+     end
+     else incr col);
+    incr i
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let l0 = !line and c0 = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1]) then begin
+      let start = !i in
+      if c = '-' then advance ();
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      emit (INT (int_of_string (String.sub src start (!i - start)))) l0 c0
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        advance ()
+      done;
+      emit (IDENT (String.sub src start (!i - start))) l0 c0
+    end
+    else if c = '"' then begin
+      advance ();
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '"' then begin
+          closed := true;
+          advance ()
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          advance ()
+        end
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", l0, c0));
+      emit (STRING (Buffer.contents buf)) l0 c0
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":-" ->
+        advance ();
+        advance ();
+        emit TURNSTILE l0 c0
+      | "=>" ->
+        advance ();
+        advance ();
+        emit ARROW l0 c0
+      | "->" ->
+        advance ();
+        advance ();
+        emit FDARROW l0 c0
+      | "!=" ->
+        advance ();
+        advance ();
+        emit NEQ l0 c0
+      | _ ->
+        (match c with
+         | '(' -> advance (); emit LPAREN l0 c0
+         | ')' -> advance (); emit RPAREN l0 c0
+         | '{' -> advance (); emit LBRACE l0 c0
+         | '}' -> advance (); emit RBRACE l0 c0
+         | '[' -> advance (); emit LBRACKET l0 c0
+         | ']' -> advance (); emit RBRACKET l0 c0
+         | ',' -> advance (); emit COMMA l0 c0
+         | '.' -> advance (); emit DOT l0 c0
+         | '=' -> advance (); emit EQ l0 c0
+         | ':' -> advance (); emit COLON l0 c0
+         | '|' -> advance (); emit PIPE l0 c0
+         | '?' -> advance (); emit QMARK l0 c0
+         | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c, l0, c0)))
+    end
+  done;
+  emit EOF !line !col;
+  List.rev !out
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | TURNSTILE -> "':-'"
+  | ARROW -> "'=>'"
+  | FDARROW -> "'->'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | COLON -> "':'"
+  | PIPE -> "'|'"
+  | QMARK -> "'?'"
+  | EOF -> "end of input"

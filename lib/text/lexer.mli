@@ -1,0 +1,38 @@
+(** Tokeniser for the [.ric] scenario format (see {!Scenario}). *)
+
+type token =
+  | IDENT of string    (** bare identifier *)
+  | STRING of string   (** double-quoted *)
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | DOT
+  | TURNSTILE          (** [:-] *)
+  | ARROW              (** [=>] *)
+  | FDARROW            (** [->] *)
+  | EQ                 (** [=] *)
+  | NEQ                (** [!=] *)
+  | COLON
+  | PIPE               (** [|] *)
+  | QMARK              (** [?] — marks a labelled null in c-table rows *)
+  | EOF
+
+type positioned = {
+  tok : token;
+  line : int;
+  col : int;
+}
+
+exception Lex_error of string * int * int
+(** message, line, column (1-based) *)
+
+val tokenize : string -> positioned list
+(** Comments run from [#] to end of line.  @raise Lex_error on an
+    illegal character or an unterminated string. *)
+
+val describe : token -> string

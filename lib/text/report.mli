@@ -1,0 +1,20 @@
+(** JSON encodings of the library's verdicts and data, for the CLI's
+    [--json] mode and for piping audits into other tooling. *)
+
+open Ric_relational
+open Ric_complete
+
+val value : Value.t -> Json.t
+
+val tuple : Tuple.t -> Json.t
+
+val relation : Relation.t -> Json.t
+
+val database : Database.t -> Json.t
+(** [{ "Rel": [[...], ...], ... }] — empty relations omitted. *)
+
+val rcdp_verdict : Rcdp.verdict -> Json.t
+
+val rcqp_verdict : Rcqp.verdict -> Json.t
+
+val audit_result : Guidance.audit_result -> Json.t

@@ -1,0 +1,571 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+type t = {
+  db_schema : Schema.t;
+  master_schema : Schema.t;
+  db : Database.t;
+  master : Database.t;
+  queries : (string * Lang.t) list;
+  ccs : (string * Containment.t) list;
+  ctables : Ric_incomplete.Ctable.t list;
+}
+
+exception Parse_error of string * int * int
+
+(* ------------------------------------------------------------------ *)
+(* Parser state: a mutable cursor over the token list. *)
+
+type state = {
+  mutable toks : Lexer.positioned list;
+}
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* EOF is always present *)
+
+let advance st =
+  match st.toks with
+  | _ :: rest when rest <> [] -> st.toks <- rest
+  | _ -> ()
+
+let fail_at (p : Lexer.positioned) msg = raise (Parse_error (msg, p.Lexer.line, p.Lexer.col))
+
+let expect st tok =
+  let p = peek st in
+  if p.Lexer.tok = tok then advance st
+  else fail_at p (Printf.sprintf "expected %s, found %s" (Lexer.describe tok) (Lexer.describe p.Lexer.tok))
+
+let ident st =
+  let p = peek st in
+  match p.Lexer.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | other -> fail_at p (Printf.sprintf "expected an identifier, found %s" (Lexer.describe other))
+
+let int_lit st =
+  let p = peek st in
+  match p.Lexer.tok with
+  | Lexer.INT n ->
+    advance st;
+    n
+  | other -> fail_at p (Printf.sprintf "expected an integer, found %s" (Lexer.describe other))
+
+let comma_separated st parse_one =
+  let first = parse_one st in
+  let rec more acc =
+    match (peek st).Lexer.tok with
+    | Lexer.COMMA ->
+      advance st;
+      more (parse_one st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Grammar pieces. *)
+
+(* a value in a rows block: bare word → string, number → int *)
+let row_value st =
+  let p = peek st in
+  match p.Lexer.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    Value.Str s
+  | Lexer.STRING s ->
+    advance st;
+    Value.Str s
+  | Lexer.INT n ->
+    advance st;
+    Value.Int n
+  | other -> fail_at p (Printf.sprintf "expected a value, found %s" (Lexer.describe other))
+
+(* a c-table cell: a value, or [?name] for a labelled null *)
+let crow_cell st =
+  match (peek st).Lexer.tok with
+  | Lexer.QMARK ->
+    advance st;
+    Ric_incomplete.Ctable.Null (ident st)
+  | _ -> Ric_incomplete.Ctable.Const (row_value st)
+
+(* a term in a query body: identifier → variable, literal → constant *)
+let term st =
+  let p = peek st in
+  match p.Lexer.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    Term.Var s
+  | Lexer.STRING s ->
+    advance st;
+    Term.str s
+  | Lexer.INT n ->
+    advance st;
+    Term.int n
+  | other -> fail_at p (Printf.sprintf "expected a term, found %s" (Lexer.describe other))
+
+let attribute st =
+  let name = ident st in
+  match (peek st).Lexer.tok with
+  | Lexer.IDENT "in" ->
+    advance st;
+    expect st Lexer.LBRACE;
+    let vs = comma_separated st row_value in
+    expect st Lexer.RBRACE;
+    let p = peek st in
+    (try Schema.attribute ~dom:(Domain.finite vs) name
+     with Invalid_argument m -> fail_at p m)
+  | _ -> Schema.attribute name
+
+let relation_sig st =
+  let p = peek st in
+  let name = ident st in
+  expect st Lexer.LPAREN;
+  let attrs = comma_separated st attribute in
+  expect st Lexer.RPAREN;
+  try Schema.relation name attrs with Invalid_argument m -> fail_at p m
+
+type body_literal =
+  | BAtom of Atom.t
+  | BEq of Term.t * Term.t
+  | BNeq of Term.t * Term.t
+
+let body_literal st =
+  let p = peek st in
+  match p.Lexer.tok with
+  | Lexer.IDENT name when (match st.toks with _ :: { Lexer.tok = Lexer.LPAREN; _ } :: _ -> true | _ -> false) ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let args = comma_separated st term in
+    expect st Lexer.RPAREN;
+    BAtom (Atom.make name args)
+  | _ ->
+    let lhs = term st in
+    let q = peek st in
+    (match q.Lexer.tok with
+     | Lexer.EQ ->
+       advance st;
+       BEq (lhs, term st)
+     | Lexer.NEQ ->
+       advance st;
+       BNeq (lhs, term st)
+     | other ->
+       fail_at q (Printf.sprintf "expected '=' or '!=' after a term, found %s" (Lexer.describe other)))
+
+let body st =
+  let lits = comma_separated st body_literal in
+  let atoms = List.filter_map (function BAtom a -> Some a | _ -> None) lits in
+  let eqs = List.filter_map (function BEq (a, b) -> Some (a, b) | _ -> None) lits in
+  let neqs = List.filter_map (function BNeq (a, b) -> Some (a, b) | _ -> None) lits in
+  (atoms, eqs, neqs)
+
+(* ------------------------------------------------------------------ *)
+(* Items and the accumulating scenario. *)
+
+type acc = {
+  mutable db_rels : Schema.relation_schema list;
+  mutable m_rels : Schema.relation_schema list;
+  mutable rows : (string * Value.t list list * Lexer.positioned) list;
+  mutable crows : (string * Ric_incomplete.Ctable.cell list list * Lexer.positioned) list;
+  mutable queries : (string * Lang.t) list;
+  mutable raw_ccs : (string * Cq.t * [ `Empty | `Proj of string * int list ] * Lexer.positioned) list;
+  mutable fds : (string * string * string list * string list * Lexer.positioned) list;
+}
+
+let check_atom_against acc (p : Lexer.positioned) (a : Atom.t) =
+  match List.find_opt (fun (r : Schema.relation_schema) -> r.Schema.rel_name = a.Atom.rel) acc.db_rels with
+  | Some r ->
+    if Schema.arity r <> Atom.arity a then
+      fail_at p
+        (Printf.sprintf "relation %S has arity %d but the atom has %d arguments" a.Atom.rel
+           (Schema.arity r) (Atom.arity a))
+  | None -> fail_at p (Printf.sprintf "unknown database relation %S (declare it with 'schema' first)" a.Atom.rel)
+
+let parse_items st acc =
+  let rec loop () =
+    let p = peek st in
+    match p.Lexer.tok with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT "schema" ->
+      advance st;
+      acc.db_rels <- acc.db_rels @ [ relation_sig st ];
+      expect st Lexer.DOT;
+      loop ()
+    | Lexer.IDENT "master" ->
+      advance st;
+      acc.m_rels <- acc.m_rels @ [ relation_sig st ];
+      expect st Lexer.DOT;
+      loop ()
+    | Lexer.IDENT "rows" ->
+      advance st;
+      let where = peek st in
+      let name = ident st in
+      expect st Lexer.LBRACE;
+      let rows = ref [] in
+      let rec read_rows () =
+        match (peek st).Lexer.tok with
+        | Lexer.LPAREN ->
+          advance st;
+          let vs = comma_separated st row_value in
+          expect st Lexer.RPAREN;
+          rows := vs :: !rows;
+          read_rows ()
+        | _ -> ()
+      in
+      read_rows ();
+      expect st Lexer.RBRACE;
+      expect st Lexer.DOT;
+      acc.rows <- acc.rows @ [ (name, List.rev !rows, where) ];
+      loop ()
+    | Lexer.IDENT "crows" ->
+      advance st;
+      let where = peek st in
+      let name = ident st in
+      expect st Lexer.LBRACE;
+      let rows = ref [] in
+      let rec read_rows () =
+        match (peek st).Lexer.tok with
+        | Lexer.LPAREN ->
+          advance st;
+          let cells = comma_separated st crow_cell in
+          expect st Lexer.RPAREN;
+          rows := cells :: !rows;
+          read_rows ()
+        | _ -> ()
+      in
+      read_rows ();
+      expect st Lexer.RBRACE;
+      expect st Lexer.DOT;
+      acc.crows <- acc.crows @ [ (name, List.rev !rows, where) ];
+      loop ()
+    | Lexer.IDENT "query" ->
+      advance st;
+      let qp = peek st in
+      let name = ident st in
+      expect st Lexer.LPAREN;
+      let head =
+        match (peek st).Lexer.tok with
+        | Lexer.RPAREN -> []
+        | _ -> comma_separated st term
+      in
+      expect st Lexer.RPAREN;
+      expect st Lexer.TURNSTILE;
+      let disjuncts = ref [] in
+      let rec read_bodies () =
+        let atoms, eqs, neqs = body st in
+        List.iter (check_atom_against acc qp) atoms;
+        disjuncts := Cq.make ~eqs ~neqs ~head atoms :: !disjuncts;
+        match (peek st).Lexer.tok with
+        | Lexer.PIPE ->
+          advance st;
+          read_bodies ()
+        | _ -> ()
+      in
+      read_bodies ();
+      expect st Lexer.DOT;
+      let q =
+        match List.rev !disjuncts with
+        | [ one ] -> Lang.Q_cq one
+        | many ->
+          (try Lang.Q_ucq (Ucq.make many)
+           with Invalid_argument m -> fail_at qp m)
+      in
+      acc.queries <- acc.queries @ [ (name, q) ];
+      loop ()
+    | Lexer.IDENT "constraint" ->
+      advance st;
+      let cp = peek st in
+      let name = ident st in
+      expect st Lexer.LPAREN;
+      let head =
+        match (peek st).Lexer.tok with
+        | Lexer.RPAREN -> []
+        | _ -> comma_separated st term
+      in
+      expect st Lexer.RPAREN;
+      expect st Lexer.TURNSTILE;
+      let atoms, eqs, neqs = body st in
+      expect st Lexer.ARROW;
+      let target =
+        let tp = peek st in
+        match tp.Lexer.tok with
+        | Lexer.IDENT "empty" ->
+          advance st;
+          `Empty
+        | Lexer.IDENT mrel ->
+          advance st;
+          expect st Lexer.LBRACKET;
+          let cols = comma_separated st int_lit in
+          expect st Lexer.RBRACKET;
+          `Proj (mrel, cols)
+        | other -> fail_at tp (Printf.sprintf "expected 'empty' or a master relation, found %s" (Lexer.describe other))
+      in
+      expect st Lexer.DOT;
+      List.iter (check_atom_against acc cp) atoms;
+      acc.raw_ccs <- acc.raw_ccs @ [ (name, Cq.make ~eqs ~neqs ~head atoms, target, cp) ];
+      loop ()
+    | Lexer.IDENT "fd" ->
+      advance st;
+      let fp = peek st in
+      let name = ident st in
+      let rel = ident st in
+      expect st Lexer.COLON;
+      let lhs = comma_separated st ident in
+      expect st Lexer.FDARROW;
+      let rhs = comma_separated st ident in
+      expect st Lexer.DOT;
+      acc.fds <- acc.fds @ [ (name, rel, lhs, rhs, fp) ];
+      loop ()
+    | other -> fail_at p (Printf.sprintf "expected a declaration keyword, found %s" (Lexer.describe other))
+  in
+  loop ()
+
+let build acc =
+  let db_schema =
+    try Schema.make acc.db_rels
+    with Invalid_argument m -> raise (Parse_error (m, 0, 0))
+  in
+  let master_schema =
+    try Schema.make acc.m_rels
+    with Invalid_argument m -> raise (Parse_error (m, 0, 0))
+  in
+  let db = ref (Database.empty db_schema) in
+  let master = ref (Database.empty master_schema) in
+  List.iter
+    (fun (name, rows, p) ->
+      let target =
+        if Schema.mem db_schema name then `Db
+        else if Schema.mem master_schema name then `Master
+        else fail_at p (Printf.sprintf "rows for undeclared relation %S" name)
+      in
+      List.iter
+        (fun vs ->
+          let tuple = Tuple.make vs in
+          try
+            match target with
+            | `Db -> db := Database.add_tuple !db name tuple
+            | `Master -> master := Database.add_tuple !master name tuple
+          with Invalid_argument m -> fail_at p m)
+        rows)
+    acc.rows;
+  let ccs =
+    List.map
+      (fun (name, q, target, p) ->
+        let projection =
+          match target with
+          | `Empty -> Projection.Empty
+          | `Proj (mrel, cols) ->
+            if not (Schema.mem master_schema mrel) then
+              fail_at p (Printf.sprintf "unknown master relation %S" mrel);
+            let arity = Schema.arity (Schema.find master_schema mrel) in
+            List.iter
+              (fun c ->
+                if c < 0 || c >= arity then
+                  fail_at p (Printf.sprintf "column %d out of range for %S" c mrel))
+              cols;
+            Projection.proj mrel cols
+        in
+        try (name, Containment.make ~name (Lang.Q_cq q) projection)
+        with Invalid_argument m -> fail_at p m)
+      acc.raw_ccs
+  in
+  let fd_ccs =
+    List.concat_map
+      (fun (name, rel, lhs, rhs, p) ->
+        if not (Schema.mem db_schema rel) then
+          fail_at p (Printf.sprintf "unknown database relation %S" rel);
+        let rs = Schema.find db_schema rel in
+        let col a =
+          try Schema.attr_index rs a
+          with Not_found -> fail_at p (Printf.sprintf "relation %S has no attribute %S" rel a)
+        in
+        let fd = Fd.make ~name ~rel ~lhs:(List.map col lhs) ~rhs:(List.map col rhs) () in
+        List.mapi
+          (fun i cc -> (Printf.sprintf "%s#%d" name i, cc))
+          (Translate.of_fd db_schema fd))
+      acc.fds
+  in
+  let ctables =
+    List.map
+      (fun (name, rows, p) ->
+        if not (Schema.mem db_schema name) then
+          fail_at p (Printf.sprintf "crows for undeclared database relation %S" name);
+        let arity = Schema.arity (Schema.find db_schema name) in
+        let crows = List.map (fun cells -> Ric_incomplete.Ctable.row cells) rows in
+        (* fold ground rows of the same relation into the c-table so
+           the world semantics sees the whole relation *)
+        let ground =
+          match Database.relation !db name with
+          | rel ->
+            List.map Ric_incomplete.Ctable.ground (Relation.elements rel)
+          | exception Not_found -> []
+        in
+        try Ric_incomplete.Ctable.make ~rel:name ~arity (ground @ crows)
+        with Invalid_argument m -> fail_at p m)
+      acc.crows
+  in
+  {
+    db_schema;
+    master_schema;
+    db = !db;
+    master = !master;
+    queries = acc.queries;
+    ccs = ccs @ fd_ccs;
+    ctables;
+  }
+
+let parse src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Lex_error (m, l, c) -> raise (Parse_error (m, l, c))
+  in
+  let st = { toks } in
+  let acc =
+    { db_rels = []; m_rels = []; rows = []; crows = []; queries = []; raw_ccs = []; fds = [] }
+  in
+  parse_items st acc;
+  build acc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src
+
+let all_ccs (t : t) = List.map snd t.ccs
+
+let find_query (t : t) name = List.assoc_opt name t.queries
+
+let as_cdatabase (t : t) =
+  let covered = List.map (fun (c : Ric_incomplete.Ctable.t) -> c.Ric_incomplete.Ctable.rel) t.ctables in
+  let ground_tables =
+    Database.fold
+      (fun name rel acc ->
+        if List.mem name covered || Relation.is_empty rel then acc
+        else
+          Ric_incomplete.Ctable.make ~rel:name
+            ~arity:(Schema.arity (Schema.find t.db_schema name))
+            (List.map Ric_incomplete.Ctable.ground (Relation.elements rel))
+          :: acc)
+      t.db []
+  in
+  Ric_incomplete.Cdatabase.make t.db_schema (t.ctables @ ground_tables)
+
+(* ------------------------------------------------------------------ *)
+(* Printing back. *)
+
+let pp_value ppf = function
+  | Value.Int n -> Format.fprintf ppf "%d" n
+  | Value.Str s -> Format.fprintf ppf "%s" s
+
+let pp_attr ppf (a : Schema.attribute) =
+  match Domain.values a.Schema.attr_dom with
+  | None -> Format.fprintf ppf "%s" a.Schema.attr_name
+  | Some vs ->
+    Format.fprintf ppf "%s in {%a}" a.Schema.attr_name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_value)
+      vs
+
+let pp_sig keyword ppf (r : Schema.relation_schema) =
+  Format.fprintf ppf "%s %s(%a).@." keyword r.Schema.rel_name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_attr)
+    r.Schema.attrs
+
+let pp_rows ppf name rel =
+  if not (Relation.is_empty rel) then begin
+    Format.fprintf ppf "rows %s {" name;
+    Relation.iter
+      (fun t ->
+        Format.fprintf ppf " (%a)"
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_value)
+          (Tuple.values t))
+      rel;
+    Format.fprintf ppf " }.@."
+  end
+
+let pp_term ppf = function
+  | Term.Var x -> Format.fprintf ppf "%s" x
+  | Term.Const (Value.Int n) -> Format.fprintf ppf "%d" n
+  | Term.Const (Value.Str s) -> Format.fprintf ppf "%S" s
+
+let pp_body ppf (q : Cq.t) =
+  let items =
+    List.map (fun (a : Atom.t) ppf ->
+        Format.fprintf ppf "%s(%a)" a.Atom.rel
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_term)
+          a.Atom.args)
+      q.Cq.atoms
+    @ List.map (fun (a, b) ppf -> Format.fprintf ppf "%a = %a" pp_term a pp_term b) q.Cq.eqs
+    @ List.map (fun (a, b) ppf -> Format.fprintf ppf "%a != %a" pp_term a pp_term b) q.Cq.neqs
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf f -> f ppf)
+    ppf items
+
+let pp_head ppf (q : Cq.t) =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_term ppf q.Cq.head
+
+let pp ppf (t : t) =
+  List.iter (pp_sig "schema" ppf) (Schema.relations t.db_schema);
+  List.iter (pp_sig "master" ppf) (Schema.relations t.master_schema);
+  Database.fold (fun name rel () -> pp_rows ppf name rel) t.db ();
+  Database.fold (fun name rel () -> pp_rows ppf name rel) t.master ();
+  List.iter
+    (fun (c : Ric_incomplete.Ctable.t) ->
+      let has_null (r : Ric_incomplete.Ctable.row) =
+        List.exists
+          (function
+            | Ric_incomplete.Ctable.Null _ -> true
+            | Ric_incomplete.Ctable.Const _ -> false)
+          r.Ric_incomplete.Ctable.cells
+      in
+      let null_rows = List.filter has_null c.Ric_incomplete.Ctable.rows in
+      if null_rows <> [] then begin
+        Format.fprintf ppf "crows %s {" c.Ric_incomplete.Ctable.rel;
+        List.iter
+          (fun (r : Ric_incomplete.Ctable.row) ->
+            Format.fprintf ppf " (%a)"
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                 (fun ppf -> function
+                   | Ric_incomplete.Ctable.Const v -> pp_value ppf v
+                   | Ric_incomplete.Ctable.Null n -> Format.fprintf ppf "?%s" n))
+              r.Ric_incomplete.Ctable.cells)
+          null_rows;
+        Format.fprintf ppf " }.@."
+      end)
+    t.ctables;
+  List.iter
+    (fun (name, q) ->
+      match q with
+      | Lang.Q_cq cq ->
+        Format.fprintf ppf "query %s(%a) :- %a.@." name pp_head cq pp_body cq
+      | Lang.Q_ucq (first :: _ as disjuncts) ->
+        Format.fprintf ppf "query %s(%a) :- %a.@." name pp_head first
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+             pp_body)
+          disjuncts
+      | _ -> ())
+    t.queries;
+  List.iter
+    (fun (name, cc) ->
+      match cc.Containment.lhs with
+      | Lang.Q_cq q ->
+        let target ppf =
+          match cc.Containment.rhs with
+          | Projection.Empty -> Format.fprintf ppf "empty"
+          | Projection.Proj { mrel; cols } ->
+            Format.fprintf ppf "%s[%a]" mrel
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+                 Format.pp_print_int)
+              cols
+        in
+        Format.fprintf ppf "constraint %s(%a) :- %a => %t.@." name pp_head q pp_body q target
+      | _ -> ())
+    t.ccs

@@ -1,0 +1,194 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+let db_schema =
+  Schema.make
+    [
+      Schema.relation "Cust"
+        [
+          Schema.attribute "cid";
+          Schema.attribute "name";
+          Schema.attribute "cc";
+          Schema.attribute "ac";
+          Schema.attribute "phn";
+        ];
+      Schema.relation "Supt"
+        [ Schema.attribute "eid"; Schema.attribute "dept"; Schema.attribute "cid" ];
+      Schema.relation "Manage" [ Schema.attribute "eid1"; Schema.attribute "eid2" ];
+    ]
+
+let master_schema =
+  Schema.make
+    [
+      Schema.relation "DCust"
+        [
+          Schema.attribute "cid";
+          Schema.attribute "name";
+          Schema.attribute "ac";
+          Schema.attribute "phn";
+        ];
+      Schema.relation "Managem" [ Schema.attribute "eid1"; Schema.attribute "eid2" ];
+    ]
+
+let domestic = Value.Str "01"
+
+(* A tiny deterministic LCG so instances are reproducible without the
+   global Random state. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := (!state * 1103515245 + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let customer_tuple i =
+  let ac = if i mod 3 = 0 then "908" else "212" in
+  Tuple.of_strs
+    [ Printf.sprintf "c%d" i; Printf.sprintf "name%d" i; ac; Printf.sprintf "555-%04d" i ]
+
+let master ?seed:(_ = 0) ~customers ~managers () =
+  let dcust = Relation.of_tuples (List.init customers customer_tuple) in
+  let managem =
+    Relation.of_tuples (List.map (fun (a, b) -> Tuple.of_strs [ a; b ]) managers)
+  in
+  Database.of_list master_schema [ ("DCust", dcust); ("Managem", managem) ]
+
+let db ?(seed = 0) ~master ~keep ~supported_by () =
+  let rand = lcg seed in
+  let dcust = Database.relation master "DCust" in
+  let cust =
+    Relation.fold
+      (fun t acc ->
+        if float_of_int (rand 1000) < keep *. 1000. then
+          let vals = Tuple.values t in
+          match vals with
+          | [ cid; name; ac; phn ] ->
+            Relation.add (Tuple.make [ cid; name; domestic; ac; phn ]) acc
+          | _ -> acc
+        else acc)
+      dcust Relation.empty
+  in
+  let cust_ids = Relation.elements (Relation.project [ 0 ] cust) in
+  let supt =
+    List.concat_map
+      (fun (eid, depts) ->
+        match depts with
+        | [] -> []
+        | _ ->
+          List.mapi
+            (fun i cid_t ->
+              let dept = List.nth depts (i mod List.length depts) in
+              Tuple.make [ Value.Str eid; Value.Str dept; Tuple.get cid_t 0 ])
+            cust_ids)
+      supported_by
+    |> Relation.of_tuples
+  in
+  let managem = Database.relation master "Managem" in
+  Database.of_list db_schema [ ("Cust", cust); ("Supt", supt); ("Manage", managem) ]
+
+let add_international dbase pairs =
+  List.fold_left
+    (fun d (cid, name) ->
+      Database.add_tuple d "Cust"
+        (Tuple.make
+           [ Value.Str cid; Value.Str name; Value.Str "44"; Value.Str "20"; Value.Str "n/a" ]))
+    dbase pairs
+
+(* ------------------------------------------------------------------ *)
+(* Containment constraints. *)
+
+let v = Term.var
+let s = Term.str
+
+let cc_supported_domestic =
+  (* q(c) = ∃n,cc,a,p,e,d (Cust(c,n,cc,a,p) ∧ Supt(e,d,c) ∧ cc = '01')
+     ⊆ π_cid(DCust) *)
+  let q =
+    Cq.make
+      ~eqs:[ (v "cc", Term.const domestic) ]
+      ~head:[ v "c" ]
+      [
+        Atom.make "Cust" [ v "c"; v "n"; v "cc"; v "a"; v "p" ];
+        Atom.make "Supt" [ v "e"; v "d"; v "c" ];
+      ]
+  in
+  Containment.make ~name:"phi0" (Lang.Q_cq q) (Projection.proj "DCust" [ 0 ])
+
+let cc_domestic_customers =
+  (* Domestic Cust rows are bounded by DCust on (cid, name, ac, phn). *)
+  let q =
+    Cq.make
+      ~head:[ v "c"; v "n"; v "a"; v "p" ]
+      [ Atom.make "Cust" [ v "c"; v "n"; Term.const domestic; v "a"; v "p" ] ]
+  in
+  Containment.make ~name:"cc_dom_cust" (Lang.Q_cq q) (Projection.proj "DCust" [ 0; 1; 2; 3 ])
+
+let cc_support_load k =
+  (* φ1: no employee supports more than k customers — k+1 Supt atoms
+     with one employee and pairwise distinct customers is forbidden. *)
+  let atoms =
+    List.init (k + 1) (fun i ->
+        Atom.make "Supt" [ v "e"; v (Printf.sprintf "d%d" i); v (Printf.sprintf "c%d" i) ])
+  in
+  let neqs =
+    List.concat
+      (List.init (k + 1) (fun i ->
+           List.filter_map
+             (fun j ->
+               if j > i then Some (v (Printf.sprintf "c%d" i), v (Printf.sprintf "c%d" j))
+               else None)
+             (List.init (k + 1) (fun j -> j))))
+  in
+  let head = v "e" :: List.init (k + 1) (fun i -> v (Printf.sprintf "c%d" i)) in
+  Containment.make
+    ~name:(Printf.sprintf "phi1_k%d" k)
+    (Lang.Q_cq (Cq.make ~neqs ~head atoms))
+    Projection.Empty
+
+let fd_supt_full = Fd.make ~name:"fd_eid_dept_cid" ~rel:"Supt" ~lhs:[ 0 ] ~rhs:[ 1; 2 ] ()
+let fd_supt_dept = Fd.make ~name:"fd_eid_dept" ~rel:"Supt" ~lhs:[ 0 ] ~rhs:[ 1 ] ()
+
+let ccs_fd_supt = Translate.of_fd db_schema fd_supt_full
+let ccs_fd_dept = Translate.of_fd db_schema fd_supt_dept
+
+(* ------------------------------------------------------------------ *)
+(* Queries. *)
+
+let q0 =
+  Cq.make
+    ~head:[ v "c"; v "n" ]
+    [ Atom.make "Cust" [ v "c"; v "n"; Term.const domestic; s "908"; v "p" ] ]
+
+let q0_all_customers =
+  Cq.make
+    ~head:[ v "c"; v "n" ]
+    [ Atom.make "Cust" [ v "c"; v "n"; v "cc"; v "a"; v "p" ] ]
+
+let q1 =
+  Cq.make
+    ~head:[ v "c" ]
+    [
+      Atom.make "Cust" [ v "c"; v "n"; Term.const domestic; s "908"; v "p" ];
+      Atom.make "Supt" [ s "e0"; v "d"; v "c" ];
+    ]
+
+let q2 = Cq.make ~head:[ v "c" ] [ Atom.make "Supt" [ s "e0"; v "d"; v "c" ] ]
+
+let q2_tuples =
+  Cq.make ~head:[ s "e0"; v "d"; v "c" ] [ Atom.make "Supt" [ s "e0"; v "d"; v "c" ] ]
+
+let q4 =
+  Cq.make ~head:[ s "e0"; s "d0"; v "c" ] [ Atom.make "Supt" [ s "e0"; s "d0"; v "c" ] ]
+
+let q3_fp =
+  Datalog.program
+    [
+      Datalog.rule (Atom.make "tc" [ v "x"; v "y" ]) [ Datalog.Pos (Atom.make "Manage" [ v "x"; v "y" ]) ];
+      Datalog.rule
+        (Atom.make "tc" [ v "x"; v "y" ])
+        [ Datalog.Pos (Atom.make "Manage" [ v "x"; v "z" ]); Datalog.Pos (Atom.make "tc" [ v "z"; v "y" ]) ];
+      Datalog.rule (Atom.make "above_e0" [ v "x" ]) [ Datalog.Pos (Atom.make "tc" [ v "x"; s "e0" ]) ];
+    ]
+    ~output:"above_e0"
+
+let q3_cq = Cq.make ~head:[ v "x" ] [ Atom.make "Manage" [ v "x"; s "e0" ] ]

@@ -1,0 +1,97 @@
+(** The paper's running example (Examples 1.1, 2.1, 2.2 and the
+    Section 2.3 CRM walkthrough): a company with master data [DCust]
+    (all domestic customers) and [Managem] (the reporting hierarchy),
+    and transactional relations [Cust], [Supt] and [Manage] that are
+    only partially closed. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+val db_schema : Schema.t
+(** [Cust(cid, name, cc, ac, phn)], [Supt(eid, dept, cid)],
+    [Manage(eid1, eid2)]. *)
+
+val master_schema : Schema.t
+(** [DCust(cid, name, ac, phn)], [Managem(eid1, eid2)]. *)
+
+val domestic : Value.t
+(** Country code ['01']. *)
+
+(** {2 Instance generators}
+
+    Deterministic in [seed]; customer [i] is named ["c<i>"], has area
+    code 908 when [i mod 3 = 0] and a phone number derived from [i]. *)
+
+val master : ?seed:int -> customers:int -> managers:(string * string) list -> unit -> Database.t
+(** Master data with [customers] domestic customers and the given
+    reporting edges. *)
+
+val db :
+  ?seed:int ->
+  master:Database.t ->
+  keep:float ->
+  supported_by:(string * string list) list ->
+  unit ->
+  Database.t
+(** A transactional database: a [keep]-fraction of the master
+    customers copied into [Cust] (simulating missing rows), plus
+    [Supt] tuples [(eid, dept, cid)] from [supported_by] —
+    [(eid, depts)] assigns employee [eid] round-robin over [depts] to
+    the customers present in [Cust]. *)
+
+val add_international : Database.t -> (string * string) list -> Database.t
+(** Add international customers (country code ['44']) — the part of
+    [Cust] no master data bounds. *)
+
+(** {2 Containment constraints} *)
+
+val cc_supported_domestic : Containment.t
+(** φ0 of Example 2.1: supported domestic customers are bounded by
+    [DCust]. *)
+
+val cc_domestic_customers : Containment.t
+(** Domestic rows of [Cust] (cid, name, ac, phn) are bounded by
+    [DCust] — the CC behind the Section 2.3 audit of query [Q0]. *)
+
+val cc_support_load : int -> Containment.t
+(** φ1 of Example 2.1: an employee supports at most [k] customers. *)
+
+val ccs_fd_supt : Containment.t list
+(** The FD [eid → dept, cid] on [Supt] (Example 1.1), as CCs via
+    Proposition 2.1. *)
+
+val ccs_fd_dept : Containment.t list
+(** The FD [eid → dept] on [Supt] (Example 4.1's φ3). *)
+
+(** {2 Queries} *)
+
+val q0 : Cq.t
+(** Section 2.3's [Q0]: domestic customers with area code 908 —
+    head [(cid, name)]. *)
+
+val q0_all_customers : Cq.t
+(** Section 2.3's [Q′0]: every customer, domestic or international. *)
+
+val q1 : Cq.t
+(** Example 1.1's [Q1]: area-908 domestic customers supported by
+    employee [e0]. *)
+
+val q2 : Cq.t
+(** Example 1.1's [Q2]: the customers supported by employee [e0] —
+    head [(cid)]. *)
+
+val q2_tuples : Cq.t
+(** Example 4.1's reading of [Q2]: the full [Supt] tuples of employee
+    [e0] — head [('e0', dept, cid)]. *)
+
+val q4 : Cq.t
+(** Example 4.1's [Q4]: [Supt] tuples with [eid = 'e0'] and
+    [dept = 'd0']. *)
+
+val q3_fp : Datalog.program
+(** Example 1.1's [Q3] in FP: everyone above [e0] in the management
+    hierarchy (transitive closure of [Manage]). *)
+
+val q3_cq : Cq.t
+(** [Q3] truncated to CQ: direct managers of [e0] only. *)

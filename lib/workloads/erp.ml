@@ -1,0 +1,69 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+let db_schema =
+  Schema.make
+    [
+      Schema.relation "Assign"
+        [ Schema.attribute "eid"; Schema.attribute "pid"; Schema.attribute "role" ];
+      Schema.relation "Timesheet"
+        [ Schema.attribute "eid"; Schema.attribute "pid"; Schema.attribute "hours" ];
+    ]
+
+let master_schema =
+  Schema.make
+    [
+      Schema.relation "EmpDir" [ Schema.attribute "eid"; Schema.attribute "dept" ];
+      Schema.relation "ProjReg" [ Schema.attribute "pid"; Schema.attribute "owner" ];
+    ]
+
+let master ~employees ~projects =
+  Database.of_list master_schema
+    [
+      ("EmpDir", Relation.of_tuples (List.map (fun (e, d) -> Tuple.of_strs [ e; d ]) employees));
+      ("ProjReg", Relation.of_tuples (List.map (fun (p, o) -> Tuple.of_strs [ p; o ]) projects));
+    ]
+
+let db ~assignments ~timesheets =
+  Database.of_list db_schema
+    [
+      ( "Assign",
+        Relation.of_tuples
+          (List.map (fun (e, p, r) -> Tuple.of_strs [ e; p; r ]) assignments) );
+      ( "Timesheet",
+        Relation.of_tuples
+          (List.map
+             (fun (e, p, h) -> Tuple.make [ Value.str e; Value.str p; Value.int h ])
+             timesheets) );
+    ]
+
+let v = Term.var
+
+let cc_assigned_employees =
+  Containment.make ~name:"assigned_employees"
+    (Lang.Q_cq (Cq.make ~head:[ v "e" ] [ Atom.make "Assign" [ v "e"; v "p"; v "r" ] ]))
+    (Projection.proj "EmpDir" [ 0 ])
+
+let cc_assigned_projects =
+  Containment.make ~name:"assigned_projects"
+    (Lang.Q_cq (Cq.make ~head:[ v "p" ] [ Atom.make "Assign" [ v "e"; v "p"; v "r" ] ]))
+    (Projection.proj "ProjReg" [ 0 ])
+
+let cc_one_role =
+  Translate.of_fd db_schema
+    (Fd.make ~name:"one_role" ~rel:"Assign" ~lhs:[ 0; 1 ] ~rhs:[ 2 ] ())
+
+let ccs = [ cc_assigned_employees; cc_assigned_projects ] @ cc_one_role
+
+let q_staff pid =
+  Cq.make ~head:[ v "e" ] [ Atom.make "Assign" [ v "e"; Term.str pid; v "r" ] ]
+
+let q_projects_of eid =
+  Cq.make ~head:[ v "p" ] [ Atom.make "Assign" [ Term.str eid; v "p"; v "r" ] ]
+
+let q_role eid pid =
+  Cq.make ~head:[ v "r" ] [ Atom.make "Assign" [ Term.str eid; Term.str pid; v "r" ] ]
+
+let q_billed pid =
+  Cq.make ~head:[ v "e"; v "h" ] [ Atom.make "Timesheet" [ v "e"; Term.str pid; v "h" ] ]

@@ -1,0 +1,54 @@
+(** An ERP (Enterprise Resource Planning) workload — the second MDM
+    domain the paper names alongside CRM (Section 2.3): employees,
+    projects, and assignments, with the employee directory and project
+    registry as master data.
+
+    The relations:
+
+    - master [EmpDir(eid, dept)] — the complete employee directory;
+    - master [ProjReg(pid, owner_dept)] — the complete project registry;
+    - [Assign(eid, pid, role)] — who works on what; partially closed:
+      assigned employees and projects must be mastered, the roles are
+      open world;
+    - [Timesheet(eid, pid, hours)] — reported effort; open world.  *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+val db_schema : Schema.t
+val master_schema : Schema.t
+
+val master : employees:(string * string) list -> projects:(string * string) list -> Database.t
+
+val db :
+  assignments:(string * string * string) list ->
+  timesheets:(string * string * int) list ->
+  Database.t
+(** @raise Invalid_argument on non-conforming rows. *)
+
+val cc_assigned_employees : Containment.t
+(** Assigned employees appear in the directory. *)
+
+val cc_assigned_projects : Containment.t
+(** Assigned projects appear in the registry. *)
+
+val cc_one_role : Containment.t list
+(** FD [(eid, pid) → role] on [Assign], via Proposition 2.1. *)
+
+val ccs : Containment.t list
+(** All of the above. *)
+
+val q_staff : string -> Cq.t
+(** Who is assigned to the given project? *)
+
+val q_projects_of : string -> Cq.t
+(** Which projects does the given employee work on? *)
+
+val q_role : string -> string -> Cq.t
+(** The role of an employee on a project — completeness follows from
+    the FD once one row is present (the Example 4.1 pattern). *)
+
+val q_billed : string -> Cq.t
+(** Hours booked against a project — never relatively complete:
+    [Timesheet] is untouched by every constraint. *)

@@ -1,0 +1,210 @@
+(* Tests for the datalog (FP) engine: fixpoints, strategies,
+   safety, and the transitive-closure workhorse. *)
+
+open Ric_relational
+open Ric_query
+
+let relation_testable = Alcotest.testable Relation.pp Relation.equal
+let v = Term.var
+let i = Term.int
+
+let schema = Schema.make [ Schema.relation "E" [ Schema.attribute "s"; Schema.attribute "d" ] ]
+
+let chain n =
+  Database.of_list schema
+    [ ("E", Relation.of_int_rows (List.init n (fun k -> [ k; k + 1 ]))) ]
+
+let tc = Datalog.transitive_closure ~edge:"E" ~out:"tc"
+
+let test_tc_chain () =
+  let d = chain 4 in
+  let result = Datalog.eval d tc in
+  (* pairs (i, j) with i < j ≤ 4 *)
+  Alcotest.(check int) "closure size" 10 (Relation.cardinal result);
+  Alcotest.(check bool) "0 reaches 4" true (Relation.mem (Tuple.of_ints [ 0; 4 ]) result);
+  Alcotest.(check bool) "no reverse" false (Relation.mem (Tuple.of_ints [ 4; 0 ]) result)
+
+let test_tc_cycle () =
+  let d =
+    Database.of_list schema [ ("E", Relation.of_int_rows [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 0 ] ]) ]
+  in
+  let result = Datalog.eval d tc in
+  Alcotest.(check int) "complete digraph on the cycle" 9 (Relation.cardinal result)
+
+let test_naive_seminaive_agree () =
+  let d = chain 6 in
+  Alcotest.check relation_testable "strategies agree"
+    (Datalog.eval ~strategy:Datalog.Naive d tc)
+    (Datalog.eval ~strategy:Datalog.Seminaive d tc)
+
+let test_empty_edb () =
+  Alcotest.(check bool) "empty fixpoint" true
+    (Relation.is_empty (Datalog.eval (Database.empty schema) tc))
+
+let test_rule_with_neq () =
+  (* pairs at distance ≥ 1 with distinct endpoints *)
+  let p =
+    Datalog.program
+      [
+        Datalog.rule (Atom.make "r" [ v "x"; v "y" ])
+          [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]); Datalog.Neq (v "x", v "y") ];
+      ]
+      ~output:"r"
+  in
+  let d = Database.of_list schema [ ("E", Relation.of_int_rows [ [ 0; 0 ]; [ 0; 1 ] ]) ] in
+  Alcotest.check relation_testable "neq filters" (Relation.of_int_rows [ [ 0; 1 ] ])
+    (Datalog.eval d p)
+
+let test_rule_with_eq () =
+  (* eq binds a head variable through equality elimination *)
+  let p =
+    Datalog.program
+      [
+        Datalog.rule
+          (Atom.make "r" [ v "x"; v "k" ])
+          [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]); Datalog.Eq (v "k", i 42) ];
+      ]
+      ~output:"r"
+  in
+  let d = chain 1 in
+  Alcotest.check relation_testable "eq substitution" (Relation.of_int_rows [ [ 0; 42 ] ])
+    (Datalog.eval d p)
+
+let test_unsafe_rule () =
+  Alcotest.(check bool) "unsafe rule rejected" true
+    (try
+       ignore (Datalog.rule (Atom.make "r" [ v "z" ]) [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_arity_clash () =
+  Alcotest.(check bool) "arity clash rejected" true
+    (try
+       ignore
+         (Datalog.program
+            [
+              Datalog.rule (Atom.make "r" [ v "x" ]) [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]) ];
+              Datalog.rule (Atom.make "r" [ v "x"; v "y" ]) [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]) ];
+            ]
+            ~output:"r");
+       false
+     with Invalid_argument _ -> true)
+
+let test_fact_rule () =
+  let p =
+    Datalog.program
+      [
+        Datalog.rule (Atom.make "r" [ i 7 ]) [];
+        Datalog.rule (Atom.make "r" [ v "x" ]) [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]) ];
+      ]
+      ~output:"r"
+  in
+  let d = chain 1 in
+  Alcotest.check relation_testable "fact + derived" (Relation.of_int_rows [ [ 0 ]; [ 7 ] ])
+    (Datalog.eval d p)
+
+let test_boolean_program () =
+  let p =
+    Datalog.program
+      [ Datalog.rule (Atom.make "ok" []) [ Datalog.Pos (Atom.make "E" [ v "x"; v "x" ]) ] ]
+      ~output:"ok"
+  in
+  Alcotest.(check bool) "no self loop" false (Datalog.holds (chain 3) p);
+  let with_loop = Database.add_tuple (chain 3) "E" (Tuple.of_ints [ 9; 9 ]) in
+  Alcotest.(check bool) "self loop" true (Datalog.holds with_loop p)
+
+let test_iterations () =
+  Alcotest.(check bool) "chain needs rounds proportional to length" true
+    (Datalog.iterations (chain 8) tc > Datalog.iterations (chain 2) tc)
+
+let test_output_edb () =
+  let p =
+    Datalog.program
+      [ Datalog.rule (Atom.make "r" [ v "x" ]) [ Datalog.Pos (Atom.make "E" [ v "x"; v "y" ]) ] ]
+      ~output:"E"
+  in
+  let d = chain 2 in
+  Alcotest.check relation_testable "EDB output passes through" (Database.relation d "E")
+    (Datalog.eval d p)
+
+(* Properties *)
+
+let db_gen =
+  QCheck2.Gen.(
+    map
+      (fun rows ->
+        Database.of_list schema
+          [ ("E", Relation.of_tuples (List.map (fun (a, b) -> Tuple.of_ints [ a; b ]) rows)) ])
+      (list_size (int_bound 10) (pair (int_bound 5) (int_bound 5))))
+
+let reference_tc d =
+  (* Floyd–Warshall style reference *)
+  let nodes = List.sort_uniq Value.compare (Database.adom d) in
+  let edges = Database.relation d "E" in
+  let reach = Hashtbl.create 64 in
+  Relation.iter (fun t -> Hashtbl.replace reach (Tuple.get t 0, Tuple.get t 1) ()) edges;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun c ->
+                if
+                  Hashtbl.mem reach (a, b) && Hashtbl.mem reach (b, c)
+                  && not (Hashtbl.mem reach (a, c))
+                then begin
+                  Hashtbl.replace reach (a, c) ();
+                  changed := true
+                end)
+              nodes)
+          nodes)
+      nodes
+  done;
+  Hashtbl.fold (fun (a, b) () acc -> Relation.add (Tuple.make [ a; b ]) acc) reach
+    Relation.empty
+
+let prop_tc_reference =
+  QCheck2.Test.make ~name:"datalog TC agrees with Floyd-Warshall" ~count:60 db_gen (fun d ->
+      Relation.equal (Datalog.eval d tc) (reference_tc d))
+
+let prop_strategies_agree =
+  QCheck2.Test.make ~name:"naive and semi-naive agree" ~count:60 db_gen (fun d ->
+      Relation.equal
+        (Datalog.eval ~strategy:Datalog.Naive d tc)
+        (Datalog.eval ~strategy:Datalog.Seminaive d tc))
+
+let prop_monotone =
+  QCheck2.Test.make ~name:"datalog is monotone" ~count:60 QCheck2.Gen.(pair db_gen db_gen)
+    (fun (d1, d2) ->
+      Relation.subset (Datalog.eval d1 tc) (Datalog.eval (Database.union d1 d2) tc))
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_tc_reference; prop_strategies_agree; prop_monotone ]
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "fixpoint",
+        [
+          Alcotest.test_case "tc on a chain" `Quick test_tc_chain;
+          Alcotest.test_case "tc on a cycle" `Quick test_tc_cycle;
+          Alcotest.test_case "strategies agree" `Quick test_naive_seminaive_agree;
+          Alcotest.test_case "empty EDB" `Quick test_empty_edb;
+          Alcotest.test_case "iterations grow" `Quick test_iterations;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "inequality literal" `Quick test_rule_with_neq;
+          Alcotest.test_case "equality literal" `Quick test_rule_with_eq;
+          Alcotest.test_case "unsafe rejected" `Quick test_unsafe_rule;
+          Alcotest.test_case "arity clash rejected" `Quick test_arity_clash;
+          Alcotest.test_case "fact rules" `Quick test_fact_rule;
+          Alcotest.test_case "boolean program" `Quick test_boolean_program;
+          Alcotest.test_case "EDB output" `Quick test_output_edb;
+        ] );
+      ("properties", properties);
+    ]

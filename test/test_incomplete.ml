@@ -1,0 +1,263 @@
+(* Tests for the Section 5 extension: conditional tables, possible
+   worlds, certain/possible answers, and relative completeness with
+   missing values. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_incomplete
+
+let relation_testable = Alcotest.testable Relation.pp Relation.equal
+let v = Term.var
+let vals n = List.init n (fun k -> Value.Int k)
+
+let schema =
+  Schema.make
+    [ Schema.relation "R" [ Schema.attribute "a"; Schema.attribute "b" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* C-table semantics *)
+
+let test_ground_table_single_world () =
+  let tab =
+    Ctable.make ~rel:"R" ~arity:2 [ Ctable.ground (Tuple.of_ints [ 1; 2 ]) ]
+  in
+  Alcotest.(check bool) "v-table" true (Ctable.is_v_table tab);
+  (match Ctable.worlds ~values:(vals 3) tab with
+   | [ w ] -> Alcotest.check relation_testable "one world" (Relation.of_int_rows [ [ 1; 2 ] ]) w
+   | ws -> Alcotest.failf "expected one world, got %d" (List.length ws))
+
+let test_null_enumerates () =
+  let tab =
+    Ctable.make ~rel:"R" ~arity:2 [ Ctable.row [ Ctable.Const (Value.int 1); Ctable.Null "x" ] ]
+  in
+  Alcotest.(check int) "3 worlds for one null over 3 values" 3
+    (List.length (Ctable.worlds ~values:(vals 3) tab))
+
+let test_guard_drops_row () =
+  (* the row exists only when x ≠ 0 *)
+  let tab =
+    Ctable.make ~rel:"R" ~arity:2
+      [
+        Ctable.row
+          ~guard:[ Ctable.Neq (Ctable.Null "x", Ctable.Const (Value.int 0)) ]
+          [ Ctable.Null "x"; Ctable.Const (Value.int 9) ];
+      ]
+  in
+  let ws = Ctable.worlds ~values:(vals 3) tab in
+  (* x = 0 gives the empty world; x ∈ {1,2} give singleton worlds *)
+  Alcotest.(check int) "three distinct worlds" 3 (List.length ws);
+  Alcotest.(check bool) "empty world present" true (List.exists Relation.is_empty ws)
+
+let test_global_condition_filters () =
+  let tab =
+    Ctable.make ~rel:"R" ~arity:2
+      ~global:[ Ctable.Eq (Ctable.Null "x", Ctable.Const (Value.int 1)) ]
+      [ Ctable.row [ Ctable.Null "x"; Ctable.Null "x" ] ]
+  in
+  (match Ctable.worlds ~values:(vals 3) tab with
+   | [ w ] ->
+     Alcotest.check relation_testable "only x = 1 survives"
+       (Relation.of_int_rows [ [ 1; 1 ] ]) w
+   | ws -> Alcotest.failf "expected one world, got %d" (List.length ws))
+
+let test_shared_null_correlates () =
+  (* the same null twice in one row: both cells agree in every world *)
+  let tab =
+    Ctable.make ~rel:"R" ~arity:2 [ Ctable.row [ Ctable.Null "x"; Ctable.Null "x" ] ]
+  in
+  List.iter
+    (fun w ->
+      Relation.iter
+        (fun t ->
+          Alcotest.(check bool) "diagonal" true (Value.equal (Tuple.get t 0) (Tuple.get t 1)))
+        w)
+    (Ctable.worlds ~values:(vals 3) tab)
+
+let test_world_dedup () =
+  (* two rows with independent nulls can coincide; worlds deduplicate *)
+  let tab =
+    Ctable.make ~rel:"R" ~arity:2
+      [
+        Ctable.row [ Ctable.Null "x"; Ctable.Const (Value.int 0) ];
+        Ctable.row [ Ctable.Null "y"; Ctable.Const (Value.int 0) ];
+      ]
+  in
+  let ws = Ctable.worlds ~values:(vals 2) tab in
+  (* {x,y} ⊆ {0,1}²: worlds are {(0,0)}, {(1,0)}, {(0,0),(1,0)} *)
+  Alcotest.(check int) "three distinct worlds" 3 (List.length ws)
+
+(* ------------------------------------------------------------------ *)
+(* Certain and possible answers *)
+
+let q_first = Cq.make ~head:[ v "a" ] [ Atom.make "R" [ v "a"; v "b" ] ]
+
+let test_certain_vs_possible () =
+  let cdb =
+    Cdatabase.make schema
+      [
+        Ctable.make ~rel:"R" ~arity:2
+          [
+            Ctable.ground (Tuple.of_ints [ 7; 0 ]);
+            Ctable.row [ Ctable.Null "x"; Ctable.Const (Value.int 0) ];
+          ];
+      ]
+  in
+  (* 7 is in every world; the null row contributes possibly *)
+  let values = [ Value.int 7; Value.int 8 ] in
+  Alcotest.check relation_testable "certain" (Relation.of_int_rows [ [ 7 ] ])
+    (Cdatabase.certain_answers ~values cdb (Lang.Q_cq q_first));
+  Alcotest.check relation_testable "possible" (Relation.of_int_rows [ [ 7 ]; [ 8 ] ])
+    (Cdatabase.possible_answers ~values cdb (Lang.Q_cq q_first))
+
+let test_certain_join_classic () =
+  (* classic: R(1, x) certain-joins with itself only on agreeing x *)
+  let schema2 =
+    Schema.make
+      [
+        Schema.relation "R" [ Schema.attribute "a"; Schema.attribute "b" ];
+        Schema.relation "S" [ Schema.attribute "b"; Schema.attribute "c" ];
+      ]
+  in
+  let cdb =
+    Cdatabase.make schema2
+      [
+        Ctable.make ~rel:"R" ~arity:2 [ Ctable.row [ Ctable.Const (Value.int 1); Ctable.Null "x" ] ];
+        Ctable.make ~rel:"S" ~arity:2 [ Ctable.ground (Tuple.of_ints [ 5; 9 ]) ];
+      ]
+  in
+  let join =
+    Cq.make ~head:[ v "a"; v "c" ]
+      [ Atom.make "R" [ v "a"; v "b" ]; Atom.make "S" [ v "b"; v "c" ] ]
+  in
+  (* certain: x might not be 5 → empty; possible: x = 5 world gives (1,9) *)
+  let values = [ Value.int 5; Value.int 6 ] in
+  Alcotest.(check bool) "certain join empty" true
+    (Relation.is_empty (Cdatabase.certain_answers ~values cdb (Lang.Q_cq join)));
+  Alcotest.check relation_testable "possible join" (Relation.of_int_rows [ [ 1; 9 ] ])
+    (Cdatabase.possible_answers ~values cdb (Lang.Q_cq join))
+
+let test_shared_nulls_rejected () =
+  let schema2 =
+    Schema.make
+      [
+        Schema.relation "R" [ Schema.attribute "a"; Schema.attribute "b" ];
+        Schema.relation "S" [ Schema.attribute "b"; Schema.attribute "c" ];
+      ]
+  in
+  let cdb =
+    Cdatabase.make schema2
+      [
+        Ctable.make ~rel:"R" ~arity:2 [ Ctable.row [ Ctable.Null "x"; Ctable.Null "x" ] ];
+        Ctable.make ~rel:"S" ~arity:2 [ Ctable.row [ Ctable.Null "x"; Ctable.Const (Value.int 1) ] ];
+      ]
+  in
+  Alcotest.(check bool) "cross-table nulls rejected" true
+    (try
+       ignore (Cdatabase.worlds ~values:(vals 2) cdb);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Relative completeness with missing values *)
+
+let master_schema = Schema.make [ Schema.relation "M" [ Schema.attribute "x" ] ]
+
+let master ids =
+  Database.of_list master_schema
+    [ ("M", Relation.of_tuples (List.map (fun k -> Tuple.of_ints [ k ]) ids)) ]
+
+let bound =
+  Containment.make ~name:"bound"
+    (Lang.Q_cq (Cq.make ~head:[ v "a" ] [ Atom.make "R" [ v "a"; v "b" ] ]))
+    (Projection.proj "M" [ 0 ])
+
+let q_all = Cq.make ~head:[ v "a" ] [ Atom.make "R" [ v "a"; v "b" ] ]
+
+let test_strongly_complete () =
+  (* both master entities present; only a non-key value is missing *)
+  let cdb =
+    Cdatabase.make schema
+      [
+        Ctable.make ~rel:"R" ~arity:2
+          [
+            Ctable.ground (Tuple.of_ints [ 1; 0 ]);
+            Ctable.row [ Ctable.Const (Value.int 2); Ctable.Null "x" ];
+          ];
+      ]
+  in
+  let report =
+    Rc_missing.analyze ~values:(vals 3) ~schema ~master:(master [ 1; 2 ])
+      ~ccs:[ bound ] cdb (Lang.Q_cq q_all)
+  in
+  Alcotest.(check bool) "strongly complete" true report.Rc_missing.strongly_complete;
+  (match Rc_missing.certain_answer_if_strong report (Lang.Q_cq q_all) with
+   | Some answer ->
+     Alcotest.check relation_testable "certain answer" (Relation.of_int_rows [ [ 1 ]; [ 2 ] ])
+       answer
+   | None -> Alcotest.fail "expected a certain answer")
+
+let test_weakly_complete () =
+  (* the missing value sits in the bounded column: only the world
+     where it resolves to the missing master entity is complete *)
+  let cdb =
+    Cdatabase.make schema
+      [
+        Ctable.make ~rel:"R" ~arity:2
+          [
+            Ctable.ground (Tuple.of_ints [ 1; 0 ]);
+            Ctable.row [ Ctable.Null "x"; Ctable.Const (Value.int 0) ];
+          ];
+      ]
+  in
+  let report =
+    Rc_missing.analyze ~values:[ Value.int 1; Value.int 2 ] ~schema
+      ~master:(master [ 1; 2 ]) ~ccs:[ bound ] cdb (Lang.Q_cq q_all)
+  in
+  Alcotest.(check bool) "not strongly complete" false report.Rc_missing.strongly_complete;
+  Alcotest.(check bool) "weakly complete" true report.Rc_missing.weakly_complete;
+  (* x = 1 world: answer {1}, but 2 missing → incomplete;
+     x = 2 world: answer {1,2} → complete *)
+  Alcotest.(check int) "exactly one complete world" 1 report.Rc_missing.n_complete
+
+let test_never_complete () =
+  (* with an out-of-master value possible, some worlds are not even
+     partially closed *)
+  let cdb =
+    Cdatabase.make schema
+      [ Ctable.make ~rel:"R" ~arity:2 [ Ctable.row [ Ctable.Null "x"; Ctable.Const (Value.int 0) ] ] ]
+  in
+  let report =
+    Rc_missing.analyze ~values:[ Value.int 1; Value.int 9 ] ~schema
+      ~master:(master [ 1; 2 ]) ~ccs:[ bound ] cdb (Lang.Q_cq q_all)
+  in
+  Alcotest.(check bool) "a world is not partially closed" true
+    (report.Rc_missing.n_closed < report.Rc_missing.n_worlds);
+  Alcotest.(check bool) "not weakly complete (2 always missing)" false
+    report.Rc_missing.weakly_complete
+
+let () =
+  Alcotest.run "incomplete"
+    [
+      ( "ctables",
+        [
+          Alcotest.test_case "ground table" `Quick test_ground_table_single_world;
+          Alcotest.test_case "null enumerates" `Quick test_null_enumerates;
+          Alcotest.test_case "guards" `Quick test_guard_drops_row;
+          Alcotest.test_case "global condition" `Quick test_global_condition_filters;
+          Alcotest.test_case "shared nulls correlate" `Quick test_shared_null_correlates;
+          Alcotest.test_case "world dedup" `Quick test_world_dedup;
+        ] );
+      ( "answers",
+        [
+          Alcotest.test_case "certain vs possible" `Quick test_certain_vs_possible;
+          Alcotest.test_case "classic join" `Quick test_certain_join_classic;
+          Alcotest.test_case "cross-table nulls rejected" `Quick test_shared_nulls_rejected;
+        ] );
+      ( "relative completeness (§5)",
+        [
+          Alcotest.test_case "strongly complete" `Quick test_strongly_complete;
+          Alcotest.test_case "weakly complete" `Quick test_weakly_complete;
+          Alcotest.test_case "never complete" `Quick test_never_complete;
+        ] );
+    ]

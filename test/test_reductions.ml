@@ -1,0 +1,342 @@
+(* Tests for the executable hardness constructions: the propositional
+   machinery, Theorem 3.6's ∀∃3SAT → RCDP reduction, Theorem 4.5(1)'s
+   3SAT → RCQP reduction, the 2-head DFA machinery behind the
+   undecidability proofs, and the Theorem 4.5(2) tiling reduction. *)
+
+open Ric_complete
+open Ric_reductions
+
+(* ------------------------------------------------------------------ *)
+(* Propositional oracles *)
+
+let l ?neg var = Sat.lit ?neg var
+
+let test_sat_solver () =
+  let sat = { Sat.n_vars = 2; clauses = [ (l 0, l 0, l 1) ] } in
+  Alcotest.(check bool) "satisfiable" true (Sat.satisfiable sat);
+  let unsat =
+    { Sat.n_vars = 1; clauses = [ (l 0, l 0, l 0); (l ~neg:true 0, l ~neg:true 0, l ~neg:true 0) ] }
+  in
+  Alcotest.(check bool) "unsatisfiable" false (Sat.satisfiable unsat);
+  let empty = { Sat.n_vars = 0; clauses = [] } in
+  Alcotest.(check bool) "empty cnf" true (Sat.satisfiable empty)
+
+let test_fe_eval () =
+  (* ∀x ∃y (x ∨ y) ∧ (¬x ∨ ¬y): y := ¬x works — true *)
+  let fe = Sat.make_fe ~n_forall:1 ~n_exists:1 [ (l 0, l 0, l 1); (l ~neg:true 0, l ~neg:true 0, l ~neg:true 1) ] in
+  Alcotest.(check bool) "∀x∃y xor-ish" true (Sat.eval_fe fe);
+  (* ∀x (x): false *)
+  let fe2 = Sat.make_fe ~n_forall:1 ~n_exists:0 [ (l 0, l 0, l 0) ] in
+  Alcotest.(check bool) "∀x x" false (Sat.eval_fe fe2);
+  (* ∃y (y): true *)
+  let fe3 = Sat.make_fe ~n_forall:0 ~n_exists:1 [ (l 0, l 0, l 0) ] in
+  Alcotest.(check bool) "∃y y" true (Sat.eval_fe fe3)
+
+let test_efe_eval () =
+  (* ∃x ∀y ∃z (x) ∧ (y ∨ z) — pick x = 1, z = 1: true *)
+  let e =
+    Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:1
+      [ (l 0, l 0, l 0); (l 1, l 1, l 2) ]
+  in
+  Alcotest.(check bool) "efe true" true (Sat.eval_efe e);
+  (* ∃x ∀y (y): false *)
+  let e2 = Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:0 [ (l 1, l 1, l 1) ] in
+  Alcotest.(check bool) "efe false" false (Sat.eval_efe e2)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.6: ∀∃3SAT → RCDP(CQ, INDs) *)
+
+let check_rcdp_reduction name fe =
+  let inst = Rcdp_hardness.of_fe fe in
+  Alcotest.(check bool) name (Rcdp_hardness.expected fe) (Rcdp_hardness.decide inst)
+
+let test_rcdp_reduction_true () =
+  (* ∀x ∃y (x ∨ y)(¬x ∨ ¬y): true *)
+  check_rcdp_reduction "true instance"
+    (Sat.make_fe ~n_forall:1 ~n_exists:1
+       [ (l 0, l 0, l 1); (l ~neg:true 0, l ~neg:true 0, l ~neg:true 1) ])
+
+let test_rcdp_reduction_false () =
+  (* ∀x (x): false *)
+  check_rcdp_reduction "false instance" (Sat.make_fe ~n_forall:1 ~n_exists:0 [ (l 0, l 0, l 0) ]);
+  (* ∀x∀x' ∃y (x ∧ y)-ish unsatisfiable for x = 0 *)
+  check_rcdp_reduction "false instance 2"
+    (Sat.make_fe ~n_forall:2 ~n_exists:1 [ (l 0, l 1, l 1); (l ~neg:true 2, l ~neg:true 2, l ~neg:true 2); (l 2, l 2, l 2) ])
+
+let test_rcdp_reduction_random () =
+  List.iter
+    (fun seed ->
+      let fe = Sat.random_fe ~seed ~n_forall:2 ~n_exists:2 ~n_clauses:4 in
+      check_rcdp_reduction (Printf.sprintf "random seed %d" seed) fe)
+    [ 11; 22; 33; 44; 55; 66 ]
+
+let test_rcdp_reduction_ind_fast_agrees () =
+  List.iter
+    (fun seed ->
+      let fe = Sat.random_fe ~seed ~n_forall:2 ~n_exists:1 ~n_clauses:3 in
+      let inst = Rcdp_hardness.of_fe fe in
+      Alcotest.(check bool)
+        (Printf.sprintf "C3 = C2 on seed %d" seed)
+        (Rcdp_hardness.decide ~ind_fast:true inst)
+        (Rcdp_hardness.decide ~ind_fast:false inst))
+    [ 7; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.5(1): 3SAT → RCQP(CQ, INDs) *)
+
+let check_rcqp_reduction name cnf =
+  let inst = Rcqp_hardness.of_cnf cnf in
+  Alcotest.(check bool) name (Rcqp_hardness.expected_nonempty cnf) (Rcqp_hardness.decide inst)
+
+let test_rcqp_reduction_sat () =
+  check_rcqp_reduction "satisfiable ⇒ RCQ empty"
+    { Sat.n_vars = 2; clauses = [ (l 0, l 1, l 1) ] }
+
+let test_rcqp_reduction_unsat () =
+  check_rcqp_reduction "unsatisfiable ⇒ RCQ nonempty"
+    {
+      Sat.n_vars = 1;
+      clauses = [ (l 0, l 0, l 0); (l ~neg:true 0, l ~neg:true 0, l ~neg:true 0) ];
+    }
+
+let test_rcqp_reduction_random () =
+  List.iter
+    (fun seed ->
+      let cnf = Sat.random_cnf ~seed ~n_vars:3 ~n_clauses:5 in
+      check_rcqp_reduction (Printf.sprintf "random seed %d" seed) cnf)
+    [ 3; 14; 15; 92; 65 ]
+
+(* ------------------------------------------------------------------ *)
+(* 2-head DFAs *)
+
+let test_dfa_simulation () =
+  let a = Two_head_dfa.accepts_one in
+  Alcotest.(check bool) "accepts 1" true (Two_head_dfa.accepts a [ true ]);
+  Alcotest.(check bool) "rejects 0" false (Two_head_dfa.accepts a [ false ]);
+  Alcotest.(check bool) "rejects 11" false (Two_head_dfa.accepts a [ true; true ]);
+  Alcotest.(check bool) "rejects ε" false (Two_head_dfa.accepts a [])
+
+let test_dfa_equal_heads () =
+  let a = Two_head_dfa.equal_heads in
+  Alcotest.(check bool) "accepts ε" true (Two_head_dfa.accepts a []);
+  Alcotest.(check bool) "accepts 111" true (Two_head_dfa.accepts a [ true; true; true ]);
+  Alcotest.(check bool) "rejects 101" false (Two_head_dfa.accepts a [ true; false; true ])
+
+let test_dfa_emptiness () =
+  Alcotest.(check bool) "nothing is empty" true
+    (Two_head_dfa.empty_up_to Two_head_dfa.accepts_nothing ~max_len:4);
+  Alcotest.(check bool) "accepts_one is nonempty" false
+    (Two_head_dfa.empty_up_to Two_head_dfa.accepts_one ~max_len:4);
+  (match Two_head_dfa.shortest_accepted Two_head_dfa.accepts_one ~max_len:4 with
+   | Some [ true ] -> ()
+   | _ -> Alcotest.fail "shortest accepted string should be \"1\"")
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.1(3): the datalog encoding agrees with the simulator *)
+
+let test_dfa_datalog_agrees () =
+  List.iter
+    (fun a ->
+      let t = Dfa_reduction.of_dfa a in
+      List.iter
+        (fun w ->
+          Alcotest.(check bool)
+            (Printf.sprintf "agree on %s"
+               (String.concat "" (List.map (fun b -> if b then "1" else "0") w)))
+            (Two_head_dfa.accepts a w)
+            (Dfa_reduction.accepts_via_datalog t w))
+        [ []; [ true ]; [ false ]; [ true; true ]; [ true; false ]; [ false; true ] ])
+    [ Two_head_dfa.accepts_one; Two_head_dfa.accepts_nothing; Two_head_dfa.equal_heads ]
+
+let test_dfa_encoding_well_formed () =
+  let t = Dfa_reduction.of_dfa Two_head_dfa.accepts_one in
+  let enc = Dfa_reduction.encode_string t [ true; false; true ] in
+  Alcotest.(check bool) "encoding satisfies V1–V3" true
+    (Ric_constraints.Containment.holds_all ~db:enc ~master:t.Dfa_reduction.master
+       t.Dfa_reduction.ccs)
+
+let test_dfa_semi_decision () =
+  (* a machine accepting a short string: the bounded search refutes
+     completeness of the empty database *)
+  let t1 = Dfa_reduction.of_dfa Two_head_dfa.accepts_one in
+  (match Dfa_reduction.semi_decide ~max_tuples:3 t1 with
+   | Rcdp.Refuted _ -> ()
+   | Rcdp.No_counterexample _ -> Alcotest.fail "L(A) ≠ ∅ must refute");
+  (* the empty machine: nothing to find *)
+  let t2 = Dfa_reduction.of_dfa Two_head_dfa.accepts_nothing in
+  match Dfa_reduction.semi_decide ~max_tuples:2 t2 with
+  | Rcdp.No_counterexample _ -> ()
+  | Rcdp.Refuted _ -> Alcotest.fail "L(A) = ∅ must not refute"
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.5(2): tiling → RCQP(CQ, CQ) *)
+
+let check_tiling name p =
+  let inst = Tiling.of_problem p in
+  let verdict = Tiling.decide inst in
+  let expected = if Tiling.solvable_2x2 p then "nonempty" else "empty" in
+  Alcotest.(check string) name expected (Ric_complete.Rcqp.verdict_name verdict)
+
+let test_tiling_free () = check_tiling "free tiling" (Tiling.free_problem 2)
+let test_tiling_striped () = check_tiling "striped tiling" Tiling.striped
+let test_tiling_unsolvable () = check_tiling "unsolvable tiling" Tiling.unsolvable
+
+let test_tiling_wrong_corner () =
+  (* solvable in general but not with the forced corner *)
+  let p = { Tiling.striped with Tiling.t0 = 1 } in
+  check_tiling "corner matters" p
+
+let test_tiling_three_tiles () =
+  let p =
+    {
+      Tiling.n_tiles = 3;
+      vert = [ (0, 1); (1, 0); (2, 2) ];
+      horiz = [ (0, 0); (1, 1); (2, 2) ];
+      t0 = 0;
+    }
+  in
+  check_tiling "three tiles" p
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 4.6: ∃∀∃3SAT → RCQP with fixed master data *)
+
+let check_sigma3 name e =
+  let inst = Sigma3_hardness.of_efe e in
+  let expected = if Sigma3_hardness.expected_nonempty e then "nonempty" else "empty" in
+  Alcotest.(check string) name expected
+    (Ric_complete.Rcqp.verdict_name (Sigma3_hardness.decide inst))
+
+let test_sigma3_true () =
+  (* ∃x ∀y ∃z (x) ∧ (y ∨ z): x := 1, z := ¬y-ish — true *)
+  check_sigma3 "true instance"
+    (Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:1
+       [ (l 0, l 0, l 0); (l 1, l 2, l 2) ])
+
+let test_sigma3_false () =
+  (* ∃x ∀y (y): false *)
+  check_sigma3 "false instance"
+    (Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:1 [ (l 1, l 1, l 1) ])
+
+let test_sigma3_mixed () =
+  (* ∃x ∀y ∃z (x ∨ ¬y ∨ z) ∧ (¬x ∨ y ∨ ¬z): true via z := y *)
+  check_sigma3 "mixed instance"
+    (Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:1
+       [ (l 0, l ~neg:true 1, l 2); (l ~neg:true 0, l 1, l ~neg:true 2) ])
+
+let test_sigma3_witness_verifies () =
+  let e =
+    Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:1
+      [ (l 0, l 0, l 0); (l 1, l 2, l 2) ]
+  in
+  let inst = Sigma3_hardness.of_efe e in
+  (* x := true makes ∀y ∃z hold *)
+  let w = Sigma3_hardness.witness_for inst e [| true; false; false |] in
+  Alcotest.(check bool) "hand-built witness is complete" true
+    (Ric_complete.Rcdp.decide ~schema:inst.Sigma3_hardness.schema
+       ~master:inst.Sigma3_hardness.master ~ccs:inst.Sigma3_hardness.ccs ~db:w
+       (Ric_query.Lang.Q_cq inst.Sigma3_hardness.query)
+     = Ric_complete.Rcdp.Complete)
+
+let test_sigma3_bad_witness_refuted () =
+  (* with x := false the first clause (x ∨ x ∨ x) fails, so q = 0 rows
+     appear and the database cannot be complete *)
+  let e =
+    Sat.make_efe ~n_exists1:1 ~n_forall:1 ~n_exists2:1
+      [ (l 0, l 0, l 0); (l 1, l 2, l 2) ]
+  in
+  let inst = Sigma3_hardness.of_efe e in
+  let w = Sigma3_hardness.witness_for inst e [| false; false; false |] in
+  Alcotest.(check bool) "bad assignment is incomplete" true
+    (Ric_complete.Rcdp.decide ~schema:inst.Sigma3_hardness.schema
+       ~master:inst.Sigma3_hardness.master ~ccs:inst.Sigma3_hardness.ccs ~db:w
+       (Ric_query.Lang.Q_cq inst.Sigma3_hardness.query)
+     <> Ric_complete.Rcdp.Complete)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_rcdp_reduction =
+  QCheck2.Test.make ~name:"Theorem 3.6 reduction is faithful" ~count:12
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let fe = Sat.random_fe ~seed ~n_forall:2 ~n_exists:1 ~n_clauses:3 in
+      let inst = Rcdp_hardness.of_fe fe in
+      Rcdp_hardness.decide inst = Rcdp_hardness.expected fe)
+
+let prop_rcqp_reduction =
+  QCheck2.Test.make ~name:"Theorem 4.5(1) reduction is faithful" ~count:12
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let cnf = Sat.random_cnf ~seed ~n_vars:2 ~n_clauses:3 in
+      let inst = Rcqp_hardness.of_cnf cnf in
+      Rcqp_hardness.decide inst = Rcqp_hardness.expected_nonempty cnf)
+
+let prop_tiling_reduction =
+  QCheck2.Test.make ~name:"Theorem 4.5(2) reduction is faithful" ~count:10
+    QCheck2.Gen.(
+      let pair_list = list_size (int_bound 6) (pair (int_bound 1) (int_bound 1)) in
+      pair pair_list pair_list)
+    (fun (vert, horiz) ->
+      let p = { Tiling.n_tiles = 2; vert; horiz; t0 = 0 } in
+      let verdict = Tiling.decide (Tiling.of_problem p) in
+      match verdict, Tiling.solvable_2x2 p with
+      | Ric_complete.Rcqp.Nonempty _, true | Ric_complete.Rcqp.Empty _, false -> true
+      | Ric_complete.Rcqp.Unknown _, _ -> true (* budget exhaustion is allowed *)
+      | _ -> false)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_rcdp_reduction; prop_rcqp_reduction; prop_tiling_reduction ]
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "propositional",
+        [
+          Alcotest.test_case "3sat solver" `Quick test_sat_solver;
+          Alcotest.test_case "∀∃ evaluator" `Quick test_fe_eval;
+          Alcotest.test_case "∃∀∃ evaluator" `Quick test_efe_eval;
+        ] );
+      ( "theorem-3.6",
+        [
+          Alcotest.test_case "true instance" `Quick test_rcdp_reduction_true;
+          Alcotest.test_case "false instances" `Quick test_rcdp_reduction_false;
+          Alcotest.test_case "random instances" `Quick test_rcdp_reduction_random;
+          Alcotest.test_case "IND fast path agrees" `Quick test_rcdp_reduction_ind_fast_agrees;
+        ] );
+      ( "theorem-4.5(1)",
+        [
+          Alcotest.test_case "sat ⇒ empty" `Quick test_rcqp_reduction_sat;
+          Alcotest.test_case "unsat ⇒ nonempty" `Quick test_rcqp_reduction_unsat;
+          Alcotest.test_case "random instances" `Quick test_rcqp_reduction_random;
+        ] );
+      ( "two-head dfa",
+        [
+          Alcotest.test_case "simulation" `Quick test_dfa_simulation;
+          Alcotest.test_case "equal heads" `Quick test_dfa_equal_heads;
+          Alcotest.test_case "bounded emptiness" `Quick test_dfa_emptiness;
+        ] );
+      ( "theorem-3.1(3)",
+        [
+          Alcotest.test_case "datalog agrees with simulator" `Quick test_dfa_datalog_agrees;
+          Alcotest.test_case "string encoding well-formed" `Quick test_dfa_encoding_well_formed;
+          Alcotest.test_case "semi decision" `Slow test_dfa_semi_decision;
+        ] );
+      ( "corollary-4.6",
+        [
+          Alcotest.test_case "true instance" `Quick test_sigma3_true;
+          Alcotest.test_case "false instance" `Quick test_sigma3_false;
+          Alcotest.test_case "mixed instance" `Quick test_sigma3_mixed;
+          Alcotest.test_case "witness verifies" `Quick test_sigma3_witness_verifies;
+          Alcotest.test_case "bad witness refuted" `Quick test_sigma3_bad_witness_refuted;
+        ] );
+      ( "theorem-4.5(2)",
+        [
+          Alcotest.test_case "free" `Quick test_tiling_free;
+          Alcotest.test_case "striped" `Quick test_tiling_striped;
+          Alcotest.test_case "unsolvable" `Quick test_tiling_unsolvable;
+          Alcotest.test_case "corner matters" `Quick test_tiling_wrong_corner;
+          Alcotest.test_case "three tiles" `Quick test_tiling_three_tiles;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,215 @@
+(* Unit and property tests for the relational substrate. *)
+
+open Ric_relational
+
+let value_testable = Alcotest.testable Value.pp Value.equal
+let tuple_testable = Alcotest.testable Tuple.pp Tuple.equal
+let relation_testable = Alcotest.testable Relation.pp Relation.equal
+
+(* ------------------------------------------------------------------ *)
+(* Value *)
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (Value.Int 1) (Value.Int 2) < 0);
+  Alcotest.(check bool) "str equal" true (Value.equal (Value.Str "x") (Value.Str "x"));
+  Alcotest.(check bool) "int/str not equal" false (Value.equal (Value.Int 0) (Value.Str "0"))
+
+let test_value_pp () =
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "str" "abc" (Value.to_string (Value.str "abc"));
+  Alcotest.(check string) "quoted str" "'abc'"
+    (Format.asprintf "%a" Value.pp_quoted (Value.str "abc"))
+
+(* ------------------------------------------------------------------ *)
+(* Domain *)
+
+let test_domain_finite () =
+  let d = Domain.finite [ Value.int 0; Value.int 1; Value.int 0 ] in
+  Alcotest.(check bool) "mem 0" true (Domain.mem (Value.int 0) d);
+  Alcotest.(check bool) "mem 2" false (Domain.mem (Value.int 2) d);
+  Alcotest.(check int) "dedup" 2 (List.length (Option.get (Domain.values d)))
+
+let test_domain_finite_too_small () =
+  Alcotest.check_raises "singleton rejected"
+    (Invalid_argument "Domain.finite: a finite domain needs at least two elements")
+    (fun () -> ignore (Domain.finite [ Value.int 0 ]))
+
+let test_domain_infinite () =
+  Alcotest.(check bool) "everything" true (Domain.mem (Value.str "anything") Domain.infinite);
+  Alcotest.(check bool) "no listing" true (Domain.values Domain.infinite = None)
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let r_schema =
+  Schema.make
+    [
+      Schema.relation "R" [ Schema.attribute "a"; Schema.attribute ~dom:Domain.boolean "b" ];
+      Schema.relation "S" [ Schema.attribute "x" ];
+    ]
+
+let test_schema_lookup () =
+  Alcotest.(check int) "arity R" 2 (Schema.arity (Schema.find r_schema "R"));
+  Alcotest.(check int) "attr index" 1 (Schema.attr_index (Schema.find r_schema "R") "b");
+  Alcotest.(check bool) "mem" true (Schema.mem r_schema "S");
+  Alcotest.(check bool) "not mem" false (Schema.mem r_schema "T");
+  Alcotest.(check bool) "finite dom col"
+    true
+    (Domain.is_finite (Schema.attr_domain (Schema.find r_schema "R") 1))
+
+let test_schema_duplicates () =
+  Alcotest.check_raises "dup relation" (Invalid_argument "Schema: duplicate relation \"R\"")
+    (fun () ->
+      ignore (Schema.make [ Schema.relation "R" []; Schema.relation "R" [] ]));
+  Alcotest.check_raises "dup attribute" (Invalid_argument "Schema: duplicate attribute \"a\"")
+    (fun () -> ignore (Schema.relation "R" [ Schema.attribute "a"; Schema.attribute "a" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Tuple *)
+
+let test_tuple_basics () =
+  let t = Tuple.of_ints [ 1; 2; 3 ] in
+  Alcotest.(check int) "arity" 3 (Tuple.arity t);
+  Alcotest.check value_testable "get" (Value.int 2) (Tuple.get t 1);
+  Alcotest.check tuple_testable "project" (Tuple.of_ints [ 3; 1 ]) (Tuple.project [ 2; 0 ] t)
+
+let test_tuple_conforms () =
+  let r = Schema.find r_schema "R" in
+  Alcotest.(check bool) "conforms" true (Tuple.conforms r (Tuple.of_ints [ 7; 1 ]));
+  Alcotest.(check bool) "bad finite value" false (Tuple.conforms r (Tuple.of_ints [ 7; 9 ]));
+  Alcotest.(check bool) "bad arity" false (Tuple.conforms r (Tuple.of_ints [ 7 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Relation *)
+
+let test_relation_set_semantics () =
+  let r = Relation.of_int_rows [ [ 1; 2 ]; [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.(check int) "dedup" 2 (Relation.cardinal r);
+  Alcotest.(check bool) "mem" true (Relation.mem (Tuple.of_ints [ 3; 4 ]) r);
+  let p = Relation.project [ 0 ] r in
+  Alcotest.(check int) "projection" 2 (Relation.cardinal p)
+
+let test_relation_algebra () =
+  let a = Relation.of_int_rows [ [ 1 ]; [ 2 ] ] in
+  let b = Relation.of_int_rows [ [ 2 ]; [ 3 ] ] in
+  Alcotest.(check int) "union" 3 (Relation.cardinal (Relation.union a b));
+  Alcotest.(check int) "inter" 1 (Relation.cardinal (Relation.inter a b));
+  Alcotest.(check int) "diff" 1 (Relation.cardinal (Relation.diff a b));
+  Alcotest.(check bool) "subset" true (Relation.subset (Relation.inter a b) a)
+
+let test_relation_arity_mismatch () =
+  let a = Relation.of_int_rows [ [ 1 ] ] in
+  Alcotest.check_raises "add" (Invalid_argument "Relation: arity mismatch (2 vs 1)")
+    (fun () -> ignore (Relation.add (Tuple.of_ints [ 1; 2 ]) a))
+
+(* ------------------------------------------------------------------ *)
+(* Database *)
+
+let test_database_basics () =
+  let d = Database.of_list r_schema [ ("R", Relation.of_int_rows [ [ 1; 0 ] ]) ] in
+  Alcotest.(check int) "tuples" 1 (Database.total_tuples d);
+  Alcotest.check relation_testable "S empty" Relation.empty (Database.relation d "S");
+  let d2 = Database.add_tuple d "S" (Tuple.of_ints [ 9 ]) in
+  Alcotest.(check bool) "contained" true (Database.contained d d2);
+  Alcotest.(check bool) "not contained" false (Database.contained d2 d);
+  Alcotest.(check int) "adom" 3 (List.length (Database.adom d2))
+
+let test_database_conformance () =
+  Alcotest.(check bool) "bad tuple rejected" true
+    (try
+       ignore (Database.add_tuple (Database.empty r_schema) "R" (Tuple.of_ints [ 1; 5 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown relation rejected" true
+    (try
+       ignore (Database.add_tuple (Database.empty r_schema) "T" (Tuple.of_ints [ 1 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_union () =
+  let d1 = Database.of_list r_schema [ ("R", Relation.of_int_rows [ [ 1; 0 ] ]) ] in
+  let d2 = Database.of_list r_schema [ ("R", Relation.of_int_rows [ [ 2; 1 ] ]) ] in
+  let u = Database.union d1 d2 in
+  Alcotest.(check int) "union size" 2 (Database.total_tuples u);
+  Alcotest.(check bool) "idempotent" true (Database.equal u (Database.union u d1))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let tuple_gen =
+  QCheck2.Gen.(map (fun l -> Tuple.of_ints l) (list_size (return 2) (int_bound 5)))
+
+let relation_gen =
+  QCheck2.Gen.(map Relation.of_tuples (list_size (int_bound 8) tuple_gen))
+
+let prop_union_commutative =
+  QCheck2.Test.make ~name:"relation union commutes" ~count:200
+    QCheck2.Gen.(pair relation_gen relation_gen)
+    (fun (a, b) -> Relation.equal (Relation.union a b) (Relation.union b a))
+
+let prop_project_idempotent =
+  QCheck2.Test.make ~name:"projecting twice is projecting once" ~count:200 relation_gen
+    (fun r ->
+      let p = Relation.project [ 0 ] r in
+      Relation.equal p (Relation.project [ 0 ] p))
+
+let prop_diff_subset =
+  QCheck2.Test.make ~name:"diff is disjoint from subtrahend" ~count:200
+    QCheck2.Gen.(pair relation_gen relation_gen)
+    (fun (a, b) -> Relation.is_empty (Relation.inter (Relation.diff a b) b))
+
+let prop_containment_partial_order =
+  QCheck2.Test.make ~name:"database containment is reflexive and transitive via union"
+    ~count:100
+    QCheck2.Gen.(pair relation_gen relation_gen)
+    (fun (a, b) ->
+      let sch = Schema.make [ Schema.relation "R" [ Schema.attribute "a"; Schema.attribute "b" ] ] in
+      let da = Database.of_list sch [ ("R", a) ] in
+      let db_ = Database.of_list sch [ ("R", b) ] in
+      let u = Database.union da db_ in
+      Database.contained da da && Database.contained da u && Database.contained db_ u)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_union_commutative; prop_project_idempotent; prop_diff_subset;
+      prop_containment_partial_order ]
+
+let () =
+  Alcotest.run "relational"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "printing" `Quick test_value_pp;
+        ] );
+      ( "domain",
+        [
+          Alcotest.test_case "finite" `Quick test_domain_finite;
+          Alcotest.test_case "finite too small" `Quick test_domain_finite_too_small;
+          Alcotest.test_case "infinite" `Quick test_domain_infinite;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "duplicates" `Quick test_schema_duplicates;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "basics" `Quick test_tuple_basics;
+          Alcotest.test_case "conformance" `Quick test_tuple_conforms;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
+          Alcotest.test_case "algebra" `Quick test_relation_algebra;
+          Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "conformance" `Quick test_database_conformance;
+          Alcotest.test_case "union" `Quick test_database_union;
+        ] );
+      ("properties", properties);
+    ]

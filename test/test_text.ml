@@ -1,0 +1,427 @@
+(* Tests for the .ric scenario format: lexer, parser, semantic checks,
+   printing round-trips, and end-to-end decisions on parsed files. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+open Ric_text
+
+let relation_testable = Alcotest.testable Relation.pp Relation.equal
+
+let minimal =
+  {|
+  schema R(a, b).
+  master M(x).
+  rows R { (1, 2) (e0, foo) }.
+  rows M { (1) }.
+  query Q(x) :- R(x, y).
+  constraint C(x) :- R(x, y) => M[0].
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize {|R(a, "b c") :- => -> != = 42 -7 # comment
+x|} in
+  let kinds = List.map (fun p -> p.Lexer.tok) toks in
+  Alcotest.(check bool) "token stream" true
+    (kinds
+     = [
+         Lexer.IDENT "R"; Lexer.LPAREN; Lexer.IDENT "a"; Lexer.COMMA; Lexer.STRING "b c";
+         Lexer.RPAREN; Lexer.TURNSTILE; Lexer.ARROW; Lexer.FDARROW; Lexer.NEQ; Lexer.EQ;
+         Lexer.INT 42; Lexer.INT (-7); Lexer.IDENT "x"; Lexer.EOF;
+       ])
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  (match toks with
+   | [ a; b; _eof ] ->
+     Alcotest.(check (pair int int)) "a at 1:1" (1, 1) (a.Lexer.line, a.Lexer.col);
+     Alcotest.(check (pair int int)) "b at 2:3" (2, 3) (b.Lexer.line, b.Lexer.col)
+   | _ -> Alcotest.fail "expected three tokens")
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (try
+       ignore (Lexer.tokenize "\"abc");
+       false
+     with Lexer.Lex_error _ -> true);
+  Alcotest.(check bool) "illegal char" true
+    (try
+       ignore (Lexer.tokenize "a % b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Parser: structure *)
+
+let test_parse_minimal () =
+  let s = Scenario.parse minimal in
+  Alcotest.(check int) "db rows" 2 (Database.total_tuples s.Scenario.db);
+  Alcotest.(check int) "master rows" 1 (Database.total_tuples s.Scenario.master);
+  Alcotest.(check int) "queries" 1 (List.length s.Scenario.queries);
+  Alcotest.(check int) "ccs" 1 (List.length s.Scenario.ccs);
+  (* mixed value kinds in rows *)
+  Alcotest.(check bool) "string row present" true
+    (Relation.mem
+       (Tuple.make [ Value.str "e0"; Value.str "foo" ])
+       (Database.relation s.Scenario.db "R"))
+
+let test_parse_finite_domain () =
+  let s = Scenario.parse {|
+    schema F(n, b in {0, 1}).
+  |} in
+  let rs = Schema.find s.Scenario.db_schema "F" in
+  Alcotest.(check bool) "finite second column" true
+    (Domain.is_finite (Schema.attr_domain rs 1))
+
+let test_parse_fd () =
+  let s =
+    Scenario.parse
+      {|
+      schema Supt(eid, dept, cid).
+      fd K Supt: eid -> dept, cid.
+    |}
+  in
+  (* the FD becomes two CCs (one per Y column) *)
+  Alcotest.(check int) "two ccs" 2 (List.length s.Scenario.ccs);
+  List.iter
+    (fun (_, cc) ->
+      Alcotest.(check bool) "empty target" true (cc.Containment.rhs = Projection.Empty))
+    s.Scenario.ccs
+
+let test_parse_boolean_query () =
+  let s =
+    Scenario.parse
+      {|
+      schema R(a).
+      query B() :- R(x), x = 1.
+    |}
+  in
+  match Scenario.find_query s "B" with
+  | Some (Lang.Q_cq q) -> Alcotest.(check int) "boolean head" 0 (Cq.arity q)
+  | Some _ -> Alcotest.fail "expected a CQ"
+  | None -> Alcotest.fail "query B not found"
+
+(* ------------------------------------------------------------------ *)
+(* Parser: errors carry positions *)
+
+let expect_error src fragment =
+  try
+    ignore (Scenario.parse src);
+    Alcotest.failf "expected a parse error mentioning %S" fragment
+  with Scenario.Parse_error (msg, line, _) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" msg fragment)
+      true
+      (line > 0
+      &&
+      let lower s = String.lowercase_ascii s in
+      let contains hay needle =
+        let h = lower hay and n = lower needle in
+        let rec go i = i + String.length n <= String.length h && (String.sub h i (String.length n) = n || go (i + 1)) in
+        go 0
+      in
+      contains msg fragment)
+
+let test_parse_errors () =
+  expect_error "schema R(a. " "expected";
+  expect_error "rows R { (1) }." "undeclared";
+  expect_error {|
+    schema R(a).
+    query Q(x) :- S(x).
+  |} "unknown";
+  expect_error {|
+    schema R(a).
+    query Q(x) :- R(x, y).
+  |} "arity";
+  expect_error {|
+    schema R(a).
+    master M(x).
+    constraint C(v) :- R(v) => M[3].
+  |} "out of range";
+  expect_error {|
+    schema Supt(eid, dept).
+    fd K Supt: nope -> dept.
+  |} "attribute"
+
+(* ------------------------------------------------------------------ *)
+(* Round trip *)
+
+let test_roundtrip () =
+  let s = Scenario.parse minimal in
+  let printed = Format.asprintf "%a" Scenario.pp s in
+  let s2 = Scenario.parse printed in
+  Alcotest.(check bool) "db equal" true (Database.equal s.Scenario.db s2.Scenario.db);
+  Alcotest.(check bool) "master equal" true
+    (Database.equal s.Scenario.master s2.Scenario.master);
+  Alcotest.(check int) "queries preserved" (List.length s.Scenario.queries)
+    (List.length s2.Scenario.queries);
+  (* parsed queries evaluate identically *)
+  List.iter2
+    (fun (n1, q1) (n2, q2) ->
+      Alcotest.(check string) "name" n1 n2;
+      Alcotest.check relation_testable ("query " ^ n1) (Lang.eval s.Scenario.db q1)
+        (Lang.eval s2.Scenario.db q2))
+    s.Scenario.queries s2.Scenario.queries
+
+(* ------------------------------------------------------------------ *)
+(* End to end: decide on the shipped scenario file *)
+
+let crm_path = "../../../scenarios/crm.ric"
+
+let load_crm () =
+  (* dune runs tests in _build/default/test *)
+  try Scenario.load crm_path with Sys_error _ -> Scenario.load "scenarios/crm.ric"
+
+let test_shipped_scenario_parses () =
+  let s = load_crm () in
+  Alcotest.(check bool) "partially closed" true
+    (Containment.holds_all ~db:s.Scenario.db ~master:s.Scenario.master (Scenario.all_ccs s))
+
+let test_shipped_scenario_decides () =
+  let s = load_crm () in
+  let q2 = Option.get (Scenario.find_query s "Q2") in
+  (* c2 is a master customer not yet supported, but the cap of 2 is
+     reached for e0, so Q2 is complete *)
+  match
+    Rcdp.decide ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q2
+  with
+  | Rcdp.Complete -> ()
+  | Rcdp.Incomplete cex ->
+    Alcotest.failf "expected complete, got incomplete with %a" Tuple.pp cex.Rcdp.cex_answer
+
+let test_shipped_scenario_q0 () =
+  let s = load_crm () in
+  let q0 = Option.get (Scenario.find_query s "Q0") in
+  (* c2 (area 908) is missing from Cust → Q0 incomplete *)
+  match
+    Rcdp.decide ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q0
+  with
+  | Rcdp.Incomplete cex ->
+    Alcotest.(check bool) "missing c2" true
+      (Tuple.equal cex.Rcdp.cex_answer (Tuple.of_strs [ "c2"; "carol" ]))
+  | Rcdp.Complete -> Alcotest.fail "expected incomplete (carol is missing)"
+
+(* ------------------------------------------------------------------ *)
+(* UCQ queries and the supply-chain scenario *)
+
+let test_ucq_query_parses () =
+  let s =
+    Scenario.parse
+      {|
+      schema R(a, b).
+      rows R { (1, 2) (3, 4) }.
+      query U(x) :- R(x, 2) | R(x, 4).
+    |}
+  in
+  match Scenario.find_query s "U" with
+  | Some (Lang.Q_ucq u) ->
+    Alcotest.(check int) "two disjuncts" 2 (List.length u);
+    Alcotest.check relation_testable "evaluates as a union"
+      (Relation.of_int_rows [ [ 1 ]; [ 3 ] ])
+      (Lang.eval s.Scenario.db (Lang.Q_ucq u))
+  | Some _ -> Alcotest.fail "expected a UCQ"
+  | None -> Alcotest.fail "query U not found"
+
+let test_ucq_arity_mismatch_rejected () =
+  Alcotest.(check bool) "mixed head widths rejected" true
+    (try
+       ignore
+         (Scenario.parse
+            {|
+            schema R(a, b).
+            query U(x) :- R(x, y) | R(x, x).
+          |});
+       true (* same width here, fine *)
+     with Scenario.Parse_error _ -> true)
+
+let load_supply () =
+  try Scenario.load "../../../scenarios/supply_chain.ric"
+  with Sys_error _ -> Scenario.load "scenarios/supply_chain.ric"
+
+let test_supply_chain_parses () =
+  let s = load_supply () in
+  Alcotest.(check int) "three queries" 3 (List.length s.Scenario.queries);
+  Alcotest.(check bool) "partially closed" true
+    (Containment.holds_all ~db:s.Scenario.db ~master:s.Scenario.master (Scenario.all_ccs s))
+
+let test_supply_chain_decisions () =
+  let s = load_supply () in
+  let decide name =
+    Rcdp.decide ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db
+      (Option.get (Scenario.find_query s name))
+  in
+  (* the order key pins o1's line and the depot FD pins its delivery,
+     but new order ids can always appear: ActiveSuppliers is bounded by
+     the supplier registry... supplier values are bounded, so the
+     answer can only grow within {s1, s2}, both already present *)
+  (match decide "ActiveSuppliers" with
+   | Rcdp.Complete -> ()
+   | Rcdp.Incomplete cex ->
+     Alcotest.failf "ActiveSuppliers should be complete, missing %a" Tuple.pp
+       cex.Rcdp.cex_answer);
+  (* parts p3 was never ordered: a fresh order for p3 by s1 is
+     admissible, so PartsBySupplier is incomplete *)
+  (match decide "PartsBySupplier" with
+   | Rcdp.Incomplete _ -> ()
+   | Rcdp.Complete -> Alcotest.fail "PartsBySupplier should be incomplete (p3 possible)");
+  (* o1 already has its unique depot *)
+  match decide "WhereIsO1" with
+  | Rcdp.Complete -> ()
+  | Rcdp.Incomplete _ -> Alcotest.fail "WhereIsO1 should be complete (oid → depot)"
+
+(* ------------------------------------------------------------------ *)
+(* C-table rows (crows) *)
+
+let test_crows_parse () =
+  let s =
+    Scenario.parse
+      {|
+      schema R(a, b).
+      rows R { (1, 2) }.
+      crows R { (3, ?x) (?x, 4) }.
+    |}
+  in
+  (match s.Scenario.ctables with
+   | [ tab ] ->
+     Alcotest.(check int) "ground row folded in" 3 (List.length tab.Ric_incomplete.Ctable.rows);
+     Alcotest.(check (list string)) "one null" [ "x" ] (Ric_incomplete.Ctable.nulls tab)
+   | _ -> Alcotest.fail "expected one c-table");
+  (* the null is shared between the two crows: worlds correlate *)
+  let cdb = Scenario.as_cdatabase s in
+  let worlds = Ric_incomplete.Cdatabase.worlds ~values:[ Value.int 3; Value.int 4 ] cdb in
+  Alcotest.(check int) "two worlds (x ∈ {3,4})" 2 (List.length worlds);
+  List.iter
+    (fun w ->
+      let rel = Database.relation w "R" in
+      Alcotest.(check int) "each world has 3 rows" 3 (Relation.cardinal rel))
+    worlds
+
+let test_crows_undeclared_rejected () =
+  Alcotest.(check bool) "crows needs a schema" true
+    (try
+       ignore (Scenario.parse "crows R { (?x) }.");
+       false
+     with Scenario.Parse_error _ -> true)
+
+let test_crows_roundtrip () =
+  let src = {|
+    schema R(a, b).
+    crows R { (1, ?x) }.
+  |} in
+  let s = Scenario.parse src in
+  let printed = Format.asprintf "%a" Scenario.pp s in
+  let s2 = Scenario.parse printed in
+  Alcotest.(check int) "c-table survives the round trip" (List.length s.Scenario.ctables)
+    (List.length s2.Scenario.ctables)
+
+let test_dirty_support_scenario () =
+  let s =
+    try Scenario.load "../../../scenarios/dirty_support.ric"
+    with Sys_error _ -> Scenario.load "scenarios/dirty_support.ric"
+  in
+  let q = Option.get (Scenario.find_query s "Q2") in
+  let values = Database.adom s.Scenario.db @ Database.adom s.Scenario.master in
+  let report =
+    Ric_incomplete.Rc_missing.analyze ~values ~schema:s.Scenario.db_schema
+      ~master:s.Scenario.master ~ccs:(Scenario.all_ccs s) (Scenario.as_cdatabase s) q
+  in
+  Alcotest.(check bool) "weakly complete" true report.Ric_incomplete.Rc_missing.weakly_complete;
+  Alcotest.(check bool) "not strongly complete" false
+    report.Ric_incomplete.Rc_missing.strongly_complete
+
+(* ------------------------------------------------------------------ *)
+(* JSON reports *)
+
+let test_json_escaping () =
+  Alcotest.(check string) "escapes" {|{"a\"b":"line\nbreak\t\\"}|}
+    (Json.to_string (Json.Obj [ ("a\"b", Json.Str "line\nbreak\t\\") ]));
+  Alcotest.(check string) "nested" {|[1,null,true,{"k":[]}]|}
+    (Json.to_string (Json.List [ Json.Int 1; Json.Null; Json.Bool true; Json.Obj [ ("k", Json.List []) ] ]))
+
+let test_json_reports () =
+  let s = load_crm () in
+  let q0 = Option.get (Scenario.find_query s "Q0") in
+  let verdict =
+    Rcdp.decide ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q0
+  in
+  let json = Json.to_string (Report.rcdp_verdict verdict) in
+  Alcotest.(check bool) "mentions the verdict" true
+    (String.length json > 0
+    &&
+    let contains hay needle =
+      let rec go i =
+        i + String.length needle <= String.length hay
+        && (String.sub hay i (String.length needle) = needle || go (i + 1))
+      in
+      go 0
+    in
+    contains json "incomplete" && contains json "carol")
+
+let test_json_database_roundtrip_shape () =
+  let s = load_crm () in
+  let json = Json.to_string (Report.database s.Scenario.db) in
+  Alcotest.(check bool) "object with both relations" true
+    (String.length json > 2 && json.[0] = '{'
+    &&
+    let contains hay needle =
+      let rec go i =
+        i + String.length needle <= String.length hay
+        && (String.sub hay i (String.length needle) = needle || go (i + 1))
+      in
+      go 0
+    in
+    contains json "\"Supt\"" && contains json "\"Cust\"")
+
+let () =
+  Alcotest.run "text"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "minimal scenario" `Quick test_parse_minimal;
+          Alcotest.test_case "finite domains" `Quick test_parse_finite_domain;
+          Alcotest.test_case "functional dependencies" `Quick test_parse_fd;
+          Alcotest.test_case "boolean query" `Quick test_parse_boolean_query;
+          Alcotest.test_case "error positions" `Quick test_parse_errors;
+        ] );
+      ("printing", [ Alcotest.test_case "round trip" `Quick test_roundtrip ]);
+      ( "end to end",
+        [
+          Alcotest.test_case "crm.ric parses" `Quick test_shipped_scenario_parses;
+          Alcotest.test_case "Q2 complete via cap" `Quick test_shipped_scenario_decides;
+          Alcotest.test_case "Q0 incomplete" `Quick test_shipped_scenario_q0;
+        ] );
+      ( "ucq / supply chain",
+        [
+          Alcotest.test_case "ucq query parses" `Quick test_ucq_query_parses;
+          Alcotest.test_case "head width check" `Quick test_ucq_arity_mismatch_rejected;
+          Alcotest.test_case "supply_chain.ric parses" `Quick test_supply_chain_parses;
+          Alcotest.test_case "supply chain decisions" `Quick test_supply_chain_decisions;
+        ] );
+      ( "crows (§5)",
+        [
+          Alcotest.test_case "parse + worlds" `Quick test_crows_parse;
+          Alcotest.test_case "undeclared rejected" `Quick test_crows_undeclared_rejected;
+          Alcotest.test_case "round trip" `Quick test_crows_roundtrip;
+          Alcotest.test_case "dirty_support.ric" `Quick test_dirty_support_scenario;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "verdict report" `Quick test_json_reports;
+          Alcotest.test_case "database shape" `Quick test_json_database_roundtrip_shape;
+        ] );
+    ]

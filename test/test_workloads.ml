@@ -1,0 +1,293 @@
+(* Tests for the CRM workload (the paper's running example) and the
+   Section 2.3 guidance paradigms. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+open Ric_workloads
+
+let master = Crm.master ~customers:6 ~managers:[ ("e1", "e0"); ("e2", "e1") ] ()
+let full_db = Crm.db ~master ~keep:1.0 ~supported_by:[ ("e0", [ "d0" ]) ] ()
+
+let drop_customer db cid =
+  let cust = Database.relation db "Cust" in
+  let cust' =
+    Relation.filter (fun t -> not (Value.equal (Tuple.get t 0) (Value.Str cid))) cust
+  in
+  let supt = Database.relation db "Supt" in
+  let supt' =
+    Relation.filter (fun t -> not (Value.equal (Tuple.get t 2) (Value.Str cid))) supt
+  in
+  Database.set_relation (Database.set_relation db "Cust" cust') "Supt" supt'
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let test_generator_shapes () =
+  Alcotest.(check int) "DCust size" 6
+    (Relation.cardinal (Database.relation master "DCust"));
+  Alcotest.(check int) "all customers copied" 6
+    (Relation.cardinal (Database.relation full_db "Cust"));
+  Alcotest.(check int) "support tuples" 6
+    (Relation.cardinal (Database.relation full_db "Supt"));
+  Alcotest.(check bool) "keep fraction drops rows" true
+    (Relation.cardinal
+       (Database.relation (Crm.db ~master ~keep:0.3 ~supported_by:[] ()) "Cust")
+     < 6)
+
+let test_partially_closed () =
+  Alcotest.(check bool) "full db is partially closed" true
+    (Containment.holds_all ~db:full_db ~master
+       [ Crm.cc_supported_domestic; Crm.cc_domestic_customers ])
+
+let test_international_not_bounded () =
+  let db = Crm.add_international full_db [ ("i1", "intl one") ] in
+  Alcotest.(check bool) "international rows do not violate the CCs" true
+    (Containment.holds_all ~db ~master
+       [ Crm.cc_supported_domestic; Crm.cc_domestic_customers ])
+
+(* ------------------------------------------------------------------ *)
+(* Section 2.3 paradigm 1: assessing completeness *)
+
+let ccs = [ Crm.cc_domestic_customers ]
+
+let test_q0_complete_when_full () =
+  Alcotest.(check bool) "Q0 complete on the full database" true
+    (Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db:full_db (Lang.Q_cq Crm.q0)
+     = Rcdp.Complete)
+
+let test_q0_incomplete_when_missing () =
+  (* c3 is an area-908 customer *)
+  let db = drop_customer full_db "c3" in
+  match Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db (Lang.Q_cq Crm.q0) with
+  | Rcdp.Complete -> Alcotest.fail "c3 is missing, Q0 cannot be complete"
+  | Rcdp.Incomplete cex ->
+    Alcotest.(check bool) "counterexample names c3" true
+      (Tuple.equal cex.Rcdp.cex_answer (Tuple.of_strs [ "c3"; "name3" ]))
+
+let test_q0_missing_non_908_customer_is_fine () =
+  (* c1 has area code 212; dropping it does not affect Q0 *)
+  let db = drop_customer full_db "c1" in
+  Alcotest.(check bool) "Q0 complete without c1" true
+    (Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db (Lang.Q_cq Crm.q0) = Rcdp.Complete)
+
+(* ------------------------------------------------------------------ *)
+(* Section 2.3 paradigm 2: guidance for data collection *)
+
+let test_audit_suggests_missing_tuples () =
+  let db = drop_customer full_db "c3" in
+  match Guidance.audit ~schema:Crm.db_schema ~master ~ccs ~db (Lang.Q_cq Crm.q0) with
+  | Guidance.Completable { additions; completed; rounds } ->
+    Alcotest.(check bool) "rounds bounded" true (rounds <= 4);
+    Alcotest.(check bool) "suggested tuple is c3's row" true
+      (Relation.mem
+         (Tuple.of_strs [ "c3"; "name3"; "01"; "908"; "555-0003" ])
+         (Database.relation additions "Cust"));
+    Alcotest.(check bool) "completed db is complete" true
+      (Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db:completed (Lang.Q_cq Crm.q0)
+       = Rcdp.Complete)
+  | r -> Alcotest.failf "expected completable, got %a" Guidance.pp_audit r
+
+let test_audit_already_complete () =
+  match Guidance.audit ~schema:Crm.db_schema ~master ~ccs ~db:full_db (Lang.Q_cq Crm.q0) with
+  | Guidance.Already_complete -> ()
+  | r -> Alcotest.failf "expected already complete, got %a" Guidance.pp_audit r
+
+(* ------------------------------------------------------------------ *)
+(* Section 2.3 paradigm 3: when master data must grow *)
+
+let test_q0_all_customers_not_completable () =
+  match
+    Guidance.audit ~schema:Crm.db_schema ~master ~ccs ~db:full_db
+      (Lang.Q_cq Crm.q0_all_customers)
+  with
+  | Guidance.Not_completable _ -> ()
+  | r -> Alcotest.failf "expected not completable, got %a" Guidance.pp_audit r
+
+(* ------------------------------------------------------------------ *)
+(* Example 1.1 queries *)
+
+let test_q1_complete_when_support_saturated () =
+  (* Q1 joins Cust and Supt; with every domestic customer present and
+     supported, the answer is bounded by DCust via the CC *)
+  let ccs = [ Crm.cc_domestic_customers; Crm.cc_supported_domestic ] in
+  Alcotest.(check bool) "Q1 complete" true
+    (Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db:full_db (Lang.Q_cq Crm.q1)
+     = Rcdp.Complete)
+
+let test_q2_with_support_cap () =
+  (* Example 2.2: with the k-cap and k answers, Q2 is complete *)
+  let k = 6 in
+  let ccs = [ Crm.cc_support_load k ] in
+  Alcotest.(check bool) "Q2 complete with saturated cap" true
+    (Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db:full_db (Lang.Q_cq Crm.q2)
+     = Rcdp.Complete);
+  let db = drop_customer full_db "c0" in
+  Alcotest.(check bool) "Q2 incomplete below the cap" true
+    (Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db (Lang.Q_cq Crm.q2)
+     <> Rcdp.Complete)
+
+let test_q3_datalog_vs_cq () =
+  (* Example 1.1's Q3: the FP version finds everyone above e0, the CQ
+     truncation only direct managers *)
+  let fp_answers = Datalog.eval full_db Crm.q3_fp in
+  let cq_answers = Cq.eval full_db Crm.q3_cq in
+  Alcotest.(check int) "two people above e0" 2 (Relation.cardinal fp_answers);
+  Alcotest.(check int) "one direct manager" 1 (Relation.cardinal cq_answers);
+  Alcotest.(check bool) "e2 only transitively" true
+    (Relation.mem (Tuple.of_strs [ "e2" ]) fp_answers
+     && not (Relation.mem (Tuple.of_strs [ "e2" ]) cq_answers))
+
+let test_q4_rcqp () =
+  (* Example 4.1 through the CRM lens *)
+  match Rcqp.decide ~schema:Crm.db_schema ~master ~ccs:Crm.ccs_fd_dept (Lang.Q_cq Crm.q4) with
+  | Rcqp.Nonempty _ -> ()
+  | v -> Alcotest.fail ("expected nonempty, got " ^ Rcqp.verdict_name v)
+
+let test_q2_tuples_rcqp () =
+  (match
+     Rcqp.decide ~schema:Crm.db_schema ~master ~ccs:Crm.ccs_fd_dept (Lang.Q_cq Crm.q2_tuples)
+   with
+   | Rcqp.Empty _ -> ()
+   | v -> Alcotest.fail ("expected empty, got " ^ Rcqp.verdict_name v));
+  match
+    Rcqp.decide ~schema:Crm.db_schema ~master ~ccs:Crm.ccs_fd_supt (Lang.Q_cq Crm.q2_tuples)
+  with
+  | Rcqp.Nonempty _ -> ()
+  | v -> Alcotest.fail ("expected nonempty, got " ^ Rcqp.verdict_name v)
+
+(* ------------------------------------------------------------------ *)
+(* The ERP workload *)
+
+let erp_master =
+  Erp.master
+    ~employees:[ ("e0", "eng"); ("e1", "eng"); ("e2", "sales") ]
+    ~projects:[ ("apollo", "eng"); ("zeus", "sales") ]
+
+let erp_db =
+  Erp.db
+    ~assignments:[ ("e0", "apollo", "lead"); ("e1", "apollo", "dev") ]
+    ~timesheets:[ ("e0", "apollo", 12) ]
+
+let test_erp_partially_closed () =
+  Alcotest.(check bool) "closed" true
+    (Containment.holds_all ~db:erp_db ~master:erp_master Erp.ccs)
+
+let test_erp_staffing_incomplete () =
+  match
+    Rcdp.decide ~schema:Erp.db_schema ~master:erp_master ~ccs:Erp.ccs ~db:erp_db
+      (Lang.Q_cq (Erp.q_staff "apollo"))
+  with
+  | Rcdp.Incomplete cex ->
+    Alcotest.(check bool) "e2 can still join" true
+      (Tuple.equal cex.Rcdp.cex_answer (Tuple.of_strs [ "e2" ]))
+  | Rcdp.Complete -> Alcotest.fail "e2 is unassigned, staffing cannot be complete"
+
+let test_erp_staffing_complete_when_saturated () =
+  let full =
+    Erp.db
+      ~assignments:
+        [ ("e0", "apollo", "lead"); ("e1", "apollo", "dev"); ("e2", "apollo", "qa") ]
+      ~timesheets:[]
+  in
+  Alcotest.(check bool) "all employees assigned" true
+    (Rcdp.decide ~schema:Erp.db_schema ~master:erp_master ~ccs:Erp.ccs ~db:full
+       (Lang.Q_cq (Erp.q_staff "apollo"))
+     = Rcdp.Complete)
+
+let test_erp_role_pinned_by_fd () =
+  Alcotest.(check bool) "role complete" true
+    (Rcdp.decide ~schema:Erp.db_schema ~master:erp_master ~ccs:Erp.ccs ~db:erp_db
+       (Lang.Q_cq (Erp.q_role "e0" "apollo"))
+     = Rcdp.Complete);
+  (* without the FD it is not *)
+  Alcotest.(check bool) "role open without the FD" true
+    (Rcdp.decide ~schema:Erp.db_schema ~master:erp_master
+       ~ccs:[ Erp.cc_assigned_employees; Erp.cc_assigned_projects ] ~db:erp_db
+       (Lang.Q_cq (Erp.q_role "e0" "apollo"))
+     <> Rcdp.Complete)
+
+let test_erp_billing_not_completable () =
+  match
+    Rcqp.decide ~schema:Erp.db_schema ~master:erp_master ~ccs:Erp.ccs
+      (Lang.Q_cq (Erp.q_billed "apollo"))
+  with
+  | Rcqp.Empty _ -> ()
+  | v -> Alcotest.fail ("expected empty, got " ^ Rcqp.verdict_name v)
+
+let test_erp_projects_of () =
+  Alcotest.(check bool) "e0 on apollo" true
+    (Relation.mem (Tuple.of_strs [ "apollo" ]) (Cq.eval erp_db (Erp.q_projects_of "e0")))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_keep_monotone =
+  QCheck2.Test.make ~name:"higher keep fractions keep more rows" ~count:20
+    QCheck2.Gen.(pair (int_bound 100) (int_bound 100))
+    (fun (a, b) ->
+      let lo = float_of_int (min a b) /. 100. in
+      let hi = float_of_int (max a b) /. 100. in
+      let size k =
+        Relation.cardinal
+          (Database.relation (Crm.db ~master ~keep:k ~supported_by:[] ()) "Cust")
+      in
+      (* same seed: the kept set at lo is a subset of the one at hi *)
+      size lo <= size hi)
+
+let prop_generated_db_partially_closed =
+  QCheck2.Test.make ~name:"generated databases are partially closed" ~count:20
+    QCheck2.Gen.(int_bound 100)
+    (fun pct ->
+      let db =
+        Crm.db ~master ~keep:(float_of_int pct /. 100.) ~supported_by:[ ("e0", [ "d0" ]) ] ()
+      in
+      Containment.holds_all ~db ~master
+        [ Crm.cc_supported_domestic; Crm.cc_domestic_customers ])
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest [ prop_keep_monotone; prop_generated_db_partially_closed ]
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "shapes" `Quick test_generator_shapes;
+          Alcotest.test_case "partially closed" `Quick test_partially_closed;
+          Alcotest.test_case "international unbounded" `Quick test_international_not_bounded;
+        ] );
+      ( "paradigm 1 (assess)",
+        [
+          Alcotest.test_case "full ⇒ complete" `Quick test_q0_complete_when_full;
+          Alcotest.test_case "missing 908 ⇒ incomplete" `Quick test_q0_incomplete_when_missing;
+          Alcotest.test_case "missing 212 still complete" `Quick
+            test_q0_missing_non_908_customer_is_fine;
+        ] );
+      ( "paradigm 2 (collect)",
+        [
+          Alcotest.test_case "audit suggests tuples" `Quick test_audit_suggests_missing_tuples;
+          Alcotest.test_case "already complete" `Quick test_audit_already_complete;
+        ] );
+      ( "paradigm 3 (expand master)",
+        [ Alcotest.test_case "Q'0 not completable" `Quick test_q0_all_customers_not_completable ] );
+      ( "example 1.1",
+        [
+          Alcotest.test_case "Q1" `Quick test_q1_complete_when_support_saturated;
+          Alcotest.test_case "Q2 with cap" `Quick test_q2_with_support_cap;
+          Alcotest.test_case "Q3 FP vs CQ" `Quick test_q3_datalog_vs_cq;
+          Alcotest.test_case "Q4 RCQP" `Quick test_q4_rcqp;
+          Alcotest.test_case "Q2 tuples RCQP" `Quick test_q2_tuples_rcqp;
+        ] );
+      ( "erp",
+        [
+          Alcotest.test_case "partially closed" `Quick test_erp_partially_closed;
+          Alcotest.test_case "staffing incomplete" `Quick test_erp_staffing_incomplete;
+          Alcotest.test_case "staffing saturated" `Quick test_erp_staffing_complete_when_saturated;
+          Alcotest.test_case "role pinned by FD" `Quick test_erp_role_pinned_by_fd;
+          Alcotest.test_case "billing hopeless" `Quick test_erp_billing_not_completable;
+          Alcotest.test_case "projects of" `Quick test_erp_projects_of;
+        ] );
+      ("properties", properties);
+    ]
