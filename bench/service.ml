@@ -1,0 +1,195 @@
+(* Service benchmarks: what the ricd daemon buys you.
+
+   Two questions, each measured over a real Unix-domain socket against
+   an in-process server:
+
+     cache      — cold vs warm verdicts: how much does the epoch-keyed
+                  verdict cache save on repeated RCDP/RCQP requests,
+                  and what does an admissible insert cost when the old
+                  epoch's entries migrate instead of recomputing?
+     throughput — 1 worker domain vs N: aggregate requests/second for
+                  concurrent sessions issuing nocache RCDP requests
+                  (every request runs the decider, so extra domains
+                  translate into real parallel work).
+
+   Run `service.exe cache`, `service.exe throughput`, or no argument
+   for both. *)
+
+open Ric_service
+module Json = Ric_text.Json
+
+let hr title =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
+
+(* a scenario with enough master data that the RCDP search does real
+   work: R is bounded by a 12-row master list, only 2 rows present *)
+let scenario_source =
+  let ids = List.init 12 (fun i -> Printf.sprintf "(m%d, v%d)" i i) in
+  Printf.sprintf
+    {|
+    schema R(k, w).
+    schema S(k, t).
+    master M(k, w).
+    master N(k).
+    rows R { (m0, v0) (m1, v1) }.
+    rows S { (m0, a) }.
+    rows M { %s }.
+    rows N { (m0) (m1) (m2) }.
+    query QR(k, w) :- R(k, w).
+    query QS(k, t) :- S(k, t).
+    query QJ(k) :- R(k, w), S(k, t).
+    constraint BR(k, w) :- R(k, w) => M[0, 1].
+    constraint BS(k) :- S(k, t) => N[0].
+  |}
+    (String.concat " " ids)
+
+let with_server ~domains f =
+  let socket_path =
+    Printf.sprintf "%s/ric-bench-%d-%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) domains
+  in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let server =
+    Domain.spawn (fun () ->
+        Server.run { Server.socket_path; domains; queue_capacity = 64; root = None })
+  in
+  let finish () =
+    (try
+       Client.with_connection ~retries:40 socket_path (fun c ->
+           ignore (Client.rpc c Protocol.Shutdown))
+     with _ -> ());
+    Domain.join server
+  in
+  match f socket_path with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let get k j =
+  match j with
+  | Json.Obj fs -> (
+    match List.assoc_opt k fs with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "no field %S in %s" k (Json.to_string j)))
+  | _ -> failwith "expected an object"
+
+let get_str k j = match get k j with Json.Str s -> s | _ -> failwith "not a string"
+
+let open_session c =
+  let r =
+    Client.rpc c (Protocol.Open { path = None; source = Some scenario_source; name = None })
+  in
+  get_str "session" r
+
+let rcdp ?(nocache = false) c session query =
+  Client.rpc c (Protocol.Rcdp { session; query; nocache })
+
+(* ------------------------------------------------------------------ *)
+(* cache: cold vs warm vs migrated *)
+
+let timed_us f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, (Unix.gettimeofday () -. t0) *. 1e6)
+
+let median xs =
+  let a = List.sort compare xs in
+  List.nth a (List.length a / 2)
+
+let bench_cache () =
+  hr "verdict cache: cold vs warm (round-trip µs, median of 31)";
+  with_server ~domains:2 (fun socket_path ->
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          let warm_reps = 31 in
+          Printf.printf "\n%-8s %12s %12s %10s\n" "query" "cold µs" "warm µs" "speedup";
+          List.iter
+            (fun query ->
+              let session = open_session c in
+              let _, cold = timed_us (fun () -> rcdp c session query) in
+              let warms =
+                List.init warm_reps (fun _ -> snd (timed_us (fun () -> rcdp c session query)))
+              in
+              let warm = median warms in
+              Printf.printf "%-8s %12.0f %12.0f %9.1fx\n" query cold warm (cold /. warm))
+            [ "QR"; "QS"; "QJ" ];
+          (* an admissible insert migrates the cache: the next request
+             is still a hit, at the new epoch *)
+          let session = open_session c in
+          ignore (rcdp c session "QS");
+          let ins, ins_us =
+            timed_us (fun () ->
+                Client.rpc c
+                  (Protocol.Insert
+                     {
+                       session;
+                       rel = "R";
+                       rows = [ [ Ric_relational.Value.Str "m2"; Ric_relational.Value.Str "v2" ] ];
+                     }))
+          in
+          let after, after_us = timed_us (fun () -> rcdp c session "QS") in
+          let cached = match get "cached" after with Json.Bool b -> b | _ -> false in
+          Printf.printf
+            "\ninsert + cache migration: %.0f µs (%s), next QS request: %.0f µs (%s)\n"
+            ins_us
+            (Json.to_string (get "cache" ins))
+            after_us
+            (if cached then "cache hit at new epoch" else "recomputed")))
+
+(* ------------------------------------------------------------------ *)
+(* throughput: 1 vs N worker domains *)
+
+let bench_throughput () =
+  let requests_per_client = 150 in
+  let clients = 4 in
+  let available = Stdlib.max 2 (Domain.recommended_domain_count () - 1) in
+  hr
+    (Printf.sprintf
+       "throughput: %d clients x %d nocache RCDP requests, 1 vs %d worker domains"
+       clients requests_per_client available);
+  Printf.printf
+    "\n(recommended_domain_count = %d; on a single core, extra domains can\n\
+    \ only add scheduling overhead — the speedup column needs real cores)\n"
+    (Domain.recommended_domain_count ());
+  let run domains =
+    with_server ~domains (fun socket_path ->
+        let sessions =
+          Client.with_connection ~retries:40 socket_path (fun c ->
+              List.init clients (fun _ -> open_session c))
+        in
+        let t0 = Unix.gettimeofday () in
+        let workers =
+          List.map
+            (fun session ->
+              Domain.spawn (fun () ->
+                  Client.with_connection socket_path (fun c ->
+                      for i = 1 to requests_per_client do
+                        let q = [| "QR"; "QS"; "QJ" |].(i mod 3) in
+                        ignore (rcdp ~nocache:true c session q)
+                      done)))
+            sessions
+        in
+        List.iter Domain.join workers;
+        let dt = Unix.gettimeofday () -. t0 in
+        float_of_int (clients * requests_per_client) /. dt)
+  in
+  let one = run 1 in
+  let many = run available in
+  Printf.printf "\n%-16s %12s\n" "worker domains" "req/s";
+  Printf.printf "%-16d %12.0f\n" 1 one;
+  Printf.printf "%-16d %12.0f\n" available many;
+  Printf.printf "\nscaling: %.2fx with %d domains\n" (many /. one) available
+
+let () =
+  let sections = match Array.to_list Sys.argv with _ :: rest when rest <> [] -> rest | _ -> [ "cache"; "throughput" ] in
+  List.iter
+    (function
+      | "cache" -> bench_cache ()
+      | "throughput" -> bench_throughput ()
+      | s ->
+        Printf.eprintf "unknown section %S (have: cache, throughput)\n" s;
+        exit 2)
+    sections

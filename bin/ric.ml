@@ -31,23 +31,43 @@ let constraint_sets =
     ("cap3", [ Crm.cc_support_load 3 ], "an employee supports at most 3 customers");
   ]
 
-let enum_of assoc = List.map (fun (k, _, _) -> (k, k)) assoc
-let lookup3 assoc k = match List.find_opt (fun (k', _, _) -> String.equal k k') assoc with
+(* A converter over a keyed catalogue: parses the key straight to its
+   value and turns an unknown key into a cmdliner error that lists
+   every valid one (instead of the old [invalid_arg] crash). *)
+let keyed what assoc =
+  let valid () = String.concat ", " (List.map (fun (k, _, _) -> k) assoc) in
+  let parse s =
+    match List.find_opt (fun (k, _, _) -> String.equal k s) assoc with
+    | Some (_, v, _) -> Ok v
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown %s %s (valid: %s)" what s (valid ())))
+  in
+  let print ppf _ = Format.fprintf ppf "<%s>" what in
+  Arg.conv ~docv:(String.uppercase_ascii what) (parse, print)
+
+let lookup3 assoc k =
+  match List.find_opt (fun (k', _, _) -> String.equal k k') assoc with
   | Some (_, v, _) -> v
-  | None -> invalid_arg k
+  | None -> assert false (* keys come from [keyed], already validated *)
 
 let query_arg =
   let doc =
     "Query to analyse: " ^ String.concat ", " (List.map (fun (k, _, d) -> k ^ " (" ^ d ^ ")") queries)
   in
-  Arg.(value & opt (enum (enum_of queries)) "q0" & info [ "q"; "query" ] ~doc)
+  Arg.(
+    value
+    & opt (keyed "query" queries) (lookup3 queries "q0")
+    & info [ "q"; "query" ] ~doc)
 
 let ccs_arg =
   let doc =
     "Constraint set: "
     ^ String.concat ", " (List.map (fun (k, _, d) -> k ^ " (" ^ d ^ ")") constraint_sets)
   in
-  Arg.(value & opt (enum (enum_of constraint_sets)) "domestic" & info [ "c"; "constraints" ] ~doc)
+  Arg.(
+    value
+    & opt (keyed "constraint-set" constraint_sets) (lookup3 constraint_sets "domestic")
+    & info [ "c"; "constraints" ] ~doc)
 
 let customers_arg =
   Arg.(value & opt int 6 & info [ "n"; "customers" ] ~doc:"Number of master customers")
@@ -69,8 +89,7 @@ let as_lang = function
 let audit_cmd =
   let run query ccs customers keep seed =
     let master, db = scenario ~customers ~keep ~seed in
-    let q = as_lang (lookup3 queries query) in
-    let ccs = lookup3 constraint_sets ccs in
+    let q = as_lang query in
     Format.printf "database:@.%a@.@." Database.pp db;
     (try
        let result = Guidance.audit ~schema:Crm.db_schema ~master ~ccs ~db q in
@@ -84,8 +103,7 @@ let audit_cmd =
 let rcdp_cmd =
   let run query ccs customers keep seed =
     let master, db = scenario ~customers ~keep ~seed in
-    let q = as_lang (lookup3 queries query) in
-    let ccs = lookup3 constraint_sets ccs in
+    let q = as_lang query in
     (try
        match Rcdp.decide ~schema:Crm.db_schema ~master ~ccs ~db q with
        | Rcdp.Complete -> Format.printf "complete@."
@@ -103,8 +121,7 @@ let rcdp_cmd =
 let rcqp_cmd =
   let run query ccs customers =
     let master, _ = scenario ~customers ~keep:1.0 ~seed:0 in
-    let q = as_lang (lookup3 queries query) in
-    let ccs = lookup3 constraint_sets ccs in
+    let q = as_lang query in
     (try
        match Rcqp.decide ~schema:Crm.db_schema ~master ~ccs q with
        | Rcqp.Nonempty { witness; reason } ->
@@ -330,7 +347,186 @@ let file_group =
   Cmd.group (Cmd.info "file" ~doc:"Work on .ric scenario files")
     [ file_show_cmd; file_audit_cmd; file_rcdp_cmd; file_rcqp_cmd; file_worlds_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* The ricd service: serve / request / shutdown. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Ric_service.Server.default_config.Ric_service.Server.socket_path
+    & info [ "S"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon")
+
+let serve_cmd =
+  let run socket domains queue root verbose =
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
+    match
+      Ric_service.Server.run
+        {
+          Ric_service.Server.socket_path = socket;
+          domains;
+          queue_capacity = queue;
+          root;
+        }
+    with
+    | () -> 0
+    | exception Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "cannot serve on %s: %s %s@." socket (Unix.error_message e) arg;
+      1
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt int Ric_service.Server.default_config.Ric_service.Server.domains
+      & info [ "d"; "domains" ] ~doc:"Worker domains serving connections in parallel")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Ric_service.Server.default_config.Ric_service.Server.queue_capacity
+      & info [ "queue" ] ~doc:"Pending-connection backlog before accepts block")
+  in
+  let root_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "root" ] ~docv:"DIR" ~doc:"Resolve relative scenario paths against $(docv)")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every request with its latency")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run ricd: keep scenarios loaded, cache verdicts, decide in parallel")
+    Term.(const run $ socket_arg $ domains_arg $ queue_arg $ root_arg $ verbose_arg)
+
+let rpc socket req =
+  match
+    Ric_service.Client.with_connection socket (fun c -> Ric_service.Client.rpc c req)
+  with
+  | response ->
+    Format.printf "%a@." Ric_text.Json.pp response;
+    (match response with
+     | Ric_text.Json.Obj fields
+       when List.assoc_opt "ok" fields = Some (Ric_text.Json.Bool false) -> 1
+     | _ -> 0)
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "cannot reach ricd at %s: %s@." socket (Unix.error_message e);
+    Format.eprintf "start it with: ric serve --socket %s@." socket;
+    1
+  | exception Failure msg ->
+    Format.eprintf "%s@." msg;
+    1
+
+let session_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION" ~doc:"Session id")
+
+let query_pos =
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY" ~doc:"Query name")
+
+let nocache_arg =
+  Arg.(value & flag & info [ "nocache" ] ~doc:"Bypass the verdict cache for this request")
+
+let request_open_cmd =
+  let run socket file name =
+    rpc socket (Ric_service.Protocol.Open { path = Some file; source = None; name })
+  in
+  let file_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A .ric scenario file (resolved by the daemon)")
+  in
+  let name_arg =
+    Arg.(value & opt (some string) None & info [ "name" ] ~doc:"Label for the session")
+  in
+  Cmd.v (Cmd.info "open" ~doc:"Load a scenario into a new server session")
+    Term.(const run $ socket_arg $ file_pos $ name_arg)
+
+let request_decide_cmd op doc ctor =
+  let run socket session query nocache = rpc socket (ctor ~session ~query ~nocache) in
+  Cmd.v (Cmd.info op ~doc)
+    Term.(const run $ socket_arg $ session_pos $ query_pos $ nocache_arg)
+
+(* bare digits are integers; wrap a cell in double quotes to force a
+   string (e.g. "01", matching the .ric row syntax) *)
+let parse_cell s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then
+    Ric_relational.Value.Str (String.sub s 1 (n - 2))
+  else
+    match int_of_string_opt s with
+    | Some n -> Ric_relational.Value.Int n
+    | None -> Ric_relational.Value.Str s
+
+let request_insert_cmd =
+  let run socket session rel cells =
+    rpc socket
+      (Ric_service.Protocol.Insert
+         { session; rel; rows = [ List.map parse_cell cells ] })
+  in
+  let rel_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"REL" ~doc:"Relation name")
+  in
+  let cells_pos =
+    Arg.(
+      non_empty
+      & pos_right 1 string []
+      & info [] ~docv:"VALUE" ~doc:"Cell values (integers stay integers)")
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Insert one tuple into a session's database (epoch bump + cache migration)")
+    Term.(const run $ socket_arg $ session_pos $ rel_pos $ cells_pos)
+
+let request_simple_cmd op doc req =
+  let run socket = rpc socket req in
+  Cmd.v (Cmd.info op ~doc) Term.(const run $ socket_arg)
+
+let request_close_cmd =
+  let run socket session = rpc socket (Ric_service.Protocol.Close { session }) in
+  Cmd.v (Cmd.info "close" ~doc:"Close a session and purge its cached verdicts")
+    Term.(const run $ socket_arg $ session_pos)
+
+let request_group =
+  Cmd.group
+    (Cmd.info "request" ~doc:"Talk to a running ricd (one framed JSON request per call)")
+    [
+      request_open_cmd;
+      request_decide_cmd "rcdp" "Is the session's database complete for a query?"
+        (fun ~session ~query ~nocache ->
+          Ric_service.Protocol.Rcdp { session; query; nocache });
+      request_decide_cmd "rcqp" "Can any database be complete for a session query?"
+        (fun ~session ~query ~nocache ->
+          Ric_service.Protocol.Rcqp { session; query; nocache });
+      request_decide_cmd "audit" "Full completeness audit of a session query"
+        (fun ~session ~query ~nocache ->
+          Ric_service.Protocol.Audit { session; query; nocache });
+      request_insert_cmd;
+      request_close_cmd;
+      request_simple_cmd "ping" "Liveness probe" Ric_service.Protocol.Ping;
+      request_simple_cmd "stats" "Sessions, cache hit rates, per-op counters"
+        Ric_service.Protocol.Stats;
+    ]
+
+let shutdown_cmd =
+  let run socket = rpc socket Ric_service.Protocol.Shutdown in
+  Cmd.v (Cmd.info "shutdown" ~doc:"Ask a running ricd to stop")
+    Term.(const run $ socket_arg)
+
 let () =
   let doc = "relative information completeness workbench (Fan & Geerts, PODS 2009)" in
   let info = Cmd.info "ric" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ audit_cmd; rcdp_cmd; rcqp_cmd; reduction_cmd; file_group ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            audit_cmd;
+            rcdp_cmd;
+            rcqp_cmd;
+            reduction_cmd;
+            file_group;
+            serve_cmd;
+            request_group;
+            shutdown_cmd;
+          ]))

@@ -1,0 +1,80 @@
+type kind = K_rcdp | K_rcqp | K_audit
+
+type entry = {
+  kind : kind;
+  query : string;
+  result : Ric_text.Json.t;
+  rcdp : Ric_complete.Rcdp.verdict option;
+  elapsed_us : int;
+  revalidated : bool;
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable carried : int;
+  mutable dropped : int;
+}
+
+let create () = { table = Hashtbl.create 64; hits = 0; misses = 0; carried = 0; dropped = 0 }
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some _ as e ->
+    t.hits <- t.hits + 1;
+    e
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let store t key entry = Hashtbl.replace t.table key entry
+
+let remove t key = Hashtbl.remove t.table key
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let fold_prefix t ~prefix f init =
+  Hashtbl.fold
+    (fun key entry acc -> if has_prefix ~prefix key then f acc key entry else acc)
+    t.table init
+
+let remove_prefix t ~prefix =
+  let doomed = fold_prefix t ~prefix (fun acc key _ -> key :: acc) [] in
+  List.iter (Hashtbl.remove t.table) doomed;
+  List.length doomed
+
+let note_carried t = t.carried <- t.carried + 1
+
+let note_dropped t n = t.dropped <- t.dropped + n
+
+type stats = { entries : int; hits : int; misses : int; carried : int; dropped : int }
+
+let stats t =
+  {
+    entries = Hashtbl.length t.table;
+    hits = t.hits;
+    misses = t.misses;
+    carried = t.carried;
+    dropped = t.dropped;
+  }
+
+(* Keys.  Session ids are server-generated ("s<n>") and query names
+   are scenario identifiers, so '/' never occurs in a component and
+   the prefixes below cannot collide across sessions ("s1/" is not a
+   prefix of any "s12/..." key because of the slash). *)
+
+let session_prefix ~session = session ^ "/"
+
+let epoch_prefix ~session ~epoch = Printf.sprintf "%s/e%d/" session epoch
+
+let rcdp_key ~session ~fingerprint ~epoch ~query =
+  Printf.sprintf "%s/e%d/rcdp/%s/%s" session epoch fingerprint query
+
+let audit_key ~session ~fingerprint ~epoch ~query =
+  Printf.sprintf "%s/e%d/audit/%s/%s" session epoch fingerprint query
+
+let rcqp_key ~session ~fingerprint ~query =
+  Printf.sprintf "%s/rcqp/%s/%s" session fingerprint query

@@ -1,0 +1,88 @@
+(** The verdict cache.
+
+    Entries are keyed by [(session, epoch, kind, constraint-set
+    fingerprint, query)] — see {!rcdp_key} — so any database mutation
+    moves the session to a fresh epoch and stale verdicts become
+    unreachable without any eager scrubbing.  RCQP verdicts depend
+    only on [(Q, Dm, V)], never on [D], so their keys omit the epoch
+    and they survive every insert.
+
+    Invalidation on insert is {e incremental} rather than
+    wholesale, exploiting the monotonicity facts of the paper
+    (Sections 3.3/4.3, DESIGN.md):
+
+    - a [Complete] verdict carries over to any admissible (still
+      partially closed) extension: every partially closed [D″ ⊇ D′ ⊇ D]
+      is also an extension of [D], so [Q(D″) = Q(D) = Q(D′)];
+    - an [Incomplete] counterexample [(Δ, t)] can be revalidated
+      against the grown [D′] by two query evaluations and a
+      constraint check — [(D′ ∪ Δ, Dm) ⊨ V], [t ∈ Q(D′ ∪ Δ)],
+      [t ∉ Q(D′)] — far cheaper than the Σ₂ᵖ re-decide;
+    - an insert that breaks partial closure invalidates everything
+      epoch-keyed for the session (the deciders are not defined
+      there any more).
+
+    {!Service} implements that policy; this module is the store plus
+    hit/miss accounting.  No locking here — the service's mutex
+    guards it. *)
+
+type kind = K_rcdp | K_rcqp | K_audit
+
+type entry = {
+  kind : kind;
+  query : string;
+  result : Ric_text.Json.t;  (** the encoded verdict, replayed on hits *)
+  rcdp : Ric_complete.Rcdp.verdict option;
+      (** retained for RCDP entries so an insert can carry or
+          revalidate them *)
+  elapsed_us : int;  (** what the original computation cost *)
+  revalidated : bool;
+      (** true once the entry has been carried across an insert by
+          revalidation rather than recomputation *)
+}
+
+type t
+
+val create : unit -> t
+
+val find : t -> string -> entry option
+(** Bumps the hit or miss counter. *)
+
+val store : t -> string -> entry -> unit
+
+val remove : t -> string -> unit
+
+val fold_prefix : t -> prefix:string -> ('a -> string -> entry -> 'a) -> 'a -> 'a
+
+val remove_prefix : t -> prefix:string -> int
+(** Number of entries dropped. *)
+
+val note_carried : t -> unit
+
+val note_dropped : t -> int -> unit
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  carried : int;  (** entries kept across an insert via monotonicity *)
+  dropped : int;  (** entries invalidated by an insert *)
+}
+
+val stats : t -> stats
+
+(** {2 Keys} *)
+
+val rcdp_key :
+  session:string -> fingerprint:string -> epoch:int -> query:string -> string
+
+val audit_key :
+  session:string -> fingerprint:string -> epoch:int -> query:string -> string
+
+val rcqp_key : session:string -> fingerprint:string -> query:string -> string
+
+val session_prefix : session:string -> string
+(** Prefix of every key of the session (for [close]). *)
+
+val epoch_prefix : session:string -> epoch:int -> string
+(** Prefix of the session's epoch-keyed (RCDP/audit) entries. *)

@@ -1,0 +1,43 @@
+module Json = Ric_text.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect ?(retries = 0) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when attempt < retries ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      go (attempt + 1)
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go 0
+
+let request t json =
+  Protocol.write_frame t.fd (Json.to_string json);
+  match Protocol.read_frame t.fd with
+  | None -> failwith "ricd closed the connection without answering"
+  | Some payload ->
+    (match Json.of_string payload with
+     | v -> v
+     | exception Json.Parse_error (msg, line, col) ->
+       failwith (Printf.sprintf "malformed response from ricd (%d:%d: %s)" line col msg))
+
+let rpc t req = request t (Protocol.to_json req)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection ?retries path f =
+  let t = connect ?retries path in
+  match f t with
+  | v ->
+    close t;
+    v
+  | exception e ->
+    close t;
+    raise e

@@ -1,0 +1,22 @@
+(** A minimal blocking client for the {!Protocol} wire format, used by
+    the [ric request] CLI, the smoke tests and the benches. *)
+
+type t
+
+val connect : ?retries:int -> string -> t
+(** Connect to a daemon's socket.  [retries] (default 0) retries a
+    refused/absent socket every 50 ms — handy right after spawning a
+    server.  @raise Unix.Unix_error when the socket stays dead. *)
+
+val request : t -> Ric_text.Json.t -> Ric_text.Json.t
+(** Send one framed request and block for its response.
+    @raise Failure if the server closes the connection instead of
+    answering, or answers with malformed JSON. *)
+
+val rpc : t -> Protocol.request -> Ric_text.Json.t
+(** [request] composed with {!Protocol.to_json}. *)
+
+val close : t -> unit
+
+val with_connection : ?retries:int -> string -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)

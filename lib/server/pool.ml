@@ -1,0 +1,75 @@
+type 'a t = {
+  jobs : 'a Queue.t;
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  capacity : int;
+  n_domains : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let worker_loop t worker () =
+  let rec go () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.jobs then
+      (* stopping and drained *)
+      Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.jobs in
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      (try worker job with _ -> ());
+      go ()
+    end
+  in
+  go ()
+
+let create ~domains ~capacity ~worker =
+  let t =
+    {
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      capacity = max 1 capacity;
+      n_domains = max 1 domains;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init t.n_domains (fun _ -> Domain.spawn (worker_loop t worker));
+  t
+
+let domains t = t.n_domains
+
+let submit t job =
+  Mutex.lock t.mutex;
+  while Queue.length t.jobs >= t.capacity && not t.stopping do
+    Condition.wait t.not_full t.mutex
+  done;
+  let accepted = not t.stopping in
+  if accepted then begin
+    Queue.push job t.jobs;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.mutex;
+  n
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mutex;
+  if not already then List.iter Domain.join t.workers

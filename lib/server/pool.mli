@@ -1,0 +1,28 @@
+(** A fixed pool of OCaml 5 [Domain]s draining a bounded job queue.
+
+    [ricd] submits each accepted connection as a job, so requests on
+    independent sessions run truly in parallel (the deciders are pure
+    functions over immutable snapshots; only the registry/cache
+    bookkeeping is serialised).  The queue bound gives backpressure:
+    {!submit} blocks the producer when [capacity] jobs are already
+    waiting, rather than accepting connections it cannot serve. *)
+
+type 'a t
+
+val create : domains:int -> capacity:int -> worker:('a -> unit) -> 'a t
+(** Spawn [max 1 domains] worker domains.  [worker] runs one job at a
+    time per domain; exceptions it raises are swallowed (workers must
+    do their own reporting — the server logs per-connection). *)
+
+val domains : 'a t -> int
+
+val submit : 'a t -> 'a -> bool
+(** Enqueue a job, blocking while the queue is full.  [false] once
+    {!shutdown} has begun — the job is not enqueued. *)
+
+val pending : 'a t -> int
+(** Jobs currently queued (racy snapshot, for stats). *)
+
+val shutdown : 'a t -> unit
+(** Stop accepting jobs, let the workers drain the queue, and join
+    them.  Idempotent. *)

@@ -1,0 +1,199 @@
+open Ric_relational
+module Json = Ric_text.Json
+
+type request =
+  | Ping
+  | Open of { path : string option; source : string option; name : string option }
+  | Rcdp of { session : string; query : string; nocache : bool }
+  | Rcqp of { session : string; query : string; nocache : bool }
+  | Audit of { session : string; query : string; nocache : bool }
+  | Insert of { session : string; rel : string; rows : Value.t list list }
+  | Close of { session : string }
+  | Stats
+  | Shutdown
+
+let op_name = function
+  | Ping -> "ping"
+  | Open _ -> "open"
+  | Rcdp _ -> "rcdp"
+  | Rcqp _ -> "rcqp"
+  | Audit _ -> "audit"
+  | Insert _ -> "insert"
+  | Close _ -> "close"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let error ?(kind = "error") msg =
+  Json.Obj [ ("ok", Json.Bool false); ("kind", Json.Str kind); ("error", Json.Str msg) ]
+
+(* ------------------------------------------------------------------ *)
+(* Decoding. *)
+
+let field fields k = List.assoc_opt k fields
+
+let str_field fields k =
+  match field fields k with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let opt_str_field fields k =
+  match field fields k with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+
+let bool_field_default fields k default =
+  match field fields k with
+  | Some (Json.Bool b) -> Ok b
+  | None -> Ok default
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+
+let value_of_json = function
+  | Json.Int n -> Ok (Value.Int n)
+  | Json.Str s -> Ok (Value.Str s)
+  | _ -> Error "row cells must be strings or integers"
+
+let rows_field fields =
+  match field fields "rows" with
+  | Some (Json.List rows) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.List cells :: rest ->
+        let rec cells_go cacc = function
+          | [] -> Ok (List.rev cacc)
+          | c :: cs ->
+            (match value_of_json c with
+             | Ok v -> cells_go (v :: cacc) cs
+             | Error _ as e -> e)
+        in
+        (match cells_go [] cells with
+         | Ok row -> go (row :: acc) rest
+         | Error _ as e -> e)
+      | _ :: _ -> Error "each row must be a list of cells"
+    in
+    go [] rows
+  | Some _ -> Error "field \"rows\" must be a list of rows"
+  | None -> Error "missing field \"rows\""
+
+let ( let* ) = Result.bind
+
+let of_json = function
+  | Json.Obj fields ->
+    let* op = str_field fields "op" in
+    (match op with
+     | "ping" -> Ok Ping
+     | "stats" -> Ok Stats
+     | "shutdown" -> Ok Shutdown
+     | "open" ->
+       let* path = opt_str_field fields "path" in
+       let* source = opt_str_field fields "source" in
+       let* name = opt_str_field fields "name" in
+       if path = None && source = None then
+         Error "open needs a \"path\" or a \"source\" field"
+       else Ok (Open { path; source; name })
+     | "rcdp" | "rcqp" | "audit" ->
+       let* session = str_field fields "session" in
+       let* query = str_field fields "query" in
+       let* nocache = bool_field_default fields "nocache" false in
+       Ok
+         (match op with
+          | "rcdp" -> Rcdp { session; query; nocache }
+          | "rcqp" -> Rcqp { session; query; nocache }
+          | _ -> Audit { session; query; nocache })
+     | "insert" ->
+       let* session = str_field fields "session" in
+       let* rel = str_field fields "rel" in
+       let* rows = rows_field fields in
+       Ok (Insert { session; rel; rows })
+     | "close" ->
+       let* session = str_field fields "session" in
+       Ok (Close { session })
+     | other -> Error (Printf.sprintf "unknown op %S" other))
+  | _ -> Error "a request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding (client side). *)
+
+let json_of_value = function
+  | Value.Int n -> Json.Int n
+  | Value.Str s -> Json.Str s
+
+let opt k = function Some s -> [ (k, Json.Str s) ] | None -> []
+
+let to_json req =
+  let op = ("op", Json.Str (op_name req)) in
+  match req with
+  | Ping | Stats | Shutdown -> Json.Obj [ op ]
+  | Open { path; source; name } ->
+    Json.Obj ((op :: opt "path" path) @ opt "source" source @ opt "name" name)
+  | Rcdp { session; query; nocache }
+  | Rcqp { session; query; nocache }
+  | Audit { session; query; nocache } ->
+    Json.Obj
+      ([ op; ("session", Json.Str session); ("query", Json.Str query) ]
+      @ if nocache then [ ("nocache", Json.Bool true) ] else [])
+  | Insert { session; rel; rows } ->
+    Json.Obj
+      [
+        op;
+        ("session", Json.Str session);
+        ("rel", Json.Str rel);
+        ("rows", Json.List (List.map (fun row -> Json.List (List.map json_of_value row)) rows));
+      ]
+  | Close { session } -> Json.Obj [ op; ("session", Json.Str session) ]
+
+(* ------------------------------------------------------------------ *)
+(* Framing. *)
+
+exception Frame_error of string
+
+let max_frame = 16 * 1024 * 1024
+
+(* Once the first header byte has arrived we are mid-frame: retry on
+   receive timeouts rather than letting them desynchronise the stream.
+   Only the very first read of a frame (in {!read_frame}) lets EAGAIN
+   through, as the server's idle-poll point. *)
+let rec read_retry fd buf ofs len =
+  try Unix.read fd buf ofs len
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    read_retry fd buf ofs len
+
+let really_read fd buf ofs len =
+  let rec go ofs remaining =
+    if remaining > 0 then begin
+      let n = read_retry fd buf ofs remaining in
+      if n = 0 then raise (Frame_error "connection closed mid-frame");
+      go (ofs + n) (remaining - n)
+    end
+  in
+  go ofs len
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  let n = Unix.read fd header 0 4 in
+  if n = 0 then None
+  else begin
+    if n < 4 then really_read fd header n (4 - n);
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len <= 0 || len > max_frame then
+      raise (Frame_error (Printf.sprintf "invalid frame length %d" len));
+    let payload = Bytes.create len in
+    really_read fd payload 0 len;
+    Some (Bytes.unsafe_to_string payload)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame then
+    raise (Frame_error (Printf.sprintf "frame of %d bytes exceeds the %d limit" len max_frame));
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  let rec go ofs remaining =
+    if remaining > 0 then begin
+      let n = Unix.write fd buf ofs remaining in
+      go (ofs + n) (remaining - n)
+    end
+  in
+  go 0 (4 + len)

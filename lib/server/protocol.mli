@@ -1,0 +1,88 @@
+(** The [ricd] wire protocol.
+
+    Requests and responses are single JSON values framed with a 4-byte
+    big-endian length prefix.  A client writes [<u32 length><payload>]
+    and reads one framed response per request; it may pipeline several
+    requests on one connection.  Payloads use {!Ric_text.Json} — the
+    same encoding the CLI's [--json] mode emits.
+
+    {2 Requests}
+
+    {v
+    {"op": "ping"}
+    {"op": "open", "path": "scenarios/crm.ric"}         # server-side file
+    {"op": "open", "source": "schema R(a). ...",
+     "name": "inline"}                                  # inline scenario
+    {"op": "rcdp",  "session": "s1", "query": "Q0"}
+    {"op": "rcqp",  "session": "s1", "query": "Q0"}
+    {"op": "audit", "session": "s1", "query": "Q0"}
+    {"op": "insert", "session": "s1", "rel": "Cust",
+     "rows": [["c2", "carol", 908]]}
+    {"op": "close", "session": "s1"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+    v}
+
+    [rcdp]/[rcqp]/[audit] accept an optional ["nocache": true] field
+    that bypasses the verdict cache (used by the benches to measure
+    raw decider throughput).
+
+    {2 Responses}
+
+    Every response is an object with an ["ok"] boolean.  Failures look
+    like [{"ok": false, "kind": "unknown_session", "error": "..."}].
+    Verdict responses carry the session epoch, cache provenance and
+    the decider's latency:
+
+    {v
+    {"ok": true, "session": "s1", "query": "Q0", "epoch": 0,
+     "cached": false, "revalidated": false, "elapsed_us": 412,
+     "result": {"verdict": "incomplete", ...}}
+    v} *)
+
+open Ric_relational
+
+type request =
+  | Ping
+  | Open of { path : string option; source : string option; name : string option }
+  | Rcdp of { session : string; query : string; nocache : bool }
+  | Rcqp of { session : string; query : string; nocache : bool }
+  | Audit of { session : string; query : string; nocache : bool }
+  | Insert of { session : string; rel : string; rows : Value.t list list }
+  | Close of { session : string }
+  | Stats
+  | Shutdown
+
+val of_json : Ric_text.Json.t -> (request, string) result
+(** Decode a request object; the error names the missing or ill-typed
+    field. *)
+
+val to_json : request -> Ric_text.Json.t
+(** Encode a request (the client side of the protocol). *)
+
+val op_name : request -> string
+(** The ["op"] string, for logs and stats. *)
+
+val error : ?kind:string -> string -> Ric_text.Json.t
+(** [{"ok": false, "kind": kind, "error": msg}] (kind defaults to
+    ["error"]). *)
+
+(* ------------------------------------------------------------------ *)
+(** {2 Framing} *)
+
+exception Frame_error of string
+(** A malformed frame: truncated length prefix, truncated payload, or
+    a length outside [1 .. max_frame]. *)
+
+val max_frame : int
+(** Refuse frames larger than this (16 MiB) rather than letting a
+    corrupt length prefix allocate unboundedly. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame.  [None] on a clean EOF before the first length
+    byte.  @raise Frame_error on a malformed frame; Unix errors
+    (including receive timeouts) pass through. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame.  @raise Frame_error if the payload exceeds
+    {!max_frame}. *)

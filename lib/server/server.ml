@@ -1,0 +1,106 @@
+module Json = Ric_text.Json
+
+type config = {
+  socket_path : string;
+  domains : int;
+  queue_capacity : int;
+  root : string option;
+}
+
+let default_config =
+  { socket_path = "/tmp/ricd.sock"; domains = 2; queue_capacity = 64; root = None }
+
+let src = Logs.Src.create "ricd" ~doc:"the ric completeness-checking daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* A worker parks in [read_frame] between requests; this receive
+   timeout is its poll interval on the shutdown flag, so an idle
+   keep-alive connection cannot wedge {!Pool.shutdown}. *)
+let idle_poll_s = 0.25
+
+let serve_connection service fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO idle_poll_s
+   with Unix.Unix_error _ -> ());
+  let rec loop () =
+    if Service.shutdown_requested service then ()
+    else
+      match Protocol.read_frame fd with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        loop ()
+      | None -> () (* client hung up *)
+      | Some payload ->
+        let t0 = Unix.gettimeofday () in
+        let op, response =
+          match Json.of_string payload with
+          | exception Json.Parse_error (msg, line, col) ->
+            ( "?",
+              Protocol.error ~kind:"parse_error"
+                (Printf.sprintf "request is not JSON: %d:%d: %s" line col msg) )
+          | json ->
+            (match Protocol.of_json json with
+             | Error msg -> ("?", Protocol.error ~kind:"bad_request" msg)
+             | Ok req -> (Protocol.op_name req, Service.handle service req))
+        in
+        Protocol.write_frame fd (Json.to_string response);
+        Log.info (fun m ->
+            m "op=%s elapsed_us=%d" op
+              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
+        loop ()
+  in
+  (try loop () with
+   | Protocol.Frame_error msg -> Log.warn (fun m -> m "dropping connection: %s" msg)
+   | Unix.Unix_error (e, _, _) ->
+     Log.warn (fun m -> m "dropping connection: %s" (Unix.error_message e)));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Refuse to steal the socket from a live daemon, but clear out a
+   stale file left by a crashed one. *)
+let prepare_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let run config =
+  (match Sys.os_type with
+   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   | _ -> ());
+  let service = Service.create ?root:config.root () in
+  prepare_socket_path config.socket_path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen sock 64;
+  let pool =
+    Pool.create ~domains:config.domains ~capacity:config.queue_capacity
+      ~worker:(serve_connection service)
+  in
+  Log.app (fun m ->
+      m "ricd listening on %s (%d worker domain%s)" config.socket_path
+        (Pool.domains pool)
+        (if Pool.domains pool = 1 then "" else "s"));
+  let rec accept_loop () =
+    if Service.shutdown_requested service then ()
+    else begin
+      (match Unix.select [ sock ] [] [] idle_poll_s with
+       | [ _ ], _, _ ->
+         (match Unix.accept sock with
+          | fd, _ -> if not (Pool.submit pool fd) then Unix.close fd
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
+       | _ -> ()
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  Log.app (fun m -> m "ricd shutting down");
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Pool.shutdown pool

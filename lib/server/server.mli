@@ -1,0 +1,31 @@
+(** [ricd]: the completeness-checking daemon.
+
+    Listens on a Unix-domain socket, frames requests per {!Protocol},
+    and serves each accepted connection on one domain of a {!Pool} —
+    concurrent connections run in parallel up to [domains].  Request
+    and latency logs go through the [logs] library under the ["ricd"]
+    source; install a reporter (the CLI uses [Logs_fmt]) to see them.
+
+    {!run} blocks until a [shutdown] request arrives, then stops
+    accepting, drains in-flight connections and removes the socket
+    file. *)
+
+type config = {
+  socket_path : string;
+  domains : int;  (** worker domains serving connections (min 1) *)
+  queue_capacity : int;
+      (** accepted-but-unserved connection backlog before the accept
+          loop blocks (backpressure) *)
+  root : string option;  (** base directory for [open] paths *)
+}
+
+val default_config : config
+(** [/tmp/ricd.sock], 2 domains, capacity 64, no root. *)
+
+val src : Logs.src
+(** The ["ricd"] log source. *)
+
+val run : config -> unit
+(** @raise Unix.Unix_error when the socket cannot be bound (e.g. a
+    live daemon already owns it — a stale socket file is unlinked
+    automatically and does not count). *)

@@ -1,0 +1,433 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+module Json = Ric_text.Json
+module Report = Ric_text.Report
+module Scenario = Ric_text.Scenario
+
+type t = {
+  registry : Session.registry;
+  cache : Cache.t;
+  mutex : Mutex.t;
+  root : string option;
+  started_at : float;
+  stop : bool Atomic.t;
+  op_counts : (string, int) Hashtbl.t;
+  mutable requests : int;
+}
+
+let create ?root () =
+  {
+    registry = Session.create ();
+    cache = Cache.create ();
+    mutex = Mutex.create ();
+    root;
+    started_at = Unix.gettimeofday ();
+    stop = Atomic.make false;
+    op_counts = Hashtbl.create 8;
+    requests = 0;
+  }
+
+let shutdown_requested t = Atomic.get t.stop
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+    Mutex.unlock t.mutex;
+    v
+  | exception e ->
+    Mutex.unlock t.mutex;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Response builders. *)
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let violation_json (cc, witness) =
+  Json.Obj [ ("constraint", Json.Str cc); ("witness", Report.tuple witness) ]
+
+let not_closed_result v =
+  Json.Obj
+    [
+      ("verdict", Json.Str "not_partially_closed");
+      ("violation", violation_json v);
+    ]
+
+let unsupported_result msg =
+  Json.Obj [ ("verdict", Json.Str "unsupported"); ("reason", Json.Str msg) ]
+
+let verdict_response ~session ~query ~epoch ~cached ~revalidated ~elapsed_us result =
+  ok
+    [
+      ("session", Json.Str session);
+      ("query", Json.Str query);
+      ("epoch", Json.Int epoch);
+      ("cached", Json.Bool cached);
+      ("revalidated", Json.Bool revalidated);
+      ("elapsed_us", Json.Int elapsed_us);
+      ("result", result);
+    ]
+
+let elapsed_us t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* open *)
+
+let load_scenario t ~path ~source =
+  match (path, source) with
+  | Some p, _ ->
+    let resolved =
+      match t.root with
+      | Some root when Filename.is_relative p -> Filename.concat root p
+      | _ -> p
+    in
+    (match Scenario.load resolved with
+     | s -> Ok (s, Some p)
+     | exception Scenario.Parse_error (msg, line, col) ->
+       Error
+         (Protocol.error ~kind:"parse_error"
+            (Printf.sprintf "%s:%d:%d: %s" resolved line col msg))
+     | exception Sys_error msg -> Error (Protocol.error ~kind:"io_error" msg))
+  | None, Some src ->
+    (match Scenario.parse src with
+     | s -> Ok (s, None)
+     | exception Scenario.Parse_error (msg, line, col) ->
+       Error
+         (Protocol.error ~kind:"parse_error"
+            (Printf.sprintf "<inline>:%d:%d: %s" line col msg)))
+  | None, None -> Error (Protocol.error ~kind:"bad_request" "open needs a path or a source")
+
+let handle_open t ~path ~source ~name =
+  match load_scenario t ~path ~source with
+  | Error e -> e
+  | Ok (scenario, _) ->
+    let s =
+      with_lock t (fun () -> Session.open_scenario t.registry ?name scenario)
+    in
+    ok
+      ([
+         ("session", Json.Str s.Session.id);
+         ("epoch", Json.Int s.Session.epoch);
+         ("queries", Json.List (List.map (fun q -> Json.Str q) (Session.query_names s)));
+         ("constraints", Json.Int (List.length (Scenario.all_ccs scenario)));
+         ("partially_closed", Json.Bool (Session.partially_closed s));
+       ]
+      @
+      match s.Session.closure_violation with
+      | Some v -> [ ("violation", violation_json v) ]
+      | None -> [])
+
+(* ------------------------------------------------------------------ *)
+(* rcdp / rcqp / audit *)
+
+type snapshot = {
+  sn_db : Database.t;
+  sn_epoch : int;
+  sn_fingerprint : string;
+  sn_violation : (string * Tuple.t) option;
+  sn_scenario : Scenario.t;
+  sn_query : Lang.t;
+}
+
+let snapshot t ~session ~query =
+  with_lock t (fun () ->
+      match Session.find t.registry session with
+      | None ->
+        Error
+          (Protocol.error ~kind:"unknown_session"
+             (Printf.sprintf "unknown session %S (%d open)" session
+                (Session.count t.registry)))
+      | Some s ->
+        (match Session.find_query s query with
+         | None ->
+           Error
+             (Protocol.error ~kind:"unknown_query"
+                (Printf.sprintf "session %s has no query %S; available: %s" session query
+                   (String.concat ", " (Session.query_names s))))
+         | Some q ->
+           Ok
+             {
+               sn_db = s.Session.db;
+               sn_epoch = s.Session.epoch;
+               sn_fingerprint = s.Session.ccs_fingerprint;
+               sn_violation = s.Session.closure_violation;
+               sn_scenario = s.Session.scenario;
+               sn_query = q;
+             }))
+
+(* serve one epoch-keyed decide (rcdp or audit) through the cache *)
+let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
+  match sn.sn_violation with
+  | Some v ->
+    (* not partially closed: the problem is undefined here — answer
+       without caching (the violation is epoch-stable anyway) *)
+    verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
+      ~elapsed_us:0 (not_closed_result v)
+  | None ->
+    let hit =
+      if nocache then None else with_lock t (fun () -> Cache.find t.cache key)
+    in
+    (match hit with
+     | Some e ->
+       verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:true
+         ~revalidated:e.Cache.revalidated ~elapsed_us:e.Cache.elapsed_us e.Cache.result
+     | None ->
+       let t0 = Unix.gettimeofday () in
+       let result, rcdp = compute sn in
+       let elapsed = elapsed_us t0 in
+       if not nocache then
+         with_lock t (fun () ->
+             (* store only if the session is still at the snapshot
+                epoch — otherwise the key is already stale *)
+             match Session.find t.registry session with
+             | Some s when s.Session.epoch = sn.sn_epoch ->
+               Cache.store t.cache key
+                 {
+                   Cache.kind;
+                   query;
+                   result;
+                   rcdp;
+                   elapsed_us = elapsed;
+                   revalidated = false;
+                 }
+             | _ -> ());
+       verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
+         ~elapsed_us:elapsed result)
+
+let compute_rcdp sn =
+  let sc = sn.sn_scenario in
+  match
+    (* partial closure is tracked per-session and already checked;
+       skip the decider's own O(|V|) re-verification *)
+    Rcdp.decide ~check_partially_closed:false ~schema:sc.Scenario.db_schema
+      ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
+  with
+  | verdict -> (Report.rcdp_verdict verdict, Some verdict)
+  | exception Rcdp.Unsupported msg -> (unsupported_result msg, None)
+
+let compute_audit sn =
+  let sc = sn.sn_scenario in
+  match
+    Guidance.audit ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+      ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
+  with
+  | result -> (Report.audit_result result, None)
+  | exception Rcdp.Unsupported msg -> (unsupported_result msg, None)
+  | exception Rcqp.Unsupported msg -> (unsupported_result msg, None)
+
+let handle_rcdp t ~session ~query ~nocache =
+  match snapshot t ~session ~query with
+  | Error e -> e
+  | Ok sn ->
+    let key =
+      Cache.rcdp_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
+    in
+    cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~key ~compute:compute_rcdp
+      sn
+
+let handle_audit t ~session ~query ~nocache =
+  match snapshot t ~session ~query with
+  | Error e -> e
+  | Ok sn ->
+    let key =
+      Cache.audit_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
+    in
+    cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~key ~compute:compute_audit
+      sn
+
+let handle_rcqp t ~session ~query ~nocache =
+  match snapshot t ~session ~query with
+  | Error e -> e
+  | Ok sn ->
+    (* RCQP never looks at D: no epoch in the key, no closure guard *)
+    let key = Cache.rcqp_key ~session ~fingerprint:sn.sn_fingerprint ~query in
+    let hit = if nocache then None else with_lock t (fun () -> Cache.find t.cache key) in
+    (match hit with
+     | Some e ->
+       verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:true
+         ~revalidated:e.Cache.revalidated ~elapsed_us:e.Cache.elapsed_us e.Cache.result
+     | None ->
+       let sc = sn.sn_scenario in
+       let t0 = Unix.gettimeofday () in
+       let result =
+         match
+           Rcqp.decide ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+             ~ccs:(Scenario.all_ccs sc) sn.sn_query
+         with
+         | verdict -> Report.rcqp_verdict verdict
+         | exception Rcqp.Unsupported msg -> unsupported_result msg
+       in
+       let elapsed = elapsed_us t0 in
+       if not nocache then
+         with_lock t (fun () ->
+             if Session.find t.registry session <> None then
+               Cache.store t.cache key
+                 {
+                   Cache.kind = Cache.K_rcqp;
+                   query;
+                   result;
+                   rcdp = None;
+                   elapsed_us = elapsed;
+                   revalidated = false;
+                 });
+       verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
+         ~elapsed_us:elapsed result)
+
+(* ------------------------------------------------------------------ *)
+(* insert: apply, then migrate the old epoch's cache entries *)
+
+let revalidate_cex (scenario : Scenario.t) ~db (cex : Rcdp.counterexample) q =
+  let extended = Database.union db cex.Rcdp.cex_extension in
+  Containment.holds_all ~db:extended ~master:scenario.Scenario.master
+    (Scenario.all_ccs scenario)
+  && Relation.mem cex.Rcdp.cex_answer (Lang.eval extended q)
+  && not (Relation.mem cex.Rcdp.cex_answer (Lang.eval db q))
+
+let handle_insert t ~session ~rel ~rows =
+  with_lock t (fun () ->
+      match Session.find t.registry session with
+      | None ->
+        Protocol.error ~kind:"unknown_session" (Printf.sprintf "unknown session %S" session)
+      | Some s ->
+        let old_epoch = s.Session.epoch in
+        (match Session.insert s ~rel ~rows with
+         | Error msg -> Protocol.error ~kind:"bad_insert" msg
+         | Ok () ->
+           let new_epoch = s.Session.epoch in
+           let fingerprint = s.Session.ccs_fingerprint in
+           let old_prefix = Cache.epoch_prefix ~session ~epoch:old_epoch in
+           let entries =
+             Cache.fold_prefix t.cache ~prefix:old_prefix
+               (fun acc key e -> (key, e) :: acc)
+               []
+           in
+           List.iter (fun (key, _) -> Cache.remove t.cache key) entries;
+           let carried = ref 0 and revalidated = ref 0 and dropped = ref 0 in
+           if Session.partially_closed s then
+             List.iter
+               (fun (_, e) ->
+                 let keep ~why =
+                   let key =
+                     match e.Cache.kind with
+                     | Cache.K_rcdp ->
+                       Cache.rcdp_key ~session ~fingerprint ~epoch:new_epoch
+                         ~query:e.Cache.query
+                     | Cache.K_audit ->
+                       Cache.audit_key ~session ~fingerprint ~epoch:new_epoch
+                         ~query:e.Cache.query
+                     | Cache.K_rcqp -> assert false (* not epoch-keyed *)
+                   in
+                   Cache.store t.cache key { e with Cache.revalidated = true };
+                   Cache.note_carried t.cache;
+                   incr why
+                 in
+                 match (e.Cache.kind, e.Cache.rcdp) with
+                 | Cache.K_rcdp, Some Rcdp.Complete ->
+                   (* completeness is monotone under admissible growth:
+                      every partially closed D″ ⊇ D′ extends D too *)
+                   keep ~why:carried
+                 | Cache.K_rcdp, Some (Rcdp.Incomplete cex) ->
+                   (match Session.find_query s e.Cache.query with
+                    | Some q
+                      when revalidate_cex s.Session.scenario ~db:s.Session.db cex q ->
+                      keep ~why:revalidated
+                    | _ -> incr dropped)
+                 | _ -> incr dropped)
+               entries
+           else dropped := List.length entries;
+           Cache.note_dropped t.cache !dropped;
+           ok
+             ([
+                ("session", Json.Str session);
+                ("epoch", Json.Int new_epoch);
+                ("inserted", Json.Int (List.length rows));
+                ("partially_closed", Json.Bool (Session.partially_closed s));
+                ( "cache",
+                  Json.Obj
+                    [
+                      ("carried", Json.Int !carried);
+                      ("revalidated", Json.Int !revalidated);
+                      ("dropped", Json.Int !dropped);
+                    ] );
+              ]
+             @
+             match s.Session.closure_violation with
+             | Some v -> [ ("violation", violation_json v) ]
+             | None -> [])))
+
+(* ------------------------------------------------------------------ *)
+(* the rest *)
+
+let handle_close t ~session =
+  with_lock t (fun () ->
+      let existed = Session.close t.registry session in
+      let purged =
+        Cache.remove_prefix t.cache ~prefix:(Cache.session_prefix ~session)
+      in
+      if existed then ok [ ("closed", Json.Str session); ("purged", Json.Int purged) ]
+      else
+        Protocol.error ~kind:"unknown_session" (Printf.sprintf "unknown session %S" session))
+
+let handle_stats t =
+  with_lock t (fun () ->
+      let sessions =
+        List.map
+          (fun s ->
+            Json.Obj
+              ([
+                 ("id", Json.Str s.Session.id);
+                 ("epoch", Json.Int s.Session.epoch);
+                 ("tuples", Json.Int (Database.total_tuples s.Session.db));
+                 ("partially_closed", Json.Bool (Session.partially_closed s));
+               ]
+              @
+              match s.Session.name with
+              | Some n -> [ ("name", Json.Str n) ]
+              | None -> []))
+          (List.sort
+             (fun a b -> compare a.Session.id b.Session.id)
+             (Session.list t.registry))
+      in
+      let cs = Cache.stats t.cache in
+      let ops =
+        Hashtbl.fold (fun op n acc -> (op, Json.Int n) :: acc) t.op_counts []
+        |> List.sort compare
+      in
+      ok
+        [
+          ("uptime_s", Json.Int (int_of_float (Unix.gettimeofday () -. t.started_at)));
+          ("requests", Json.Int t.requests);
+          ("ops", Json.Obj ops);
+          ("sessions", Json.List sessions);
+          ( "cache",
+            Json.Obj
+              [
+                ("entries", Json.Int cs.Cache.entries);
+                ("hits", Json.Int cs.Cache.hits);
+                ("misses", Json.Int cs.Cache.misses);
+                ("carried", Json.Int cs.Cache.carried);
+                ("dropped", Json.Int cs.Cache.dropped);
+              ] );
+        ])
+
+let handle t req =
+  with_lock t (fun () ->
+      t.requests <- t.requests + 1;
+      let op = Protocol.op_name req in
+      Hashtbl.replace t.op_counts op
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.op_counts op)));
+  match req with
+  | Protocol.Ping -> ok [ ("pong", Json.Bool true) ]
+  | Protocol.Open { path; source; name } -> handle_open t ~path ~source ~name
+  | Protocol.Rcdp { session; query; nocache } -> handle_rcdp t ~session ~query ~nocache
+  | Protocol.Rcqp { session; query; nocache } -> handle_rcqp t ~session ~query ~nocache
+  | Protocol.Audit { session; query; nocache } -> handle_audit t ~session ~query ~nocache
+  | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
+  | Protocol.Close { session } -> handle_close t ~session
+  | Protocol.Stats -> handle_stats t
+  | Protocol.Shutdown ->
+    Atomic.set t.stop true;
+    ok [ ("stopping", Json.Bool true) ]

@@ -1,0 +1,32 @@
+(** The [ricd] request brain: session registry + verdict cache +
+    decider dispatch, independent of any transport.
+
+    {!handle} is safe to call concurrently from many domains: registry
+    and cache bookkeeping is serialised behind one mutex, while the
+    deciders themselves run {e outside} the lock on immutable
+    snapshots of [(D, Dm, V, Q)] — so two RCDP requests on different
+    (or even the same) sessions compute in parallel, and a slow Σ₂ᵖ
+    decide never blocks a cache hit.  Two identical simultaneous
+    misses may both compute; the second store is harmless
+    (last-writer-wins on equal verdicts).
+
+    The cache policy on [insert] is the subsystem's point: see
+    {!Cache} for the monotonicity argument, and the [cached] /
+    [revalidated] response fields for how provenance is surfaced to
+    clients. *)
+
+type t
+
+val create : ?root:string -> unit -> t
+(** [root] anchors relative [path]s of [open] requests (defaults to
+    the daemon's working directory). *)
+
+val handle : t -> Protocol.request -> Ric_text.Json.t
+(** Serve one request.  Never raises: malformed scenarios, unknown
+    sessions/queries/relations and unsupported language combinations
+    all come back as JSON (either [{"ok": false, ...}] or an
+    ["unsupported"] verdict).  A [Shutdown] request flips
+    {!shutdown_requested} and still returns a response for the
+    transport to flush. *)
+
+val shutdown_requested : t -> bool

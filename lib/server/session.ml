@@ -1,0 +1,88 @@
+open Ric_relational
+open Ric_constraints
+module Scenario = Ric_text.Scenario
+
+type t = {
+  id : string;
+  name : string option;
+  scenario : Scenario.t;
+  ccs_fingerprint : string;
+  mutable db : Database.t;
+  mutable epoch : int;
+  mutable closure_violation : (string * Tuple.t) option;
+}
+
+let partially_closed s = s.closure_violation = None
+
+let find_query s name = Scenario.find_query s.scenario name
+
+let query_names s = List.map fst s.scenario.Scenario.queries
+
+type registry = {
+  sessions : (string, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () = { sessions = Hashtbl.create 16; next_id = 1 }
+
+let fingerprint (scenario : Scenario.t) =
+  let printed =
+    String.concat ";"
+      (List.map
+         (fun (name, cc) -> name ^ "=" ^ Format.asprintf "%a" Containment.pp cc)
+         scenario.Scenario.ccs)
+  in
+  Digest.to_hex (Digest.string printed)
+
+let check_closure (scenario : Scenario.t) db =
+  match
+    Containment.first_violation ~db ~master:scenario.Scenario.master
+      (Scenario.all_ccs scenario)
+  with
+  | Some (cc, witness) -> Some (cc.Containment.cc_name, witness)
+  | None -> None
+
+let open_scenario reg ?name scenario =
+  let id = Printf.sprintf "s%d" reg.next_id in
+  reg.next_id <- reg.next_id + 1;
+  let db = scenario.Scenario.db in
+  let s =
+    {
+      id;
+      name;
+      scenario;
+      ccs_fingerprint = fingerprint scenario;
+      db;
+      epoch = 0;
+      closure_violation = check_closure scenario db;
+    }
+  in
+  Hashtbl.replace reg.sessions id s;
+  s
+
+let find reg id = Hashtbl.find_opt reg.sessions id
+
+let close reg id =
+  if Hashtbl.mem reg.sessions id then begin
+    Hashtbl.remove reg.sessions id;
+    true
+  end
+  else false
+
+let count reg = Hashtbl.length reg.sessions
+
+let list reg = Hashtbl.fold (fun _ s acc -> s :: acc) reg.sessions []
+
+let insert s ~rel ~rows =
+  match
+    List.fold_left (fun db row -> Database.add_tuple db rel (Tuple.make row)) s.db rows
+  with
+  | db ->
+    s.db <- db;
+    s.epoch <- s.epoch + 1;
+    (* a violation is monotone: once broken, stay broken without
+       re-searching; otherwise re-check against the grown database *)
+    if partially_closed s then s.closure_violation <- check_closure s.scenario db;
+    Ok ()
+  | exception Invalid_argument msg -> Error msg
+  | exception Not_found -> Error (Printf.sprintf "unknown relation %S" rel)

@@ -1,0 +1,64 @@
+(** The session registry: each session pins one parsed [.ric] scenario
+    — master data [Dm], constraints [V], queries — plus a {e mutable}
+    database [D] that grows through [insert] requests, so repeated
+    RCDP/RCQP requests never re-parse or re-load anything.
+
+    The [epoch] counts database mutations; it keys the verdict cache,
+    so stale verdicts are unreachable by construction.  Partial
+    closure [(D, Dm) ⊨ V] is re-checked after every insert: the paper
+    only defines RCDP on partially closed databases, and the first
+    violated constraint is kept for error reporting.
+
+    This module performs no locking; {!Service} serialises all access
+    to a registry behind its own mutex. *)
+
+open Ric_relational
+
+type t = {
+  id : string;  (** registry-unique, of the form ["s1"], ["s2"], ... *)
+  name : string option;  (** client-supplied label, for logs *)
+  scenario : Ric_text.Scenario.t;  (** immutable: schemas, [Dm], [V], queries *)
+  ccs_fingerprint : string;
+      (** digest of the printed constraint set — part of every cache
+          key, so two sessions over different [V] can never share a
+          verdict *)
+  mutable db : Database.t;
+  mutable epoch : int;  (** bumped by every successful {!insert} *)
+  mutable closure_violation : (string * Tuple.t) option;
+      (** [Some (cc_name, witness)] when [(D, Dm) ⊭ V] *)
+}
+
+val partially_closed : t -> bool
+
+val find_query : t -> string -> Ric_query.Lang.t option
+
+val query_names : t -> string list
+
+type registry
+
+val create : unit -> registry
+
+val open_scenario : registry -> ?name:string -> Ric_text.Scenario.t -> t
+(** Register a freshly parsed scenario under a new session id, with
+    its partial-closure status already computed. *)
+
+val find : registry -> string -> t option
+
+val close : registry -> string -> bool
+(** [false] when the id is unknown. *)
+
+val count : registry -> int
+
+val list : registry -> t list
+
+val insert : t -> rel:string -> rows:Value.t list list -> (unit, string) result
+(** Add tuples to relation [rel] of the session's database, bump the
+    epoch and re-check partial closure.  [Error] (schema violations —
+    unknown relation, wrong arity, value outside a finite attribute
+    domain) leaves the session untouched.  An insert that breaks a
+    containment constraint {e succeeds} — the session records the
+    violation and RCDP/audit requests then answer
+    [not_partially_closed].  Because every supported [LC] is
+    monotone, a violation can never be repaired by further inserts;
+    it is the client's signal to fix its feed and open a fresh
+    session. *)

@@ -35,4 +35,9 @@ val tokenize : string -> positioned list
 (** Comments run from [#] to end of line.  @raise Lex_error on an
     illegal character or an unterminated string. *)
 
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+(** Character classes of {!IDENT} tokens; the printer uses them to
+    decide whether a string value can be emitted bare. *)
+
 val describe : token -> string

@@ -382,8 +382,10 @@ let build acc =
           with Not_found -> fail_at p (Printf.sprintf "relation %S has no attribute %S" rel a)
         in
         let fd = Fd.make ~name ~rel ~lhs:(List.map col lhs) ~rhs:(List.map col rhs) () in
+        (* '-' keeps the derived name a single lexer identifier, so a
+           printed scenario re-parses ('#' would start a comment) *)
         List.mapi
-          (fun i cc -> (Printf.sprintf "%s#%d" name i, cc))
+          (fun i cc -> (Printf.sprintf "%s-%d" name i, cc))
           (Translate.of_fd db_schema fd))
       acc.fds
   in
@@ -457,9 +459,17 @@ let as_cdatabase (t : t) =
 (* ------------------------------------------------------------------ *)
 (* Printing back. *)
 
+(* only strings that lex back as a single identifier may print bare;
+   anything else ("01", "b c", ...) needs quotes to survive a reprint *)
+let bare_ident s =
+  s <> ""
+  && Lexer.is_ident_start s.[0]
+  && String.for_all Lexer.is_ident_char s
+
 let pp_value ppf = function
   | Value.Int n -> Format.fprintf ppf "%d" n
-  | Value.Str s -> Format.fprintf ppf "%s" s
+  | Value.Str s when bare_ident s -> Format.fprintf ppf "%s" s
+  | Value.Str s -> Format.fprintf ppf "\"%s\"" s
 
 let pp_attr ppf (a : Schema.attribute) =
   match Domain.values a.Schema.attr_dom with

@@ -1,0 +1,67 @@
+#!/bin/sh
+# One-shot gate: full build, full test suite, then a live smoke test of
+# the ricd daemon — start it, issue one RCDP over the socket, assert a
+# well-formed JSON verdict, shut it down.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== ricd smoke test"
+SOCKET="${TMPDIR:-/tmp}/ricd-check-$$.sock"
+RIC="_build/default/bin/ric.exe"
+
+cleanup() {
+  "$RIC" shutdown -S "$SOCKET" >/dev/null 2>&1 || true
+  wait "${SERVER_PID:-$$}" 2>/dev/null || true
+  rm -f "$SOCKET"
+}
+trap cleanup EXIT INT TERM
+
+"$RIC" serve -S "$SOCKET" -d 2 &
+SERVER_PID=$!
+
+# wait for the socket to accept connections
+i=0
+until "$RIC" request ping -S "$SOCKET" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "FAIL: ricd did not come up on $SOCKET" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+OPEN=$("$RIC" request open scenarios/crm.ric -S "$SOCKET")
+echo "open:    $OPEN"
+case "$OPEN" in
+  '{"ok":true,"session":"'*) ;;
+  *) echo "FAIL: open did not return a session" >&2; exit 1 ;;
+esac
+SESSION=$(printf '%s' "$OPEN" | sed 's/.*"session":"\([^"]*\)".*/\1/')
+
+VERDICT=$("$RIC" request rcdp "$SESSION" Q0 -S "$SOCKET")
+echo "rcdp:    $VERDICT"
+case "$VERDICT" in
+  '{"ok":true,'*'"cached":false'*'"verdict":'*) ;;
+  *) echo "FAIL: rcdp response is not a well-formed verdict" >&2; exit 1 ;;
+esac
+
+# the second identical request must be served from the cache
+WARM=$("$RIC" request rcdp "$SESSION" Q0 -S "$SOCKET")
+echo "cached:  $WARM"
+case "$WARM" in
+  *'"cached":true'*) ;;
+  *) echo "FAIL: second identical request was not a cache hit" >&2; exit 1 ;;
+esac
+
+"$RIC" shutdown -S "$SOCKET" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "== all checks passed"

@@ -1,0 +1,170 @@
+(* Dedicated coverage for Ric_complete.Guidance: every audit verdict,
+   the replay loop's round accounting, and the shape of the collected
+   to-do list. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+
+let v = Term.var
+
+let schema =
+  Schema.make
+    [
+      Schema.relation "R"
+        [ Schema.attribute "a"; Schema.attribute ~dom:Domain.boolean "b" ];
+    ]
+
+let master_schema = Schema.make [ Schema.relation "M" [ Schema.attribute "x" ] ]
+
+let m_master ids =
+  Database.of_list master_schema
+    [ ("M", Relation.of_tuples (List.map (fun i -> Tuple.of_ints [ i ]) ids)) ]
+
+let bound_by_master =
+  Containment.make ~name:"bound"
+    (Lang.Q_cq (Cq.make ~head:[ v "x" ] [ Atom.make "R" [ v "x"; v "b" ] ]))
+    (Projection.proj "M" [ 0 ])
+
+let q_all = Lang.Q_cq (Cq.make ~head:[ v "x" ] [ Atom.make "R" [ v "x"; v "b" ] ])
+
+let audit ?max_rounds ?(ccs = [ bound_by_master ]) ~master ~db q =
+  Guidance.audit ?max_rounds ~schema ~master ~ccs ~db q
+
+let r_rows rows = Database.of_list schema [ ("R", Relation.of_int_rows rows) ]
+
+let check_completable name result ~master ~db q =
+  match result with
+  | Guidance.Completable { additions; completed; rounds } ->
+    Alcotest.(check bool) (name ^ ": at least one round") true (rounds >= 1);
+    Alcotest.(check bool) (name ^ ": something to collect") true
+      (Database.total_tuples additions >= 1);
+    (* the completed database is exactly db ∪ additions *)
+    Alcotest.(check int)
+      (name ^ ": completed = db + additions")
+      (Database.total_tuples completed)
+      (Database.total_tuples db + Database.total_tuples additions);
+    (* additions never repeat existing data *)
+    Alcotest.(check bool) (name ^ ": additions disjoint") true
+      (Relation.is_empty
+         (Relation.inter (Database.relation additions "R") (Database.relation db "R")));
+    (* and the decider agrees the result is complete *)
+    Alcotest.(check bool) (name ^ ": completed verified") true
+      (Rcdp.decide ~schema ~master ~ccs:[ bound_by_master ] ~db:completed q
+       = Rcdp.Complete)
+  | r -> Alcotest.failf "%s: expected completable, got %a" name Guidance.pp_audit r
+
+let test_already_complete () =
+  (* every admissible R row projects into M = {1}; both b-values present *)
+  let master = m_master [ 1 ] in
+  let db = r_rows [ [ 1; 0 ]; [ 1; 1 ] ] in
+  match audit ~master ~db q_all with
+  | Guidance.Already_complete -> ()
+  | r -> Alcotest.failf "expected already complete, got %a" Guidance.pp_audit r
+
+let test_completable_one_missing () =
+  let master = m_master [ 1; 2 ] in
+  let db = r_rows [ [ 1; 0 ]; [ 1; 1 ] ] in
+  let result = audit ~master ~db q_all in
+  check_completable "one missing" result ~master ~db q_all;
+  (* the missing master id must show up in the to-collect list *)
+  match result with
+  | Guidance.Completable { additions; _ } ->
+    Alcotest.(check bool) "collects an x=2 witness" true
+      (Relation.exists
+         (fun t -> Value.equal (Tuple.get t 0) (Value.int 2))
+         (Database.relation additions "R"))
+  | _ -> assert false
+
+let test_completable_multi_round () =
+  let master = m_master [ 1; 2; 3; 4 ] in
+  let db = r_rows [ [ 1; 0 ] ] in
+  let result = audit ~master ~db q_all in
+  check_completable "multi round" result ~master ~db q_all;
+  match result with
+  | Guidance.Completable { additions; _ } ->
+    (* three master ids are unrepresented: all must be collected *)
+    List.iter
+      (fun missing ->
+        Alcotest.(check bool)
+          (Printf.sprintf "collects x=%d" missing)
+          true
+          (Relation.exists
+             (fun t -> Value.equal (Tuple.get t 0) (Value.int missing))
+             (Database.relation additions "R")))
+      [ 2; 3; 4 ]
+  | _ -> assert false
+
+let test_completable_constant_query () =
+  (* a query selecting on the finite attribute still audits cleanly *)
+  let q_b = Lang.Q_cq (Cq.make ~head:[ v "x" ] [ Atom.make "R" [ v "x"; Term.int 1 ] ]) in
+  let master = m_master [ 1 ] in
+  let db = r_rows [ [ 1; 0 ] ] in
+  match audit ~master ~db q_b with
+  | Guidance.Completable { additions; _ } ->
+    Alcotest.(check bool) "collects the b=1 row" true
+      (Relation.mem (Tuple.of_ints [ 1; 1 ]) (Database.relation additions "R"))
+  | r -> Alcotest.failf "expected completable, got %a" Guidance.pp_audit r
+
+let test_not_completable_unconstrained () =
+  (* no constraint at all: any fresh tuple extends the answer forever *)
+  let master = m_master [ 1 ] in
+  let db = Database.empty schema in
+  match audit ~ccs:[] ~master ~db q_all with
+  | Guidance.Not_completable { reason } ->
+    Alcotest.(check bool) "reason is explained" true (String.length reason > 0)
+  | r -> Alcotest.failf "expected not completable, got %a" Guidance.pp_audit r
+
+let test_inconclusive_when_rounds_exhausted () =
+  let master = m_master [ 1; 2; 3 ] in
+  let db = r_rows [ [ 1; 0 ] ] in
+  match audit ~max_rounds:0 ~master ~db q_all with
+  | Guidance.Inconclusive { reason } ->
+    Alcotest.(check bool) "reason mentions the budget" true (String.length reason > 0)
+  | r -> Alcotest.failf "expected inconclusive, got %a" Guidance.pp_audit r
+
+let test_rounds_monotone_in_gap () =
+  (* a wider gap between db and the complete point cannot need fewer
+     rounds than a narrower one *)
+  let rounds_for master db =
+    match audit ~master ~db q_all with
+    | Guidance.Completable { rounds; _ } -> rounds
+    | r -> Alcotest.failf "expected completable, got %a" Guidance.pp_audit r
+  in
+  let narrow = rounds_for (m_master [ 1; 2 ]) (r_rows [ [ 1; 0 ] ]) in
+  let wide = rounds_for (m_master [ 1; 2; 3; 4; 5 ]) (r_rows [ [ 1; 0 ] ]) in
+  Alcotest.(check bool) "wide gap >= narrow gap" true (wide >= narrow)
+
+let test_pp_audit_renders () =
+  let master = m_master [ 1; 2 ] in
+  let db = r_rows [ [ 1; 0 ] ] in
+  List.iter
+    (fun result ->
+      Alcotest.(check bool) "pp output non-empty" true
+        (String.length (Format.asprintf "%a" Guidance.pp_audit result) > 0))
+    [
+      audit ~master ~db q_all;
+      audit ~master ~db:(r_rows [ [ 1; 0 ]; [ 1; 1 ]; [ 2; 0 ]; [ 2; 1 ] ]) q_all;
+      audit ~ccs:[] ~master ~db q_all;
+      audit ~max_rounds:0 ~master ~db q_all;
+    ]
+
+let () =
+  Alcotest.run "guidance"
+    [
+      ( "audit",
+        [
+          Alcotest.test_case "already complete" `Quick test_already_complete;
+          Alcotest.test_case "completable, one missing" `Quick test_completable_one_missing;
+          Alcotest.test_case "completable, multi round" `Quick test_completable_multi_round;
+          Alcotest.test_case "completable, constant query" `Quick
+            test_completable_constant_query;
+          Alcotest.test_case "not completable when unconstrained" `Quick
+            test_not_completable_unconstrained;
+          Alcotest.test_case "inconclusive when rounds exhausted" `Quick
+            test_inconclusive_when_rounds_exhausted;
+          Alcotest.test_case "rounds monotone in gap" `Quick test_rounds_monotone_in_gap;
+          Alcotest.test_case "pp renders" `Quick test_pp_audit_renders;
+        ] );
+    ]

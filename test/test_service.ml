@@ -1,0 +1,483 @@
+(* Tests for the ricd service subsystem: wire protocol encoding and
+   framing, the worker pool, the session registry + verdict cache
+   behind Service.handle, and a full client/server round trip over a
+   Unix-domain socket with concurrent sessions. *)
+
+open Ric_service
+module Json = Ric_text.Json
+
+(* ------------------------------------------------------------------ *)
+(* JSON response plumbing *)
+
+let obj_field k = function Json.Obj fs -> List.assoc_opt k fs | _ -> None
+
+let get k j =
+  match obj_field k j with
+  | Some v -> v
+  | None -> Alcotest.failf "no field %S in %s" k (Json.to_string j)
+
+let get_bool k j =
+  match get k j with
+  | Json.Bool b -> b
+  | _ -> Alcotest.failf "field %S is not a bool in %s" k (Json.to_string j)
+
+let get_int k j =
+  match get k j with
+  | Json.Int n -> n
+  | _ -> Alcotest.failf "field %S is not an int in %s" k (Json.to_string j)
+
+let get_str k j =
+  match get k j with
+  | Json.Str s -> s
+  | _ -> Alcotest.failf "field %S is not a string in %s" k (Json.to_string j)
+
+let assert_ok j =
+  if not (get_bool "ok" j) then Alcotest.failf "request failed: %s" (Json.to_string j)
+
+let verdict_of j = get_str "verdict" (get "result" j)
+
+(* ------------------------------------------------------------------ *)
+(* The test scenario: Cust/Supt bounded by master data.  Q and QS are
+   incomplete (admissible growth exists), QC is complete (no
+   admissible extension can add an alice row). *)
+
+let scenario_source =
+  {|
+  schema Cust(cid, name).
+  schema Supt(eid, cid).
+  master DCust(cid, name).
+  master DEmp(eid).
+  rows Cust { (c0, alice) }.
+  rows Supt { (e0, c0) }.
+  rows DCust { (c0, alice) (c1, bob) (c2, eve) }.
+  rows DEmp { (e0) }.
+  query Q(c, n) :- Cust(c, n).
+  query QS(e, c) :- Supt(e, c).
+  query QC(c) :- Cust(c, "alice").
+  constraint BC(c, n) :- Cust(c, n) => DCust[0, 1].
+  constraint BS(e) :- Supt(e, c) => DEmp[0].
+  constraint BS2(c) :- Supt(e, c) => DCust[0].
+|}
+
+let open_req ?name source =
+  Protocol.Open { path = None; source = Some source; name }
+
+let rcdp ?(nocache = false) session query = Protocol.Rcdp { session; query; nocache }
+let rcqp ?(nocache = false) session query = Protocol.Rcqp { session; query; nocache }
+let audit ?(nocache = false) session query = Protocol.Audit { session; query; nocache }
+
+let insert session rel rows =
+  Protocol.Insert
+    {
+      session;
+      rel;
+      rows = List.map (List.map (fun s -> Ric_relational.Value.Str s)) rows;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: request encode/decode round trip *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Protocol.Ping;
+      Protocol.Stats;
+      Protocol.Shutdown;
+      open_req ~name:"crm" "schema R(a).";
+      Protocol.Open { path = Some "scenarios/crm.ric"; source = None; name = None };
+      rcdp "s1" "Q0";
+      rcdp ~nocache:true "s1" "Q0";
+      rcqp "s2" "Q";
+      audit "s1" "Q2";
+      insert "s1" "Cust" [ [ "c1"; "bob" ] ];
+      Protocol.Insert
+        { session = "s1"; rel = "N"; rows = [ [ Ric_relational.Value.Int 42 ] ] };
+      Protocol.Close { session = "s1" };
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.of_json (Protocol.to_json req) with
+      | Ok req' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s round trips" (Protocol.op_name req))
+          true (req = req')
+      | Error m -> Alcotest.failf "%s failed to decode: %s" (Protocol.op_name req) m)
+    reqs
+
+let test_protocol_rejects () =
+  let bad =
+    [
+      Json.Int 3;
+      Json.Obj [];
+      Json.Obj [ ("op", Json.Str "teleport") ];
+      Json.Obj [ ("op", Json.Str "rcdp") ];
+      Json.Obj [ ("op", Json.Str "rcdp"); ("session", Json.Str "s1") ];
+      Json.Obj [ ("op", Json.Str "open") ];
+      Json.Obj
+        [
+          ("op", Json.Str "insert");
+          ("session", Json.Str "s1");
+          ("rel", Json.Str "R");
+          ("rows", Json.Str "nope");
+        ];
+      Json.Obj
+        [
+          ("op", Json.Str "insert");
+          ("session", Json.Str "s1");
+          ("rel", Json.Str "R");
+          ("rows", Json.List [ Json.List [ Json.Bool true ] ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      match Protocol.of_json j with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad request %s" (Json.to_string j))
+    bad
+
+let test_framing () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payloads = [ "x"; String.make 100_000 'y'; {|{"op":"ping"}|} ] in
+  List.iter (Protocol.write_frame a) payloads;
+  List.iter
+    (fun expected ->
+      match Protocol.read_frame b with
+      | Some got -> Alcotest.(check string) "frame payload" expected got
+      | None -> Alcotest.fail "unexpected EOF")
+    payloads;
+  Unix.close a;
+  (match Protocol.read_frame b with
+   | None -> ()
+   | Some _ -> Alcotest.fail "expected EOF after close");
+  Unix.close b;
+  Alcotest.(check bool) "oversized frame refused" true
+    (try
+       let c, _d = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Protocol.write_frame c (String.make (Protocol.max_frame + 1) 'z');
+       false
+     with Protocol.Frame_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_runs_everything () =
+  let counter = Atomic.make 0 in
+  let pool =
+    Pool.create ~domains:4 ~capacity:8 ~worker:(fun n ->
+        Atomic.set counter (Atomic.get counter + 0);
+        ignore (Atomic.fetch_and_add counter n))
+  in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "submitted" true (Pool.submit pool 1)
+  done;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all jobs ran" 100 (Atomic.get counter);
+  Alcotest.(check bool) "submit after shutdown refused" false (Pool.submit pool 1)
+
+(* ------------------------------------------------------------------ *)
+(* Service: sessions, cache, inserts (no sockets involved) *)
+
+let open_session service =
+  let r = Service.handle service (open_req scenario_source) in
+  assert_ok r;
+  get_str "session" r
+
+let test_service_open_and_errors () =
+  let service = Service.create () in
+  let r = Service.handle service (open_req scenario_source) in
+  assert_ok r;
+  Alcotest.(check bool) "partially closed" true (get_bool "partially_closed" r);
+  Alcotest.(check int) "constraints counted" 3 (get_int "constraints" r);
+  (* parse error carries a position *)
+  let bad = Service.handle service (open_req "schema R(a.") in
+  Alcotest.(check bool) "open rejects bad source" false (get_bool "ok" bad);
+  Alcotest.(check string) "kind" "parse_error" (get_str "kind" bad);
+  (* unknown session / unknown query *)
+  let r = Service.handle service (rcdp "nope" "Q") in
+  Alcotest.(check string) "unknown session" "unknown_session" (get_str "kind" r);
+  let sid = open_session service in
+  let r = Service.handle service (rcdp sid "Zzz") in
+  Alcotest.(check string) "unknown query" "unknown_query" (get_str "kind" r);
+  Alcotest.(check bool) "error lists queries" true
+    (let m = get_str "error" r in
+     let contains hay needle =
+       let rec go i =
+         i + String.length needle <= String.length hay
+         && (String.sub hay i (String.length needle) = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains m "QS" && contains m "QC")
+
+let test_service_cache_hit () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let first = Service.handle service (rcdp sid "Q") in
+  assert_ok first;
+  Alcotest.(check bool) "first is a miss" false (get_bool "cached" first);
+  Alcotest.(check string) "Q incomplete" "incomplete" (verdict_of first);
+  let second = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check bool) "second hits" true (get_bool "cached" second);
+  Alcotest.(check string) "same verdict" (Json.to_string (get "result" first))
+    (Json.to_string (get "result" second));
+  (* nocache bypasses both lookup and store *)
+  let third = Service.handle service (rcdp ~nocache:true sid "Q") in
+  Alcotest.(check bool) "nocache recomputes" false (get_bool "cached" third)
+
+let test_service_insert_migrates_cache () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let q = Service.handle service (rcdp sid "Q") in
+  let qs = Service.handle service (rcdp sid "QS") in
+  let qc = Service.handle service (rcdp sid "QC") in
+  assert_ok q;
+  assert_ok qs;
+  assert_ok qc;
+  Alcotest.(check string) "Q incomplete" "incomplete" (verdict_of q);
+  Alcotest.(check string) "QS incomplete" "incomplete" (verdict_of qs);
+  Alcotest.(check string) "QC complete" "complete" (verdict_of qc);
+  (* admissible insert: epoch bumps, the cache migrates instead of
+     vanishing *)
+  let ins = Service.handle service (insert sid "Cust" [ [ "c1"; "bob" ] ]) in
+  assert_ok ins;
+  Alcotest.(check int) "epoch bumped" 1 (get_int "epoch" ins);
+  Alcotest.(check bool) "still closed" true (get_bool "partially_closed" ins);
+  let cache = get "cache" ins in
+  let carried = get_int "carried" cache
+  and revalidated = get_int "revalidated" cache
+  and dropped = get_int "dropped" cache in
+  (* QC was Complete: monotone carry.  QS's counterexample lives in
+     Supt, untouched by a Cust insert: cheap revalidation keeps it.
+     Q's counterexample may or may not have been the inserted row. *)
+  Alcotest.(check bool) "complete verdict carried" true (carried >= 1);
+  Alcotest.(check bool) "incomplete verdict revalidated" true (revalidated >= 1);
+  Alcotest.(check int) "all three accounted for" 3 (carried + revalidated + dropped);
+  (* the carried entries answer from cache at the new epoch *)
+  let qs' = Service.handle service (rcdp sid "QS") in
+  Alcotest.(check bool) "QS cached after insert" true (get_bool "cached" qs');
+  Alcotest.(check bool) "QS marked revalidated" true (get_bool "revalidated" qs');
+  Alcotest.(check int) "QS at new epoch" 1 (get_int "epoch" qs');
+  let qc' = Service.handle service (rcdp sid "QC") in
+  Alcotest.(check bool) "QC cached after insert" true (get_bool "cached" qc');
+  Alcotest.(check string) "QC still complete" "complete" (verdict_of qc')
+
+let test_service_insert_completes_query () =
+  (* growing the database to cover all admissible extensions flips the
+     fresh verdict to complete *)
+  let service = Service.create () in
+  let sid = open_session service in
+  let q0 = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check string) "incomplete at first" "incomplete" (verdict_of q0);
+  let ins =
+    Service.handle service (insert sid "Cust" [ [ "c1"; "bob" ]; [ "c2"; "eve" ] ])
+  in
+  assert_ok ins;
+  let q1 = Service.handle service (rcdp sid "Q") in
+  assert_ok q1;
+  (* whatever the cache did, the verdict must now be complete — and if
+     it was served from cache it must have been re-proven, which is
+     impossible for an incomplete cex once its answer is in D *)
+  Alcotest.(check string) "complete after covering inserts" "complete" (verdict_of q1)
+
+let test_service_violating_insert_invalidates () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let q = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check string) "incomplete" "incomplete" (verdict_of q);
+  (* c9 is not master data: BC breaks *)
+  let ins = Service.handle service (insert sid "Cust" [ [ "c9"; "zed" ] ]) in
+  assert_ok ins;
+  Alcotest.(check bool) "closure lost" false (get_bool "partially_closed" ins);
+  Alcotest.(check string) "violated constraint named" "BC"
+    (get_str "constraint" (get "violation" ins));
+  let cache = get "cache" ins in
+  Alcotest.(check int) "nothing carried" 0
+    (get_int "carried" cache + get_int "revalidated" cache);
+  Alcotest.(check int) "cached verdict invalidated" 1 (get_int "dropped" cache);
+  (* the fresh verdict reflects the violation and is not cached *)
+  let q' = Service.handle service (rcdp sid "Q") in
+  assert_ok q';
+  Alcotest.(check bool) "not served from cache" false (get_bool "cached" q');
+  Alcotest.(check string) "verdict reflects violation" "not_partially_closed"
+    (verdict_of q');
+  Alcotest.(check string) "names the constraint" "BC"
+    (get_str "constraint" (get "violation" (get "result" q')))
+
+let test_service_rcqp_survives_insert () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let r0 = Service.handle service (rcqp sid "Q") in
+  assert_ok r0;
+  Alcotest.(check bool) "miss" false (get_bool "cached" r0);
+  let _ = Service.handle service (insert sid "Cust" [ [ "c1"; "bob" ] ]) in
+  let r1 = Service.handle service (rcqp sid "Q") in
+  (* RCQP never reads D: the insert must not evict it *)
+  Alcotest.(check bool) "hit across the insert" true (get_bool "cached" r1)
+
+let test_service_audit_cached_and_dropped () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let a0 = Service.handle service (audit sid "Q") in
+  assert_ok a0;
+  Alcotest.(check string) "completable" "completable" (get_str "audit" (get "result" a0));
+  let a1 = Service.handle service (audit sid "Q") in
+  Alcotest.(check bool) "audit cached" true (get_bool "cached" a1);
+  let _ = Service.handle service (insert sid "Supt" [ [ "e0"; "c1" ] ]) in
+  let a2 = Service.handle service (audit sid "Q") in
+  (* audits are recomputed after any insert *)
+  Alcotest.(check bool) "audit recomputed after insert" false (get_bool "cached" a2)
+
+let test_service_close_purges () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let _ = Service.handle service (rcdp sid "Q") in
+  let r = Service.handle service (Protocol.Close { session = sid }) in
+  assert_ok r;
+  Alcotest.(check bool) "entries purged" true (get_int "purged" r >= 1);
+  let r = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check string) "session gone" "unknown_session" (get_str "kind" r)
+
+let test_service_bad_insert_rejected () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let r = Service.handle service (insert sid "Nope" [ [ "x" ] ]) in
+  Alcotest.(check string) "unknown relation" "bad_insert" (get_str "kind" r);
+  let r = Service.handle service (insert sid "Cust" [ [ "only-one-cell" ] ]) in
+  Alcotest.(check string) "arity mismatch" "bad_insert" (get_str "kind" r);
+  (* failed inserts must not bump the epoch *)
+  let q = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check int) "epoch untouched" 0 (get_int "epoch" q)
+
+(* ------------------------------------------------------------------ *)
+(* End to end over a Unix-domain socket *)
+
+let with_server ?(domains = 2) f =
+  let socket_path =
+    Printf.sprintf "%s/ric-test-%d-%d.sock"
+      (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) (Random.int 100000)
+  in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run
+          {
+            Server.socket_path;
+            domains;
+            queue_capacity = 16;
+            root = None;
+          })
+  in
+  let finish () =
+    (try
+       Client.with_connection ~retries:40 socket_path (fun c ->
+           ignore (Client.rpc c Protocol.Shutdown))
+     with _ -> ());
+    Domain.join server;
+    try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+  in
+  match f socket_path with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let test_e2e_roundtrip () =
+  with_server (fun socket_path ->
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          let pong = Client.rpc c Protocol.Ping in
+          Alcotest.(check bool) "pong" true (get_bool "pong" pong);
+          let opened = Client.rpc c (open_req ~name:"e2e" scenario_source) in
+          assert_ok opened;
+          let sid = get_str "session" opened in
+          let first = Client.rpc c (rcdp sid "Q") in
+          assert_ok first;
+          Alcotest.(check bool) "cold" false (get_bool "cached" first);
+          Alcotest.(check string) "incomplete" "incomplete" (verdict_of first);
+          Alcotest.(check bool) "timing reported" true (get_int "elapsed_us" first >= 0);
+          let second = Client.rpc c (rcdp sid "Q") in
+          Alcotest.(check bool) "warm" true (get_bool "cached" second);
+          (* a violating insert, then the verdict reflects it *)
+          let ins = Client.rpc c (insert sid "Cust" [ [ "c9"; "zed" ] ]) in
+          Alcotest.(check bool) "closure lost" false (get_bool "partially_closed" ins);
+          let third = Client.rpc c (rcdp sid "Q") in
+          Alcotest.(check string) "violation surfaced" "not_partially_closed"
+            (verdict_of third);
+          let stats = Client.rpc c Protocol.Stats in
+          assert_ok stats;
+          Alcotest.(check bool) "hits counted" true
+            (get_int "hits" (get "cache" stats) >= 1)))
+
+let test_e2e_garbage_request () =
+  with_server (fun socket_path ->
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          let r = Client.request c (Json.Str "not a request") in
+          Alcotest.(check bool) "rejected" false (get_bool "ok" r);
+          Alcotest.(check string) "kind" "bad_request" (get_str "kind" r);
+          (* the connection survives a bad request *)
+          let pong = Client.rpc c Protocol.Ping in
+          Alcotest.(check bool) "still alive" true (get_bool "pong" pong)))
+
+let test_e2e_concurrent_sessions () =
+  with_server ~domains:2 (fun socket_path ->
+      (* two sessions, driven concurrently from two client domains;
+         nocache forces every request through the decider so both
+         workers genuinely compute in parallel *)
+      let sids =
+        Client.with_connection ~retries:40 socket_path (fun c ->
+            List.map
+              (fun name ->
+                let r = Client.rpc c (open_req ~name scenario_source) in
+                assert_ok r;
+                get_str "session" r)
+              [ "left"; "right" ])
+      in
+      let hammer sid () =
+        Client.with_connection socket_path (fun c ->
+            List.for_all
+              (fun _ ->
+                List.for_all
+                  (fun q ->
+                    let r = Client.rpc c (rcdp ~nocache:true sid q) in
+                    get_bool "ok" r)
+                  [ "Q"; "QS"; "QC" ])
+              [ 1; 2; 3 ])
+      in
+      let clients = List.map (fun sid -> Domain.spawn (hammer sid)) sids in
+      let results = List.map Domain.join clients in
+      Alcotest.(check (list bool)) "both clients all-ok" [ true; true ] results)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "bad requests rejected" `Quick test_protocol_rejects;
+          Alcotest.test_case "framing" `Quick test_framing;
+        ] );
+      ("pool", [ Alcotest.test_case "drains all jobs" `Quick test_pool_runs_everything ]);
+      ( "service",
+        [
+          Alcotest.test_case "open + errors" `Quick test_service_open_and_errors;
+          Alcotest.test_case "verdict cache hit" `Quick test_service_cache_hit;
+          Alcotest.test_case "insert migrates cache" `Quick test_service_insert_migrates_cache;
+          Alcotest.test_case "insert completes query" `Quick test_service_insert_completes_query;
+          Alcotest.test_case "violating insert invalidates" `Quick
+            test_service_violating_insert_invalidates;
+          Alcotest.test_case "rcqp survives insert" `Quick test_service_rcqp_survives_insert;
+          Alcotest.test_case "audit cache drops on insert" `Quick
+            test_service_audit_cached_and_dropped;
+          Alcotest.test_case "close purges" `Quick test_service_close_purges;
+          Alcotest.test_case "bad insert rejected" `Quick test_service_bad_insert_rejected;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "socket round trip" `Quick test_e2e_roundtrip;
+          Alcotest.test_case "garbage request" `Quick test_e2e_garbage_request;
+          Alcotest.test_case "concurrent sessions" `Quick test_e2e_concurrent_sessions;
+        ] );
+    ]

@@ -365,6 +365,185 @@ let test_json_reports () =
     in
     contains json "incomplete" && contains json "carol")
 
+(* ------------------------------------------------------------------ *)
+(* JSON parser *)
+
+let json_testable =
+  Alcotest.testable (fun ppf j -> Format.pp_print_string ppf (Json.to_string j)) ( = )
+
+let parses expected src =
+  Alcotest.check json_testable (Printf.sprintf "parse %s" src) expected (Json.of_string src)
+
+let test_json_parse_values () =
+  parses Json.Null "null";
+  parses (Json.Bool true) "true";
+  parses (Json.Bool false) "false";
+  parses (Json.Int 0) "0";
+  parses (Json.Int 42) "42";
+  parses (Json.Int (-7)) "-7";
+  parses (Json.Str "") {|""|};
+  parses (Json.Str "hi") {|"hi"|};
+  parses (Json.List []) "[]";
+  parses (Json.List [ Json.Int 1; Json.Int 2 ]) "[1,2]";
+  parses (Json.Obj []) "{}";
+  parses
+    (Json.Obj [ ("k", Json.List [ Json.Null; Json.Bool true ]) ])
+    {|{"k":[null,true]}|};
+  (* whitespace everywhere, including trailing *)
+  parses
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Int 2 ]) ])
+    " { \"a\" : 1 ,\n\t\"b\" : [ 2 ] } \n";
+  (* key order and duplicates preserved *)
+  parses
+    (Json.Obj [ ("x", Json.Int 1); ("x", Json.Int 2) ])
+    {|{"x":1,"x":2}|}
+
+let test_json_parse_escapes () =
+  parses (Json.Str "a\"b") {|"a\"b"|};
+  parses (Json.Str "line\nbreak\t\\") {|"line\nbreak\t\\"|};
+  parses (Json.Str "/\b\012\r") {|"\/\b\f\r"|};
+  (* \uXXXX: ASCII, two-byte, three-byte, and a surrogate pair *)
+  parses (Json.Str "A") {|"A"|};
+  parses (Json.Str "\xc3\xa9") {|"é"|};
+  parses (Json.Str "\xe2\x82\xac") {|"€"|};
+  parses (Json.Str "\xf0\x9d\x84\x9e") {|"𝄞"|};
+  (* raw UTF-8 passes through untouched *)
+  parses (Json.Str "caf\xc3\xa9") "\"caf\xc3\xa9\""
+
+let expect_json_error src fragment =
+  match Json.of_string_result src with
+  | Ok j -> Alcotest.failf "expected %s to fail, parsed %s" src (Json.to_string j)
+  | Error (msg, line, col) ->
+    let contains hay needle =
+      let rec go i =
+        i + String.length needle <= String.length hay
+        && (String.sub hay i (String.length needle) = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "error on %s has a position" src)
+      true (line >= 1 && col >= 1);
+    Alcotest.(check bool)
+      (Printf.sprintf "error %S mentions %S" msg fragment)
+      true (contains msg fragment)
+
+let test_json_parse_errors () =
+  expect_json_error "" "value";
+  expect_json_error "   " "value";
+  expect_json_error "nul" "null";
+  expect_json_error "tru" "true";
+  expect_json_error {|"abc|} "string";
+  expect_json_error {|"bad \q escape"|} "escape";
+  expect_json_error {|"\u12"|} "hex";
+  expect_json_error {|"\ud834"|} "surrogate";
+  expect_json_error "[1,2" "array";
+  expect_json_error "[1 2]" "]";
+  expect_json_error {|{"a" 1}|} ":";
+  expect_json_error {|{"a":1,}|} "\"";
+  expect_json_error "{" "end of input";
+  expect_json_error "-" "digit";
+  (* this Json.t is integers-only: fractions are a loud error *)
+  expect_json_error "1.5" "float";
+  expect_json_error "1e3" "float";
+  (* the whole input must be one value *)
+  expect_json_error "1 2" "trailing";
+  expect_json_error {|{"a":1} x|} "trailing"
+
+let test_json_error_positions () =
+  match Json.of_string_result "{\n  \"a\": [1,\n  oops]}" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error (_, line, col) ->
+    Alcotest.(check int) "line 3" 3 line;
+    Alcotest.(check int) "col 3" 3 col
+
+let test_json_of_channel () =
+  let path = Filename.temp_file "ric_json" ".json" in
+  let oc = open_out path in
+  output_string oc {|  {"from": "disk", "n": [1, 2, 3]}  |};
+  close_out oc;
+  let ic = open_in path in
+  let j = Json.of_channel ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.check json_testable "channel parse"
+    (Json.Obj
+       [ ("from", Json.Str "disk"); ("n", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]) ])
+    j
+
+(* the printer/parser pair is an isomorphism on Json.t: property-test
+   [of_string (to_string j) = j] over random documents *)
+let json_gen =
+  QCheck2.Gen.(
+    let key = string_size ~gen:printable (int_range 0 6) in
+    let str = string_size ~gen:printable (int_range 0 10) in
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun s -> Json.Str s) str;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (2, leaf);
+              (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun kvs -> Json.Obj kvs)
+                  (list_size (int_range 0 4) (pair key (self (n / 2)))) );
+            ]))
+
+let json_roundtrip_prop =
+  QCheck2.Test.make ~name:"of_string ∘ to_string = id" ~count:500 json_gen (fun j ->
+      Json.of_string (Json.to_string j) = j)
+
+(* every shipped scenario survives parse → pp → parse with its data,
+   queries and constraints intact *)
+let scenarios_dir () =
+  if Sys.file_exists "../../../scenarios" then "../../../scenarios" else "scenarios"
+
+let test_all_scenarios_roundtrip () =
+  let dir = scenarios_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ric")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "found shipped scenarios" true (List.length files >= 3);
+  List.iter
+    (fun file ->
+      let s = Scenario.load (Filename.concat dir file) in
+      let printed = Format.asprintf "%a" Scenario.pp s in
+      let s2 =
+        try Scenario.parse printed
+        with Scenario.Parse_error (msg, line, col) ->
+          Alcotest.failf "%s: reprint does not parse (%d:%d: %s)" file line col msg
+      in
+      Alcotest.(check bool) (file ^ ": db survives") true
+        (Database.equal s.Scenario.db s2.Scenario.db);
+      Alcotest.(check bool) (file ^ ": master survives") true
+        (Database.equal s.Scenario.master s2.Scenario.master);
+      Alcotest.(check int) (file ^ ": ccs survive") (List.length s.Scenario.ccs)
+        (List.length s2.Scenario.ccs);
+      Alcotest.(check int)
+        (file ^ ": c-tables survive")
+        (List.length s.Scenario.ctables)
+        (List.length s2.Scenario.ctables);
+      List.iter2
+        (fun (n1, q1) (n2, q2) ->
+          Alcotest.(check string) (file ^ ": query name") n1 n2;
+          Alcotest.check relation_testable
+            (Printf.sprintf "%s: %s evaluates identically" file n1)
+            (Lang.eval s.Scenario.db q1) (Lang.eval s2.Scenario.db q2))
+        s.Scenario.queries s2.Scenario.queries)
+    files
+
 let test_json_database_roundtrip_shape () =
   let s = load_crm () in
   let json = Json.to_string (Report.database s.Scenario.db) in
@@ -424,4 +603,15 @@ let () =
           Alcotest.test_case "verdict report" `Quick test_json_reports;
           Alcotest.test_case "database shape" `Quick test_json_database_roundtrip_shape;
         ] );
+      ( "json parser",
+        [
+          Alcotest.test_case "values" `Quick test_json_parse_values;
+          Alcotest.test_case "escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_json_error_positions;
+          Alcotest.test_case "of_channel" `Quick test_json_of_channel;
+          QCheck_alcotest.to_alcotest json_roundtrip_prop;
+        ] );
+      ( "scenario files",
+        [ Alcotest.test_case "all shipped scenarios round trip" `Quick test_all_scenarios_roundtrip ] );
     ]
