@@ -52,7 +52,15 @@ let with_server ~domains f =
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let server =
     Domain.spawn (fun () ->
-        Server.run { Server.socket_path; domains; queue_capacity = 64; root = None })
+        Server.run
+          {
+            Server.socket_path;
+            domains;
+            queue_capacity = 64;
+            root = None;
+            journal = None;
+            recover = false;
+          })
   in
   let finish () =
     (try
@@ -86,7 +94,7 @@ let open_session c =
   get_str "session" r
 
 let rcdp ?(nocache = false) c session query =
-  Client.rpc c (Protocol.Rcdp { session; query; nocache })
+  Client.rpc c (Protocol.Rcdp { session; query; nocache; timeout_ms = None })
 
 (* ------------------------------------------------------------------ *)
 (* cache: cold vs warm vs migrated *)

@@ -357,7 +357,7 @@ let socket_arg =
     & info [ "S"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon")
 
 let serve_cmd =
-  let run socket domains queue root verbose =
+  let run socket domains queue root journal recover verbose =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
     match
@@ -367,6 +367,8 @@ let serve_cmd =
           domains;
           queue_capacity = queue;
           root;
+          journal;
+          recover;
         }
     with
     | () -> 0
@@ -392,13 +394,28 @@ let serve_cmd =
       & opt (some dir) None
       & info [ "root" ] ~docv:"DIR" ~doc:"Resolve relative scenario paths against $(docv)")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:"Append session mutations to $(docv) so --recover can restore them")
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:"Replay the journal before serving, restoring the previous run's sessions")
+  in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every request with its latency")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run ricd: keep scenarios loaded, cache verdicts, decide in parallel")
-    Term.(const run $ socket_arg $ domains_arg $ queue_arg $ root_arg $ verbose_arg)
+    Term.(
+      const run $ socket_arg $ domains_arg $ queue_arg $ root_arg $ journal_arg
+      $ recover_arg $ verbose_arg)
 
 let rpc socket req =
   match
@@ -443,10 +460,21 @@ let request_open_cmd =
   Cmd.v (Cmd.info "open" ~doc:"Load a scenario into a new server session")
     Term.(const run $ socket_arg $ file_pos $ name_arg)
 
+let timeout_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Give the decider at most $(docv) milliseconds; past that the response \
+           carries a timeout verdict (never cached) instead of blocking")
+
 let request_decide_cmd op doc ctor =
-  let run socket session query nocache = rpc socket (ctor ~session ~query ~nocache) in
+  let run socket session query nocache timeout_ms =
+    rpc socket (ctor ~session ~query ~nocache ~timeout_ms)
+  in
   Cmd.v (Cmd.info op ~doc)
-    Term.(const run $ socket_arg $ session_pos $ query_pos $ nocache_arg)
+    Term.(const run $ socket_arg $ session_pos $ query_pos $ nocache_arg $ timeout_ms_arg)
 
 (* bare digits are integers; wrap a cell in double quotes to force a
    string (e.g. "01", matching the .ric row syntax) *)
@@ -494,14 +522,14 @@ let request_group =
     [
       request_open_cmd;
       request_decide_cmd "rcdp" "Is the session's database complete for a query?"
-        (fun ~session ~query ~nocache ->
-          Ric_service.Protocol.Rcdp { session; query; nocache });
+        (fun ~session ~query ~nocache ~timeout_ms ->
+          Ric_service.Protocol.Rcdp { session; query; nocache; timeout_ms });
       request_decide_cmd "rcqp" "Can any database be complete for a session query?"
-        (fun ~session ~query ~nocache ->
-          Ric_service.Protocol.Rcqp { session; query; nocache });
+        (fun ~session ~query ~nocache ~timeout_ms ->
+          Ric_service.Protocol.Rcqp { session; query; nocache; timeout_ms });
       request_decide_cmd "audit" "Full completeness audit of a session query"
-        (fun ~session ~query ~nocache ->
-          Ric_service.Protocol.Audit { session; query; nocache });
+        (fun ~session ~query ~nocache ~timeout_ms ->
+          Ric_service.Protocol.Audit { session; query; nocache; timeout_ms });
       request_insert_cmd;
       request_close_cmd;
       request_simple_cmd "ping" "Liveness probe" Ric_service.Protocol.Ping;

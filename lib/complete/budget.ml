@@ -1,0 +1,60 @@
+type reason = Deadline | Step_limit | Cancelled
+
+let reason_name = function
+  | Deadline -> "deadline"
+  | Step_limit -> "step_limit"
+  | Cancelled -> "cancelled"
+
+exception Exhausted of reason
+
+type t = {
+  limited : bool;
+  deadline : float;            (* absolute wall-clock time; infinity when unset *)
+  max_steps : int;             (* max_int when unset *)
+  cancel : bool Atomic.t option;
+  mutable steps : int;
+}
+
+let unlimited =
+  { limited = false; deadline = infinity; max_steps = max_int; cancel = None; steps = 0 }
+
+let create ?deadline_after ?max_steps ?cancel () =
+  let deadline =
+    match deadline_after with
+    | Some d -> Unix.gettimeofday () +. d
+    | None -> infinity
+  in
+  {
+    limited = true;
+    deadline;
+    max_steps = Option.value ~default:max_int max_steps;
+    cancel;
+    steps = 0;
+  }
+
+let steps t = t.steps
+
+let is_unlimited t = not t.limited
+
+let check_now t =
+  if t.limited then begin
+    if t.steps >= t.max_steps then raise (Exhausted Step_limit);
+    (match t.cancel with
+     | Some flag when Atomic.get flag -> raise (Exhausted Cancelled)
+     | _ -> ());
+    if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
+      raise (Exhausted Deadline)
+  end
+
+(* The wall clock and the cancel flag are polled once every 256 steps:
+   a syscall per search leaf would dominate the leaf itself, and a
+   deadline overshoot of a few hundred leaves is well inside the
+   millisecond noise a caller can observe anyway. *)
+let mask = 255
+
+let tick t =
+  if t.limited then begin
+    t.steps <- t.steps + 1;
+    if t.steps >= t.max_steps then raise (Exhausted Step_limit)
+    else if t.steps land mask = 0 then check_now t
+  end

@@ -1,0 +1,48 @@
+(** Cooperative resource budgets for the deciders.
+
+    RCDP is Σ₂ᵖ-complete and RCQP NEXPTIME-complete (Tables I–II), so
+    a single adversarial instance can keep a decider busy for longer
+    than any caller is willing to wait.  A [Budget.t] is threaded
+    through the valuation search and checked at every search leaf; when
+    the wall-clock deadline passes, the step allowance runs out, or the
+    cancel flag is raised, the search aborts with {!Exhausted} and the
+    caller reports a [timeout] outcome carrying the work-done counters
+    instead of hanging.
+
+    A budget is single-use and owned by one decide call; only the
+    [cancel] flag may be shared across domains (it is an [Atomic.t]). *)
+
+type reason =
+  | Deadline    (** the wall-clock deadline passed *)
+  | Step_limit  (** the step allowance ran out *)
+  | Cancelled   (** the shared cancel flag was raised *)
+
+val reason_name : reason -> string
+(** ["deadline"], ["step_limit"] or ["cancelled"] — the wire spelling. *)
+
+exception Exhausted of reason
+
+type t
+
+val unlimited : t
+(** The default everywhere: {!tick} on it is a no-op and never raises. *)
+
+val create :
+  ?deadline_after:float -> ?max_steps:int -> ?cancel:bool Atomic.t -> unit -> t
+(** [deadline_after] is in seconds from now; [max_steps] caps the
+    number of {!tick}s; [cancel] is polled so another domain can abort
+    the search.  Omitted dimensions are unbounded. *)
+
+val tick : t -> unit
+(** Count one unit of work.  Steps are compared every tick; the clock
+    and the cancel flag are polled every 256 ticks.
+    @raise Exhausted when the budget is spent. *)
+
+val check_now : t -> unit
+(** Force a full check regardless of the polling stride (used at
+    coarse-grained points like DFS nodes).  @raise Exhausted *)
+
+val steps : t -> int
+(** Work done so far — the counter surfaced in timeout verdicts. *)
+
+val is_unlimited : t -> bool

@@ -28,6 +28,7 @@ type audit_result =
   | Inconclusive of { reason : string }
 
 val audit :
+  ?clock:Budget.t ->
   ?max_rounds:int ->
   schema:Schema.t ->
   master:Database.t ->
@@ -37,7 +38,9 @@ val audit :
   audit_result
 (** Runs the RCDP decider, replaying counterexample extensions into
     the database for up to [max_rounds] (default 64) iterations, and
-    consults the RCQP decider before giving up.
-    @raise Rcdp.Unsupported for undecidable language combinations. *)
+    consults the RCQP decider before giving up.  [clock] bounds the
+    whole audit (it is shared across every decide round).
+    @raise Rcdp.Unsupported for undecidable language combinations.
+    @raise Budget.Exhausted when [clock] runs out. *)
 
 val pp_audit : Format.formatter -> audit_result -> unit

@@ -78,12 +78,12 @@ let dynamic_ccs ccs rels =
    (condition C2, Proposition 3.3) to [μ(T_Q)] alone (condition C3,
    Corollary 3.4 — valid when every CC is an IND). *)
 
-let search_disjunct ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned ~disjunct
-    (tab : Tableau.t) =
+let search_disjunct ~clock ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned
+    ~disjunct (tab : Tableau.t) =
   let found = ref None in
   let mode = if ind_mode then `Delta_only else `Against_base db in
   let (_ : bool) =
-    Valuation_search.iter_valid ~master ~ccs:dyn_ccs ~mode ~adom
+    Valuation_search.iter_valid ~budget:clock ~master ~ccs:dyn_ccs ~mode ~adom
       ~on_prune:(fun () -> incr pruned)
       tab
       (fun mu delta ->
@@ -104,8 +104,8 @@ let search_disjunct ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned ~d
   in
   !found
 
-let decide_ucq_with ~ind_mode ?(check_partially_closed = true) ?collect_stats ~schema ~master
-    ~ccs ~db ucq =
+let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited) ?(check_partially_closed = true)
+    ?collect_stats ~schema ~master ~ccs ~db ucq =
   require_monotone_ccs ccs;
   if check_partially_closed && not (Containment.holds_all ~db ~master ccs) then
     raise
@@ -137,24 +137,32 @@ let decide_ucq_with ~ind_mode ?(check_partially_closed = true) ?collect_stats ~s
   in
   let dyn_ccs = dynamic_ccs ccs tab_rels in
   let visited = ref 0 and pruned = ref 0 in
+  let record_stats () =
+    match collect_stats with
+    | Some r -> r := { valuations_visited = !visited; branches_pruned = !pruned }
+    | None -> ()
+  in
   let rec scan i = function
     | [] -> Complete
     | tab :: rest ->
       (match
-         search_disjunct ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned
+         search_disjunct ~clock ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned
            ~disjunct:i tab
        with
        | Some cex -> Incomplete cex
        | None -> scan (i + 1) rest)
   in
-  let verdict = scan 0 tableaux in
-  (match collect_stats with
-   | Some r -> r := { valuations_visited = !visited; branches_pruned = !pruned }
-   | None -> ());
-  verdict
+  match scan 0 tableaux with
+  | verdict ->
+    record_stats ();
+    verdict
+  | exception (Budget.Exhausted _ as e) ->
+    (* leave the work-done counters readable for the timeout report *)
+    record_stats ();
+    raise e
 
-let decide ?check_partially_closed ?collect_stats ?(minimize = false) ~schema ~master ~ccs
-    ~db q =
+let decide ?clock ?check_partially_closed ?collect_stats ?(minimize = false) ~schema
+    ~master ~ccs ~db q =
   match Lang.as_ucq q with
   | None ->
     raise
@@ -163,13 +171,13 @@ let decide ?check_partially_closed ?collect_stats ?(minimize = false) ~schema ~m
             (Lang.language_name q)))
   | Some ucq ->
     let ucq = if minimize then List.map (Cq.minimize schema) ucq else ucq in
-    decide_ucq_with ~ind_mode:false ?check_partially_closed ?collect_stats ~schema ~master
-      ~ccs ~db ucq
+    decide_ucq_with ~ind_mode:false ?clock ?check_partially_closed ?collect_stats ~schema
+      ~master ~ccs ~db ucq
 
 let decide_cq ?check_partially_closed ~schema ~master ~ccs ~db q =
   decide ?check_partially_closed ~schema ~master ~ccs ~db (Lang.Q_cq q)
 
-let decide_ind ?check_partially_closed ~schema ~master ~inds ~db q =
+let decide_ind ?clock ?check_partially_closed ~schema ~master ~inds ~db q =
   let ccs = List.map (Ind.to_cc schema) inds in
   match Lang.as_ucq q with
   | None ->
@@ -178,7 +186,8 @@ let decide_ind ?check_partially_closed ~schema ~master ~inds ~db q =
          (Printf.sprintf "RCDP is undecidable for %s queries (Theorem 3.1); use semi_decide"
             (Lang.language_name q)))
   | Some ucq ->
-    decide_ucq_with ~ind_mode:true ?check_partially_closed ~schema ~master ~ccs ~db ucq
+    decide_ucq_with ~ind_mode:true ?clock ?check_partially_closed ~schema ~master ~ccs ~db
+      ucq
 
 (* ------------------------------------------------------------------ *)
 (* Bounded semi-decision for the undecidable rows of Table I. *)
@@ -190,7 +199,8 @@ type semi_verdict =
       candidate_values : int;
     }
 
-let semi_decide ?(max_tuples = 2) ?(fresh_values = 2) ~schema ~master ~ccs ~db q =
+let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(fresh_values = 2) ~schema
+    ~master ~ccs ~db q =
   let adom =
     Adom.build ~db ~schemas:[ schema ] ~master
       ~cc_constants:(cc_constants ccs)
@@ -227,6 +237,7 @@ let semi_decide ?(max_tuples = 2) ?(fresh_values = 2) ~schema ~master ~ccs ~db q
   let rec grow start delta count =
     if !found <> None then ()
     else begin
+      Budget.tick clock;
       if count > 0 then begin
         let combined = Database.union db delta in
         if

@@ -48,6 +48,7 @@ type stats = {
 }
 
 val decide :
+  ?clock:Budget.t ->
   ?check_partially_closed:bool ->
   ?collect_stats:stats ref ->
   ?minimize:bool ->
@@ -65,10 +66,16 @@ val decide :
     queries with redundant atoms since the search is exponential in
     the number of tableau variables.
 
+    [clock] (default {!Budget.unlimited}) bounds the Σ₂ᵖ search; when
+    it runs out the search aborts with {!Budget.Exhausted}, after
+    writing the partial counters into [collect_stats] so the caller
+    can report how much work a timed-out decide had done.
+
     @raise Unsupported if [Q] is FO/FP or some CC has a
       non-monotone (FO) or FP left-hand side.
     @raise Not_partially_closed if [(D, Dm) ⊭ V]
-      (skipped when [check_partially_closed] is [false]). *)
+      (skipped when [check_partially_closed] is [false]).
+    @raise Budget.Exhausted when [clock] runs out mid-search. *)
 
 val decide_cq :
   ?check_partially_closed:bool ->
@@ -80,6 +87,7 @@ val decide_cq :
   verdict
 
 val decide_ind :
+  ?clock:Budget.t ->
   ?check_partially_closed:bool ->
   schema:Schema.t ->
   master:Database.t ->
@@ -106,6 +114,7 @@ type semi_verdict =
           undecidable (Theorem 3.1) *)
 
 val semi_decide :
+  ?clock:Budget.t ->
   ?max_tuples:int ->
   ?fresh_values:int ->
   schema:Schema.t ->

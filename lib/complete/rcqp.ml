@@ -136,7 +136,7 @@ let occurrences (tab : Tableau.t) x =
 (* ------------------------------------------------------------------ *)
 (* LC = INDs: Proposition 4.3 / Theorem 4.5(1).  Exact and cheap. *)
 
-let ind_witness ~budget ~schema ~master ~ccs ~adom tableaux =
+let ind_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux =
   let module VS = Set.Make (Value) in
   let witness = ref (Database.empty schema) in
   let count = ref 0 in
@@ -154,7 +154,7 @@ let ind_witness ~budget ~schema ~master ~ccs ~adom tableaux =
       let covered : (string, VS.t) Hashtbl.t = Hashtbl.create 8 in
       let got_any = ref false in
       let (_ : bool) =
-        Valuation_search.iter_valid ~master ~ccs ~mode:`Delta_only ~adom tab
+        Valuation_search.iter_valid ~budget:clock ~master ~ccs ~mode:`Delta_only ~adom tab
           (fun mu delta ->
             incr count;
             if !count > budget.max_valuations then begin
@@ -195,7 +195,7 @@ let ind_witness ~budget ~schema ~master ~ccs ~adom tableaux =
     tableaux;
   if !exceeded then None else Some !witness
 
-let decide_ind ~schema ~master ~inds q =
+let decide_ind ?(clock = Budget.unlimited) ~schema ~master ~inds q =
   let ucq = as_ucq_or_raise "RCQP" q in
   let ccs = List.map (Ind.to_cc schema) inds in
   let tableaux = satisfiable_tableaux schema ucq in
@@ -210,7 +210,8 @@ let decide_ind ~schema ~master ~inds q =
     let live =
       List.filter
         (fun tab ->
-          Valuation_search.iter_valid ~master ~ccs ~mode:`Delta_only ~adom tab
+          Valuation_search.iter_valid ~budget:clock ~master ~ccs ~mode:`Delta_only ~adom
+            tab
             (fun _ _ -> true))
         tableaux
     in
@@ -252,12 +253,12 @@ let decide_ind ~schema ~master ~inds q =
                 y;
           }
       | None ->
-        let witness = ind_witness ~budget:default_budget ~schema ~master ~ccs ~adom live in
+        let witness = ind_witness ~clock ~budget:default_budget ~schema ~master ~ccs ~adom live in
         let witness =
           match witness with
           | Some w
             when Containment.holds_all ~db:w ~master ccs
-                 && Rcdp.decide ~schema ~master ~ccs ~db:w q = Rcdp.Complete ->
+                 && Rcdp.decide ~clock ~schema ~master ~ccs ~db:w q = Rcdp.Complete ->
             Some w
           | _ -> None
         in
@@ -330,7 +331,7 @@ let visible_columns cc_tableaux =
     cc_tableaux;
   fun rel i -> Hashtbl.mem visible (rel, i)
 
-let candidate_pool ?(truncate = false) ~budget ~schema ~master ~adom ccs =
+let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ~budget ~schema ~master ~adom ccs =
   let pool = ref [] in
   let count = ref 0 in
   let cc_tabs = cc_lhs_tableaux ~schema ccs in
@@ -381,6 +382,7 @@ let candidate_pool ?(truncate = false) ~budget ~schema ~master ~adom ccs =
                          expected));
              let (_ : bool) =
                Valuation.enumerate_iter cands (fun nu ->
+                   Budget.tick clock;
                    (match Valuation.tuple_of_terms nu a.Atom.args with
                     | None -> assert false
                     | Some tuple ->
@@ -439,7 +441,7 @@ type e2_witness = {
    valid valuation [μ] that stays live — [(D_V ∪ μ(T), Dm) ⊨ V] — may
    leave such a variable outside [bvals].  Returns the first offending
    live valuation, or [None] when the condition holds. *)
-let e2_condition ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals =
+let e2_condition ~clock ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals =
   (* Witness preference: a live valuation whose stray output values
      all come from the reserved query-tier fresh values can never be
      bounded by any valuation set (the candidate pool cannot even
@@ -457,7 +459,8 @@ let e2_condition ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals =
         | inf_vars ->
           let found_any = ref false in
           let (_ : bool) =
-            Valuation_search.iter_valid ~master ~ccs ~mode:(`Against_base dv) ~adom tab
+            Valuation_search.iter_valid ~budget:clock ~master ~ccs
+              ~mode:(`Against_base dv) ~adom tab
               (fun mu delta ->
                 let unbounded =
                   List.filter_map
@@ -535,7 +538,7 @@ let may_block ~schema ~cc_tableaux c delta =
    blocking μ* needs at least one candidate tuple joined with μ*'s
    tuples, and bounding needs a summary hit), so directed branching is
    exact; memoisation collapses permutations of the same set. *)
-let e2_search ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool =
+let e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool =
   let pool = Array.of_list pool in
   let n = Array.length pool in
   let cc_tableaux =
@@ -557,9 +560,10 @@ let e2_search ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool =
       if not (Hashtbl.mem visited key) then begin
         Hashtbl.add visited key ();
         incr nodes;
+        Budget.check_now clock;
         if !nodes > budget.max_nodes then
           raise (Budget_exceeded "E2 search exceeded its node budget");
-        match e2_condition ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals with
+        match e2_condition ~clock ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals with
         | None -> found := Some dv
         | Some w ->
           for i = 0 to n - 1 do
@@ -589,7 +593,7 @@ let e2_search ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool =
 (* E1/E5 witness: a maximal collection of tableau instantiations over
    the active domain.  One pass suffices: rejections are final because
    violations persist under growth. *)
-let greedy_maximal_witness ~budget ~schema ~master ~ccs ~adom tableaux =
+let greedy_maximal_witness ?(clock = Budget.unlimited) ~budget ~schema ~master ~ccs ~adom tableaux =
   let dw = ref (Database.empty schema) in
   let count = ref 0 in
   let exceeded = ref false in
@@ -600,6 +604,7 @@ let greedy_maximal_witness ~budget ~schema ~master ~ccs ~adom tableaux =
         let cands = List.map (fun (x, d) -> (x, Adom.candidates adom d)) doms in
         let (_ : bool) =
           Valuation.enumerate_iter cands (fun mu ->
+              Budget.tick clock;
               incr count;
               if !count > budget.max_valuations then begin
                 exceeded := true;
@@ -727,9 +732,9 @@ let unconstrained_disjunct ~ccs tableaux =
         if List.exists (fun r -> List.mem r cc_rels) rels then None else Some (tab, y))
     tableaux
 
-let verify_witness ~schema ~master ~ccs q w =
+let verify_witness ?clock ~schema ~master ~ccs q w =
   Containment.holds_all ~db:w ~master ccs
-  && Rcdp.decide ~schema ~master ~ccs ~db:w q = Rcdp.Complete
+  && Rcdp.decide ?clock ~schema ~master ~ccs ~db:w q = Rcdp.Complete
 
 (* Heuristic witness candidates, cheapest-and-likeliest first: the
    empty database, the greedy maximal collection of constant-valued
@@ -737,7 +742,7 @@ let verify_witness ~schema ~master ~ccs q w =
    the master data in"), a few valid tableau instantiations, a few
    constraint-template instantiations, and a few pairwise unions.
    Each candidate costs a full RCDP run, so the list is kept short. *)
-let heuristic_witness ~budget ~schema ~master ~ccs ~adom ~tableaux q =
+let heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q =
   let max_verifications = 24 in
   let constants_only =
     (* the greedy maximal witness restricted to known constants *)
@@ -755,7 +760,7 @@ let heuristic_witness ~budget ~schema ~master ~ccs ~adom ~tableaux q =
   List.iter
     (fun tab ->
       let (_ : bool) =
-        Valuation_search.iter_valid ~master ~ccs ~mode:`Delta_only ~adom tab
+        Valuation_search.iter_valid ~budget:clock ~master ~ccs ~mode:`Delta_only ~adom tab
           (fun _ delta ->
             incr count;
             singles := delta :: !singles;
@@ -763,7 +768,7 @@ let heuristic_witness ~budget ~schema ~master ~ccs ~adom ~tableaux q =
       in
       ())
     tableaux;
-  let pool = candidate_pool ~truncate:true ~budget ~schema ~master ~adom ccs in
+  let pool = candidate_pool ~truncate:true ~clock ~budget ~schema ~master ~adom ccs in
   let template_singles =
     List.filteri (fun i _ -> i < 6) pool
     |> List.map (fun c -> Database.add_tuple (Database.empty schema) c.cand_rel c.cand_tuple)
@@ -779,9 +784,9 @@ let heuristic_witness ~budget ~schema ~master ~ccs ~adom ~tableaux q =
     @ singles @ template_singles @ pairs
   in
   let candidates = List.filteri (fun i _ -> i < max_verifications) candidates in
-  List.find_opt (verify_witness ~schema ~master ~ccs q) candidates
+  List.find_opt (verify_witness ~clock ~schema ~master ~ccs q) candidates
 
-let decide ?(budget = default_budget) ~schema ~master ~ccs q =
+let decide ?(clock = Budget.unlimited) ?(budget = default_budget) ~schema ~master ~ccs q =
   require_monotone_ccs ccs;
   let ucq = as_ucq_or_raise "RCQP" q in
   let tableaux = satisfiable_tableaux schema ucq in
@@ -796,8 +801,8 @@ let decide ?(budget = default_budget) ~schema ~master ~ccs q =
     if List.for_all (fun tab -> infinite_summary_vars tab = []) tableaux then begin
       (* E1 / E5 *)
       let witness =
-        match greedy_maximal_witness ~budget ~schema ~master ~ccs ~adom tableaux with
-        | Some w when verify_witness ~schema ~master ~ccs q w -> Some w
+        match greedy_maximal_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux with
+        | Some w when verify_witness ~clock ~schema ~master ~ccs q w -> Some w
         | _ -> None
       in
       Nonempty
@@ -820,13 +825,13 @@ let decide ?(budget = default_budget) ~schema ~master ~ccs q =
           }
       | None ->
         (try
-           let pool = candidate_pool ~budget ~schema ~master ~adom:adom_pool ccs in
+           let pool = candidate_pool ~clock ~budget ~schema ~master ~adom:adom_pool ccs in
            let reserved =
              let pool_fresh = VS.of_list (Adom.fresh adom_pool) in
              VS.of_list
                (List.filter (fun f -> not (VS.mem f pool_fresh)) (Adom.fresh adom))
            in
-           match e2_search ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool with
+           match e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool with
            | Some dv ->
              let witness =
                (* Proposition 4.2(b): D_V plus the constant-only tuple
@@ -844,7 +849,7 @@ let decide ?(budget = default_budget) ~schema ~master ~ccs q =
                        w tab.Tableau.patterns)
                    dv tableaux
                in
-               if verify_witness ~schema ~master ~ccs q w then Some w else None
+               if verify_witness ~clock ~schema ~master ~ccs q w then Some w else None
              in
              Nonempty { witness; reason = "a bounding valuation set exists (E2/E6)" }
            | None ->
@@ -855,7 +860,7 @@ let decide ?(budget = default_budget) ~schema ~master ~ccs q =
                     output (E2/E6 fail)";
                }
          with Budget_exceeded why ->
-           (match heuristic_witness ~budget ~schema ~master ~ccs ~adom ~tableaux q with
+           (match heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q with
             | Some w ->
               Nonempty
                 { witness = Some w; reason = "verified witness found by heuristic search" }
@@ -872,7 +877,7 @@ type semi_verdict =
     }
   | No_witness_found of { candidates_tried : int }
 
-let semi_decide ?(max_tuples = 2) ?(max_candidates = 500) ~schema ~master ~ccs q =
+let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(max_candidates = 500) ~schema ~master ~ccs q =
   let adom =
     Adom.build ~schemas:[ schema ] ~master ~cc_constants:(cc_constants ccs)
       ~query_constants:(Lang.constants q) ~fresh_count:3 ()
@@ -901,6 +906,7 @@ let semi_decide ?(max_tuples = 2) ?(max_candidates = 500) ~schema ~master ~ccs q
   let tried = ref 0 in
   let found = ref None in
   let check db =
+    Budget.tick clock;
     incr tried;
     if
       !found = None && !tried <= max_candidates

@@ -65,6 +65,7 @@ type budget = {
 val default_budget : budget
 
 val decide_ind :
+  ?clock:Budget.t ->
   schema:Schema.t ->
   master:Database.t ->
   inds:Ind.t list ->
@@ -72,9 +73,11 @@ val decide_ind :
   verdict
 (** Exact decision for [LC] = INDs and [LQ ∈ {CQ, UCQ, ∃FO⁺}]
     (Proposition 4.3 / Theorem 4.5(1)).  Never returns [Unknown].
-    @raise Unsupported for FO/FP queries. *)
+    @raise Unsupported for FO/FP queries.
+    @raise Budget.Exhausted when [clock] runs out. *)
 
 val decide :
+  ?clock:Budget.t ->
   ?budget:budget ->
   schema:Schema.t ->
   master:Database.t ->
@@ -82,7 +85,12 @@ val decide :
   Lang.t ->
   verdict
 (** General decision for monotone [LQ]/[LC]; exact within budget, as
-    described above.  @raise Unsupported for FO/FP on either side. *)
+    described above.  [budget] caps the {e search shape} (pool size,
+    DFS nodes) and degrades to [Unknown]; [clock] is the {e caller's
+    patience} (wall clock / steps / cancel) and aborts the whole call
+    with {!Budget.Exhausted} — the service turns that into a
+    [timeout] verdict.  @raise Unsupported for FO/FP on either side.
+    @raise Budget.Exhausted when [clock] runs out. *)
 
 type semi_verdict =
   | Plausibly_nonempty of {
@@ -92,6 +100,7 @@ type semi_verdict =
   | No_witness_found of { candidates_tried : int }
 
 val semi_decide :
+  ?clock:Budget.t ->
   ?max_tuples:int ->
   ?max_candidates:int ->
   schema:Schema.t ->

@@ -10,7 +10,8 @@ let neqs_ground_ok (tab : Tableau.t) mu =
       | _ -> true)
     tab.Tableau.neqs
 
-let iter_valid ~master ~ccs ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+let iter_valid ?(budget = Budget.unlimited) ~master ~ccs ~mode ~adom
+    ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
   let var_doms = Tableau.var_domains tab in
   let cands x =
     match List.assoc_opt x var_doms with
@@ -52,6 +53,7 @@ let iter_valid ~master ~ccs ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tablea
       Valuation.enumerate_iter
         (List.map (fun x -> (x, cands x)) vars)
         (fun partial ->
+          Budget.tick budget;
           let mu' =
             List.fold_left
               (fun m (x, c) -> Valuation.add x c m)

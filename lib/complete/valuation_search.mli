@@ -16,6 +16,7 @@ open Ric_query
 open Ric_constraints
 
 val iter_valid :
+  ?budget:Budget.t ->
   master:Database.t ->
   ccs:Containment.t list ->
   mode:[ `Against_base of Database.t | `Delta_only ] ->
@@ -27,4 +28,7 @@ val iter_valid :
 (** [iter_valid ~master ~ccs ~mode ~adom tab visit] calls
     [visit μ Δ] — with [Δ = μ(T)] — for every valid valuation whose
     extension passes the constraint check; stops early when [visit]
-    returns [true] and reports whether any visit did. *)
+    returns [true] and reports whether any visit did.  [budget]
+    (default {!Budget.unlimited}) is ticked once per candidate atom
+    instantiation, so an exhausted budget aborts the search with
+    {!Budget.Exhausted} instead of running unbounded. *)

@@ -1,16 +1,38 @@
 module Json = Ric_text.Json
 
-type t = { fd : Unix.file_descr }
+type t = { fd : Unix.file_descr; receive_timeout : float option }
 
-let connect ?(retries = 0) path =
+(* Capped exponential backoff with full jitter: 10 ms, 20, 40, ...
+   capped at 500 ms, each scaled by a uniform draw so a herd of
+   clients retrying against a restarting daemon does not thump it in
+   lockstep.  Seeded per client process; reconnect cadence is not
+   something tests should be deterministic about. *)
+let backoff_base_s = 0.01
+let backoff_cap_s = 0.5
+
+let backoff_sleep =
+  let rng = lazy (Random.State.make_self_init ()) in
+  fun attempt ->
+    let ceiling =
+      min backoff_cap_s (backoff_base_s *. (2. ** float_of_int attempt))
+    in
+    Unix.sleepf (ceiling *. (0.5 +. (0.5 *. Random.State.float (Lazy.force rng) 1.)))
+
+let connect ?(retries = 0) ?receive_timeout path =
   let rec go attempt =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () -> { fd }
+    | () ->
+      (match receive_timeout with
+       | Some s when s > 0. -> (
+         try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+         with Unix.Unix_error _ -> ())
+       | _ -> ());
+      { fd; receive_timeout }
     | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
       when attempt < retries ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Unix.sleepf 0.05;
+      backoff_sleep attempt;
       go (attempt + 1)
     | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -20,20 +42,25 @@ let connect ?(retries = 0) path =
 
 let request t json =
   Protocol.write_frame t.fd (Json.to_string json);
-  match Protocol.read_frame t.fd with
+  let timeout_raises = t.receive_timeout <> None in
+  match Protocol.read_frame ~timeout_raises t.fd with
   | None -> failwith "ricd closed the connection without answering"
   | Some payload ->
     (match Json.of_string payload with
      | v -> v
      | exception Json.Parse_error (msg, line, col) ->
        failwith (Printf.sprintf "malformed response from ricd (%d:%d: %s)" line col msg))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    failwith "timed out waiting for a reply from ricd"
+  | exception Protocol.Frame_error msg when timeout_raises ->
+    failwith (Printf.sprintf "no usable reply from ricd: %s" msg)
 
 let rpc t req = request t (Protocol.to_json req)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection ?retries path f =
-  let t = connect ?retries path in
+let with_connection ?retries ?receive_timeout path f =
+  let t = connect ?retries ?receive_timeout path in
   match f t with
   | v ->
     close t;

@@ -3,20 +3,27 @@
 
 type t
 
-val connect : ?retries:int -> string -> t
+val connect : ?retries:int -> ?receive_timeout:float -> string -> t
 (** Connect to a daemon's socket.  [retries] (default 0) retries a
-    refused/absent socket every 50 ms — handy right after spawning a
-    server.  @raise Unix.Unix_error when the socket stays dead. *)
+    refused/absent socket with capped exponential backoff and full
+    jitter (10 ms doubling to a 500 ms cap — roughly 2 s of patience
+    at [retries = 10]) — handy right after spawning a server.
+    [receive_timeout] (seconds) bounds each wait for a response frame;
+    an expired wait raises [Failure], after which the connection is no
+    longer usable (a reply may arrive half-framed).
+    @raise Unix.Unix_error when the socket stays dead. *)
 
 val request : t -> Ric_text.Json.t -> Ric_text.Json.t
 (** Send one framed request and block for its response.
     @raise Failure if the server closes the connection instead of
-    answering, or answers with malformed JSON. *)
+    answering, answers with malformed JSON, or — with
+    [receive_timeout] set — does not answer (or stops answering
+    mid-frame) in time. *)
 
 val rpc : t -> Protocol.request -> Ric_text.Json.t
 (** [request] composed with {!Protocol.to_json}. *)
 
 val close : t -> unit
 
-val with_connection : ?retries:int -> string -> (t -> 'a) -> 'a
+val with_connection : ?retries:int -> ?receive_timeout:float -> string -> (t -> 'a) -> 'a
 (** Connect, run, close (also on exceptions). *)

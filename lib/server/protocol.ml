@@ -4,9 +4,9 @@ module Json = Ric_text.Json
 type request =
   | Ping
   | Open of { path : string option; source : string option; name : string option }
-  | Rcdp of { session : string; query : string; nocache : bool }
-  | Rcqp of { session : string; query : string; nocache : bool }
-  | Audit of { session : string; query : string; nocache : bool }
+  | Rcdp of { session : string; query : string; nocache : bool; timeout_ms : int option }
+  | Rcqp of { session : string; query : string; nocache : bool; timeout_ms : int option }
+  | Audit of { session : string; query : string; nocache : bool; timeout_ms : int option }
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats
@@ -48,6 +48,13 @@ let bool_field_default fields k default =
   | Some (Json.Bool b) -> Ok b
   | None -> Ok default
   | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+
+let opt_int_field fields k =
+  match field fields k with
+  | Some (Json.Int n) when n > 0 -> Ok (Some n)
+  | Some (Json.Int _) -> Error (Printf.sprintf "field %S must be a positive integer" k)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a positive integer" k)
 
 let value_of_json = function
   | Json.Int n -> Ok (Value.Int n)
@@ -96,11 +103,12 @@ let of_json = function
        let* session = str_field fields "session" in
        let* query = str_field fields "query" in
        let* nocache = bool_field_default fields "nocache" false in
+       let* timeout_ms = opt_int_field fields "timeout_ms" in
        Ok
          (match op with
-          | "rcdp" -> Rcdp { session; query; nocache }
-          | "rcqp" -> Rcqp { session; query; nocache }
-          | _ -> Audit { session; query; nocache })
+          | "rcdp" -> Rcdp { session; query; nocache; timeout_ms }
+          | "rcqp" -> Rcqp { session; query; nocache; timeout_ms }
+          | _ -> Audit { session; query; nocache; timeout_ms })
      | "insert" ->
        let* session = str_field fields "session" in
        let* rel = str_field fields "rel" in
@@ -127,12 +135,13 @@ let to_json req =
   | Ping | Stats | Shutdown -> Json.Obj [ op ]
   | Open { path; source; name } ->
     Json.Obj ((op :: opt "path" path) @ opt "source" source @ opt "name" name)
-  | Rcdp { session; query; nocache }
-  | Rcqp { session; query; nocache }
-  | Audit { session; query; nocache } ->
+  | Rcdp { session; query; nocache; timeout_ms }
+  | Rcqp { session; query; nocache; timeout_ms }
+  | Audit { session; query; nocache; timeout_ms } ->
     Json.Obj
       ([ op; ("session", Json.Str session); ("query", Json.Str query) ]
-      @ if nocache then [ ("nocache", Json.Bool true) ] else [])
+      @ (if nocache then [ ("nocache", Json.Bool true) ] else [])
+      @ match timeout_ms with Some ms -> [ ("timeout_ms", Json.Int ms) ] | None -> [])
   | Insert { session; rel; rows } ->
     Json.Obj
       [
@@ -150,50 +159,58 @@ exception Frame_error of string
 
 let max_frame = 16 * 1024 * 1024
 
-(* Once the first header byte has arrived we are mid-frame: retry on
-   receive timeouts rather than letting them desynchronise the stream.
-   Only the very first read of a frame (in {!read_frame}) lets EAGAIN
-   through, as the server's idle-poll point. *)
-let rec read_retry fd buf ofs len =
+(* Once the first header byte has arrived we are mid-frame: by default,
+   retry on receive timeouts rather than letting them desynchronise the
+   stream.  Only the very first read of a frame (in {!read_frame}) lets
+   EAGAIN through, as the server's idle-poll point — unless the caller
+   asked for [timeout_raises] (the client's receive-timeout mode), in
+   which case a mid-frame timeout raises too. *)
+let rec read_retry ~timeout_raises fd buf ofs len =
   try Unix.read fd buf ofs len
-  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-    read_retry fd buf ofs len
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) when timeout_raises ->
+    raise (Frame_error "timed out mid-frame")
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    read_retry ~timeout_raises fd buf ofs len
 
-let really_read fd buf ofs len =
+let really_read ~timeout_raises fd buf ofs len =
   let rec go ofs remaining =
     if remaining > 0 then begin
-      let n = read_retry fd buf ofs remaining in
+      let n = read_retry ~timeout_raises fd buf ofs remaining in
       if n = 0 then raise (Frame_error "connection closed mid-frame");
       go (ofs + n) (remaining - n)
     end
   in
   go ofs len
 
-let read_frame fd =
+let read_frame ?(timeout_raises = false) fd =
   let header = Bytes.create 4 in
   let n = Unix.read fd header 0 4 in
   if n = 0 then None
   else begin
-    if n < 4 then really_read fd header n (4 - n);
+    if n < 4 then really_read ~timeout_raises fd header n (4 - n);
     let len = Int32.to_int (Bytes.get_int32_be header 0) in
     if len <= 0 || len > max_frame then
       raise (Frame_error (Printf.sprintf "invalid frame length %d" len));
     let payload = Bytes.create len in
-    really_read fd payload 0 len;
+    really_read ~timeout_raises fd payload 0 len;
     Some (Bytes.unsafe_to_string payload)
   end
 
-let write_frame fd payload =
+let write_frame ?tear fd payload =
   let len = String.length payload in
   if len > max_frame then
     raise (Frame_error (Printf.sprintf "frame of %d bytes exceeds the %d limit" len max_frame));
   let buf = Bytes.create (4 + len) in
   Bytes.set_int32_be buf 0 (Int32.of_int len);
   Bytes.blit_string payload 0 buf 4 len;
+  let total = match tear with Some n -> min n (4 + len) | None -> 4 + len in
   let rec go ofs remaining =
     if remaining > 0 then begin
       let n = Unix.write fd buf ofs remaining in
       go (ofs + n) (remaining - n)
     end
   in
-  go 0 (4 + len)
+  go 0 total;
+  if total < 4 + len then
+    raise (Frame_error (Printf.sprintf "frame torn after %d bytes (fault injection)" total))

@@ -25,7 +25,11 @@
 
     [rcdp]/[rcqp]/[audit] accept an optional ["nocache": true] field
     that bypasses the verdict cache (used by the benches to measure
-    raw decider throughput).
+    raw decider throughput), and an optional ["timeout_ms": <int>]
+    deadline: when the decider exhausts it the response carries a
+    [{"verdict": "timeout", ...}] result (with the work-done counters
+    accumulated so far) instead of making the client wait out a
+    Σ₂ᵖ/NEXPTIME search.  Timed-out verdicts are never cached.
 
     {2 Responses}
 
@@ -45,9 +49,9 @@ open Ric_relational
 type request =
   | Ping
   | Open of { path : string option; source : string option; name : string option }
-  | Rcdp of { session : string; query : string; nocache : bool }
-  | Rcqp of { session : string; query : string; nocache : bool }
-  | Audit of { session : string; query : string; nocache : bool }
+  | Rcdp of { session : string; query : string; nocache : bool; timeout_ms : int option }
+  | Rcqp of { session : string; query : string; nocache : bool; timeout_ms : int option }
+  | Audit of { session : string; query : string; nocache : bool; timeout_ms : int option }
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats
@@ -78,11 +82,17 @@ val max_frame : int
 (** Refuse frames larger than this (16 MiB) rather than letting a
     corrupt length prefix allocate unboundedly. *)
 
-val read_frame : Unix.file_descr -> string option
+val read_frame : ?timeout_raises:bool -> Unix.file_descr -> string option
 (** Read one frame.  [None] on a clean EOF before the first length
     byte.  @raise Frame_error on a malformed frame; Unix errors
-    (including receive timeouts) pass through. *)
+    (including receive timeouts) on the {e first} read pass through.
+    Mid-frame receive timeouts are retried by default (the server's
+    idle-poll mode); with [timeout_raises] they raise [Frame_error]
+    instead (the client's receive-timeout mode — a half-delivered
+    reply means the connection is unusable). *)
 
-val write_frame : Unix.file_descr -> string -> unit
-(** Write one frame.  @raise Frame_error if the payload exceeds
+val write_frame : ?tear:int -> Unix.file_descr -> string -> unit
+(** Write one frame.  [tear] (fault injection only) stops after that
+    many bytes and raises [Frame_error] so the server tears the
+    connection down.  @raise Frame_error if the payload exceeds
     {!max_frame}. *)

@@ -1,14 +1,24 @@
 module Json = Ric_text.Json
+module Journal = Ric_text.Journal
 
 type config = {
   socket_path : string;
   domains : int;
   queue_capacity : int;
   root : string option;
+  journal : string option;
+  recover : bool;
 }
 
 let default_config =
-  { socket_path = "/tmp/ricd.sock"; domains = 2; queue_capacity = 64; root = None }
+  {
+    socket_path = "/tmp/ricd.sock";
+    domains = 2;
+    queue_capacity = 64;
+    root = None;
+    journal = None;
+    recover = false;
+  }
 
 let src = Logs.Src.create "ricd" ~doc:"the ric completeness-checking daemon"
 
@@ -30,6 +40,10 @@ let serve_connection service fd =
         loop ()
       | None -> () (* client hung up *)
       | Some payload ->
+        (* the request frame is consumed: a [Crash_worker] here kills
+           the domain mid-job, and the pool hands the connection to
+           another worker *)
+        Faults.fire "worker";
         let t0 = Unix.gettimeofday () in
         let op, response =
           match Json.of_string payload with
@@ -42,7 +56,7 @@ let serve_connection service fd =
              | Error msg -> ("?", Protocol.error ~kind:"bad_request" msg)
              | Ok req -> (Protocol.op_name req, Service.handle service req))
         in
-        Protocol.write_frame fd (Json.to_string response);
+        Protocol.write_frame ?tear:(Faults.tear ()) fd (Json.to_string response);
         Log.info (fun m ->
             m "op=%s elapsed_us=%d" op
               (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
@@ -50,6 +64,7 @@ let serve_connection service fd =
   in
   (try loop () with
    | Protocol.Frame_error msg -> Log.warn (fun m -> m "dropping connection: %s" msg)
+   | Faults.Dropped -> Log.warn (fun m -> m "dropping connection: injected fault")
    | Unix.Unix_error (e, _, _) ->
      Log.warn (fun m -> m "dropping connection: %s" (Unix.error_message e)));
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -66,22 +81,82 @@ let prepare_socket_path path =
     in
     (try Unix.close probe with Unix.Unix_error _ -> ());
     if live then raise (Unix.Unix_error (Unix.EADDRINUSE, "bind", path));
+    Log.warn (fun m -> m "removing stale socket file %s" path);
     try Unix.unlink path with Unix.Unix_error _ -> ()
   end
 
+(* A job whose worker crashed twice: answer the client with an error
+   instead of silence, then tear the connection down. *)
+let quarantine_connection fd reason =
+  (try
+     Protocol.write_frame fd
+       (Json.to_string
+          (Protocol.error ~kind:"worker_crash"
+             (Printf.sprintf "request abandoned after repeated worker crashes: %s" reason)))
+   with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let install_signal_handlers service =
+  match Sys.os_type with
+  | "Unix" ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let graceful signal_name _ =
+      (* flip the flag only: the accept loop and the workers notice on
+         their next idle poll and drain — safe in a signal context *)
+      ignore signal_name;
+      Service.request_shutdown service
+    in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (graceful "SIGTERM"));
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful "SIGINT"))
+  | _ -> ()
+
+let setup_journal service config =
+  match config.journal with
+  | None ->
+    if config.recover then
+      Log.warn (fun m -> m "--recover ignored: no journal configured");
+    None
+  | Some path ->
+    let retained =
+      if config.recover && Sys.file_exists path then begin
+        match Service.recover service path with
+        | r ->
+          Log.app (fun m ->
+              m "recovered %d session(s) from %s (%d record(s), %d failed%s)"
+                r.Service.sessions_restored path r.Service.entries_replayed
+                r.Service.entries_failed
+                (if r.Service.torn_tail then ", torn tail discarded" else ""));
+          r.Service.retained
+        | exception Sys_error msg ->
+          Log.err (fun m -> m "cannot recover from %s: %s" path msg);
+          []
+      end
+      else []
+    in
+    (match Journal.open_append ~truncate:true path with
+     | j ->
+       List.iter (Journal.append j) retained;
+       Service.attach_journal service j;
+       Some j
+     | exception Sys_error msg ->
+       Log.err (fun m -> m "cannot open journal %s: %s (running without durability)" path msg);
+       None)
+
 let run config =
-  (match Sys.os_type with
-   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   | _ -> ());
+  Faults.init_from_env ();
   let service = Service.create ?root:config.root () in
+  install_signal_handlers service;
+  let journal = setup_journal service config in
   prepare_socket_path config.socket_path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
   Unix.listen sock 64;
   let pool =
-    Pool.create ~domains:config.domains ~capacity:config.queue_capacity
-      ~worker:(serve_connection service)
+    Pool.create ~on_quarantine:quarantine_connection ~domains:config.domains
+      ~capacity:config.queue_capacity
+      ~worker:(serve_connection service) ()
   in
+  Service.set_pool_stats service (fun () -> Pool.stats pool);
   Log.app (fun m ->
       m "ricd listening on %s (%d worker domain%s)" config.socket_path
         (Pool.domains pool)
@@ -103,4 +178,5 @@ let run config =
   Log.app (fun m -> m "ricd shutting down");
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
-  Pool.shutdown pool
+  Pool.shutdown pool;
+  match journal with None -> () | Some j -> Journal.close j

@@ -6,9 +6,18 @@
     and latency logs go through the [logs] library under the ["ricd"]
     source; install a reporter (the CLI uses [Logs_fmt]) to see them.
 
-    {!run} blocks until a [shutdown] request arrives, then stops
-    accepting, drains in-flight connections and removes the socket
-    file. *)
+    {!run} blocks until a [shutdown] request {e or} a SIGTERM/SIGINT
+    arrives, then stops accepting, drains in-flight connections,
+    removes the socket file and closes the journal.  A stale socket
+    file left by a crashed daemon is detected (nothing answers it) and
+    removed at startup; a live one makes {!run} raise rather than
+    steal it.
+
+    With [journal] set, every session mutation is appended to a
+    JSON-lines journal ({!Ric_text.Journal}); with [recover] it is
+    replayed first, restoring the sessions (ids, databases, epochs) a
+    crashed daemon had open.  Fault injection for the robustness tests
+    is armed via the [RIC_FAULTS] environment variable ({!Faults}). *)
 
 type config = {
   socket_path : string;
@@ -17,10 +26,12 @@ type config = {
       (** accepted-but-unserved connection backlog before the accept
           loop blocks (backpressure) *)
   root : string option;  (** base directory for [open] paths *)
+  journal : string option;  (** session journal path; [None] = no durability *)
+  recover : bool;  (** replay the journal at startup before serving *)
 }
 
 val default_config : config
-(** [/tmp/ricd.sock], 2 domains, capacity 64, no root. *)
+(** [/tmp/ricd.sock], 2 domains, capacity 64, no root, no journal. *)
 
 val src : Logs.src
 (** The ["ricd"] log source. *)

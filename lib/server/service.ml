@@ -5,6 +5,7 @@ open Ric_complete
 module Json = Ric_text.Json
 module Report = Ric_text.Report
 module Scenario = Ric_text.Scenario
+module Journal = Ric_text.Journal
 
 type t = {
   registry : Session.registry;
@@ -15,6 +16,9 @@ type t = {
   stop : bool Atomic.t;
   op_counts : (string, int) Hashtbl.t;
   mutable requests : int;
+  mutable timeouts : int;
+  mutable journal : Journal.t option;
+  mutable pool_stats : (unit -> Pool.stats) option;
 }
 
 let create ?root () =
@@ -27,9 +31,25 @@ let create ?root () =
     stop = Atomic.make false;
     op_counts = Hashtbl.create 8;
     requests = 0;
+    timeouts = 0;
+    journal = None;
+    pool_stats = None;
   }
 
 let shutdown_requested t = Atomic.get t.stop
+
+let request_shutdown t = Atomic.set t.stop true
+
+let attach_journal t j = t.journal <- Some j
+
+let set_pool_stats t f = t.pool_stats <- Some f
+
+(* Callers hold no particular lock; [Journal.append] serialises
+   internally, and journal-write failures must never fail a request. *)
+let journal_entry t entry =
+  match t.journal with
+  | None -> ()
+  | Some j -> ( try Journal.append j entry with Sys_error _ -> ())
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -58,6 +78,20 @@ let not_closed_result v =
 
 let unsupported_result msg =
   Json.Obj [ ("verdict", Json.Str "unsupported"); ("reason", Json.Str msg) ]
+
+let timeout_result ?rcdp_stats ~clock ~timeout_ms reason =
+  Json.Obj
+    ([ ("verdict", Json.Str "timeout"); ("reason", Json.Str (Budget.reason_name reason)) ]
+    @ (match timeout_ms with Some ms -> [ ("timeout_ms", Json.Int ms) ] | None -> [])
+    @ [ ("steps", Json.Int (Budget.steps clock)) ]
+    @
+    match rcdp_stats with
+    | Some s ->
+      [
+        ("valuations_visited", Json.Int s.Rcdp.valuations_visited);
+        ("branches_pruned", Json.Int s.Rcdp.branches_pruned);
+      ]
+    | None -> [])
 
 let verdict_response ~session ~query ~epoch ~cached ~revalidated ~elapsed_us result =
   ok
@@ -107,6 +141,15 @@ let handle_open t ~path ~source ~name =
     let s =
       with_lock t (fun () -> Session.open_scenario t.registry ?name scenario)
     in
+    journal_entry t
+      (Journal.Opened
+         {
+           id = s.Session.id;
+           name;
+           (* journal the printed scenario, not the path: recovery must
+              not depend on the original file surviving the crash *)
+           source = Format.asprintf "%a" Scenario.pp scenario;
+         });
     ok
       ([
          ("session", Json.Str s.Session.id);
@@ -158,6 +201,24 @@ let snapshot t ~session ~query =
                sn_query = q;
              }))
 
+(* what a decider run produced: the JSON result, the raw RCDP verdict
+   for cache revalidation, and whether the cache may keep it — a
+   timed-out verdict says nothing about the query, only about the
+   caller's patience, so it must never be stored *)
+type computed = {
+  c_result : Json.t;
+  c_rcdp : Rcdp.verdict option;
+  c_cacheable : bool;
+}
+
+let note_timeout t =
+  with_lock t (fun () -> t.timeouts <- t.timeouts + 1)
+
+let clock_of_timeout timeout_ms =
+  match timeout_ms with
+  | Some ms -> Budget.create ~deadline_after:(float_of_int ms /. 1000.) ()
+  | None -> Budget.unlimited
+
 (* serve one epoch-keyed decide (rcdp or audit) through the cache *)
 let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
   match sn.sn_violation with
@@ -175,10 +236,11 @@ let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
        verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:true
          ~revalidated:e.Cache.revalidated ~elapsed_us:e.Cache.elapsed_us e.Cache.result
      | None ->
+       Faults.fire "decide";
        let t0 = Unix.gettimeofday () in
-       let result, rcdp = compute sn in
+       let c = compute sn in
        let elapsed = elapsed_us t0 in
-       if not nocache then
+       if (not nocache) && c.c_cacheable then
          with_lock t (fun () ->
              (* store only if the session is still at the snapshot
                 epoch — otherwise the key is already stale *)
@@ -188,57 +250,75 @@ let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
                  {
                    Cache.kind;
                    query;
-                   result;
-                   rcdp;
+                   result = c.c_result;
+                   rcdp = c.c_rcdp;
                    elapsed_us = elapsed;
                    revalidated = false;
                  }
              | _ -> ());
        verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
-         ~elapsed_us:elapsed result)
+         ~elapsed_us:elapsed c.c_result)
 
-let compute_rcdp sn =
+let compute_rcdp t ~timeout_ms sn =
   let sc = sn.sn_scenario in
+  let clock = clock_of_timeout timeout_ms in
+  let stats = ref { Rcdp.valuations_visited = 0; branches_pruned = 0 } in
   match
     (* partial closure is tracked per-session and already checked;
        skip the decider's own O(|V|) re-verification *)
-    Rcdp.decide ~check_partially_closed:false ~schema:sc.Scenario.db_schema
-      ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
+    Rcdp.decide ~clock ~collect_stats:stats ~check_partially_closed:false
+      ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc)
+      ~db:sn.sn_db sn.sn_query
   with
-  | verdict -> (Report.rcdp_verdict verdict, Some verdict)
-  | exception Rcdp.Unsupported msg -> (unsupported_result msg, None)
+  | verdict ->
+    { c_result = Report.rcdp_verdict verdict; c_rcdp = Some verdict; c_cacheable = true }
+  | exception Rcdp.Unsupported msg ->
+    { c_result = unsupported_result msg; c_rcdp = None; c_cacheable = true }
+  | exception Budget.Exhausted reason ->
+    note_timeout t;
+    {
+      c_result = timeout_result ~rcdp_stats:!stats ~clock ~timeout_ms reason;
+      c_rcdp = None;
+      c_cacheable = false;
+    }
 
-let compute_audit sn =
+let compute_audit t ~timeout_ms sn =
   let sc = sn.sn_scenario in
+  let clock = clock_of_timeout timeout_ms in
   match
-    Guidance.audit ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+    Guidance.audit ~clock ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
       ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
   with
-  | result -> (Report.audit_result result, None)
-  | exception Rcdp.Unsupported msg -> (unsupported_result msg, None)
-  | exception Rcqp.Unsupported msg -> (unsupported_result msg, None)
+  | result -> { c_result = Report.audit_result result; c_rcdp = None; c_cacheable = true }
+  | exception Rcdp.Unsupported msg ->
+    { c_result = unsupported_result msg; c_rcdp = None; c_cacheable = true }
+  | exception Rcqp.Unsupported msg ->
+    { c_result = unsupported_result msg; c_rcdp = None; c_cacheable = true }
+  | exception Budget.Exhausted reason ->
+    note_timeout t;
+    { c_result = timeout_result ~clock ~timeout_ms reason; c_rcdp = None; c_cacheable = false }
 
-let handle_rcdp t ~session ~query ~nocache =
+let handle_rcdp t ~session ~query ~nocache ~timeout_ms =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
     let key =
       Cache.rcdp_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
-    cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~key ~compute:compute_rcdp
-      sn
+    cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~key
+      ~compute:(compute_rcdp t ~timeout_ms) sn
 
-let handle_audit t ~session ~query ~nocache =
+let handle_audit t ~session ~query ~nocache ~timeout_ms =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
     let key =
       Cache.audit_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
-    cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~key ~compute:compute_audit
-      sn
+    cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~key
+      ~compute:(compute_audit t ~timeout_ms) sn
 
-let handle_rcqp t ~session ~query ~nocache =
+let handle_rcqp t ~session ~query ~nocache ~timeout_ms =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -250,18 +330,23 @@ let handle_rcqp t ~session ~query ~nocache =
        verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:true
          ~revalidated:e.Cache.revalidated ~elapsed_us:e.Cache.elapsed_us e.Cache.result
      | None ->
+       Faults.fire "decide";
        let sc = sn.sn_scenario in
+       let clock = clock_of_timeout timeout_ms in
        let t0 = Unix.gettimeofday () in
-       let result =
+       let result, cacheable =
          match
-           Rcqp.decide ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+           Rcqp.decide ~clock ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
              ~ccs:(Scenario.all_ccs sc) sn.sn_query
          with
-         | verdict -> Report.rcqp_verdict verdict
-         | exception Rcqp.Unsupported msg -> unsupported_result msg
+         | verdict -> (Report.rcqp_verdict verdict, true)
+         | exception Rcqp.Unsupported msg -> (unsupported_result msg, true)
+         | exception Budget.Exhausted reason ->
+           note_timeout t;
+           (timeout_result ~clock ~timeout_ms reason, false)
        in
        let elapsed = elapsed_us t0 in
-       if not nocache then
+       if (not nocache) && cacheable then
          with_lock t (fun () ->
              if Session.find t.registry session <> None then
                Cache.store t.cache key
@@ -296,6 +381,7 @@ let handle_insert t ~session ~rel ~rows =
         (match Session.insert s ~rel ~rows with
          | Error msg -> Protocol.error ~kind:"bad_insert" msg
          | Ok () ->
+           journal_entry t (Journal.Inserted { id = session; rel; rows });
            let new_epoch = s.Session.epoch in
            let fingerprint = s.Session.ccs_fingerprint in
            let old_prefix = Cache.epoch_prefix ~session ~epoch:old_epoch in
@@ -367,7 +453,10 @@ let handle_close t ~session =
       let purged =
         Cache.remove_prefix t.cache ~prefix:(Cache.session_prefix ~session)
       in
-      if existed then ok [ ("closed", Json.Str session); ("purged", Json.Int purged) ]
+      if existed then begin
+        journal_entry t (Journal.Closed { id = session });
+        ok [ ("closed", Json.Str session); ("purged", Json.Int purged) ]
+      end
       else
         Protocol.error ~kind:"unknown_session" (Printf.sprintf "unknown session %S" session))
 
@@ -397,21 +486,89 @@ let handle_stats t =
         |> List.sort compare
       in
       ok
-        [
-          ("uptime_s", Json.Int (int_of_float (Unix.gettimeofday () -. t.started_at)));
-          ("requests", Json.Int t.requests);
-          ("ops", Json.Obj ops);
-          ("sessions", Json.List sessions);
-          ( "cache",
-            Json.Obj
-              [
-                ("entries", Json.Int cs.Cache.entries);
-                ("hits", Json.Int cs.Cache.hits);
-                ("misses", Json.Int cs.Cache.misses);
-                ("carried", Json.Int cs.Cache.carried);
-                ("dropped", Json.Int cs.Cache.dropped);
-              ] );
-        ])
+        ([
+           ("uptime_s", Json.Int (int_of_float (Unix.gettimeofday () -. t.started_at)));
+           ("requests", Json.Int t.requests);
+           ("timeouts", Json.Int t.timeouts);
+           ("ops", Json.Obj ops);
+           ("sessions", Json.List sessions);
+           ( "cache",
+             Json.Obj
+               [
+                 ("entries", Json.Int cs.Cache.entries);
+                 ("hits", Json.Int cs.Cache.hits);
+                 ("misses", Json.Int cs.Cache.misses);
+                 ("carried", Json.Int cs.Cache.carried);
+                 ("dropped", Json.Int cs.Cache.dropped);
+               ] );
+         ]
+        @
+        match t.pool_stats with
+        | None -> []
+        | Some f ->
+          let ps = f () in
+          [
+            ( "workers",
+              Json.Obj
+                [
+                  ("failures", Json.Int ps.Pool.failures);
+                  ("crashes", Json.Int ps.Pool.crashes);
+                  ("respawns", Json.Int ps.Pool.respawns);
+                  ("quarantined", Json.Int ps.Pool.quarantined);
+                  ("pending", Json.Int ps.Pool.pending);
+                ] );
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* crash recovery *)
+
+type recovery = {
+  sessions_restored : int;
+  entries_replayed : int;
+  entries_failed : int;
+  torn_tail : bool;
+  retained : Journal.entry list;
+}
+
+let recover t path =
+  let replay = Journal.replay_file path in
+  let failed = ref replay.Journal.skipped in
+  with_lock t (fun () ->
+      List.iter
+        (fun entry ->
+          match entry with
+          | Journal.Opened { id; name; source } -> (
+            match Scenario.parse source with
+            | scenario -> ignore (Session.open_scenario t.registry ~id ?name scenario)
+            | exception Scenario.Parse_error _ -> incr failed)
+          | Journal.Inserted { id; rel; rows } -> (
+            match Session.find t.registry id with
+            | Some s -> (
+              match Session.insert s ~rel ~rows with
+              | Ok () -> ()
+              | Error _ -> incr failed)
+            | None -> incr failed)
+          | Journal.Closed { id } -> ignore (Session.close t.registry id))
+        replay.Journal.entries);
+  let retained =
+    (* drop entries of sessions that were closed before the crash, so
+       the compacted journal only re-plays what is still live; keeping
+       the insert records verbatim preserves each session's epoch *)
+    with_lock t (fun () ->
+        List.filter
+          (function
+            | Journal.Closed _ -> false
+            | Journal.Opened { id; _ } | Journal.Inserted { id; _ } ->
+              Session.find t.registry id <> None)
+          replay.Journal.entries)
+  in
+  {
+    sessions_restored = with_lock t (fun () -> Session.count t.registry);
+    entries_replayed = List.length replay.Journal.entries;
+    entries_failed = !failed;
+    torn_tail = replay.Journal.torn_tail;
+    retained;
+  }
 
 let handle t req =
   with_lock t (fun () ->
@@ -422,9 +579,12 @@ let handle t req =
   match req with
   | Protocol.Ping -> ok [ ("pong", Json.Bool true) ]
   | Protocol.Open { path; source; name } -> handle_open t ~path ~source ~name
-  | Protocol.Rcdp { session; query; nocache } -> handle_rcdp t ~session ~query ~nocache
-  | Protocol.Rcqp { session; query; nocache } -> handle_rcqp t ~session ~query ~nocache
-  | Protocol.Audit { session; query; nocache } -> handle_audit t ~session ~query ~nocache
+  | Protocol.Rcdp { session; query; nocache; timeout_ms } ->
+    handle_rcdp t ~session ~query ~nocache ~timeout_ms
+  | Protocol.Rcqp { session; query; nocache; timeout_ms } ->
+    handle_rcqp t ~session ~query ~nocache ~timeout_ms
+  | Protocol.Audit { session; query; nocache; timeout_ms } ->
+    handle_audit t ~session ~query ~nocache ~timeout_ms
   | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
   | Protocol.Close { session } -> handle_close t ~session
   | Protocol.Stats -> handle_stats t

@@ -30,3 +30,37 @@ val handle : t -> Protocol.request -> Ric_text.Json.t
     transport to flush. *)
 
 val shutdown_requested : t -> bool
+
+val request_shutdown : t -> unit
+(** What a [shutdown] request and the SIGTERM/SIGINT handlers share:
+    flip the stop flag; the transport's accept loop notices on its
+    next idle poll and drains. *)
+
+val attach_journal : t -> Ric_text.Journal.t -> unit
+(** Start journalling [open]/[insert]/[close] mutations.  Attach
+    {e after} {!recover} so replay is not re-journalled.  Journal
+    write failures are swallowed: losing durability must not fail
+    live requests. *)
+
+val set_pool_stats : t -> (unit -> Pool.stats) -> unit
+(** Let [stats] responses report the worker pool's failure /
+    crash / respawn / quarantine counters. *)
+
+type recovery = {
+  sessions_restored : int;  (** live sessions after replay *)
+  entries_replayed : int;
+  entries_failed : int;
+      (** records that no longer applied (unparseable scenario,
+          unknown session, bad insert) — logged and skipped *)
+  torn_tail : bool;  (** the journal ended mid-record (crash mid-append) *)
+  retained : Ric_text.Journal.entry list;
+      (** the compacted journal: entries of still-open sessions, in
+          order, with epochs preserved — rewrite the journal file from
+          these before attaching it *)
+}
+
+val recover : t -> string -> recovery
+(** Replay a session journal into the (empty) registry: re-parse each
+    [open]'s embedded scenario source, re-apply inserts (restoring
+    epochs and partial-closure state), honour closes.
+    @raise Sys_error when the journal file cannot be read. *)

@@ -42,9 +42,22 @@ let check_closure (scenario : Scenario.t) db =
   | Some (cc, witness) -> Some (cc.Containment.cc_name, witness)
   | None -> None
 
-let open_scenario reg ?name scenario =
-  let id = Printf.sprintf "s%d" reg.next_id in
-  reg.next_id <- reg.next_id + 1;
+(* A forced [id] comes from journal replay; keep [next_id] ahead of it
+   so post-recovery sessions never collide with recovered ones. *)
+let open_scenario reg ?id ?name scenario =
+  let id =
+    match id with
+    | Some id ->
+      if String.length id > 1 && id.[0] = 's' then
+        (match int_of_string_opt (String.sub id 1 (String.length id - 1)) with
+         | Some n -> reg.next_id <- max reg.next_id (n + 1)
+         | None -> ());
+      id
+    | None ->
+      let id = Printf.sprintf "s%d" reg.next_id in
+      reg.next_id <- reg.next_id + 1;
+      id
+  in
   let db = scenario.Scenario.db in
   let s =
     {

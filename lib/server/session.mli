@@ -38,9 +38,11 @@ type registry
 
 val create : unit -> registry
 
-val open_scenario : registry -> ?name:string -> Ric_text.Scenario.t -> t
+val open_scenario : registry -> ?id:string -> ?name:string -> Ric_text.Scenario.t -> t
 (** Register a freshly parsed scenario under a new session id, with
-    its partial-closure status already computed. *)
+    its partial-closure status already computed.  [id] forces the
+    session id (journal replay restores sessions under their original
+    ids) and advances the id counter past it. *)
 
 val find : registry -> string -> t option
 

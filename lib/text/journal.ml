@@ -1,0 +1,153 @@
+open Ric_relational
+
+type entry =
+  | Opened of { id : string; name : string option; source : string }
+  | Inserted of { id : string; rel : string; rows : Value.t list list }
+  | Closed of { id : string }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: one compact JSON object per line.  [Json.to_string]
+   escapes control characters, so a scenario source full of newlines
+   still serialises to a single line and [input_line] framing holds. *)
+
+let json_of_value = function
+  | Value.Int n -> Json.Int n
+  | Value.Str s -> Json.Str s
+
+let value_of_json = function
+  | Json.Int n -> Ok (Value.Int n)
+  | Json.Str s -> Ok (Value.Str s)
+  | _ -> Error "row cells must be strings or integers"
+
+let json_of_entry = function
+  | Opened { id; name; source } ->
+    Json.Obj
+      ([ ("r", Json.Str "open"); ("id", Json.Str id) ]
+      @ (match name with Some n -> [ ("name", Json.Str n) ] | None -> [])
+      @ [ ("source", Json.Str source) ])
+  | Inserted { id; rel; rows } ->
+    Json.Obj
+      [
+        ("r", Json.Str "insert");
+        ("id", Json.Str id);
+        ("rel", Json.Str rel);
+        ( "rows",
+          Json.List (List.map (fun row -> Json.List (List.map json_of_value row)) rows) );
+      ]
+  | Closed { id } -> Json.Obj [ ("r", Json.Str "close"); ("id", Json.Str id) ]
+
+let field fields k = List.assoc_opt k fields
+
+let str_field fields k =
+  match field fields k with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let ( let* ) = Result.bind
+
+let rows_of_json = function
+  | Json.List rows ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.List cells :: rest ->
+        let rec cells_go cacc = function
+          | [] -> go (List.rev cacc :: acc) rest
+          | c :: cs ->
+            (match value_of_json c with
+             | Ok v -> cells_go (v :: cacc) cs
+             | Error _ as e -> e)
+        in
+        cells_go [] cells
+      | _ -> Error "each row must be a list of cells"
+    in
+    go [] rows
+  | _ -> Error "field \"rows\" must be a list of rows"
+
+let entry_of_json = function
+  | Json.Obj fields ->
+    let* r = str_field fields "r" in
+    let* id = str_field fields "id" in
+    (match r with
+     | "open" ->
+       let* source = str_field fields "source" in
+       let name =
+         match field fields "name" with Some (Json.Str n) -> Some n | _ -> None
+       in
+       Ok (Opened { id; name; source })
+     | "insert" ->
+       let* rel = str_field fields "rel" in
+       (match field fields "rows" with
+        | Some rows ->
+          let* rows = rows_of_json rows in
+          Ok (Inserted { id; rel; rows })
+        | None -> Error "missing field \"rows\"")
+     | "close" -> Ok (Closed { id })
+     | other -> Error (Printf.sprintf "unknown journal record %S" other))
+  | _ -> Error "a journal record must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* The append side. *)
+
+type t = { oc : out_channel; mutex : Mutex.t; path : string }
+
+let open_append ?(truncate = false) path =
+  let mode = if truncate then Open_trunc else Open_append in
+  let oc = open_out_gen [ mode; Open_wronly; Open_creat ] 0o644 path in
+  { oc; mutex = Mutex.create (); path }
+
+let path t = t.path
+
+let append t entry =
+  Mutex.lock t.mutex;
+  (try
+     output_string t.oc (Json.to_string (json_of_entry entry));
+     output_char t.oc '\n';
+     flush t.oc
+   with e ->
+     Mutex.unlock t.mutex;
+     raise e);
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  (try close_out t.oc with Sys_error _ -> ());
+  Mutex.unlock t.mutex
+
+(* ------------------------------------------------------------------ *)
+(* The replay side. *)
+
+type replay = {
+  entries : entry list;
+  skipped : int;
+  torn_tail : bool;
+}
+
+let replay_file path =
+  let ic = open_in path in
+  let entries = ref [] and skipped = ref 0 and torn = ref false in
+  (try
+     let rec go () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line ->
+         if String.trim line <> "" then begin
+           match Json.of_string_result line with
+           | Error _ ->
+             (* a torn tail from a crash mid-append parses as garbage;
+                anything after it is unreliable, so stop here *)
+             torn := true
+           | Ok json ->
+             (match entry_of_json json with
+              | Ok e -> entries := e :: !entries
+              | Error _ -> incr skipped);
+             go ()
+         end
+         else go ()
+     in
+     go ()
+   with e ->
+     close_in_noerr ic;
+     raise e);
+  close_in_noerr ic;
+  { entries = List.rev !entries; skipped = !skipped; torn_tail = !torn }

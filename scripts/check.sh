@@ -64,4 +64,82 @@ esac
 wait "$SERVER_PID"
 SERVER_PID=""
 
+echo "== robustness smoke test"
+JOURNAL="${TMPDIR:-/tmp}/ricd-check-$$.journal"
+
+cleanup2() {
+  "$RIC" shutdown -S "$SOCKET" >/dev/null 2>&1 || true
+  wait "${SERVER_PID:-$$}" 2>/dev/null || true
+  rm -f "$SOCKET" "$JOURNAL"
+}
+trap cleanup2 EXIT INT TERM
+
+"$RIC" serve -S "$SOCKET" -d 2 --journal "$JOURNAL" &
+SERVER_PID=$!
+i=0
+until "$RIC" request ping -S "$SOCKET" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "FAIL: ricd did not come up on $SOCKET" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# a deliberately hostile RCDP instance (hours of search) with a 100 ms
+# deadline must come back promptly with a timeout verdict
+OPEN=$("$RIC" request open scenarios/hard.ric -S "$SOCKET")
+HSESSION=$(printf '%s' "$OPEN" | sed 's/.*"session":"\([^"]*\)".*/\1/')
+START=$(date +%s)
+T=$("$RIC" request rcdp "$HSESSION" QH --timeout-ms 100 -S "$SOCKET")
+ELAPSED=$(( $(date +%s) - START ))
+echo "timeout: $T (${ELAPSED}s)"
+case "$T" in
+  *'"verdict":"timeout"'*) ;;
+  *) echo "FAIL: deadline did not produce a timeout verdict" >&2; exit 1 ;;
+esac
+if [ "$ELAPSED" -gt 5 ]; then
+  echo "FAIL: 100 ms deadline took ${ELAPSED}s" >&2
+  exit 1
+fi
+
+# the daemon is still healthy and serving after the aborted search
+"$RIC" request ping -S "$SOCKET" >/dev/null
+OPEN=$("$RIC" request open scenarios/crm.ric -S "$SOCKET")
+CSESSION=$(printf '%s' "$OPEN" | sed 's/.*"session":"\([^"]*\)".*/\1/')
+"$RIC" request insert "$CSESSION" Supt e1 d1 c2 -S "$SOCKET" >/dev/null
+
+# SIGTERM drains gracefully: clean exit, socket file removed
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: SIGTERM exit was not clean" >&2; exit 1; }
+SERVER_PID=""
+if [ -e "$SOCKET" ]; then
+  echo "FAIL: socket file survived graceful shutdown" >&2
+  exit 1
+fi
+
+# --recover restores the journaled sessions (with their inserts)
+"$RIC" serve -S "$SOCKET" -d 2 --journal "$JOURNAL" --recover &
+SERVER_PID=$!
+i=0
+until "$RIC" request ping -S "$SOCKET" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "FAIL: ricd did not come back up on $SOCKET" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+RECOVERED=$("$RIC" request rcdp "$CSESSION" Q0 -S "$SOCKET" 2>/dev/null || true)
+echo "recover: $RECOVERED"
+case "$RECOVERED" in
+  '{"ok":true,'*'"epoch":1'*) ;;
+  *) echo "FAIL: recovered session did not answer at epoch 1" >&2; exit 1 ;;
+esac
+
+"$RIC" shutdown -S "$SOCKET" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+rm -f "$JOURNAL"
+
 echo "== all checks passed"

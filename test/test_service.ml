@@ -62,9 +62,14 @@ let scenario_source =
 let open_req ?name source =
   Protocol.Open { path = None; source = Some source; name }
 
-let rcdp ?(nocache = false) session query = Protocol.Rcdp { session; query; nocache }
-let rcqp ?(nocache = false) session query = Protocol.Rcqp { session; query; nocache }
-let audit ?(nocache = false) session query = Protocol.Audit { session; query; nocache }
+let rcdp ?(nocache = false) ?timeout_ms session query =
+  Protocol.Rcdp { session; query; nocache; timeout_ms }
+
+let rcqp ?(nocache = false) ?timeout_ms session query =
+  Protocol.Rcqp { session; query; nocache; timeout_ms }
+
+let audit ?(nocache = false) ?timeout_ms session query =
+  Protocol.Audit { session; query; nocache; timeout_ms }
 
 let insert session rel rows =
   Protocol.Insert
@@ -87,6 +92,7 @@ let test_protocol_roundtrip () =
       Protocol.Open { path = Some "scenarios/crm.ric"; source = None; name = None };
       rcdp "s1" "Q0";
       rcdp ~nocache:true "s1" "Q0";
+      rcdp ~timeout_ms:250 "s1" "Q0";
       rcqp "s2" "Q";
       audit "s1" "Q2";
       insert "s1" "Cust" [ [ "c1"; "bob" ] ];
@@ -165,9 +171,11 @@ let test_framing () =
 let test_pool_runs_everything () =
   let counter = Atomic.make 0 in
   let pool =
-    Pool.create ~domains:4 ~capacity:8 ~worker:(fun n ->
+    Pool.create ~domains:4 ~capacity:8
+      ~worker:(fun n ->
         Atomic.set counter (Atomic.get counter + 0);
         ignore (Atomic.fetch_and_add counter n))
+      ()
   in
   for _ = 1 to 100 do
     Alcotest.(check bool) "submitted" true (Pool.submit pool 1)
@@ -367,6 +375,8 @@ let with_server ?(domains = 2) f =
             domains;
             queue_capacity = 16;
             root = None;
+            journal = None;
+            recover = false;
           })
   in
   let finish () =
