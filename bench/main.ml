@@ -20,6 +20,7 @@
      chars    — characterisation checks (C1–C4, E1–E6 artefacts)
      ablation — design-choice ablations from DESIGN.md
      micro    — bechamel micro-benchmarks (one group per table)
+     search   — seq/inc/par valuation-search strategies (BENCH_search.json)
 *)
 
 open Ric_relational
@@ -624,6 +625,146 @@ let micro () =
       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* ================================================================== *)
+(* Search modes: seq vs inc vs par                                     *)
+(* ================================================================== *)
+
+(* One machine-readable artefact, BENCH_search.json: fixed-step-budget
+   throughput of the three valuation-search strategies on the hostile
+   scenarios/hard.ric instance (every mode performs the same number of
+   search steps, so steps-per-second isolates the per-candidate
+   constraint-checking cost the incremental checker removes), plus a
+   verdict-agreement sweep over every scenario file — the strategies
+   must be distinguishable only by speed, never by verdict. *)
+
+let search_bench () =
+  hr "Search modes (seq / inc / par) on scenarios/hard.ric";
+  let module Scenario = Ric_text.Scenario in
+  let module Json = Ric_text.Json in
+  let dir =
+    (* repo root when run via `dune exec bench/main.exe`; the _build
+       fallback covers runs from inside the build tree *)
+    if Sys.file_exists "scenarios" then "scenarios" else "../../../scenarios"
+  in
+  let step_cap =
+    match Sys.getenv_opt "RIC_BENCH_STEPS" with
+    | Some s -> (try int_of_string (String.trim s) with Failure _ -> 400_000)
+    | None -> 400_000
+  in
+  let modes = [ Search_mode.Seq; Search_mode.Inc; Search_mode.Par 4 ] in
+  let decide_labelled ~clock ~search (s : Scenario.t) q =
+    match
+      Rcdp.decide ~clock ~search ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+        ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+    with
+    | Rcdp.Complete -> "complete"
+    | Rcdp.Incomplete _ -> "incomplete"
+    | exception Rcdp.Unsupported _ -> "unsupported"
+    | exception Rcdp.Not_partially_closed _ -> "not_partially_closed"
+    | exception Budget.Exhausted reason -> "timeout:" ^ Budget.reason_name reason
+  in
+  (* throughput on the hostile instance *)
+  let hard = Scenario.load (Filename.concat dir "hard.ric") in
+  let qh =
+    match Scenario.find_query hard "QH" with
+    | Some q -> q
+    | None -> failwith "hard.ric has no query QH"
+  in
+  let timed mode =
+    let clock = Budget.create ~max_steps:step_cap () in
+    let (label, secs) =
+      time (fun () -> decide_labelled ~clock ~search:mode hard qh)
+    in
+    let steps = Budget.steps clock in
+    let sps = float_of_int steps /. (secs +. 1e-9) in
+    Printf.printf "  %-6s %-22s %9d steps in %7.1f ms  (%10.0f steps/s)\n"
+      (Search_mode.to_string mode) label steps (1e3 *. secs) sps;
+    (mode, label, steps, secs, sps)
+  in
+  ignore (timed Search_mode.Seq) (* warm-up: page in the scenario and code *);
+  let runs = List.map timed modes in
+  let sps_of m =
+    match List.find_opt (fun (m', _, _, _, _) -> m' = m) runs with
+    | Some (_, _, _, _, sps) -> sps
+    | None -> nan
+  in
+  let speedup m = sps_of m /. sps_of Search_mode.Seq in
+  Printf.printf "  speedup vs seq: inc %.2fx, par:4 %.2fx\n"
+    (speedup Search_mode.Inc) (speedup (Search_mode.Par 4));
+  (* verdict agreement across every scenario file and query *)
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ric")
+    |> List.sort compare
+  in
+  let all_agree = ref true in
+  let agreement =
+    List.concat_map
+      (fun file ->
+        let s = Scenario.load (Filename.concat dir file) in
+        List.map
+          (fun (qname, q) ->
+            let labels =
+              List.map
+                (fun mode ->
+                  let clock = Budget.create ~max_steps:step_cap () in
+                  decide_labelled ~clock ~search:mode s q)
+                modes
+            in
+            let agree =
+              match labels with [] -> true | l :: rest -> List.for_all (( = ) l) rest
+            in
+            if not agree then begin
+              all_agree := false;
+              Printf.printf "  DIVERGENCE %s/%s: %s\n" file qname
+                (String.concat " vs " labels)
+            end;
+            Json.Obj
+              [
+                ("scenario", Json.Str file);
+                ("query", Json.Str qname);
+                ("verdicts", Json.List (List.map (fun l -> Json.Str l) labels));
+                ("agree", Json.Bool agree);
+              ])
+          s.Scenario.queries)
+      files
+  in
+  Printf.printf "  verdict agreement over %d scenario queries: %s\n"
+    (List.length agreement) (if !all_agree then "OK" else "FAILED");
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "search_modes");
+        ("scenario", Json.Str "scenarios/hard.ric");
+        ("query", Json.Str "QH");
+        ("step_cap", Json.Int step_cap);
+        ( "modes",
+          Json.List
+            (List.map
+               (fun (mode, label, steps, secs, sps) ->
+                 Json.Obj
+                   [
+                     ("mode", Json.Str (Search_mode.to_string mode));
+                     ("verdict", Json.Str label);
+                     ("steps", Json.Int steps);
+                     ("elapsed_ms", Json.Int (int_of_float (1e3 *. secs)));
+                     ("steps_per_sec", Json.Int (int_of_float sps));
+                   ])
+               runs) );
+        ("speedup_inc_vs_seq", Json.Str (Printf.sprintf "%.2f" (speedup Search_mode.Inc)));
+        ("speedup_par_vs_seq", Json.Str (Printf.sprintf "%.2f" (speedup (Search_mode.Par 4))));
+        ("agreement", Json.List agreement);
+        ("all_agree", Json.Bool !all_agree);
+      ]
+  in
+  let out = Sys.getenv_opt "RIC_BENCH_OUT" |> Option.value ~default:"BENCH_search.json" in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out;
+  if not !all_agree then exit 1
+
 let () =
   let sections =
     [
@@ -633,6 +774,7 @@ let () =
       ("chars", chars);
       ("ablation", ablation);
       ("micro", micro);
+      ("search", search_bench);
     ]
   in
   let requested = List.tl (Array.to_list Sys.argv) in

@@ -60,6 +60,7 @@ let with_server ~domains f =
             root = None;
             journal = None;
             recover = false;
+            search = Ric_complete.Search_mode.Seq;
           })
   in
   let finish () =
@@ -94,7 +95,7 @@ let open_session c =
   get_str "session" r
 
 let rcdp ?(nocache = false) c session query =
-  Client.rpc c (Protocol.Rcdp { session; query; nocache; timeout_ms = None })
+  Client.rpc c (Protocol.Rcdp { session; query; nocache; timeout_ms = None; search = None })
 
 (* ------------------------------------------------------------------ *)
 (* cache: cold vs warm vs migrated *)

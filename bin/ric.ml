@@ -168,6 +168,19 @@ let file_query_arg =
 
 let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON")
 
+let search_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Search_mode.of_string s) in
+  let print ppf m = Format.pp_print_string ppf (Search_mode.to_string m) in
+  Arg.conv ~docv:"MODE" (parse, print)
+
+let search_doc =
+  "Valuation-search strategy: $(b,seq) (baseline), $(b,inc) (incremental \
+   constraint checking), $(b,par) or $(b,par:N) (incremental + N-way parallel \
+   first-level split; verdicts are identical across modes)"
+
+let search_arg =
+  Arg.(value & opt search_conv Search_mode.Seq & info [ "search" ] ~doc:search_doc)
+
 let with_scenario path f =
   match Ric_text.Scenario.load path with
   | s -> f s
@@ -202,7 +215,7 @@ let file_show_cmd =
     Term.(const run $ file_arg)
 
 let file_audit_cmd =
-  let run path qname json =
+  let run path qname json search =
     with_scenario path (fun s ->
         match pick_query s qname with
         | Error m ->
@@ -211,7 +224,7 @@ let file_audit_cmd =
         | Ok (name, q) ->
           (try
              let result =
-               Guidance.audit ~schema:s.Ric_text.Scenario.db_schema
+               Guidance.audit ~search ~schema:s.Ric_text.Scenario.db_schema
                  ~master:s.Ric_text.Scenario.master
                  ~ccs:(Ric_text.Scenario.all_ccs s)
                  ~db:s.Ric_text.Scenario.db q
@@ -229,10 +242,10 @@ let file_audit_cmd =
           0)
   in
   Cmd.v (Cmd.info "audit" ~doc:"Audit a query of a scenario file")
-    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg)
 
 let file_rcqp_cmd =
-  let run path qname json =
+  let run path qname json search =
     with_scenario path (fun s ->
         match pick_query s qname with
         | Error m ->
@@ -241,7 +254,7 @@ let file_rcqp_cmd =
         | Ok (name, q) ->
           (try
              let verdict =
-               Rcqp.decide ~schema:s.Ric_text.Scenario.db_schema
+               Rcqp.decide ~search ~schema:s.Ric_text.Scenario.db_schema
                  ~master:s.Ric_text.Scenario.master
                  ~ccs:(Ric_text.Scenario.all_ccs s) q
              in
@@ -259,10 +272,10 @@ let file_rcqp_cmd =
           0)
   in
   Cmd.v (Cmd.info "rcqp" ~doc:"Can any database be complete for a scenario query?")
-    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg)
 
 let file_rcdp_cmd =
-  let run path qname json =
+  let run path qname json search =
     with_scenario path (fun s ->
         match pick_query s qname with
         | Error m ->
@@ -271,7 +284,7 @@ let file_rcdp_cmd =
         | Ok (name, q) ->
           (try
              let verdict =
-               Rcdp.decide ~schema:s.Ric_text.Scenario.db_schema
+               Rcdp.decide ~search ~schema:s.Ric_text.Scenario.db_schema
                  ~master:s.Ric_text.Scenario.master
                  ~ccs:(Ric_text.Scenario.all_ccs s) ~db:s.Ric_text.Scenario.db q
              in
@@ -293,7 +306,7 @@ let file_rcdp_cmd =
           0)
   in
   Cmd.v (Cmd.info "rcdp" ~doc:"Is the scenario's database complete for a query?")
-    Term.(const run $ file_arg $ file_query_arg $ json_arg)
+    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg)
 
 let file_worlds_cmd =
   (* the Section 5 analysis: enumerate the possible worlds of the
@@ -357,7 +370,7 @@ let socket_arg =
     & info [ "S"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon")
 
 let serve_cmd =
-  let run socket domains queue root journal recover verbose =
+  let run socket domains queue root journal recover search verbose =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
     match
@@ -369,6 +382,7 @@ let serve_cmd =
           root;
           journal;
           recover;
+          search;
         }
     with
     | () -> 0
@@ -415,7 +429,7 @@ let serve_cmd =
        ~doc:"Run ricd: keep scenarios loaded, cache verdicts, decide in parallel")
     Term.(
       const run $ socket_arg $ domains_arg $ queue_arg $ root_arg $ journal_arg
-      $ recover_arg $ verbose_arg)
+      $ recover_arg $ search_arg $ verbose_arg)
 
 let rpc socket req =
   match
@@ -469,12 +483,23 @@ let timeout_ms_arg =
           "Give the decider at most $(docv) milliseconds; past that the response \
            carries a timeout verdict (never cached) instead of blocking")
 
+let request_search_arg =
+  Arg.(
+    value
+    & opt (some search_conv) None
+    & info [ "search" ]
+        ~doc:
+          "Valuation-search strategy for this request ($(b,seq), $(b,inc), \
+           $(b,par), $(b,par:N)); omitted, the server's default applies")
+
 let request_decide_cmd op doc ctor =
-  let run socket session query nocache timeout_ms =
-    rpc socket (ctor ~session ~query ~nocache ~timeout_ms)
+  let run socket session query nocache timeout_ms search =
+    rpc socket (ctor ~session ~query ~nocache ~timeout_ms ~search)
   in
   Cmd.v (Cmd.info op ~doc)
-    Term.(const run $ socket_arg $ session_pos $ query_pos $ nocache_arg $ timeout_ms_arg)
+    Term.(
+      const run $ socket_arg $ session_pos $ query_pos $ nocache_arg $ timeout_ms_arg
+      $ request_search_arg)
 
 (* bare digits are integers; wrap a cell in double quotes to force a
    string (e.g. "01", matching the .ric row syntax) *)
@@ -522,14 +547,14 @@ let request_group =
     [
       request_open_cmd;
       request_decide_cmd "rcdp" "Is the session's database complete for a query?"
-        (fun ~session ~query ~nocache ~timeout_ms ->
-          Ric_service.Protocol.Rcdp { session; query; nocache; timeout_ms });
+        (fun ~session ~query ~nocache ~timeout_ms ~search ->
+          Ric_service.Protocol.Rcdp { session; query; nocache; timeout_ms; search });
       request_decide_cmd "rcqp" "Can any database be complete for a session query?"
-        (fun ~session ~query ~nocache ~timeout_ms ->
-          Ric_service.Protocol.Rcqp { session; query; nocache; timeout_ms });
+        (fun ~session ~query ~nocache ~timeout_ms ~search ->
+          Ric_service.Protocol.Rcqp { session; query; nocache; timeout_ms; search });
       request_decide_cmd "audit" "Full completeness audit of a session query"
-        (fun ~session ~query ~nocache ~timeout_ms ->
-          Ric_service.Protocol.Audit { session; query; nocache; timeout_ms });
+        (fun ~session ~query ~nocache ~timeout_ms ~search ->
+          Ric_service.Protocol.Audit { session; query; nocache; timeout_ms; search });
       request_insert_cmd;
       request_close_cmd;
       request_simple_cmd "ping" "Liveness probe" Ric_service.Protocol.Ping;

@@ -11,12 +11,12 @@ type t = {
   limited : bool;
   deadline : float;            (* absolute wall-clock time; infinity when unset *)
   max_steps : int;             (* max_int when unset *)
-  cancel : bool Atomic.t option;
+  cancel : bool Atomic.t list;
   mutable steps : int;
 }
 
 let unlimited =
-  { limited = false; deadline = infinity; max_steps = max_int; cancel = None; steps = 0 }
+  { limited = false; deadline = infinity; max_steps = max_int; cancel = []; steps = 0 }
 
 let create ?deadline_after ?max_steps ?cancel () =
   let deadline =
@@ -28,7 +28,7 @@ let create ?deadline_after ?max_steps ?cancel () =
     limited = true;
     deadline;
     max_steps = Option.value ~default:max_int max_steps;
-    cancel;
+    cancel = Option.to_list cancel;
     steps = 0;
   }
 
@@ -36,17 +36,40 @@ let steps t = t.steps
 
 let is_unlimited t = not t.limited
 
+let add_steps t n = if n > 0 then t.steps <- t.steps + n
+
+(* A child budget for one parallel search worker: its own step counter
+   (each domain ticks without contention), the parent's deadline, the
+   parent's cancel flags plus an optional extra one (the coordinator's
+   first-witness stop flag), and whatever step allowance the parent has
+   left after [extra_steps] units already handed to siblings.  The
+   child is always limited — even under an unlimited parent the extra
+   cancel flag must be polled. *)
+let fork ?cancel ?(extra_steps = 0) t =
+  let max_steps =
+    if t.max_steps = max_int then max_int
+    else max 0 (t.max_steps - t.steps - extra_steps)
+  in
+  {
+    limited = true;
+    deadline = t.deadline;
+    max_steps;
+    cancel =
+      (match cancel with Some flag -> flag :: t.cancel | None -> t.cancel);
+    steps = 0;
+  }
+
 let check_now t =
   if t.limited then begin
     if t.steps >= t.max_steps then raise (Exhausted Step_limit);
-    (match t.cancel with
-     | Some flag when Atomic.get flag -> raise (Exhausted Cancelled)
-     | _ -> ());
+    List.iter
+      (fun flag -> if Atomic.get flag then raise (Exhausted Cancelled))
+      t.cancel;
     if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
       raise (Exhausted Deadline)
   end
 
-(* The wall clock and the cancel flag are polled once every 256 steps:
+(* The wall clock and the cancel flags are polled once every 256 steps:
    a syscall per search leaf would dominate the leaf itself, and a
    deadline overshoot of a few hundred leaves is well inside the
    millisecond noise a caller can observe anyway. *)

@@ -10,7 +10,10 @@
     instead of hanging.
 
     A budget is single-use and owned by one decide call; only the
-    [cancel] flag may be shared across domains (it is an [Atomic.t]). *)
+    [cancel] flags may be shared across domains (they are [Atomic.t]s).
+    Parallel search workers never share a budget: each gets a {!fork}
+    with its own step counter, and the coordinator folds the children's
+    work back into the parent with {!add_steps}. *)
 
 type reason =
   | Deadline    (** the wall-clock deadline passed *)
@@ -46,3 +49,15 @@ val steps : t -> int
 (** Work done so far — the counter surfaced in timeout verdicts. *)
 
 val is_unlimited : t -> bool
+
+val fork : ?cancel:bool Atomic.t -> ?extra_steps:int -> t -> t
+(** A child budget for one parallel worker: fresh step counter, the
+    parent's deadline and cancel flags, plus an optional extra flag
+    (the coordinator's first-witness stop signal).  Its step allowance
+    is what the parent has left minus [extra_steps] units already
+    consumed by sibling workers.  The child is limited even when the
+    parent is {!unlimited}, so the extra flag is always polled. *)
+
+val add_steps : t -> int -> unit
+(** Fold a child's step count back into the parent after a join.
+    Does not raise — follow with {!check_now} to propagate limits. *)

@@ -10,12 +10,12 @@ type audit_result =
   | Not_completable of { reason : string }
   | Inconclusive of { reason : string }
 
-let audit ?clock ?(max_rounds = 64) ~schema ~master ~ccs ~db q =
-  match Rcdp.decide ?clock ~schema ~master ~ccs ~db q with
+let audit ?clock ?search ?(max_rounds = 64) ~schema ~master ~ccs ~db q =
+  match Rcdp.decide ?clock ?search ~schema ~master ~ccs ~db q with
   | Rcdp.Complete -> Already_complete
   | Rcdp.Incomplete first ->
     (* Is completion possible at all? *)
-    (match Rcqp.decide ?clock ~schema ~master ~ccs q with
+    (match Rcqp.decide ?clock ?search ~schema ~master ~ccs q with
      | Rcqp.Empty { reason } ->
        Not_completable
          { reason = Printf.sprintf "no complete database exists: %s" reason }
@@ -33,7 +33,7 @@ let audit ?clock ?(max_rounds = 64) ~schema ~master ~ccs ~db q =
              }
          else begin
            let current = Database.union current cex.Rcdp.cex_extension in
-           match Rcdp.decide ?clock ~schema ~master ~ccs ~db:current q with
+           match Rcdp.decide ?clock ?search ~schema ~master ~ccs ~db:current q with
            | Rcdp.Complete ->
              let additions =
                Database.fold

@@ -29,6 +29,7 @@ type audit_result =
 
 val audit :
   ?clock:Budget.t ->
+  ?search:Search_mode.t ->
   ?max_rounds:int ->
   schema:Schema.t ->
   master:Database.t ->
@@ -39,7 +40,8 @@ val audit :
 (** Runs the RCDP decider, replaying counterexample extensions into
     the database for up to [max_rounds] (default 64) iterations, and
     consults the RCQP decider before giving up.  [clock] bounds the
-    whole audit (it is shared across every decide round).
+    whole audit (it is shared across every decide round); [search]
+    selects the valuation-search strategy of every round.
     @raise Rcdp.Unsupported for undecidable language combinations.
     @raise Budget.Exhausted when [clock] runs out. *)
 

@@ -78,12 +78,19 @@ let dynamic_ccs ccs rels =
    (condition C2, Proposition 3.3) to [μ(T_Q)] alone (condition C3,
    Corollary 3.4 — valid when every CC is an IND). *)
 
-let search_disjunct ~clock ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned
-    ~disjunct (tab : Tableau.t) =
+let search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db ~qd
+    ~adom ~visited ~pruned ~disjunct (tab : Tableau.t) =
   let found = ref None in
   let mode = if ind_mode then `Delta_only else `Against_base db in
+  let iter =
+    match search with
+    | Search_mode.Par domains when domains > 1 ->
+      Valuation_search.iter_valid_par ~domains
+    | Search_mode.Seq | Search_mode.Inc | Search_mode.Par _ ->
+      Valuation_search.iter_valid
+  in
   let (_ : bool) =
-    Valuation_search.iter_valid ~budget:clock ~master ~ccs:dyn_ccs ~mode ~adom
+    iter ~budget:clock ?checker ~master ~ccs:dyn_ccs ~mode ~adom
       ~on_prune:(fun () -> incr pruned)
       tab
       (fun mu delta ->
@@ -104,8 +111,12 @@ let search_disjunct ~clock ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pr
   in
   !found
 
-let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited) ?(check_partially_closed = true)
+let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
+    ?(search = Search_mode.Seq) ?(check_partially_closed = true)
     ?collect_stats ~schema ~master ~ccs ~db ucq =
+  (* an already-exhausted clock (timeout_ms = 0, tripped cancel flag)
+     must abort before the partial-closure check does any work *)
+  Budget.check_now clock;
   require_monotone_ccs ccs;
   if check_partially_closed && not (Containment.holds_all ~db ~master ccs) then
     raise
@@ -136,6 +147,12 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited) ?(check_partially_clos
     |> List.sort_uniq String.compare
   in
   let dyn_ccs = dynamic_ccs ccs tab_rels in
+  let checker =
+    match search with
+    | Search_mode.Seq -> None
+    | Search_mode.Inc | Search_mode.Par _ ->
+      Some (Incremental.create ~schema ~master dyn_ccs)
+  in
   let visited = ref 0 and pruned = ref 0 in
   let record_stats () =
     match collect_stats with
@@ -146,8 +163,8 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited) ?(check_partially_clos
     | [] -> Complete
     | tab :: rest ->
       (match
-         search_disjunct ~clock ~master ~dyn_ccs ~ind_mode ~db ~qd ~adom ~visited ~pruned
-           ~disjunct:i tab
+         search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db
+           ~qd ~adom ~visited ~pruned ~disjunct:i tab
        with
        | Some cex -> Incomplete cex
        | None -> scan (i + 1) rest)
@@ -161,8 +178,8 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited) ?(check_partially_clos
     record_stats ();
     raise e
 
-let decide ?clock ?check_partially_closed ?collect_stats ?(minimize = false) ~schema
-    ~master ~ccs ~db q =
+let decide ?clock ?search ?check_partially_closed ?collect_stats
+    ?(minimize = false) ~schema ~master ~ccs ~db q =
   match Lang.as_ucq q with
   | None ->
     raise
@@ -171,13 +188,14 @@ let decide ?clock ?check_partially_closed ?collect_stats ?(minimize = false) ~sc
             (Lang.language_name q)))
   | Some ucq ->
     let ucq = if minimize then List.map (Cq.minimize schema) ucq else ucq in
-    decide_ucq_with ~ind_mode:false ?clock ?check_partially_closed ?collect_stats ~schema
-      ~master ~ccs ~db ucq
+    decide_ucq_with ~ind_mode:false ?clock ?search ?check_partially_closed
+      ?collect_stats ~schema ~master ~ccs ~db ucq
 
 let decide_cq ?check_partially_closed ~schema ~master ~ccs ~db q =
   decide ?check_partially_closed ~schema ~master ~ccs ~db (Lang.Q_cq q)
 
-let decide_ind ?clock ?check_partially_closed ~schema ~master ~inds ~db q =
+let decide_ind ?clock ?search ?check_partially_closed ~schema ~master ~inds ~db
+    q =
   let ccs = List.map (Ind.to_cc schema) inds in
   match Lang.as_ucq q with
   | None ->
@@ -186,8 +204,8 @@ let decide_ind ?clock ?check_partially_closed ~schema ~master ~inds ~db q =
          (Printf.sprintf "RCDP is undecidable for %s queries (Theorem 3.1); use semi_decide"
             (Lang.language_name q)))
   | Some ucq ->
-    decide_ucq_with ~ind_mode:true ?clock ?check_partially_closed ~schema ~master ~ccs ~db
-      ucq
+    decide_ucq_with ~ind_mode:true ?clock ?search ?check_partially_closed
+      ~schema ~master ~ccs ~db ucq
 
 (* ------------------------------------------------------------------ *)
 (* Bounded semi-decision for the undecidable rows of Table I. *)
@@ -201,6 +219,7 @@ type semi_verdict =
 
 let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(fresh_values = 2) ~schema
     ~master ~ccs ~db q =
+  Budget.check_now clock;
   let adom =
     Adom.build ~db ~schemas:[ schema ] ~master
       ~cc_constants:(cc_constants ccs)

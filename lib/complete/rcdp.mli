@@ -49,6 +49,7 @@ type stats = {
 
 val decide :
   ?clock:Budget.t ->
+  ?search:Search_mode.t ->
   ?check_partially_closed:bool ->
   ?collect_stats:stats ref ->
   ?minimize:bool ->
@@ -69,7 +70,9 @@ val decide :
     [clock] (default {!Budget.unlimited}) bounds the Σ₂ᵖ search; when
     it runs out the search aborts with {!Budget.Exhausted}, after
     writing the partial counters into [collect_stats] so the caller
-    can report how much work a timed-out decide had done.
+    can report how much work a timed-out decide had done.  [search]
+    (default [Seq]) selects the execution strategy of the valuation
+    search — see {!Search_mode}; verdicts are identical across modes.
 
     @raise Unsupported if [Q] is FO/FP or some CC has a
       non-monotone (FO) or FP left-hand side.
@@ -88,6 +91,7 @@ val decide_cq :
 
 val decide_ind :
   ?clock:Budget.t ->
+  ?search:Search_mode.t ->
   ?check_partially_closed:bool ->
   schema:Schema.t ->
   master:Database.t ->

@@ -136,7 +136,7 @@ let occurrences (tab : Tableau.t) x =
 (* ------------------------------------------------------------------ *)
 (* LC = INDs: Proposition 4.3 / Theorem 4.5(1).  Exact and cheap. *)
 
-let ind_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux =
+let ind_witness ~clock ?checker ~budget ~schema ~master ~ccs ~adom tableaux =
   let module VS = Set.Make (Value) in
   let witness = ref (Database.empty schema) in
   let count = ref 0 in
@@ -154,7 +154,8 @@ let ind_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux =
       let covered : (string, VS.t) Hashtbl.t = Hashtbl.create 8 in
       let got_any = ref false in
       let (_ : bool) =
-        Valuation_search.iter_valid ~budget:clock ~master ~ccs ~mode:`Delta_only ~adom tab
+        Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
+          ~mode:`Delta_only ~adom tab
           (fun mu delta ->
             incr count;
             if !count > budget.max_valuations then begin
@@ -195,9 +196,23 @@ let ind_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux =
     tableaux;
   if !exceeded then None else Some !witness
 
-let decide_ind ?(clock = Budget.unlimited) ~schema ~master ~inds q =
+let decide_ind ?(clock = Budget.unlimited) ?(search = Search_mode.Seq) ~schema
+    ~master ~inds q =
+  Budget.check_now clock;
   let ucq = as_ucq_or_raise "RCQP" q in
   let ccs = List.map (Ind.to_cc schema) inds in
+  (* RCQP has no single top-level fan-out point, so [Par] runs as the
+     incremental mode inside this decider; only the RCDP verification
+     of candidate witnesses sees the same mapping. *)
+  let checker =
+    match search with
+    | Search_mode.Seq -> None
+    | Search_mode.Inc | Search_mode.Par _ ->
+      Some (Incremental.create ~schema ~master ccs)
+  in
+  let inner_search =
+    match search with Search_mode.Par _ -> Search_mode.Inc | s -> s
+  in
   let tableaux = satisfiable_tableaux schema ucq in
   if tableaux = [] then
     Nonempty
@@ -210,8 +225,8 @@ let decide_ind ?(clock = Budget.unlimited) ~schema ~master ~inds q =
     let live =
       List.filter
         (fun tab ->
-          Valuation_search.iter_valid ~budget:clock ~master ~ccs ~mode:`Delta_only ~adom
-            tab
+          Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
+            ~mode:`Delta_only ~adom tab
             (fun _ _ -> true))
         tableaux
     in
@@ -253,12 +268,17 @@ let decide_ind ?(clock = Budget.unlimited) ~schema ~master ~inds q =
                 y;
           }
       | None ->
-        let witness = ind_witness ~clock ~budget:default_budget ~schema ~master ~ccs ~adom live in
+        let witness =
+          ind_witness ~clock ?checker ~budget:default_budget ~schema ~master
+            ~ccs ~adom live
+        in
         let witness =
           match witness with
           | Some w
             when Containment.holds_all ~db:w ~master ccs
-                 && Rcdp.decide ~clock ~schema ~master ~ccs ~db:w q = Rcdp.Complete ->
+                 && Rcdp.decide ~clock ~search:inner_search ~schema ~master
+                      ~ccs ~db:w q
+                    = Rcdp.Complete ->
             Some w
           | _ -> None
         in
@@ -331,7 +351,16 @@ let visible_columns cc_tableaux =
     cc_tableaux;
   fun rel i -> Hashtbl.mem visible (rel, i)
 
-let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ~budget ~schema ~master ~adom ccs =
+let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
+    ~budget ~schema ~master ~adom ccs =
+  (* a singleton's parent state is the empty database, so the delta
+     check applies whenever the empty database is consistent *)
+  let singleton_ok single rel tuple =
+    match checker with
+    | Some inc when Incremental.empty_ok inc ->
+      Incremental.check_add inc ~db:single ~rel ~tuple
+    | _ -> Containment.holds_all ~db:single ~master ccs
+  in
   let pool = ref [] in
   let count = ref 0 in
   let cc_tabs = cc_lhs_tableaux ~schema ccs in
@@ -392,7 +421,7 @@ let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ~budget ~sche
                       let single =
                         Database.add_tuple (Database.empty schema) a.Atom.rel tuple
                       in
-                      if Containment.holds_all ~db:single ~master ccs then begin
+                      if singleton_ok single a.Atom.rel tuple then begin
                         let summary =
                           List.filter_map
                             (fun t ->
@@ -441,7 +470,8 @@ type e2_witness = {
    valid valuation [μ] that stays live — [(D_V ∪ μ(T), Dm) ⊨ V] — may
    leave such a variable outside [bvals].  Returns the first offending
    live valuation, or [None] when the condition holds. *)
-let e2_condition ~clock ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals =
+let e2_condition ~clock ~checker ~master ~ccs ~adom ~reserved ~tableaux ~dv
+    ~bvals =
   (* Witness preference: a live valuation whose stray output values
      all come from the reserved query-tier fresh values can never be
      bounded by any valuation set (the candidate pool cannot even
@@ -459,7 +489,7 @@ let e2_condition ~clock ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals =
         | inf_vars ->
           let found_any = ref false in
           let (_ : bool) =
-            Valuation_search.iter_valid ~budget:clock ~master ~ccs
+            Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
               ~mode:(`Against_base dv) ~adom tab
               (fun mu delta ->
                 let unbounded =
@@ -538,7 +568,8 @@ let may_block ~schema ~cc_tableaux c delta =
    blocking μ* needs at least one candidate tuple joined with μ*'s
    tuples, and bounding needs a summary hit), so directed branching is
    exact; memoisation collapses permutations of the same set. *)
-let e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool =
+let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
+    ~tableaux pool =
   let pool = Array.of_list pool in
   let n = Array.length pool in
   let cc_tableaux =
@@ -551,7 +582,16 @@ let e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool
   in
   let nodes = ref 0 in
   let visited = Hashtbl.create 1024 in
-  let consistent dv = Containment.holds_all ~db:dv ~master ccs in
+  (* DFS invariant: [dfs] only recurses into consistent sets, and the
+     root is the empty database — so when the empty database passes
+     the full check, every [dv'] here grows a consistent parent by one
+     tuple and the delta check applies. *)
+  let consistent_add dv' rel tuple =
+    match checker with
+    | Some inc when Incremental.empty_ok inc ->
+      Incremental.check_add inc ~db:dv' ~rel ~tuple
+    | _ -> Containment.holds_all ~db:dv' ~master ccs
+  in
   let found = ref None in
   let rec dfs members dv bvals =
     if !found <> None then ()
@@ -563,7 +603,10 @@ let e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool
         Budget.check_now clock;
         if !nodes > budget.max_nodes then
           raise (Budget_exceeded "E2 search exceeded its node budget");
-        match e2_condition ~clock ~master ~ccs ~adom ~reserved ~tableaux ~dv ~bvals with
+        match
+          e2_condition ~clock ~checker ~master ~ccs ~adom ~reserved ~tableaux
+            ~dv ~bvals
+        with
         | None -> found := Some dv
         | Some w ->
           for i = 0 to n - 1 do
@@ -576,7 +619,7 @@ let e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool
               in
               if resolves then begin
                 let dv' = Database.add_tuple dv c.cand_rel c.cand_tuple in
-                if consistent dv' then
+                if consistent_add dv' c.cand_rel c.cand_tuple then
                   dfs (i :: members) dv'
                     (List.fold_left (fun s v -> VS.add v s) bvals c.cand_summary)
               end
@@ -732,9 +775,9 @@ let unconstrained_disjunct ~ccs tableaux =
         if List.exists (fun r -> List.mem r cc_rels) rels then None else Some (tab, y))
     tableaux
 
-let verify_witness ?clock ~schema ~master ~ccs q w =
+let verify_witness ?clock ?search ~schema ~master ~ccs q w =
   Containment.holds_all ~db:w ~master ccs
-  && Rcdp.decide ?clock ~schema ~master ~ccs ~db:w q = Rcdp.Complete
+  && Rcdp.decide ?clock ?search ~schema ~master ~ccs ~db:w q = Rcdp.Complete
 
 (* Heuristic witness candidates, cheapest-and-likeliest first: the
    empty database, the greedy maximal collection of constant-valued
@@ -742,7 +785,8 @@ let verify_witness ?clock ~schema ~master ~ccs q w =
    the master data in"), a few valid tableau instantiations, a few
    constraint-template instantiations, and a few pairwise unions.
    Each candidate costs a full RCDP run, so the list is kept short. *)
-let heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q =
+let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
+    ~adom ~tableaux q =
   let max_verifications = 24 in
   let constants_only =
     (* the greedy maximal witness restricted to known constants *)
@@ -760,7 +804,8 @@ let heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q =
   List.iter
     (fun tab ->
       let (_ : bool) =
-        Valuation_search.iter_valid ~budget:clock ~master ~ccs ~mode:`Delta_only ~adom tab
+        Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
+          ~mode:`Delta_only ~adom tab
           (fun _ delta ->
             incr count;
             singles := delta :: !singles;
@@ -768,7 +813,10 @@ let heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q =
       in
       ())
     tableaux;
-  let pool = candidate_pool ~truncate:true ~clock ~budget ~schema ~master ~adom ccs in
+  let pool =
+    candidate_pool ~truncate:true ~clock ?checker ~budget ~schema ~master ~adom
+      ccs
+  in
   let template_singles =
     List.filteri (fun i _ -> i < 6) pool
     |> List.map (fun c -> Database.add_tuple (Database.empty schema) c.cand_rel c.cand_tuple)
@@ -784,10 +832,24 @@ let heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q =
     @ singles @ template_singles @ pairs
   in
   let candidates = List.filteri (fun i _ -> i < max_verifications) candidates in
-  List.find_opt (verify_witness ~clock ~schema ~master ~ccs q) candidates
+  List.find_opt (verify_witness ~clock ?search ~schema ~master ~ccs q) candidates
 
-let decide ?(clock = Budget.unlimited) ?(budget = default_budget) ~schema ~master ~ccs q =
+let decide ?(clock = Budget.unlimited) ?(search = Search_mode.Seq)
+    ?(budget = default_budget) ~schema ~master ~ccs q =
+  Budget.check_now clock;
   require_monotone_ccs ccs;
+  (* one checker per decide call, threaded to every search site; [Par]
+     runs as the incremental mode here — RCQP's searches are many small
+     nested enumerations with no single fan-out point worth a pool *)
+  let checker =
+    match search with
+    | Search_mode.Seq -> None
+    | Search_mode.Inc | Search_mode.Par _ ->
+      Some (Incremental.create ~schema ~master ccs)
+  in
+  let inner_search =
+    match search with Search_mode.Par _ -> Search_mode.Inc | s -> s
+  in
   let ucq = as_ucq_or_raise "RCQP" q in
   let tableaux = satisfiable_tableaux schema ucq in
   if tableaux = [] then
@@ -802,7 +864,10 @@ let decide ?(clock = Budget.unlimited) ?(budget = default_budget) ~schema ~maste
       (* E1 / E5 *)
       let witness =
         match greedy_maximal_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux with
-        | Some w when verify_witness ~clock ~schema ~master ~ccs q w -> Some w
+        | Some w
+          when verify_witness ~clock ~search:inner_search ~schema ~master ~ccs
+                 q w ->
+          Some w
         | _ -> None
       in
       Nonempty
@@ -825,13 +890,19 @@ let decide ?(clock = Budget.unlimited) ?(budget = default_budget) ~schema ~maste
           }
       | None ->
         (try
-           let pool = candidate_pool ~clock ~budget ~schema ~master ~adom:adom_pool ccs in
+           let pool =
+             candidate_pool ~clock ?checker ~budget ~schema ~master
+               ~adom:adom_pool ccs
+           in
            let reserved =
              let pool_fresh = VS.of_list (Adom.fresh adom_pool) in
              VS.of_list
                (List.filter (fun f -> not (VS.mem f pool_fresh)) (Adom.fresh adom))
            in
-           match e2_search ~clock ~budget ~schema ~master ~ccs ~adom ~reserved ~tableaux pool with
+           match
+             e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom
+               ~reserved ~tableaux pool
+           with
            | Some dv ->
              let witness =
                (* Proposition 4.2(b): D_V plus the constant-only tuple
@@ -849,7 +920,9 @@ let decide ?(clock = Budget.unlimited) ?(budget = default_budget) ~schema ~maste
                        w tab.Tableau.patterns)
                    dv tableaux
                in
-               if verify_witness ~clock ~schema ~master ~ccs q w then Some w else None
+               if verify_witness ~clock ~search:inner_search ~schema ~master ~ccs q w
+               then Some w
+               else None
              in
              Nonempty { witness; reason = "a bounding valuation set exists (E2/E6)" }
            | None ->
@@ -860,7 +933,10 @@ let decide ?(clock = Budget.unlimited) ?(budget = default_budget) ~schema ~maste
                     output (E2/E6 fail)";
                }
          with Budget_exceeded why ->
-           (match heuristic_witness ~clock ~budget ~schema ~master ~ccs ~adom ~tableaux q with
+           (match
+              heuristic_witness ~clock ?checker ~search:inner_search ~budget
+                ~schema ~master ~ccs ~adom ~tableaux q
+            with
             | Some w ->
               Nonempty
                 { witness = Some w; reason = "verified witness found by heuristic search" }
@@ -878,6 +954,7 @@ type semi_verdict =
   | No_witness_found of { candidates_tried : int }
 
 let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(max_candidates = 500) ~schema ~master ~ccs q =
+  Budget.check_now clock;
   let adom =
     Adom.build ~schemas:[ schema ] ~master ~cc_constants:(cc_constants ccs)
       ~query_constants:(Lang.constants q) ~fresh_count:3 ()

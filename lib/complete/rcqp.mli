@@ -66,6 +66,7 @@ val default_budget : budget
 
 val decide_ind :
   ?clock:Budget.t ->
+  ?search:Search_mode.t ->
   schema:Schema.t ->
   master:Database.t ->
   inds:Ind.t list ->
@@ -78,6 +79,7 @@ val decide_ind :
 
 val decide :
   ?clock:Budget.t ->
+  ?search:Search_mode.t ->
   ?budget:budget ->
   schema:Schema.t ->
   master:Database.t ->
@@ -89,7 +91,11 @@ val decide :
     DFS nodes) and degrades to [Unknown]; [clock] is the {e caller's
     patience} (wall clock / steps / cancel) and aborts the whole call
     with {!Budget.Exhausted} — the service turns that into a
-    [timeout] verdict.  @raise Unsupported for FO/FP on either side.
+    [timeout] verdict.  [search] (default [Seq]) selects the
+    constraint-checking strategy of the inner valuation searches —
+    [Par] runs as [Inc] here, since RCQP has no single top-level
+    fan-out point; verdicts are identical across modes.
+    @raise Unsupported for FO/FP on either side.
     @raise Budget.Exhausted when [clock] runs out. *)
 
 type semi_verdict =

@@ -1,0 +1,34 @@
+(** How the deciders run the valuation search.
+
+    All three modes return identical verdicts; they differ only in how
+    the work is done:
+
+    - [Seq] — the seed behaviour: one domain, every containment
+      constraint re-evaluated in full after each tuple extension.
+    - [Inc] — one domain, constraints checked through
+      {!Ric_constraints.Incremental}: indexed by relation, delta
+      evaluation for monotone-UCQ LHS queries.
+    - [Par n] — the incremental checker plus a top-level fan-out of the
+      first split variable's candidates across [n] worker domains, with
+      first-witness cancellation. *)
+
+type t =
+  | Seq
+  | Inc
+  | Par of int  (** worker domain count, [>= 1] *)
+
+val default_domains : int
+(** Domain count for the bare ["par"] spelling: 4. *)
+
+val name : t -> string
+(** ["seq"], ["inc"] or ["par"] — the stats-counter bucket. *)
+
+val to_string : t -> string
+(** ["seq"], ["inc"], ["par:<n>"] — round-trips through
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["seq"], ["inc"], ["par"] (= [Par default_domains]) and
+    ["par:<n>"] with [n >= 1]. *)
+
+val pp : Format.formatter -> t -> unit

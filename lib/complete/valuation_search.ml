@@ -10,8 +10,29 @@ let neqs_ground_ok (tab : Tableau.t) mu =
       | _ -> true)
     tab.Tableau.neqs
 
-let iter_valid ?(budget = Budget.unlimited) ~master ~ccs ~mode ~adom
-    ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+(* Remove exactly one occurrence by physical identity: a tableau may
+   legitimately repeat a pattern atom, and [List.filter (!=)] would
+   silently drop every shared duplicate along with the picked one. *)
+let rec remove_one a = function
+  | [] -> []
+  | x :: rest -> if x == a then rest else x :: remove_one a rest
+
+(* An incremental checker is only usable when its parent invariant
+   holds at the search root: every CC satisfied by the initial check
+   database.  Otherwise fall back to full per-candidate checks, which
+   reproduces the seed behaviour (including its verdicts and prune
+   counts) exactly. *)
+let resolve checker ~mode =
+  match checker with
+  | None -> None
+  | Some inc ->
+    (match mode with
+     | `Delta_only -> if Incremental.empty_ok inc then Some inc else None
+     | `Against_base db -> if Incremental.full inc ~db then Some inc else None)
+
+let run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init
+    (tab : Tableau.t) visit =
+  Budget.check_now budget;
   let var_doms = Tableau.var_domains tab in
   let cands x =
     match List.assoc_opt x var_doms with
@@ -38,7 +59,7 @@ let iter_valid ?(budget = Budget.unlimited) ~master ~ccs ~mode ~adom
       in
       (match best with
        | None -> None
-       | Some (a, _) -> Some (a, List.filter (fun x -> x != a) atoms))
+       | Some (a, _) -> Some (a, remove_one a atoms))
   in
   let base =
     match mode with
@@ -71,11 +92,144 @@ let iter_valid ?(budget = Budget.unlimited) ~master ~ccs ~mode ~adom
                 | `Against_base _ -> combined'
                 | `Delta_only -> delta'
               in
-              if Containment.holds_all ~db:check_db ~master ccs then
-                go mu' delta' combined' rest
+              let ok =
+                match inc with
+                | Some c ->
+                  Incremental.check_add c ~db:check_db ~rel:a.Atom.rel ~tuple
+                | None -> Containment.holds_all ~db:check_db ~master ccs
+              in
+              if ok then go mu' delta' combined' rest
               else begin
                 on_prune ();
                 false
               end)
   in
-  go Valuation.empty (Database.empty tab.Tableau.schema) base tab.Tableau.patterns
+  go init (Database.empty tab.Tableau.schema) base tab.Tableau.patterns
+
+let iter_valid ?(budget = Budget.unlimited) ?checker ~master ~ccs ~mode ~adom
+    ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+  Budget.check_now budget;
+  let inc = resolve checker ~mode in
+  run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init:Valuation.empty tab
+    visit
+
+(* Parallel top-level search: partition the candidates of one split
+   variable (the first variable of the pattern atoms) across a
+   supervised pool of worker domains, each running the sequential
+   search seeded with that binding.  Valid valuations bind the split
+   variable to exactly one candidate, so the branches partition the
+   search space: visits are never duplicated, and verdicts coincide
+   with the sequential modes.  The first visit returning [true] trips a
+   stop flag every child budget polls, cancelling the siblings. *)
+let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
+    ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+  Budget.check_now budget;
+  let split_var =
+    match List.concat_map Atom.vars tab.Tableau.patterns with
+    | [] -> None
+    | x :: _ -> Some x
+  in
+  match split_var with
+  | None ->
+    iter_valid ~budget ?checker ~master ~ccs ~mode ~adom ~on_prune tab visit
+  | Some _ when domains <= 1 ->
+    iter_valid ~budget ?checker ~master ~ccs ~mode ~adom ~on_prune tab visit
+  | Some x ->
+    let inc = resolve checker ~mode in
+    let var_doms = Tableau.var_domains tab in
+    let cands_x =
+      match List.assoc_opt x var_doms with
+      | Some d -> Adom.candidates adom d
+      | None -> Adom.candidates adom Domain.Infinite
+    in
+    let stop = Atomic.make false in
+    let mx = Mutex.create () in
+    let found = ref false in
+    let exhausted = ref None in
+    let error = ref None in
+    let consumed = Atomic.make 0 in
+    (* [domains] partitions the work; the pool never runs more worker
+       domains than the machine has cores — oversubscribing a
+       saturated runtime only adds GC-synchronisation cost *)
+    let workers =
+      max 1 (min domains (Stdlib.Domain.recommended_domain_count ()))
+    in
+    let locked f =
+      Mutex.lock mx;
+      match f () with
+      | v ->
+        Mutex.unlock mx;
+        v
+      | exception e ->
+        Mutex.unlock mx;
+        raise e
+    in
+    (* a single-worker pool serialises the jobs by construction, and
+       [Pool.shutdown]'s join orders its writes before the
+       coordinator's reads — skip the per-visit mutex there *)
+    let locked f = if workers > 1 then locked f else f () in
+    let visit_sync mu delta =
+      locked (fun () ->
+        let r = visit mu delta in
+        if r then begin
+          found := true;
+          Atomic.set stop true
+        end;
+        r)
+    in
+    let on_prune_sync () = locked on_prune in
+    let job v () =
+      if Atomic.get stop then ()
+      else begin
+      let child =
+        Budget.fork ~cancel:stop ~extra_steps:(Atomic.get consumed) budget
+      in
+      let merge () =
+        ignore (Atomic.fetch_and_add consumed (Budget.steps child))
+      in
+      match
+        run ~budget:child ~inc ~master ~ccs ~mode ~adom
+          ~on_prune:on_prune_sync
+          ~init:(Valuation.add x v Valuation.empty)
+          tab visit_sync
+      with
+      | (_ : bool) -> merge ()
+      | exception Budget.Exhausted reason ->
+        merge ();
+        locked (fun () ->
+          (match reason with
+           | Budget.Cancelled when Atomic.get stop ->
+             () (* our own first-witness / stop cancellation *)
+           | r -> if !exhausted = None then exhausted := Some r);
+          Atomic.set stop true)
+      | exception e ->
+        merge ();
+        locked (fun () ->
+          if !error = None then error := Some e;
+          Atomic.set stop true)
+      end
+    in
+    if workers = 1 then
+      (* one core: spawning a pool domain only adds per-minor-GC
+         stop-the-world handshakes; run the partitions inline instead.
+         Budget forks, the stop flag and the error/exhausted protocol
+         behave exactly as in the pooled path. *)
+      List.iter (fun v -> job v ()) cands_x
+    else begin
+      let pool =
+        Pool.create ~domains:workers ~capacity:(2 * domains)
+          ~worker:(fun f -> f ()) ()
+      in
+      List.iter (fun v -> ignore (Pool.submit pool (job v))) cands_x;
+      Pool.shutdown pool
+    end;
+    Budget.add_steps budget (Atomic.get consumed);
+    (match !error with Some e -> raise e | None -> ());
+    if !found then true
+    else begin
+      (match !exhausted with
+       | Some r -> raise (Budget.Exhausted r)
+       | None -> ());
+      Budget.check_now budget;
+      false
+    end

@@ -9,7 +9,15 @@
     or the base database plus the extension ([`Against_base D],
     condition C2).  Because the constraint languages are monotone, a
     violation can never be repaired by binding more variables, so the
-    whole subtree is pruned. *)
+    whole subtree is pruned.
+
+    Both entry points take an optional {!Ric_constraints.Incremental}
+    checker; when its parent invariant holds at the search root the
+    per-extension check touches only the constraints reading the grown
+    relation (and, for monotone-UCQ constraints, only the joins through
+    the new tuple), otherwise the search silently falls back to full
+    {!Ric_constraints.Containment.holds_all} checks.  Verdicts are
+    identical either way. *)
 
 open Ric_relational
 open Ric_query
@@ -17,6 +25,7 @@ open Ric_constraints
 
 val iter_valid :
   ?budget:Budget.t ->
+  ?checker:Incremental.t ->
   master:Database.t ->
   ccs:Containment.t list ->
   mode:[ `Against_base of Database.t | `Delta_only ] ->
@@ -29,6 +38,35 @@ val iter_valid :
     [visit μ Δ] — with [Δ = μ(T)] — for every valid valuation whose
     extension passes the constraint check; stops early when [visit]
     returns [true] and reports whether any visit did.  [budget]
-    (default {!Budget.unlimited}) is ticked once per candidate atom
-    instantiation, so an exhausted budget aborts the search with
-    {!Budget.Exhausted} instead of running unbounded. *)
+    (default {!Budget.unlimited}) is checked on entry and ticked once
+    per candidate atom instantiation, so an exhausted budget aborts
+    the search with {!Budget.Exhausted} before doing any work. *)
+
+val iter_valid_par :
+  ?budget:Budget.t ->
+  ?checker:Incremental.t ->
+  domains:int ->
+  master:Database.t ->
+  ccs:Containment.t list ->
+  mode:[ `Against_base of Database.t | `Delta_only ] ->
+  adom:Adom.t ->
+  ?on_prune:(unit -> unit) ->
+  Tableau.t ->
+  (Valuation.t -> Database.t -> bool) ->
+  bool
+(** Like {!iter_valid}, but the candidates of the first pattern
+    variable are partitioned across [domains] worker domains (a
+    supervised {!Pool}).  [visit] and [on_prune] are serialised under
+    one mutex, so rcdp's counting visitors need no changes.  The first
+    visit returning [true] cancels the sibling workers through a
+    per-call stop flag ({!Budget.fork}); child step counts are folded
+    back into [budget] on join, and a child exhausting the shared
+    deadline/step allowance re-raises {!Budget.Exhausted} from the
+    coordinator.  Verdicts are identical to the sequential modes; with
+    [domains <= 1] or no pattern variables it degrades to
+    {!iter_valid}.  [domains] partitions the work but never spawns more
+    worker domains than [Stdlib.Domain.recommended_domain_count ()] —
+    oversubscribing a saturated runtime only costs GC synchronisation —
+    and on a single-core machine the partitions run inline on the
+    caller's domain (same splitting, budget forks and first-witness
+    cancellation, no pool). *)

@@ -1,0 +1,197 @@
+open Ric_relational
+open Ric_query
+
+(* One pinned-atom probe: when a tuple lands in the probe's relation,
+   unify it against [p_args]; on success, join the remaining atoms over
+   the whole database and check every resulting head tuple against the
+   cached RHS.  One probe per atom occurrence of each normalized
+   disjunct, so a new tuple matched at any position is found. *)
+type probe = {
+  p_args : Term.t list;
+  p_rest : Atom.t list;
+  p_head : Term.t list;
+  p_neqs : (Term.t * Term.t) list;
+}
+
+(* [Delta] plans cover monotone LHS queries with a UCQ form: every
+   answer new in [D + t] uses [t] in at least one atom position, so the
+   probes enumerate exactly the delta of [q].  Anything else (FP,
+   non-monotone, unsafe) falls back to a full evaluation against the
+   cached RHS. *)
+type plan =
+  | Delta of (string, probe list) Hashtbl.t
+  | Full
+
+type entry = {
+  cc : Containment.t;
+  rhs_cache : Relation.t;
+  plan : plan;
+}
+
+type t = {
+  entries : entry array;
+  by_rel : (string, int list) Hashtbl.t;
+  empty_ok : bool;
+  delta_checks : int Atomic.t;
+  full_checks : int Atomic.t;
+}
+
+type stats = { delta_checks : int; full_checks : int }
+
+let term_vars ts =
+  List.filter_map (function Term.Var x -> Some x | Term.Const _ -> None) ts
+
+exception Not_delta
+
+let plan_of_lhs lhs =
+  if not (Lang.monotone lhs) then Full
+  else
+    match Lang.as_ucq lhs with
+    | None -> Full
+    | Some ucq ->
+      (try
+         let tbl = Hashtbl.create 8 in
+         List.iter
+           (fun cq ->
+             match Cq.normalize cq with
+             | None -> () (* statically unsatisfiable: contributes nothing *)
+             | Some n ->
+               let avars = List.concat_map Atom.vars n.Cq.n_atoms in
+               let needed =
+                 term_vars n.Cq.n_head
+                 @ term_vars
+                     (List.concat_map (fun (s, u) -> [ s; u ]) n.Cq.n_neqs)
+               in
+               (* unsafe disjunct: let the full evaluator raise exactly
+                  as the non-incremental path would *)
+               if not (List.for_all (fun x -> List.mem x avars) needed) then
+                 raise Not_delta;
+               List.iteri
+                 (fun i (a : Atom.t) ->
+                   let rest = List.filteri (fun j _ -> j <> i) n.Cq.n_atoms in
+                   let probe =
+                     {
+                       p_args = a.Atom.args;
+                       p_rest = rest;
+                       p_head = n.Cq.n_head;
+                       p_neqs = n.Cq.n_neqs;
+                     }
+                   in
+                   let prev =
+                     Option.value ~default:[] (Hashtbl.find_opt tbl a.Atom.rel)
+                   in
+                   Hashtbl.replace tbl a.Atom.rel (probe :: prev))
+                 n.Cq.n_atoms)
+           ucq;
+         Delta tbl
+       with Not_delta -> Full)
+
+let create ~schema ~master ccs =
+  let entries =
+    Array.of_list
+      (List.map
+         (fun (cc : Containment.t) ->
+           {
+             cc;
+             rhs_cache = Projection.eval master cc.Containment.rhs;
+             plan = plan_of_lhs cc.Containment.lhs;
+           })
+         ccs)
+  in
+  let by_rel = Hashtbl.create 16 in
+  Array.iteri
+    (fun i e ->
+      List.iter
+        (fun rel ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_rel rel) in
+          Hashtbl.replace by_rel rel (i :: prev))
+        (Lang.relations e.cc.Containment.lhs))
+    entries;
+  let empty_ok =
+    try
+      Array.for_all
+        (fun e ->
+          Relation.subset
+            (Lang.eval (Database.empty schema) e.cc.Containment.lhs)
+            e.rhs_cache)
+        entries
+    with Invalid_argument _ -> false
+  in
+  {
+    entries;
+    by_rel;
+    empty_ok;
+    delta_checks = Atomic.make 0;
+    full_checks = Atomic.make 0;
+  }
+
+let empty_ok t = t.empty_ok
+
+let lookup db rel =
+  try Database.relation db rel with Not_found -> Relation.empty
+
+(* Unify an atom's argument list against a concrete tuple, producing
+   the valuation that pins every variable of that atom. *)
+let unify_args args tuple =
+  let n = Tuple.arity tuple in
+  if List.length args <> n then None
+  else
+    let rec go i mu = function
+      | [] -> Some mu
+      | Term.Const c :: rest ->
+        if Value.equal c (Tuple.get tuple i) then go (i + 1) mu rest else None
+      | Term.Var x :: rest ->
+        let v = Tuple.get tuple i in
+        (match Valuation.find x mu with
+         | Some v' ->
+           if Value.equal v v' then go (i + 1) mu rest else None
+         | None -> go (i + 1) (Valuation.add x v mu) rest)
+    in
+    go 0 Valuation.empty args
+
+let entry_holds_full (t : t) ~db e =
+  Atomic.incr t.full_checks;
+  Relation.subset (Lang.eval db e.cc.Containment.lhs) e.rhs_cache
+
+(* The probe joins the rest of the disjunct over the whole database —
+   [db] must already include the inserted tuple.  Returns [false] as
+   soon as any new head tuple escapes the cached RHS. *)
+let probe_holds ~db ~rhs ~tuple probes =
+  List.for_all
+    (fun p ->
+      match unify_args p.p_args tuple with
+      | None -> true (* tuple does not match this atom position *)
+      | Some init ->
+        not
+          (Match_engine.solve ~lookup:(lookup db) ~neqs:p.p_neqs ~init p.p_rest
+             (fun mu ->
+               match Valuation.tuple_of_terms mu p.p_head with
+               | Some ans -> not (Relation.mem ans rhs)
+               | None -> false)))
+    probes
+
+let check_add (t : t) ~db ~rel ~tuple =
+  match Hashtbl.find_opt t.by_rel rel with
+  | None -> true (* no CC reads [rel] *)
+  | Some idxs ->
+    List.for_all
+      (fun i ->
+        let e = t.entries.(i) in
+        match e.plan with
+        | Full -> entry_holds_full t ~db e
+        | Delta tbl ->
+          (match Hashtbl.find_opt tbl rel with
+           | None -> true
+           | Some probes ->
+             Atomic.incr t.delta_checks;
+             probe_holds ~db ~rhs:e.rhs_cache ~tuple probes))
+      idxs
+
+let full t ~db =
+  Array.for_all (fun e -> entry_holds_full t ~db e) t.entries
+
+let stats (t : t) : stats =
+  {
+    delta_checks = Atomic.get t.delta_checks;
+    full_checks = Atomic.get t.full_checks;
+  }

@@ -1,0 +1,60 @@
+(** Incremental containment checking for the valuation search.
+
+    The deciders grow candidate extensions one tuple at a time and must
+    re-establish [(D, Dm) ⊨ V] after every growth step.  Re-evaluating
+    each CC from scratch makes the inner loop quadratic in practice; a
+    checker built once per decide call does better on two axes:
+
+    - {b relation indexing} — CCs are indexed by the relations their
+      LHS mentions, so a tuple added to [R] only re-checks CCs reading
+      [R];
+    - {b delta evaluation} — for a monotone LHS with a UCQ form, every
+      answer new in [D + t] must use [t] in at least one atom position,
+      so only the joins through the inserted tuple are enumerated and
+      checked against a cached evaluation of the RHS projection.
+
+    Soundness of {!check_add} rests on a parent invariant: the database
+    {e before} the insertion already satisfied every CC.  The search
+    maintains this invariant by construction (the root state is checked
+    in full; every accepted extension was checked on the way in); a
+    caller whose root state fails the full check must fall back to
+    {!Containment.holds_all}.  LHS languages outside the monotone-UCQ
+    fragment (FP, non-monotone FO, unsafe queries) are handled by a
+    per-CC full evaluation against the cached RHS, so verdicts are
+    always identical to the non-incremental path. *)
+
+open Ric_relational
+
+type t
+
+type stats = {
+  delta_checks : int;  (** single-tuple delta probes executed *)
+  full_checks : int;   (** per-CC full LHS evaluations executed *)
+}
+
+val create :
+  schema:Schema.t -> master:Database.t -> Containment.t list -> t
+(** Build the index: cache [Projection.eval master rhs] per CC, compile
+    delta plans for monotone-UCQ LHS queries, and record whether the
+    empty database over [schema] satisfies every CC (see
+    {!empty_ok}). *)
+
+val empty_ok : t -> bool
+(** Whether the empty database satisfies every CC — the parent
+    invariant for searches growing extensions from nothing
+    ([`Delta_only] mode). *)
+
+val check_add : t -> db:Database.t -> rel:string -> tuple:Tuple.t -> bool
+(** [check_add t ~db ~rel ~tuple] — does [db] still satisfy every CC,
+    given that [db] is the previous state plus [tuple] inserted into
+    [rel] and that the previous state satisfied every CC?  Only CCs
+    reading [rel] are touched, and monotone-UCQ CCs only through the
+    inserted tuple. *)
+
+val full : t -> db:Database.t -> bool
+(** Full check of every CC against [db] (still using the cached RHS
+    relations).  Used to establish the parent invariant at search
+    entry. *)
+
+val stats : t -> stats
+(** Work counters (atomic, shared across parallel workers). *)

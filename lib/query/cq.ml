@@ -136,7 +136,17 @@ let normalize q : norm option =
       | Term.Var x as t -> (match Subst.find_opt x subst with Some r -> r | None -> t)
       | t -> t
     in
-    let atoms = List.map (fun (a : Atom.t) -> { a with args = List.map tm a.args }) q.atoms in
+    (* Preserve atom identity when the substitution leaves the argument
+       list untouched, so physically-shared duplicate atoms stay shared
+       through normalization. *)
+    let atoms =
+      List.map
+        (fun (a : Atom.t) ->
+          let args = List.map tm a.args in
+          if List.for_all2 (fun t t' -> t == t') a.args args then a
+          else { a with args })
+        q.atoms
+    in
     let head = List.map tm q.head in
     let rec filter_neqs acc = function
       | [] -> Some (List.rev acc)

@@ -61,20 +61,40 @@ let stats t =
     dropped = t.dropped;
   }
 
-(* Keys.  Session ids are server-generated ("s<n>") and query names
-   are scenario identifiers, so '/' never occurs in a component and
-   the prefixes below cannot collide across sessions ("s1/" is not a
-   prefix of any "s12/..." key because of the slash). *)
+(* Keys.  '/' is the component separator, so every client-influenced
+   component (query names above all — nothing stops a scenario from
+   declaring a query called "x/e0/rcdp") is percent-escaped before
+   splicing: '%' -> "%25", '/' -> "%2F".  The escaping is injective
+   and slash-free, so distinct component lists always yield distinct
+   keys and a session/epoch prefix can only match keys of that
+   session/epoch ("s1/" is not a prefix of any "s12/..." key because
+   of the slash).  The common all-clean case allocates nothing. *)
 
-let session_prefix ~session = session ^ "/"
+let escape s =
+  if String.exists (fun c -> c = '/' || c = '%') s then begin
+    let b = Buffer.create (String.length s + 4) in
+    String.iter
+      (function
+        | '/' -> Buffer.add_string b "%2F"
+        | '%' -> Buffer.add_string b "%25"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
 
-let epoch_prefix ~session ~epoch = Printf.sprintf "%s/e%d/" session epoch
+let session_prefix ~session = escape session ^ "/"
+
+let epoch_prefix ~session ~epoch = Printf.sprintf "%s/e%d/" (escape session) epoch
 
 let rcdp_key ~session ~fingerprint ~epoch ~query =
-  Printf.sprintf "%s/e%d/rcdp/%s/%s" session epoch fingerprint query
+  Printf.sprintf "%s/e%d/rcdp/%s/%s" (escape session) epoch (escape fingerprint)
+    (escape query)
 
 let audit_key ~session ~fingerprint ~epoch ~query =
-  Printf.sprintf "%s/e%d/audit/%s/%s" session epoch fingerprint query
+  Printf.sprintf "%s/e%d/audit/%s/%s" (escape session) epoch
+    (escape fingerprint) (escape query)
 
 let rcqp_key ~session ~fingerprint ~query =
-  Printf.sprintf "%s/rcqp/%s/%s" session fingerprint query
+  Printf.sprintf "%s/rcqp/%s/%s" (escape session) (escape fingerprint)
+    (escape query)

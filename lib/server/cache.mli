@@ -71,7 +71,15 @@ type stats = {
 
 val stats : t -> stats
 
-(** {2 Keys} *)
+(** {2 Keys}
+
+    Key components are percent-escaped (['%'] → ["%25"], ['/'] →
+    ["%2F"]) before being joined with ['/'], so a client-influenced
+    query name containing slashes cannot alias another session's or
+    epoch's prefix. *)
+
+val escape : string -> string
+(** The component escaping — exposed for tests. *)
 
 val rcdp_key :
   session:string -> fingerprint:string -> epoch:int -> query:string -> string

@@ -4,9 +4,27 @@ module Json = Ric_text.Json
 type request =
   | Ping
   | Open of { path : string option; source : string option; name : string option }
-  | Rcdp of { session : string; query : string; nocache : bool; timeout_ms : int option }
-  | Rcqp of { session : string; query : string; nocache : bool; timeout_ms : int option }
-  | Audit of { session : string; query : string; nocache : bool; timeout_ms : int option }
+  | Rcdp of {
+      session : string;
+      query : string;
+      nocache : bool;
+      timeout_ms : int option;
+      search : Ric_complete.Search_mode.t option;
+    }
+  | Rcqp of {
+      session : string;
+      query : string;
+      nocache : bool;
+      timeout_ms : int option;
+      search : Ric_complete.Search_mode.t option;
+    }
+  | Audit of {
+      session : string;
+      query : string;
+      nocache : bool;
+      timeout_ms : int option;
+      search : Ric_complete.Search_mode.t option;
+    }
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats
@@ -48,6 +66,15 @@ let bool_field_default fields k default =
   | Some (Json.Bool b) -> Ok b
   | None -> Ok default
   | Some _ -> Error (Printf.sprintf "field %S must be a boolean" k)
+
+let opt_search_field fields k =
+  match field fields k with
+  | Some (Json.Str s) ->
+    (match Ric_complete.Search_mode.of_string s with
+     | Ok m -> Ok (Some m)
+     | Error e -> Error (Printf.sprintf "field %S: %s" k e))
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" k)
 
 let opt_int_field fields k =
   match field fields k with
@@ -104,11 +131,12 @@ let of_json = function
        let* query = str_field fields "query" in
        let* nocache = bool_field_default fields "nocache" false in
        let* timeout_ms = opt_int_field fields "timeout_ms" in
+       let* search = opt_search_field fields "search" in
        Ok
          (match op with
-          | "rcdp" -> Rcdp { session; query; nocache; timeout_ms }
-          | "rcqp" -> Rcqp { session; query; nocache; timeout_ms }
-          | _ -> Audit { session; query; nocache; timeout_ms })
+          | "rcdp" -> Rcdp { session; query; nocache; timeout_ms; search }
+          | "rcqp" -> Rcqp { session; query; nocache; timeout_ms; search }
+          | _ -> Audit { session; query; nocache; timeout_ms; search })
      | "insert" ->
        let* session = str_field fields "session" in
        let* rel = str_field fields "rel" in
@@ -135,13 +163,17 @@ let to_json req =
   | Ping | Stats | Shutdown -> Json.Obj [ op ]
   | Open { path; source; name } ->
     Json.Obj ((op :: opt "path" path) @ opt "source" source @ opt "name" name)
-  | Rcdp { session; query; nocache; timeout_ms }
-  | Rcqp { session; query; nocache; timeout_ms }
-  | Audit { session; query; nocache; timeout_ms } ->
+  | Rcdp { session; query; nocache; timeout_ms; search }
+  | Rcqp { session; query; nocache; timeout_ms; search }
+  | Audit { session; query; nocache; timeout_ms; search } ->
     Json.Obj
       ([ op; ("session", Json.Str session); ("query", Json.Str query) ]
       @ (if nocache then [ ("nocache", Json.Bool true) ] else [])
-      @ match timeout_ms with Some ms -> [ ("timeout_ms", Json.Int ms) ] | None -> [])
+      @ (match timeout_ms with Some ms -> [ ("timeout_ms", Json.Int ms) ] | None -> [])
+      @
+      match search with
+      | Some m -> [ ("search", Json.Str (Ric_complete.Search_mode.to_string m)) ]
+      | None -> [])
   | Insert { session; rel; rows } ->
     Json.Obj
       [

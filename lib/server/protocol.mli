@@ -31,6 +31,12 @@
     accumulated so far) instead of making the client wait out a
     Σ₂ᵖ/NEXPTIME search.  Timed-out verdicts are never cached.
 
+    They also accept an optional ["search": "seq"|"inc"|"par"|"par:N"]
+    field selecting the valuation-search strategy
+    ({!Ric_complete.Search_mode}); omitted, the server's configured
+    default applies.  Verdicts are identical across modes, so cache
+    keys ignore it.
+
     {2 Responses}
 
     Every response is an object with an ["ok"] boolean.  Failures look
@@ -49,9 +55,27 @@ open Ric_relational
 type request =
   | Ping
   | Open of { path : string option; source : string option; name : string option }
-  | Rcdp of { session : string; query : string; nocache : bool; timeout_ms : int option }
-  | Rcqp of { session : string; query : string; nocache : bool; timeout_ms : int option }
-  | Audit of { session : string; query : string; nocache : bool; timeout_ms : int option }
+  | Rcdp of {
+      session : string;
+      query : string;
+      nocache : bool;
+      timeout_ms : int option;
+      search : Ric_complete.Search_mode.t option;
+    }
+  | Rcqp of {
+      session : string;
+      query : string;
+      nocache : bool;
+      timeout_ms : int option;
+      search : Ric_complete.Search_mode.t option;
+    }
+  | Audit of {
+      session : string;
+      query : string;
+      nocache : bool;
+      timeout_ms : int option;
+      search : Ric_complete.Search_mode.t option;
+    }
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats

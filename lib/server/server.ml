@@ -8,6 +8,7 @@ type config = {
   root : string option;
   journal : string option;
   recover : bool;
+  search : Ric_complete.Search_mode.t;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     root = None;
     journal = None;
     recover = false;
+    search = Ric_complete.Search_mode.Seq;
   }
 
 let src = Logs.Src.create "ricd" ~doc:"the ric completeness-checking daemon"
@@ -144,7 +146,7 @@ let setup_journal service config =
 
 let run config =
   Faults.init_from_env ();
-  let service = Service.create ?root:config.root () in
+  let service = Service.create ?root:config.root ~default_search:config.search () in
   install_signal_handlers service;
   let journal = setup_journal service config in
   prepare_socket_path config.socket_path;

@@ -28,10 +28,14 @@ type config = {
   root : string option;  (** base directory for [open] paths *)
   journal : string option;  (** session journal path; [None] = no durability *)
   recover : bool;  (** replay the journal at startup before serving *)
+  search : Ric_complete.Search_mode.t;
+      (** default valuation-search strategy for decide requests that
+          carry no ["search"] field *)
 }
 
 val default_config : config
-(** [/tmp/ricd.sock], 2 domains, capacity 64, no root, no journal. *)
+(** [/tmp/ricd.sock], 2 domains, capacity 64, no root, no journal,
+    sequential search. *)
 
 val src : Logs.src
 (** The ["ricd"] log source. *)

@@ -15,13 +15,15 @@ type t = {
   started_at : float;
   stop : bool Atomic.t;
   op_counts : (string, int) Hashtbl.t;
+  search_counts : (string, int) Hashtbl.t;
+  default_search : Search_mode.t;
   mutable requests : int;
   mutable timeouts : int;
   mutable journal : Journal.t option;
   mutable pool_stats : (unit -> Pool.stats) option;
 }
 
-let create ?root () =
+let create ?root ?(default_search = Search_mode.Seq) () =
   {
     registry = Session.create ();
     cache = Cache.create ();
@@ -30,6 +32,8 @@ let create ?root () =
     started_at = Unix.gettimeofday ();
     stop = Atomic.make false;
     op_counts = Hashtbl.create 8;
+    search_counts = Hashtbl.create 4;
+    default_search;
     requests = 0;
     timeouts = 0;
     journal = None;
@@ -214,6 +218,17 @@ type computed = {
 let note_timeout t =
   with_lock t (fun () -> t.timeouts <- t.timeouts + 1)
 
+(* a request's effective search mode: its own "search" field, else the
+   server default; counted per decide under the stats bucket of its
+   name, so operators can see which strategies a workload exercises *)
+let resolve_search t requested =
+  let mode = Option.value requested ~default:t.default_search in
+  with_lock t (fun () ->
+      let name = Search_mode.name mode in
+      Hashtbl.replace t.search_counts name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.search_counts name)));
+  mode
+
 let clock_of_timeout timeout_ms =
   match timeout_ms with
   | Some ms -> Budget.create ~deadline_after:(float_of_int ms /. 1000.) ()
@@ -259,14 +274,14 @@ let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
        verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
          ~elapsed_us:elapsed c.c_result)
 
-let compute_rcdp t ~timeout_ms sn =
+let compute_rcdp t ~timeout_ms ~search sn =
   let sc = sn.sn_scenario in
   let clock = clock_of_timeout timeout_ms in
   let stats = ref { Rcdp.valuations_visited = 0; branches_pruned = 0 } in
   match
     (* partial closure is tracked per-session and already checked;
        skip the decider's own O(|V|) re-verification *)
-    Rcdp.decide ~clock ~collect_stats:stats ~check_partially_closed:false
+    Rcdp.decide ~clock ~search ~collect_stats:stats ~check_partially_closed:false
       ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc)
       ~db:sn.sn_db sn.sn_query
   with
@@ -282,11 +297,11 @@ let compute_rcdp t ~timeout_ms sn =
       c_cacheable = false;
     }
 
-let compute_audit t ~timeout_ms sn =
+let compute_audit t ~timeout_ms ~search sn =
   let sc = sn.sn_scenario in
   let clock = clock_of_timeout timeout_ms in
   match
-    Guidance.audit ~clock ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+    Guidance.audit ~clock ~search ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
       ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
   with
   | result -> { c_result = Report.audit_result result; c_rcdp = None; c_cacheable = true }
@@ -298,7 +313,7 @@ let compute_audit t ~timeout_ms sn =
     note_timeout t;
     { c_result = timeout_result ~clock ~timeout_ms reason; c_rcdp = None; c_cacheable = false }
 
-let handle_rcdp t ~session ~query ~nocache ~timeout_ms =
+let handle_rcdp t ~session ~query ~nocache ~timeout_ms ~search =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -306,9 +321,9 @@ let handle_rcdp t ~session ~query ~nocache ~timeout_ms =
       Cache.rcdp_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
     cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~key
-      ~compute:(compute_rcdp t ~timeout_ms) sn
+      ~compute:(compute_rcdp t ~timeout_ms ~search) sn
 
-let handle_audit t ~session ~query ~nocache ~timeout_ms =
+let handle_audit t ~session ~query ~nocache ~timeout_ms ~search =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -316,9 +331,9 @@ let handle_audit t ~session ~query ~nocache ~timeout_ms =
       Cache.audit_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
     cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~key
-      ~compute:(compute_audit t ~timeout_ms) sn
+      ~compute:(compute_audit t ~timeout_ms ~search) sn
 
-let handle_rcqp t ~session ~query ~nocache ~timeout_ms =
+let handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -336,8 +351,8 @@ let handle_rcqp t ~session ~query ~nocache ~timeout_ms =
        let t0 = Unix.gettimeofday () in
        let result, cacheable =
          match
-           Rcqp.decide ~clock ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
-             ~ccs:(Scenario.all_ccs sc) sn.sn_query
+           Rcqp.decide ~clock ~search ~schema:sc.Scenario.db_schema
+             ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc) sn.sn_query
          with
          | verdict -> (Report.rcqp_verdict verdict, true)
          | exception Rcqp.Unsupported msg -> (unsupported_result msg, true)
@@ -485,12 +500,18 @@ let handle_stats t =
         Hashtbl.fold (fun op n acc -> (op, Json.Int n) :: acc) t.op_counts []
         |> List.sort compare
       in
+      let searches =
+        Hashtbl.fold (fun m n acc -> (m, Json.Int n) :: acc) t.search_counts []
+        |> List.sort compare
+      in
       ok
         ([
            ("uptime_s", Json.Int (int_of_float (Unix.gettimeofday () -. t.started_at)));
            ("requests", Json.Int t.requests);
            ("timeouts", Json.Int t.timeouts);
            ("ops", Json.Obj ops);
+           ("search_default", Json.Str (Search_mode.name t.default_search));
+           ("search_modes", Json.Obj searches);
            ("sessions", Json.List sessions);
            ( "cache",
              Json.Obj
@@ -579,12 +600,12 @@ let handle t req =
   match req with
   | Protocol.Ping -> ok [ ("pong", Json.Bool true) ]
   | Protocol.Open { path; source; name } -> handle_open t ~path ~source ~name
-  | Protocol.Rcdp { session; query; nocache; timeout_ms } ->
-    handle_rcdp t ~session ~query ~nocache ~timeout_ms
-  | Protocol.Rcqp { session; query; nocache; timeout_ms } ->
-    handle_rcqp t ~session ~query ~nocache ~timeout_ms
-  | Protocol.Audit { session; query; nocache; timeout_ms } ->
-    handle_audit t ~session ~query ~nocache ~timeout_ms
+  | Protocol.Rcdp { session; query; nocache; timeout_ms; search } ->
+    handle_rcdp t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
+  | Protocol.Rcqp { session; query; nocache; timeout_ms; search } ->
+    handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
+  | Protocol.Audit { session; query; nocache; timeout_ms; search } ->
+    handle_audit t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
   | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
   | Protocol.Close { session } -> handle_close t ~session
   | Protocol.Stats -> handle_stats t

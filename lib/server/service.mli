@@ -17,9 +17,12 @@
 
 type t
 
-val create : ?root:string -> unit -> t
+val create :
+  ?root:string -> ?default_search:Ric_complete.Search_mode.t -> unit -> t
 (** [root] anchors relative [path]s of [open] requests (defaults to
-    the daemon's working directory). *)
+    the daemon's working directory).  [default_search] is the
+    valuation-search strategy applied to decide requests that carry no
+    ["search"] field of their own (defaults to [Seq]). *)
 
 val handle : t -> Protocol.request -> Ric_text.Json.t
 (** Serve one request.  Never raises: malformed scenarios, unknown

@@ -142,4 +142,18 @@ wait "$SERVER_PID"
 SERVER_PID=""
 rm -f "$JOURNAL"
 
+echo "== search-mode bench smoke test"
+# all three valuation-search strategies on the hostile instance with a
+# small step budget; the bench exits nonzero if any scenario query gets
+# a different verdict under seq vs inc vs par
+BENCH_OUT="${TMPDIR:-/tmp}/ricd-check-$$-bench.json"
+RIC_BENCH_STEPS=20000 RIC_BENCH_OUT="$BENCH_OUT" \
+  _build/default/bench/main.exe search \
+  || { echo "FAIL: search-mode verdicts diverged" >&2; rm -f "$BENCH_OUT"; exit 1; }
+case "$(cat "$BENCH_OUT")" in
+  *'"all_agree":true'*) ;;
+  *) echo "FAIL: $BENCH_OUT does not record agreement" >&2; rm -f "$BENCH_OUT"; exit 1 ;;
+esac
+rm -f "$BENCH_OUT"
+
 echo "== all checks passed"

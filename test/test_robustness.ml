@@ -75,8 +75,8 @@ let hard_source =
 
 let open_req ?name source = Protocol.Open { path = None; source = Some source; name }
 
-let rcdp ?(nocache = false) ?timeout_ms session query =
-  Protocol.Rcdp { session; query; nocache; timeout_ms }
+let rcdp ?(nocache = false) ?timeout_ms ?search session query =
+  Protocol.Rcdp { session; query; nocache; timeout_ms; search }
 
 let insert session rel rows =
   Protocol.Insert
@@ -310,6 +310,7 @@ let with_server ?(domains = 2) ?journal ?(recover = false) f =
             root = None;
             journal;
             recover;
+            search = Ric_complete.Search_mode.Seq;
           })
   in
   let finish () =

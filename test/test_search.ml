@@ -1,0 +1,325 @@
+(* Tests for the valuation-search performance layer: Search_mode
+   parsing, Budget fork/merge/cancel, the incremental constraint
+   checker (differential against Containment.holds_all), seq/inc/par
+   verdict agreement on every scenario file, and the satellite
+   regressions — duplicate-atom removal (remove one occurrence, not
+   every physically-shared copy) and budget checks at search entry. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+open Ric_complete
+module Scenario = Ric_text.Scenario
+
+let v = Term.var
+
+(* ------------------------------------------------------------------ *)
+(* Search_mode *)
+
+let test_search_mode_strings () =
+  let roundtrip m =
+    Alcotest.(check bool)
+      (Search_mode.to_string m ^ " round trips")
+      true
+      (Search_mode.of_string (Search_mode.to_string m) = Ok m)
+  in
+  List.iter roundtrip [ Search_mode.Seq; Search_mode.Inc; Search_mode.Par 2; Search_mode.Par 7 ];
+  Alcotest.(check bool) "par defaults domains" true
+    (Search_mode.of_string "par" = Ok (Search_mode.Par Search_mode.default_domains));
+  List.iter
+    (fun s ->
+      match Search_mode.of_string s with
+      | Ok _ -> Alcotest.failf "%S must be rejected" s
+      | Error _ -> ())
+    [ "warp"; "par:0"; "par:-1"; "par:x"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Budget: fork, merge, cancel *)
+
+let test_budget_fork_allowance () =
+  let parent = Budget.create ~max_steps:100 () in
+  for _ = 1 to 30 do
+    Budget.tick parent
+  done;
+  let child = Budget.fork ~extra_steps:20 parent in
+  (* allowance = 100 − 30 − 20 = 50: 49 ticks pass, the 50th trips *)
+  for _ = 1 to 49 do
+    Budget.tick child
+  done;
+  (match Budget.tick child with
+   | () -> Alcotest.fail "child must stop at the remaining allowance"
+   | exception Budget.Exhausted Budget.Step_limit -> ()
+   | exception Budget.Exhausted _ -> Alcotest.fail "wrong exhaustion reason");
+  Budget.add_steps parent (Budget.steps child);
+  Alcotest.(check int) "children steps folded back" 80 (Budget.steps parent)
+
+let test_budget_fork_cancel () =
+  let stop = Atomic.make false in
+  let child = Budget.fork ~cancel:stop Budget.unlimited in
+  Budget.check_now child;
+  Atomic.set stop true;
+  (match Budget.check_now child with
+   | () -> Alcotest.fail "tripped stop flag must cancel the child"
+   | exception Budget.Exhausted Budget.Cancelled -> ());
+  (* the parent's own flags are inherited too *)
+  let flagged = Budget.create ~cancel:(Atomic.make true) () in
+  match Budget.check_now (Budget.fork flagged) with
+  | () -> Alcotest.fail "parent cancel flag must propagate to forks"
+  | exception Budget.Exhausted Budget.Cancelled -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regression: duplicated physically-shared atoms.
+
+   [remove_one] must drop exactly one occurrence of the chosen atom;
+   the old [List.filter (fun x -> x != a)] dropped every shared copy,
+   so a tableau listing the same atom value twice instantiated it only
+   once.  The duplicate instantiation is deterministic (same variable),
+   so the visible difference is the per-candidate step count. *)
+
+let dup_schema = Schema.make [ Schema.relation "R" [ Schema.attribute "x" ] ]
+let no_master = Database.empty (Schema.make [])
+
+let tableau_of atoms =
+  let q = Cq.make ~head:[ v "x" ] atoms in
+  match Tableau.of_cq dup_schema q with
+  | Some t -> t
+  | None -> Alcotest.fail "tableau construction failed"
+
+let adom_for tab =
+  Adom.build ~master:no_master ~cc_constants:[] ~query_constants:[]
+    ~fresh_count:(List.length (Tableau.vars tab)) ()
+
+let steps_for atoms =
+  let tab = tableau_of atoms in
+  let budget = Budget.create ~max_steps:1_000_000 () in
+  ignore
+    (Valuation_search.iter_valid ~budget ~master:no_master ~ccs:[] ~mode:`Delta_only
+       ~adom:(adom_for tab) tab (fun _ _ -> false));
+  Budget.steps budget
+
+let test_duplicate_shared_atoms () =
+  let a = Atom.make "R" [ v "x" ] in
+  let single = steps_for [ a ] in
+  let dup = steps_for [ a; a ] (* the same physical atom, twice *) in
+  Alcotest.(check bool)
+    (Printf.sprintf "both copies are instantiated (%d > %d steps)" dup single)
+    true (dup > single)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regression: budgets are checked at search entry, so a
+   pre-tripped cancel flag (or an already-expired deadline, the
+   [timeout_ms = 0] case) aborts before any work — not after the first
+   256-step polling stride. *)
+
+let tripped () = Budget.create ~cancel:(Atomic.make true) ()
+
+let test_entry_check_iter_valid () =
+  let tab = tableau_of [ Atom.make "R" [ v "x" ] ] in
+  let visits = ref 0 in
+  (match
+     Valuation_search.iter_valid ~budget:(tripped ()) ~master:no_master ~ccs:[]
+       ~mode:`Delta_only ~adom:(adom_for tab) tab
+       (fun _ _ ->
+         incr visits;
+         false)
+   with
+   | (_ : bool) -> Alcotest.fail "pre-tripped cancel must abort the search"
+   | exception Budget.Exhausted Budget.Cancelled -> ());
+  Alcotest.(check int) "no valuation visited" 0 !visits
+
+let test_entry_check_deciders () =
+  let q = Lang.Q_cq (Cq.make ~head:[ v "x" ] [ Atom.make "R" [ v "x" ] ]) in
+  let db = Database.empty dup_schema in
+  let stats = ref { Rcdp.valuations_visited = 0; branches_pruned = 0 } in
+  (match
+     Rcdp.decide ~clock:(tripped ()) ~collect_stats:stats ~schema:dup_schema
+       ~master:no_master ~ccs:[] ~db q
+   with
+   | (_ : Rcdp.verdict) -> Alcotest.fail "rcdp must abort on a tripped clock"
+   | exception Budget.Exhausted Budget.Cancelled -> ());
+  Alcotest.(check int) "rcdp visited nothing" 0 !stats.Rcdp.valuations_visited;
+  (match Rcqp.decide ~clock:(tripped ()) ~schema:dup_schema ~master:no_master ~ccs:[] q with
+   | (_ : Rcqp.verdict) -> Alcotest.fail "rcqp must abort on a tripped clock"
+   | exception Budget.Exhausted Budget.Cancelled -> ());
+  (* timeout_ms = 0: the deadline is already over at entry *)
+  let expired = Budget.create ~deadline_after:(-1.0) () in
+  match
+    Rcdp.decide ~clock:expired ~schema:dup_schema ~master:no_master ~ccs:[] ~db q
+  with
+  | (_ : Rcdp.verdict) -> Alcotest.fail "rcdp must abort on an expired deadline"
+  | exception Budget.Exhausted Budget.Deadline -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Incremental checker: differential against Containment.holds_all
+   over random single-tuple growth chains.  The chain starts from the
+   empty database (the checker's [empty_ok] parent invariant) and only
+   keeps tuples the full check accepts, mirroring the search. *)
+
+let inc_schema =
+  Schema.make
+    [
+      Schema.relation "R" [ Schema.attribute "a"; Schema.attribute "b" ];
+      Schema.relation "S" [ Schema.attribute "a" ];
+    ]
+
+let inc_master =
+  Database.of_list
+    (Schema.make
+       [
+         Schema.relation "M" [ Schema.attribute "a"; Schema.attribute "b" ];
+         Schema.relation "N" [ Schema.attribute "a" ];
+       ])
+    [
+      ("M", Relation.of_str_rows [ [ "0"; "0" ]; [ "0"; "1" ]; [ "1"; "2" ]; [ "2"; "2" ] ]);
+      ("N", Relation.of_str_rows [ [ "0" ]; [ "1" ] ]);
+    ]
+
+let inc_ccs =
+  [
+    (* plain bound: R ⊆ M *)
+    Containment.make ~name:"rm"
+      (Lang.Q_cq (Cq.make ~head:[ v "x"; v "y" ] [ Atom.make "R" [ v "x"; v "y" ] ]))
+      (Projection.proj "M" [ 0; 1 ]);
+    (* join through both relations: R(x,y), S(y) ⇒ y ∈ N *)
+    Containment.make ~name:"join"
+      (Lang.Q_cq
+         (Cq.make ~head:[ v "y" ]
+            [ Atom.make "R" [ v "x"; v "y" ]; Atom.make "S" [ v "y" ] ]))
+      (Projection.proj "N" [ 0 ]);
+    (* inequality + empty RHS: no R tuple may repeat S's value twice *)
+    Containment.make ~name:"neq"
+      (Lang.Q_cq
+         (Cq.make
+            ~neqs:[ (v "x", v "y") ]
+            ~head:[ v "x" ]
+            [ Atom.make "R" [ v "x"; v "x" ]; Atom.make "S" [ v "y" ] ]))
+      Projection.Empty;
+    (* constant selection: S("3") is forbidden *)
+    Containment.make ~name:"const"
+      (Lang.Q_cq (Cq.make ~head:[ v "x" ] [ Atom.make "S" [ v "x" ]; Atom.make "S" [ Term.str "3" ] ]))
+      Projection.Empty;
+  ]
+
+let incremental_agrees_prop adds =
+  let inc = Incremental.create ~schema:inc_schema ~master:inc_master inc_ccs in
+  if not (Incremental.empty_ok inc) then
+    QCheck2.Test.fail_report "empty database must satisfy the test constraints";
+  let db = ref (Database.empty inc_schema) in
+  List.iter
+    (fun (pick, a, b) ->
+      let rel, tuple =
+        if pick land 1 = 0 then
+          ("R", Tuple.of_strs [ string_of_int a; string_of_int b ])
+        else ("S", Tuple.of_strs [ string_of_int a ])
+      in
+      let grown = Database.add_tuple !db rel tuple in
+      let fast = Incremental.check_add inc ~db:grown ~rel ~tuple in
+      let slow = Containment.holds_all ~db:grown ~master:inc_master inc_ccs in
+      if fast <> slow then
+        QCheck2.Test.fail_reportf "check_add %s%s: incremental %b vs full %b" rel
+          (Format.asprintf "%a" Tuple.pp tuple) fast slow;
+      if Incremental.full inc ~db:grown <> slow then
+        QCheck2.Test.fail_reportf "full check diverges on %s%s" rel
+          (Format.asprintf "%a" Tuple.pp tuple);
+      (* keep only accepted tuples: the parent invariant of the next step *)
+      if slow then db := grown)
+    adds;
+  true
+
+let test_incremental_differential =
+  QCheck2.Test.make ~name:"incremental check_add ≡ holds_all on growth chains"
+    ~count:200
+    QCheck2.Gen.(list_size (int_bound 12) (triple (int_bound 7) (int_bound 3) (int_bound 3)))
+    incremental_agrees_prop
+
+(* ------------------------------------------------------------------ *)
+(* seq / inc / par verdict agreement on every scenario file *)
+
+let scenarios_dir () =
+  if Sys.file_exists "../../../scenarios" then "../../../scenarios" else "scenarios"
+
+let rcdp_label ~search (s : Scenario.t) q =
+  let clock = Budget.create ~max_steps:60_000 () in
+  match
+    Rcdp.decide ~clock ~search ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+  with
+  | Rcdp.Complete -> "complete"
+  | Rcdp.Incomplete _ -> "incomplete"
+  | exception Rcdp.Unsupported _ -> "unsupported"
+  | exception Rcdp.Not_partially_closed _ -> "not_partially_closed"
+  | exception Budget.Exhausted reason -> "timeout:" ^ Budget.reason_name reason
+
+let test_modes_agree_on_scenarios () =
+  let dir = scenarios_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ric")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "found scenario files" true (files <> []);
+  List.iter
+    (fun file ->
+      let s = Scenario.load (Filename.concat dir file) in
+      List.iter
+        (fun (qname, q) ->
+          let seq = rcdp_label ~search:Search_mode.Seq s q in
+          let inc = rcdp_label ~search:Search_mode.Inc s q in
+          let par = rcdp_label ~search:(Search_mode.Par 4) s q in
+          Alcotest.(check string) (Printf.sprintf "%s/%s inc" file qname) seq inc;
+          Alcotest.(check string) (Printf.sprintf "%s/%s par" file qname) seq par)
+        s.Scenario.queries)
+    files
+
+(* the incomplete case: a parallel first witness must terminate the
+   search with the same verdict class, and the counterexample must
+   revalidate like any sequential one *)
+let test_par_witness_is_valid () =
+  let dir = scenarios_dir () in
+  let s = Scenario.load (Filename.concat dir "crm.ric") in
+  List.iter
+    (fun (qname, q) ->
+      match
+        Rcdp.decide ~search:(Search_mode.Par 4) ~schema:s.Scenario.db_schema
+          ~master:s.Scenario.master ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+      with
+      | Rcdp.Complete -> ()
+      | Rcdp.Incomplete cex ->
+        let extended = Database.union s.Scenario.db cex.Rcdp.cex_extension in
+        Alcotest.(check bool)
+          (qname ^ ": extension is admissible")
+          true
+          (Containment.holds_all ~db:extended ~master:s.Scenario.master
+             (Scenario.all_ccs s));
+        Alcotest.(check bool)
+          (qname ^ ": answer is new")
+          true
+          (Relation.mem cex.Rcdp.cex_answer (Lang.eval extended q)
+          && not (Relation.mem cex.Rcdp.cex_answer (Lang.eval s.Scenario.db q)))
+      | exception Rcdp.Unsupported _ -> ())
+    s.Scenario.queries
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "search mode",
+        [ Alcotest.test_case "parse / print" `Quick test_search_mode_strings ] );
+      ( "budget",
+        [
+          Alcotest.test_case "fork allowance + merge" `Quick test_budget_fork_allowance;
+          Alcotest.test_case "fork cancel flags" `Quick test_budget_fork_cancel;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "duplicate shared atoms" `Quick test_duplicate_shared_atoms;
+          Alcotest.test_case "entry check: iter_valid" `Quick test_entry_check_iter_valid;
+          Alcotest.test_case "entry check: deciders" `Quick test_entry_check_deciders;
+        ] );
+      ( "incremental",
+        [ QCheck_alcotest.to_alcotest test_incremental_differential ] );
+      ( "mode agreement",
+        [
+          Alcotest.test_case "all scenarios, all modes" `Quick test_modes_agree_on_scenarios;
+          Alcotest.test_case "par witness revalidates" `Quick test_par_witness_is_valid;
+        ] );
+    ]

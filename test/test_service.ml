@@ -62,14 +62,14 @@ let scenario_source =
 let open_req ?name source =
   Protocol.Open { path = None; source = Some source; name }
 
-let rcdp ?(nocache = false) ?timeout_ms session query =
-  Protocol.Rcdp { session; query; nocache; timeout_ms }
+let rcdp ?(nocache = false) ?timeout_ms ?search session query =
+  Protocol.Rcdp { session; query; nocache; timeout_ms; search }
 
-let rcqp ?(nocache = false) ?timeout_ms session query =
-  Protocol.Rcqp { session; query; nocache; timeout_ms }
+let rcqp ?(nocache = false) ?timeout_ms ?search session query =
+  Protocol.Rcqp { session; query; nocache; timeout_ms; search }
 
-let audit ?(nocache = false) ?timeout_ms session query =
-  Protocol.Audit { session; query; nocache; timeout_ms }
+let audit ?(nocache = false) ?timeout_ms ?search session query =
+  Protocol.Audit { session; query; nocache; timeout_ms; search }
 
 let insert session rel rows =
   Protocol.Insert
@@ -93,8 +93,12 @@ let test_protocol_roundtrip () =
       rcdp "s1" "Q0";
       rcdp ~nocache:true "s1" "Q0";
       rcdp ~timeout_ms:250 "s1" "Q0";
+      rcdp ~search:Ric_complete.Search_mode.Inc "s1" "Q0";
+      rcdp ~search:(Ric_complete.Search_mode.Par 4) "s1" "Q0";
       rcqp "s2" "Q";
+      rcqp ~search:Ric_complete.Search_mode.Seq "s2" "Q";
       audit "s1" "Q2";
+      audit ~search:(Ric_complete.Search_mode.Par 2) "s1" "Q2";
       insert "s1" "Cust" [ [ "c1"; "bob" ] ];
       Protocol.Insert
         { session = "s1"; rel = "N"; rows = [ [ Ric_relational.Value.Int 42 ] ] };
@@ -119,6 +123,20 @@ let test_protocol_rejects () =
       Json.Obj [ ("op", Json.Str "teleport") ];
       Json.Obj [ ("op", Json.Str "rcdp") ];
       Json.Obj [ ("op", Json.Str "rcdp"); ("session", Json.Str "s1") ];
+      Json.Obj
+        [
+          ("op", Json.Str "rcdp");
+          ("session", Json.Str "s1");
+          ("query", Json.Str "Q0");
+          ("search", Json.Str "warp");
+        ];
+      Json.Obj
+        [
+          ("op", Json.Str "rcdp");
+          ("session", Json.Str "s1");
+          ("query", Json.Str "Q0");
+          ("search", Json.Int 4);
+        ];
       Json.Obj [ ("op", Json.Str "open") ];
       Json.Obj
         [
@@ -377,6 +395,7 @@ let with_server ?(domains = 2) f =
             root = None;
             journal = None;
             recover = false;
+            search = Ric_complete.Search_mode.Seq;
           })
   in
   let finish () =
@@ -460,6 +479,32 @@ let test_e2e_concurrent_sessions () =
       let results = List.map Domain.join clients in
       Alcotest.(check (list bool)) "both clients all-ok" [ true; true ] results)
 
+(* Satellite regression: key components are percent-escaped, so a
+   slash inside a query name (or fingerprint) cannot make two distinct
+   component lists collide on one cache key.  Pre-fix, both pairs
+   below collapsed to the same "s/e0/rcdp/f/a/b"-shaped string. *)
+let test_cache_key_escaping () =
+  let k1 = Cache.rcdp_key ~session:"s" ~fingerprint:"f" ~epoch:0 ~query:"a/b" in
+  let k2 = Cache.rcdp_key ~session:"s" ~fingerprint:"f/a" ~epoch:0 ~query:"b" in
+  Alcotest.(check bool) "slash in query vs slash in fingerprint" true (k1 <> k2);
+  let k3 = Cache.rcqp_key ~session:"s/e0" ~fingerprint:"f" ~query:"q" in
+  let k4 = Cache.rcqp_key ~session:"s" ~fingerprint:"e0/f" ~query:"q" in
+  Alcotest.(check bool) "slash in session vs fingerprint" true (k3 <> k4);
+  (* escaping is injective: the escape of an already-escaped string
+     differs from the escape of the raw one *)
+  Alcotest.(check bool) "injective on % sequences" true
+    (Cache.escape "a/b" <> Cache.escape "a%2Fb");
+  Alcotest.(check string) "clean strings unchanged" "plain" (Cache.escape "plain");
+  (* a crafted session name cannot alias another session's purge prefix *)
+  let p = Cache.session_prefix ~session:"s1" in
+  let k5 = Cache.rcdp_key ~session:"s1/e9" ~fingerprint:"f" ~epoch:0 ~query:"q" in
+  let prefixed s ~prefix =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  Alcotest.(check bool) "slashed session escapes the prefix" false
+    (prefixed k5 ~prefix:p)
+
 let () =
   Alcotest.run "service"
     [
@@ -469,6 +514,8 @@ let () =
           Alcotest.test_case "bad requests rejected" `Quick test_protocol_rejects;
           Alcotest.test_case "framing" `Quick test_framing;
         ] );
+      ( "cache keys",
+        [ Alcotest.test_case "component escaping" `Quick test_cache_key_escaping ] );
       ("pool", [ Alcotest.test_case "drains all jobs" `Quick test_pool_runs_everything ]);
       ( "service",
         [
