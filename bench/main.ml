@@ -21,6 +21,7 @@
      ablation — design-choice ablations from DESIGN.md
      micro    — bechamel micro-benchmarks (one group per table)
      search   — seq/inc/par valuation-search strategies (BENCH_search.json)
+     obs      — instrumentation overhead: traced vs untraced seq decide
 *)
 
 open Ric_relational
@@ -670,12 +671,24 @@ let search_bench () =
     | Some q -> q
     | None -> failwith "hard.ric has no query QH"
   in
+  (* best of three: steps/s feeds the check.sh regression guard, and a
+     single run's scheduler noise would drown a real 5% slowdown *)
   let timed mode =
-    let clock = Budget.create ~max_steps:step_cap () in
-    let (label, secs) =
-      time (fun () -> decide_labelled ~clock ~search:mode hard qh)
+    let once () =
+      let clock = Budget.create ~max_steps:step_cap () in
+      let (label, secs) =
+        time (fun () -> decide_labelled ~clock ~search:mode hard qh)
+      in
+      (label, Budget.steps clock, secs)
     in
-    let steps = Budget.steps clock in
+    let (label, steps, secs) =
+      List.fold_left
+        (fun acc _ ->
+          let (_, _, best_secs) = acc in
+          let (_, _, secs) as run = once () in
+          if secs < best_secs then run else acc)
+        (once ()) [ 1; 2 ]
+    in
     let sps = float_of_int steps /. (secs +. 1e-9) in
     Printf.printf "  %-6s %-22s %9d steps in %7.1f ms  (%10.0f steps/s)\n"
       (Search_mode.to_string mode) label steps (1e3 *. secs) sps;
@@ -765,6 +778,61 @@ let search_bench () =
   Printf.printf "  wrote %s\n" out;
   if not !all_agree then exit 1
 
+(* ================================================================== *)
+(* Instrumentation overhead                                            *)
+(* ================================================================== *)
+
+(* The observability layer's contract is zero cost when disabled:
+   counters fold in per decide, spans are no-ops without a sink.  This
+   section measures seq steps/s on the hostile instance with tracing
+   off and with a live JSONL sink, reporting the overhead the check.sh
+   bench guard keeps honest (EXPERIMENTS.md, instrumentation row). *)
+
+let obs_bench () =
+  hr "Instrumentation overhead (seq decide on scenarios/hard.ric)";
+  let module Scenario = Ric_text.Scenario in
+  let dir =
+    if Sys.file_exists "scenarios" then "scenarios" else "../../../scenarios"
+  in
+  let step_cap =
+    match Sys.getenv_opt "RIC_BENCH_STEPS" with
+    | Some s -> (try int_of_string (String.trim s) with Failure _ -> 400_000)
+    | None -> 400_000
+  in
+  let hard = Scenario.load (Filename.concat dir "hard.ric") in
+  let qh =
+    match Scenario.find_query hard "QH" with
+    | Some q -> q
+    | None -> failwith "hard.ric has no query QH"
+  in
+  let run () =
+    let clock = Budget.create ~max_steps:step_cap () in
+    let ((), secs) =
+      time (fun () ->
+          try
+            ignore
+              (Rcdp.decide ~clock ~schema:hard.Scenario.db_schema
+                 ~master:hard.Scenario.master ~ccs:(Scenario.all_ccs hard)
+                 ~db:hard.Scenario.db qh)
+          with Budget.Exhausted _ -> ())
+    in
+    float_of_int (Budget.steps clock) /. (secs +. 1e-9)
+  in
+  ignore (run ()) (* warm-up *);
+  let best f = List.fold_left (fun acc _ -> Float.max acc (f ())) 0. [ 1; 2; 3 ] in
+  let off = best run in
+  let trace_file = Filename.temp_file "ric_bench_obs" ".jsonl" in
+  Ric_obs.Trace.open_file trace_file;
+  let on = best run in
+  Ric_obs.Trace.close ();
+  let spans = Ric_text.Trace_summary.load trace_file in
+  (try Sys.remove trace_file with Sys_error _ -> ());
+  let overhead_pct = 100. *. (1. -. (on /. off)) in
+  Printf.printf "  tracing off %10.0f steps/s\n" off;
+  Printf.printf "  tracing on  %10.0f steps/s  (%d spans written)\n" on
+    (List.length spans.Ric_text.Trace_summary.spans);
+  Printf.printf "  overhead    %9.1f%%\n" overhead_pct
+
 let () =
   let sections =
     [
@@ -775,6 +843,7 @@ let () =
       ("ablation", ablation);
       ("micro", micro);
       ("search", search_bench);
+      ("obs", obs_bench);
     ]
   in
   let requested = List.tl (Array.to_list Sys.argv) in

@@ -61,6 +61,8 @@ let with_server ~domains f =
             journal = None;
             recover = false;
             search = Ric_complete.Search_mode.Seq;
+            metrics = None;
+            trace = None;
           })
   in
   let finish () =

@@ -181,6 +181,25 @@ let search_doc =
 let search_arg =
   Arg.(value & opt search_conv Search_mode.Seq & info [ "search" ] ~doc:search_doc)
 
+let file_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"TRACE"
+        ~doc:
+          "Write span events for this run to $(docv) as JSON lines; inspect with \
+           $(b,ric trace summarize) $(docv)")
+
+(* Tracing a one-shot decide: open the sink for the duration of [f]
+   and hand it a step-counting clock (an [unlimited] clock skips the
+   counter, which would leave every span's [steps] attribute at 0). *)
+let with_trace trace f =
+  match trace with
+  | None -> f Budget.unlimited
+  | Some path ->
+    Ric_obs.Trace.open_file path;
+    Fun.protect ~finally:Ric_obs.Trace.close (fun () -> f (Budget.create ()))
+
 let with_scenario path f =
   match Ric_text.Scenario.load path with
   | s -> f s
@@ -215,7 +234,7 @@ let file_show_cmd =
     Term.(const run $ file_arg)
 
 let file_audit_cmd =
-  let run path qname json search =
+  let run path qname json search trace =
     with_scenario path (fun s ->
         match pick_query s qname with
         | Error m ->
@@ -224,10 +243,11 @@ let file_audit_cmd =
         | Ok (name, q) ->
           (try
              let result =
-               Guidance.audit ~search ~schema:s.Ric_text.Scenario.db_schema
-                 ~master:s.Ric_text.Scenario.master
-                 ~ccs:(Ric_text.Scenario.all_ccs s)
-                 ~db:s.Ric_text.Scenario.db q
+               with_trace trace (fun clock ->
+                   Guidance.audit ~clock ~search ~schema:s.Ric_text.Scenario.db_schema
+                     ~master:s.Ric_text.Scenario.master
+                     ~ccs:(Ric_text.Scenario.all_ccs s)
+                     ~db:s.Ric_text.Scenario.db q)
              in
              if json then
                Format.printf "%a@." Ric_text.Json.pp
@@ -242,10 +262,10 @@ let file_audit_cmd =
           0)
   in
   Cmd.v (Cmd.info "audit" ~doc:"Audit a query of a scenario file")
-    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg)
+    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg $ file_trace_arg)
 
 let file_rcqp_cmd =
-  let run path qname json search =
+  let run path qname json search trace =
     with_scenario path (fun s ->
         match pick_query s qname with
         | Error m ->
@@ -254,9 +274,10 @@ let file_rcqp_cmd =
         | Ok (name, q) ->
           (try
              let verdict =
-               Rcqp.decide ~search ~schema:s.Ric_text.Scenario.db_schema
-                 ~master:s.Ric_text.Scenario.master
-                 ~ccs:(Ric_text.Scenario.all_ccs s) q
+               with_trace trace (fun clock ->
+                   Rcqp.decide ~clock ~search ~schema:s.Ric_text.Scenario.db_schema
+                     ~master:s.Ric_text.Scenario.master
+                     ~ccs:(Ric_text.Scenario.all_ccs s) q)
              in
              if json then
                Format.printf "%a@." Ric_text.Json.pp
@@ -272,10 +293,10 @@ let file_rcqp_cmd =
           0)
   in
   Cmd.v (Cmd.info "rcqp" ~doc:"Can any database be complete for a scenario query?")
-    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg)
+    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg $ file_trace_arg)
 
 let file_rcdp_cmd =
-  let run path qname json search =
+  let run path qname json search trace =
     with_scenario path (fun s ->
         match pick_query s qname with
         | Error m ->
@@ -284,9 +305,10 @@ let file_rcdp_cmd =
         | Ok (name, q) ->
           (try
              let verdict =
-               Rcdp.decide ~search ~schema:s.Ric_text.Scenario.db_schema
-                 ~master:s.Ric_text.Scenario.master
-                 ~ccs:(Ric_text.Scenario.all_ccs s) ~db:s.Ric_text.Scenario.db q
+               with_trace trace (fun clock ->
+                   Rcdp.decide ~clock ~search ~schema:s.Ric_text.Scenario.db_schema
+                     ~master:s.Ric_text.Scenario.master
+                     ~ccs:(Ric_text.Scenario.all_ccs s) ~db:s.Ric_text.Scenario.db q)
              in
              if json then
                Format.printf "%a@." Ric_text.Json.pp
@@ -306,7 +328,7 @@ let file_rcdp_cmd =
           0)
   in
   Cmd.v (Cmd.info "rcdp" ~doc:"Is the scenario's database complete for a query?")
-    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg)
+    Term.(const run $ file_arg $ file_query_arg $ json_arg $ search_arg $ file_trace_arg)
 
 let file_worlds_cmd =
   (* the Section 5 analysis: enumerate the possible worlds of the
@@ -361,6 +383,42 @@ let file_group =
     [ file_show_cmd; file_audit_cmd; file_rcdp_cmd; file_rcqp_cmd; file_worlds_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* Trace files. *)
+
+let trace_group =
+  let summarize_cmd =
+    let run path top =
+      match Ric_text.Trace_summary.load path with
+      | { Ric_text.Trace_summary.spans; malformed } ->
+        let summary = Ric_text.Trace_summary.summarize ~top spans in
+        Format.printf "%a"
+          (fun ppf () -> Ric_text.Trace_summary.pp ppf ~malformed spans summary)
+          ();
+        0
+      | exception Sys_error msg ->
+        Format.eprintf "%s@." msg;
+        1
+    in
+    let trace_pos =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"TRACE" ~doc:"A span file written by --trace")
+    in
+    let top_arg =
+      Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"How many slowest spans to list")
+    in
+    Cmd.v
+      (Cmd.info "summarize"
+         ~doc:
+           "Reconstruct a --trace span file: slowest spans, per-phase step rates, \
+            per-mode breakdown, and the slowest call tree")
+      Term.(const run $ trace_pos $ top_arg)
+  in
+  Cmd.group (Cmd.info "trace" ~doc:"Inspect span-trace files written by --trace")
+    [ summarize_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* The ricd service: serve / request / shutdown. *)
 
 let socket_arg =
@@ -370,7 +428,7 @@ let socket_arg =
     & info [ "S"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon")
 
 let serve_cmd =
-  let run socket domains queue root journal recover search verbose =
+  let run socket domains queue root journal recover search metrics trace verbose =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
     match
@@ -383,6 +441,8 @@ let serve_cmd =
           journal;
           recover;
           search;
+          metrics;
+          trace;
         }
     with
     | () -> 0
@@ -421,6 +481,25 @@ let serve_cmd =
       & info [ "recover" ]
           ~doc:"Replay the journal before serving, restoring the previous run's sessions")
   in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Prometheus text-format snapshot on a second Unix socket at \
+             $(docv) (one snapshot per connection; curl --unix-socket $(docv) \
+             http://localhost/metrics)")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write JSON-lines span events to $(docv); summarize offline with ric \
+             trace summarize $(docv)")
+  in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every request with its latency")
   in
@@ -429,7 +508,7 @@ let serve_cmd =
        ~doc:"Run ricd: keep scenarios loaded, cache verdicts, decide in parallel")
     Term.(
       const run $ socket_arg $ domains_arg $ queue_arg $ root_arg $ journal_arg
-      $ recover_arg $ search_arg $ verbose_arg)
+      $ recover_arg $ search_arg $ metrics_arg $ trace_arg $ verbose_arg)
 
 let rpc socket req =
   match
@@ -567,6 +646,61 @@ let shutdown_cmd =
   Cmd.v (Cmd.info "shutdown" ~doc:"Ask a running ricd to stop")
     Term.(const run $ socket_arg)
 
+(* A dependency-free scrape client for the --metrics socket, so the
+   smoke tests (and curl-less machines) can read the exposition. *)
+let scrape_cmd =
+  let run socket =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write fd req 0 (Bytes.length req));
+      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents buf
+    with
+    | response ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* print the body only: headers end at the first blank line *)
+      let body =
+        let n = String.length response in
+        let rec find i =
+          if i + 4 > n then None
+          else if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
+          else find (i + 1)
+        in
+        match find 0 with
+        | Some i -> String.sub response i (n - i)
+        | None -> response
+      in
+      print_string body;
+      0
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Format.eprintf "cannot scrape %s: %s@." socket (Unix.error_message e);
+      Format.eprintf "serve metrics with: ric serve --metrics %s@." socket;
+      1
+  in
+  let msocket_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"The daemon's --metrics socket path")
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:"Fetch one Prometheus snapshot from a ricd --metrics socket (curl-free)")
+    Term.(const run $ msocket_arg)
+
 let () =
   let doc = "relative information completeness workbench (Fan & Geerts, PODS 2009)" in
   let info = Cmd.info "ric" ~version:"1.0.0" ~doc in
@@ -579,7 +713,9 @@ let () =
             rcqp_cmd;
             reduction_cmd;
             file_group;
+            trace_group;
             serve_cmd;
             request_group;
             shutdown_cmd;
+            scrape_cmd;
           ]))

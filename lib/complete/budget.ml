@@ -7,6 +7,31 @@ let reason_name = function
 
 exception Exhausted of reason
 
+(* Observability: polls happen at most once per 256 steps, so one
+   atomic add here is invisible next to the syscall it accompanies;
+   exhaustions are rare by construction. *)
+let m_polls =
+  Ric_obs.Metrics.counter
+    ~help:"full budget checks (deadline and cancel-flag polls)"
+    "ric_budget_polls_total"
+
+let m_exhausted r =
+  Ric_obs.Metrics.counter
+    ~help:"searches aborted by a spent budget, by reason"
+    ~labels:[ ("reason", reason_name r) ]
+    "ric_budget_exhausted_total"
+
+let m_exhausted_deadline = m_exhausted Deadline
+let m_exhausted_steps = m_exhausted Step_limit
+let m_exhausted_cancelled = m_exhausted Cancelled
+
+let exhaust r =
+  (match r with
+   | Deadline -> Ric_obs.Metrics.incr m_exhausted_deadline
+   | Step_limit -> Ric_obs.Metrics.incr m_exhausted_steps
+   | Cancelled -> Ric_obs.Metrics.incr m_exhausted_cancelled);
+  raise (Exhausted r)
+
 type t = {
   limited : bool;
   deadline : float;            (* absolute wall-clock time; infinity when unset *)
@@ -61,12 +86,13 @@ let fork ?cancel ?(extra_steps = 0) t =
 
 let check_now t =
   if t.limited then begin
-    if t.steps >= t.max_steps then raise (Exhausted Step_limit);
+    Ric_obs.Metrics.incr m_polls;
+    if t.steps >= t.max_steps then exhaust Step_limit;
     List.iter
-      (fun flag -> if Atomic.get flag then raise (Exhausted Cancelled))
+      (fun flag -> if Atomic.get flag then exhaust Cancelled)
       t.cancel;
     if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
-      raise (Exhausted Deadline)
+      exhaust Deadline
   end
 
 (* The wall clock and the cancel flags are polled once every 256 steps:
@@ -78,6 +104,6 @@ let mask = 255
 let tick t =
   if t.limited then begin
     t.steps <- t.steps + 1;
-    if t.steps >= t.max_steps then raise (Exhausted Step_limit)
+    if t.steps >= t.max_steps then exhaust Step_limit
     else if t.steps land mask = 0 then check_now t
   end

@@ -56,7 +56,20 @@ val fork : ?cancel:bool Atomic.t -> ?extra_steps:int -> t -> t
     (the coordinator's first-witness stop signal).  Its step allowance
     is what the parent has left minus [extra_steps] units already
     consumed by sibling workers.  The child is limited even when the
-    parent is {!unlimited}, so the extra flag is always polled. *)
+    parent is {!unlimited}, so the extra flag is always polled.
+
+    Accounting contract: every child step must reach the parent's
+    {!steps} counter {b exactly once}.  The coordinator achieves this
+    by reading {!steps} of each child exactly once after the child
+    stops (normally or via [Exhausted]), accumulating the reads, and
+    folding the total into the parent with a single {!add_steps} —
+    never by calling [add_steps] per child {e and} per accumulator.
+    [extra_steps] only narrows a {e new} child's allowance; it is not
+    added to any counter, so passing a stale value cannot double-count
+    (it can only let concurrently-running children overshoot
+    [max_steps] slightly, which the parent's own [check_now] bounds).
+    The test suite pins this down by comparing par-mode and seq-mode
+    step totals on the same instance. *)
 
 val add_steps : t -> int -> unit
 (** Fold a child's step count back into the parent after a join.

@@ -1,4 +1,10 @@
 open Ric_relational
+module Metrics = Ric_obs.Metrics
+module Trace = Ric_obs.Trace
+
+let m_audits =
+  Metrics.counter ~help:"guidance audits run, by outcome"
+    "ric_guidance_audits_total"
 
 type audit_result =
   | Already_complete
@@ -11,6 +17,21 @@ type audit_result =
   | Inconclusive of { reason : string }
 
 let audit ?clock ?search ?(max_rounds = 64) ~schema ~master ~ccs ~db q =
+  Trace.with_span "guidance.audit" @@ fun sp ->
+  Metrics.incr m_audits;
+  let outcome result =
+    Trace.set_str sp "outcome"
+      (match result with
+       | Already_complete -> "already_complete"
+       | Completable { rounds; _ } ->
+         Trace.set_int sp "rounds" rounds;
+         "completable"
+       | Not_completable _ -> "not_completable"
+       | Inconclusive _ -> "inconclusive");
+    result
+  in
+  outcome
+  @@
   match Rcdp.decide ?clock ?search ~schema ~master ~ccs ~db q with
   | Rcdp.Complete -> Already_complete
   | Rcdp.Incomplete first ->

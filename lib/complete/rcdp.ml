@@ -21,6 +21,32 @@ type stats = {
   branches_pruned : int;
 }
 
+module Metrics = Ric_obs.Metrics
+module Trace = Ric_obs.Trace
+
+(* All counters are folded in once per decide call (from the local
+   [visited]/[pruned] refs and the budget's step counter), never from
+   the search hot path. *)
+let m_decides =
+  Metrics.counter ~help:"decide calls completed or timed out"
+    ~labels:[ ("decider", "rcdp") ] "ric_decides_total"
+
+let m_timeouts =
+  Metrics.counter ~help:"decide calls aborted by a spent budget"
+    ~labels:[ ("decider", "rcdp") ] "ric_decide_timeouts_total"
+
+let m_steps =
+  Metrics.counter ~help:"valuation-search steps (budget ticks)"
+    ~labels:[ ("decider", "rcdp") ] "ric_search_steps_total"
+
+let m_visited =
+  Metrics.counter ~help:"valid valuations visited by the RCDP search"
+    "ric_rcdp_valuations_visited_total"
+
+let m_pruned =
+  Metrics.counter ~help:"search branches pruned by a violated constraint"
+    "ric_rcdp_branches_pruned_total"
+
 
 (* ------------------------------------------------------------------ *)
 (* Constraint-side helpers. *)
@@ -114,6 +140,11 @@ let search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db ~qd
 let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
     ?(search = Search_mode.Seq) ?(check_partially_closed = true)
     ?collect_stats ~schema ~master ~ccs ~db ucq =
+  Trace.with_span "rcdp.decide" @@ fun sp ->
+  Trace.set_str sp "mode" (Search_mode.to_string search);
+  (* the clock may be shared across decide calls (Guidance.audit), so
+     charge only this call's delta to the global step counter *)
+  let steps0 = Budget.steps clock in
   (* an already-exhausted clock (timeout_ms = 0, tripped cancel flag)
      must abort before the partial-closure check does any work *)
   Budget.check_now clock;
@@ -155,27 +186,47 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
   in
   let visited = ref 0 and pruned = ref 0 in
   let record_stats () =
-    match collect_stats with
-    | Some r -> r := { valuations_visited = !visited; branches_pruned = !pruned }
-    | None -> ()
+    (match collect_stats with
+     | Some r -> r := { valuations_visited = !visited; branches_pruned = !pruned }
+     | None -> ());
+    let steps = Budget.steps clock - steps0 in
+    Metrics.incr m_decides;
+    Metrics.add m_visited !visited;
+    Metrics.add m_pruned !pruned;
+    Metrics.add m_steps steps;
+    Trace.set_int sp "visited" !visited;
+    Trace.set_int sp "pruned" !pruned;
+    Trace.set_int sp "steps" steps
   in
   let rec scan i = function
     | [] -> Complete
     | tab :: rest ->
-      (match
-         search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db
-           ~qd ~adom ~visited ~pruned ~disjunct:i tab
-       with
+      let found =
+        Trace.with_span "rcdp.disjunct" @@ fun dsp ->
+        Trace.set_int dsp "disjunct" i;
+        let r =
+          search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode
+            ~db ~qd ~adom ~visited ~pruned ~disjunct:i tab
+        in
+        Trace.set_bool dsp "counterexample" (r <> None);
+        r
+      in
+      (match found with
        | Some cex -> Incomplete cex
        | None -> scan (i + 1) rest)
   in
   match scan 0 tableaux with
   | verdict ->
     record_stats ();
+    Trace.set_str sp "verdict"
+      (match verdict with Complete -> "complete" | Incomplete _ -> "incomplete");
     verdict
-  | exception (Budget.Exhausted _ as e) ->
+  | exception (Budget.Exhausted reason as e) ->
     (* leave the work-done counters readable for the timeout report *)
     record_stats ();
+    Metrics.incr m_timeouts;
+    Trace.set_str sp "verdict" "timeout";
+    Trace.set_str sp "reason" (Budget.reason_name reason);
     raise e
 
 let decide ?clock ?search ?check_partially_closed ?collect_stats
@@ -219,6 +270,8 @@ type semi_verdict =
 
 let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(fresh_values = 2) ~schema
     ~master ~ccs ~db q =
+  Trace.with_span "rcdp.semi_decide" @@ fun sp ->
+  Trace.set_int sp "max_tuples" max_tuples;
   Budget.check_now clock;
   let adom =
     Adom.build ~db ~schemas:[ schema ] ~master

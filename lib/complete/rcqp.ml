@@ -17,6 +17,31 @@ let verdict_name = function
   | Empty _ -> "empty"
   | Unknown _ -> "unknown"
 
+module Metrics = Ric_obs.Metrics
+module Trace = Ric_obs.Trace
+
+(* Counters are folded in per phase (pool built, DFS finished, decide
+   returned), never inside the nested enumerations. *)
+let m_decides =
+  Metrics.counter ~help:"decide calls completed or timed out"
+    ~labels:[ ("decider", "rcqp") ] "ric_decides_total"
+
+let m_timeouts =
+  Metrics.counter ~help:"decide calls aborted by a spent budget"
+    ~labels:[ ("decider", "rcqp") ] "ric_decide_timeouts_total"
+
+let m_steps =
+  Metrics.counter ~help:"valuation-search steps (budget ticks)"
+    ~labels:[ ("decider", "rcqp") ] "ric_search_steps_total"
+
+let m_e2_nodes =
+  Metrics.counter ~help:"valuation-set DFS nodes expanded by the E2 search"
+    "ric_rcqp_e2_nodes_total"
+
+let m_pool_candidates =
+  Metrics.counter ~help:"candidate-pool instantiations generated"
+    "ric_rcqp_pool_candidates_total"
+
 type budget = {
   max_pool : int;
   max_nodes : int;
@@ -196,8 +221,33 @@ let ind_witness ~clock ?checker ~budget ~schema ~master ~ccs ~adom tableaux =
     tableaux;
   if !exceeded then None else Some !witness
 
-let decide_ind ?(clock = Budget.unlimited) ?(search = Search_mode.Seq) ~schema
-    ~master ~inds q =
+(* Spans/counters around the decide entry points: [with_decide_obs]
+   stamps mode, verdict, step delta and timeout on whichever path the
+   decision takes.  The clock may be shared across calls
+   (Guidance.audit), so only this call's step delta is charged. *)
+let with_decide_obs ~name ~clock ~search f =
+  Trace.with_span name @@ fun sp ->
+  Trace.set_str sp "mode" (Search_mode.to_string search);
+  let steps0 = Budget.steps clock in
+  let account () =
+    Metrics.incr m_decides;
+    let steps = Budget.steps clock - steps0 in
+    Metrics.add m_steps steps;
+    Trace.set_int sp "steps" steps
+  in
+  match f () with
+  | verdict ->
+    account ();
+    Trace.set_str sp "verdict" (verdict_name verdict);
+    verdict
+  | exception (Budget.Exhausted reason as e) ->
+    account ();
+    Metrics.incr m_timeouts;
+    Trace.set_str sp "verdict" "timeout";
+    Trace.set_str sp "reason" (Budget.reason_name reason);
+    raise e
+
+let decide_ind_core ~clock ~search ~schema ~master ~inds q =
   Budget.check_now clock;
   let ucq = as_ucq_or_raise "RCQP" q in
   let ccs = List.map (Ind.to_cc schema) inds in
@@ -286,6 +336,11 @@ let decide_ind ?(clock = Budget.unlimited) ?(search = Search_mode.Seq) ~schema
     end
   end
 
+let decide_ind ?(clock = Budget.unlimited) ?(search = Search_mode.Seq) ~schema
+    ~master ~inds q =
+  with_decide_obs ~name:"rcqp.decide_ind" ~clock ~search (fun () ->
+      decide_ind_core ~clock ~search ~schema ~master ~inds q)
+
 (* ------------------------------------------------------------------ *)
 (* General monotone LC: Proposition 4.2 / Corollary 4.4.
    Candidate pool: single-template instantiations of the constraint
@@ -353,6 +408,8 @@ let visible_columns cc_tableaux =
 
 let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
     ~budget ~schema ~master ~adom ccs =
+  Trace.with_span "rcqp.candidate_pool" @@ fun sp ->
+  Trace.set_bool sp "truncating" truncate;
   (* a singleton's parent state is the empty database, so the delta
      check applies whenever the empty database is consistent *)
   let singleton_ok single rel tuple =
@@ -455,7 +512,10 @@ let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
       let c = Tuple.compare a.cand_tuple b.cand_tuple in
       if c <> 0 then c else List.compare Value.compare a.cand_summary b.cand_summary
   in
-  List.sort_uniq cmp !pool
+  let result = List.sort_uniq cmp !pool in
+  Metrics.add m_pool_candidates (List.length result);
+  Trace.set_int sp "candidates" (List.length result);
+  result
 
 module VS = Set.Make (Value)
 
@@ -570,8 +630,10 @@ let may_block ~schema ~cc_tableaux c delta =
    exact; memoisation collapses permutations of the same set. *)
 let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
     ~tableaux pool =
+  Trace.with_span "rcqp.e2_search" @@ fun sp ->
   let pool = Array.of_list pool in
   let n = Array.length pool in
+  Trace.set_int sp "pool" n;
   let cc_tableaux =
     List.concat_map
       (fun cc ->
@@ -628,15 +690,24 @@ let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
       end
     end
   in
+  (* the DFS can exit via Budget_exceeded / Exhausted: account for the
+     expanded nodes on every path *)
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.add m_e2_nodes !nodes;
+      Trace.set_int sp "nodes" !nodes)
+  @@ fun () ->
   dfs [] (Database.empty schema) VS.empty;
   if Sys.getenv_opt "RIC_DEBUG" <> None then
     Printf.eprintf "[e2_search] pool=%d nodes=%d found=%b\n%!" n !nodes (!found <> None);
+  Trace.set_bool sp "found" (!found <> None);
   !found
 
 (* E1/E5 witness: a maximal collection of tableau instantiations over
    the active domain.  One pass suffices: rejections are final because
    violations persist under growth. *)
 let greedy_maximal_witness ?(clock = Budget.unlimited) ~budget ~schema ~master ~ccs ~adom tableaux =
+  Trace.with_span "rcqp.witness_greedy" @@ fun _sp ->
   let dw = ref (Database.empty schema) in
   let count = ref 0 in
   let exceeded = ref false in
@@ -787,6 +858,7 @@ let verify_witness ?clock ?search ~schema ~master ~ccs q w =
    Each candidate costs a full RCDP run, so the list is kept short. *)
 let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
     ~adom ~tableaux q =
+  Trace.with_span "rcqp.witness_heuristic" @@ fun _sp ->
   let max_verifications = 24 in
   let constants_only =
     (* the greedy maximal witness restricted to known constants *)
@@ -834,8 +906,7 @@ let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
   let candidates = List.filteri (fun i _ -> i < max_verifications) candidates in
   List.find_opt (verify_witness ~clock ?search ~schema ~master ~ccs q) candidates
 
-let decide ?(clock = Budget.unlimited) ?(search = Search_mode.Seq)
-    ?(budget = default_budget) ~schema ~master ~ccs q =
+let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
   Budget.check_now clock;
   require_monotone_ccs ccs;
   (* one checker per decide call, threaded to every search site; [Par]
@@ -942,6 +1013,11 @@ let decide ?(clock = Budget.unlimited) ?(search = Search_mode.Seq)
                 { witness = Some w; reason = "verified witness found by heuristic search" }
             | None -> Unknown { reason = why }))
   end
+
+let decide ?(clock = Budget.unlimited) ?(search = Search_mode.Seq)
+    ?(budget = default_budget) ~schema ~master ~ccs q =
+  with_decide_obs ~name:"rcqp.decide" ~clock ~search (fun () ->
+      decide_core ~clock ~search ~budget ~schema ~master ~ccs q)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded witness search for the undecidable rows of Table II. *)

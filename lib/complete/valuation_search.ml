@@ -2,6 +2,25 @@ open Ric_relational
 open Ric_query
 open Ric_constraints
 
+module Metrics = Ric_obs.Metrics
+module Trace = Ric_obs.Trace
+
+(* Par-mode observability: all counters live at the coordinator
+   granularity (per split / per branch / per stop-flag trip), never per
+   search leaf, so seq-mode throughput is untouched. *)
+let m_par_searches =
+  Metrics.counter ~help:"parallel top-level searches started"
+    "ric_search_par_searches_total"
+
+let m_par_branches =
+  Metrics.counter ~help:"split-variable branches submitted to the pool"
+    "ric_search_par_branches_total"
+
+let m_par_cancels =
+  Metrics.counter
+    ~help:"stop-flag trips propagated to sibling branches (first witness, exhaustion or error)"
+    "ric_search_cancel_propagations_total"
+
 let neqs_ground_ok (tab : Tableau.t) mu =
   List.for_all
     (fun (s, t) ->
@@ -143,6 +162,10 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
       | None -> Adom.candidates adom Domain.Infinite
     in
     let stop = Atomic.make false in
+    (* count each trip of the stop flag once, whoever races to it *)
+    let trip_stop () =
+      if not (Atomic.exchange stop true) then Metrics.incr m_par_cancels
+    in
     let mx = Mutex.create () in
     let found = ref false in
     let exhausted = ref None in
@@ -173,7 +196,7 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
         let r = visit mu delta in
         if r then begin
           found := true;
-          Atomic.set stop true
+          trip_stop ()
         end;
         r)
     in
@@ -201,28 +224,36 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
            | Budget.Cancelled when Atomic.get stop ->
              () (* our own first-witness / stop cancellation *)
            | r -> if !exhausted = None then exhausted := Some r);
-          Atomic.set stop true)
+          trip_stop ())
       | exception e ->
         merge ();
         locked (fun () ->
           if !error = None then error := Some e;
-          Atomic.set stop true)
+          trip_stop ())
       end
     in
-    if workers = 1 then
-      (* one core: spawning a pool domain only adds per-minor-GC
-         stop-the-world handshakes; run the partitions inline instead.
-         Budget forks, the stop flag and the error/exhausted protocol
-         behave exactly as in the pooled path. *)
-      List.iter (fun v -> job v ()) cands_x
-    else begin
-      let pool =
-        Pool.create ~domains:workers ~capacity:(2 * domains)
-          ~worker:(fun f -> f ()) ()
-      in
-      List.iter (fun v -> ignore (Pool.submit pool (job v))) cands_x;
-      Pool.shutdown pool
-    end;
+    Metrics.incr m_par_searches;
+    Metrics.add m_par_branches (List.length cands_x);
+    let sp = Trace.start "search.par" in
+    Trace.set_str sp "split_var" x;
+    Trace.set_int sp "branches" (List.length cands_x);
+    Trace.set_int sp "workers" workers;
+    (if workers = 1 then
+       (* one core: spawning a pool domain only adds per-minor-GC
+          stop-the-world handshakes; run the partitions inline instead.
+          Budget forks, the stop flag and the error/exhausted protocol
+          behave exactly as in the pooled path. *)
+       List.iter (fun v -> job v ()) cands_x
+     else begin
+       let pool =
+         Pool.create ~domains:workers ~capacity:(2 * domains)
+           ~worker:(fun f -> f ()) ()
+       in
+       List.iter (fun v -> ignore (Pool.submit pool (job v))) cands_x;
+       Pool.shutdown pool
+     end);
+    Trace.set_int sp "steps" (Atomic.get consumed);
+    Trace.finish sp;
     Budget.add_steps budget (Atomic.get consumed);
     (match !error with Some e -> raise e | None -> ());
     if !found then true

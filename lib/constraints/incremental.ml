@@ -38,6 +38,20 @@ type t = {
 
 type stats = { delta_checks : int; full_checks : int }
 
+(* Process-wide mirrors of the per-instance counters: the instance
+   stats die with the decide call, the registry keeps the totals.
+   Seq-mode searches build no checker, so the seq hot path never
+   reaches these. *)
+let m_delta_checks =
+  Ric_obs.Metrics.counter
+    ~help:"constraint checks answered by an indexed delta probe"
+    "ric_incremental_delta_checks_total"
+
+let m_full_checks =
+  Ric_obs.Metrics.counter
+    ~help:"constraint checks that fell back to full LHS evaluation"
+    "ric_incremental_full_checks_total"
+
 let term_vars ts =
   List.filter_map (function Term.Var x -> Some x | Term.Const _ -> None) ts
 
@@ -151,6 +165,7 @@ let unify_args args tuple =
 
 let entry_holds_full (t : t) ~db e =
   Atomic.incr t.full_checks;
+  Ric_obs.Metrics.incr m_full_checks;
   Relation.subset (Lang.eval db e.cc.Containment.lhs) e.rhs_cache
 
 (* The probe joins the rest of the disjunct over the whole database —
@@ -184,6 +199,7 @@ let check_add (t : t) ~db ~rel ~tuple =
            | None -> true
            | Some probes ->
              Atomic.incr t.delta_checks;
+             Ric_obs.Metrics.incr m_delta_checks;
              probe_holds ~db ~rhs:e.rhs_cache ~tuple probes))
       idxs
 

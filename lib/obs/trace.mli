@@ -1,0 +1,53 @@
+(** Span-based tracing with monotonic timestamps, written as JSON
+    lines.
+
+    By default no sink is installed and every operation is a no-op on a
+    preallocated null span — starting, annotating and finishing spans
+    costs a single atomic load and allocates nothing, so instrumented
+    hot paths are free in production.  [open_file] installs a
+    process-wide JSONL sink; each finished span becomes one line
+
+    {v {"id":12,"parent":3,"name":"rcdp.decide","start_us":812,
+        "dur_us":5412,"attrs":{"mode":"seq","steps":9182}} v}
+
+    with [start_us] on the process monotonic clock.  Parenting is
+    implicit per domain: a span started while another is live on the
+    same domain becomes its child, so a decide call's phase tree can be
+    reconstructed offline (see [Ric_text.Trace_summary]). *)
+
+type span
+
+(** The always-available no-op span. *)
+val null : span
+
+(** Is a sink currently installed? *)
+val enabled : unit -> bool
+
+(** Install a JSONL sink, truncating [path].  Replaces (and closes)
+    any previous sink.  Raises [Sys_error] if the file cannot be
+    opened. *)
+val open_file : string -> unit
+
+(** Flush and close the current sink; subsequent spans are no-ops. *)
+val close : unit -> unit
+
+(** [start name] begins a span, child of the innermost live span on
+    this domain ([parent] overrides).  Returns [null] when disabled. *)
+val start : ?parent:span -> string -> span
+
+(** Attach an attribute (last write wins at emission; no-op on [null]). *)
+val set_int : span -> string -> int -> unit
+
+val set_str : span -> string -> string -> unit
+val set_bool : span -> string -> bool -> unit
+
+(** Emit the span (no-op on [null]).  Must be called on the domain
+    that started the span for parent bookkeeping to unwind. *)
+val finish : span -> unit
+
+(** [with_span name f] runs [f span] inside a span; exceptions are
+    recorded as an ["error"] attribute and re-raised. *)
+val with_span : string -> (span -> 'a) -> 'a
+
+(** Spans written since the sink was opened (testing/diagnostics). *)
+val spans_written : unit -> int

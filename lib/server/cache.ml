@@ -17,18 +17,46 @@ type t = {
   mutable dropped : int;
 }
 
+(* Process-wide mirrors of the per-instance counters (a test process
+   may hold several caches; the registry aggregates them). *)
+let m_hits =
+  Ric_obs.Metrics.counter ~help:"verdict-cache lookups answered from the cache"
+    "ric_cache_hits_total"
+
+let m_misses =
+  Ric_obs.Metrics.counter ~help:"verdict-cache lookups that missed"
+    "ric_cache_misses_total"
+
+let m_stores =
+  Ric_obs.Metrics.counter ~help:"verdicts stored into the cache"
+    "ric_cache_stores_total"
+
+let m_carried =
+  Ric_obs.Metrics.counter
+    ~help:"cache entries carried or revalidated across an insert epoch"
+    "ric_cache_carried_total"
+
+let m_dropped =
+  Ric_obs.Metrics.counter
+    ~help:"cache entries invalidated (dropped at an insert or close)"
+    "ric_cache_invalidations_total"
+
 let create () = { table = Hashtbl.create 64; hits = 0; misses = 0; carried = 0; dropped = 0 }
 
 let find t key =
   match Hashtbl.find_opt t.table key with
   | Some _ as e ->
     t.hits <- t.hits + 1;
+    Ric_obs.Metrics.incr m_hits;
     e
   | None ->
     t.misses <- t.misses + 1;
+    Ric_obs.Metrics.incr m_misses;
     None
 
-let store t key entry = Hashtbl.replace t.table key entry
+let store t key entry =
+  Ric_obs.Metrics.incr m_stores;
+  Hashtbl.replace t.table key entry
 
 let remove t key = Hashtbl.remove t.table key
 
@@ -46,9 +74,13 @@ let remove_prefix t ~prefix =
   List.iter (Hashtbl.remove t.table) doomed;
   List.length doomed
 
-let note_carried t = t.carried <- t.carried + 1
+let note_carried t =
+  t.carried <- t.carried + 1;
+  Ric_obs.Metrics.incr m_carried
 
-let note_dropped t n = t.dropped <- t.dropped + n
+let note_dropped t n =
+  t.dropped <- t.dropped + n;
+  if n > 0 then Ric_obs.Metrics.add m_dropped n
 
 type stats = { entries : int; hits : int; misses : int; carried : int; dropped : int }
 

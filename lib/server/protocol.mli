@@ -48,7 +48,24 @@
     {"ok": true, "session": "s1", "query": "Q0", "epoch": 0,
      "cached": false, "revalidated": false, "elapsed_us": 412,
      "result": {"verdict": "incomplete", ...}}
-    v} *)
+    v}
+
+    {2 Stats}
+
+    [stats] reports the daemon's telemetry: [uptime_s], the legacy
+    [requests]/[timeouts]/[ops]/[search_modes] counters, the open
+    [sessions], a [cache] object ([entries], [hits], [misses],
+    [hit_rate] — a decimal string like ["0.833"], ["0.000"] before any
+    lookup — [carried], [dropped]), a [workers] pool-health object
+    when serving, and a [metrics] array mirroring the full
+    {!Ric_obs.Metrics} registry (every counter, gauge and latency
+    histogram the Prometheus socket exposes, as structured JSON).
+
+    All stats counters are {b process-lifetime totals and are never
+    reset}: they survive session closes and cache invalidations, and
+    two [stats] calls bracketing a workload can be subtracted to
+    measure it.  Rates (like [hit_rate]) are recomputed from those
+    running totals at each call.  Only a daemon restart zeroes them. *)
 
 open Ric_relational
 

@@ -9,6 +9,8 @@ type config = {
   journal : string option;
   recover : bool;
   search : Ric_complete.Search_mode.t;
+  metrics : string option;
+  trace : string option;
 }
 
 let default_config =
@@ -20,7 +22,17 @@ let default_config =
     journal = None;
     recover = false;
     search = Ric_complete.Search_mode.Seq;
+    metrics = None;
+    trace = None;
   }
+
+let m_compactions =
+  Ric_obs.Metrics.counter ~help:"journal compactions performed at recovery"
+    "ric_journal_compactions_total"
+
+let m_scrapes =
+  Ric_obs.Metrics.counter ~help:"Prometheus scrapes served on the metrics socket"
+    "ric_metrics_scrapes_total"
 
 let src = Logs.Src.create "ricd" ~doc:"the ric completeness-checking daemon"
 
@@ -112,6 +124,38 @@ let install_signal_handlers service =
     Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful "SIGINT"))
   | _ -> ()
 
+(* One scrape per connection: drain whatever HTTP request the client
+   sent (closing with unread data provokes a RST that curl reports as
+   an error), answer with a minimal HTTP/1.0 response carrying the
+   registry snapshot, then close.  The short receive timeout keeps a
+   silent prober from wedging the accept loop. *)
+let serve_scrape fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25
+   with Unix.Unix_error _ -> ());
+  (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
+   with Unix.Unix_error _ -> ());
+  let body = Ric_obs.Metrics.to_prometheus () in
+  let response =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
+  (try
+     let b = Bytes.unsafe_of_string response in
+     let rec write off =
+       if off < Bytes.length b then
+         write (off + Unix.write fd b off (Bytes.length b - off))
+     in
+     write 0
+   with Unix.Unix_error _ -> ());
+  Ric_obs.Metrics.incr m_scrapes;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 let setup_journal service config =
   match config.journal with
   | None ->
@@ -119,8 +163,9 @@ let setup_journal service config =
       Log.warn (fun m -> m "--recover ignored: no journal configured");
     None
   | Some path ->
+    let compacting = config.recover && Sys.file_exists path in
     let retained =
-      if config.recover && Sys.file_exists path then begin
+      if compacting then begin
         match Service.recover service path with
         | r ->
           Log.app (fun m ->
@@ -138,6 +183,7 @@ let setup_journal service config =
     (match Journal.open_append ~truncate:true path with
      | j ->
        List.iter (Journal.append j) retained;
+       if compacting then Ric_obs.Metrics.incr m_compactions;
        Service.attach_journal service j;
        Some j
      | exception Sys_error msg ->
@@ -146,6 +192,11 @@ let setup_journal service config =
 
 let run config =
   Faults.init_from_env ();
+  (match config.trace with
+   | Some path ->
+     Ric_obs.Trace.open_file path;
+     Log.app (fun m -> m "tracing spans to %s" path)
+   | None -> ());
   let service = Service.create ?root:config.root ~default_search:config.search () in
   install_signal_handlers service;
   let journal = setup_journal service config in
@@ -153,25 +204,63 @@ let run config =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
   Unix.listen sock 64;
+  let msock =
+    match config.metrics with
+    | None -> None
+    | Some path ->
+      prepare_socket_path path;
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      Unix.listen s 16;
+      Log.app (fun m -> m "metrics socket on %s" path);
+      Some (s, path)
+  in
   let pool =
     Pool.create ~on_quarantine:quarantine_connection ~domains:config.domains
       ~capacity:config.queue_capacity
       ~worker:(serve_connection service) ()
   in
   Service.set_pool_stats service (fun () -> Pool.stats pool);
+  (* worker-pool health as pull gauges, sampled at scrape time *)
+  let pool_gauge name help f =
+    Ric_obs.Metrics.gauge_fn ~help name (fun () -> f (Pool.stats pool))
+  in
+  pool_gauge "ric_pool_failures" "jobs that raised in a worker domain"
+    (fun s -> s.Pool.failures);
+  pool_gauge "ric_pool_crashes" "worker domains that died mid-job"
+    (fun s -> s.Pool.crashes);
+  pool_gauge "ric_pool_respawns" "worker domains respawned after a crash"
+    (fun s -> s.Pool.respawns);
+  pool_gauge "ric_pool_quarantined" "jobs abandoned after repeated crashes"
+    (fun s -> s.Pool.quarantined);
+  pool_gauge "ric_pool_pending" "jobs queued but not yet picked up"
+    (fun s -> s.Pool.pending);
   Log.app (fun m ->
       m "ricd listening on %s (%d worker domain%s)" config.socket_path
         (Pool.domains pool)
         (if Pool.domains pool = 1 then "" else "s"));
+  let selectable = sock :: (match msock with Some (s, _) -> [ s ] | None -> []) in
   let rec accept_loop () =
     if Service.shutdown_requested service then ()
     else begin
-      (match Unix.select [ sock ] [] [] idle_poll_s with
-       | [ _ ], _, _ ->
-         (match Unix.accept sock with
-          | fd, _ -> if not (Pool.submit pool fd) then Unix.close fd
-          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) -> ())
-       | _ -> ()
+      (match Unix.select selectable [] [] idle_poll_s with
+       | readable, _, _ ->
+         List.iter
+           (fun r ->
+             if r == sock then begin
+               match Unix.accept sock with
+               | fd, _ -> if not (Pool.submit pool fd) then Unix.close fd
+               | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
+                 ()
+             end
+             else
+               (* metrics connection: a snapshot is cheap and the
+                  client is local — serve it inline on the accept loop *)
+               match Unix.accept r with
+               | fd, _ -> serve_scrape fd
+               | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
+                 ())
+           readable
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       accept_loop ()
     end
@@ -180,5 +269,11 @@ let run config =
   Log.app (fun m -> m "ricd shutting down");
   (try Unix.close sock with Unix.Unix_error _ -> ());
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  (match msock with
+   | Some (s, path) ->
+     (try Unix.close s with Unix.Unix_error _ -> ());
+     (try Unix.unlink path with Unix.Unix_error _ -> ())
+   | None -> ());
   Pool.shutdown pool;
-  match journal with None -> () | Some j -> Journal.close j
+  (match journal with None -> () | Some j -> Journal.close j);
+  match config.trace with Some _ -> Ric_obs.Trace.close () | None -> ()

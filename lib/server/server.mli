@@ -31,11 +31,18 @@ type config = {
   search : Ric_complete.Search_mode.t;
       (** default valuation-search strategy for decide requests that
           carry no ["search"] field *)
+  metrics : string option;
+      (** second Unix socket serving a Prometheus text-format snapshot
+          of the {!Ric_obs.Metrics} registry per connection — plain
+          [curl --unix-socket PATH http://localhost/metrics]-able *)
+  trace : string option;
+      (** JSONL span-trace sink ({!Ric_obs.Trace}); [None] (default)
+          keeps tracing disabled and free *)
 }
 
 val default_config : config
 (** [/tmp/ricd.sock], 2 domains, capacity 64, no root, no journal,
-    sequential search. *)
+    sequential search, no metrics socket, no tracing. *)
 
 val src : Logs.src
 (** The ["ricd"] log source. *)

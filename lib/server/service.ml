@@ -6,6 +6,28 @@ module Json = Ric_text.Json
 module Report = Ric_text.Report
 module Scenario = Ric_text.Scenario
 module Journal = Ric_text.Journal
+module Metrics = Ric_obs.Metrics
+module Trace = Ric_obs.Trace
+
+(* Per-op request counters and latency histograms, pre-registered so a
+   scrape shows the full family at zero before the first request. *)
+let known_ops =
+  [ "ping"; "open"; "rcdp"; "rcqp"; "audit"; "insert"; "close"; "stats"; "shutdown" ]
+
+let op_counter op =
+  Metrics.counter ~help:"requests handled, by operation" ~labels:[ ("op", op) ]
+    "ric_requests_total"
+
+let op_histogram op =
+  Metrics.histogram ~help:"request handling latency in seconds, by operation"
+    ~labels:[ ("op", op) ] "ric_op_latency_seconds"
+
+let op_counters = List.map (fun op -> (op, op_counter op)) known_ops
+let op_histograms = List.map (fun op -> (op, op_histogram op)) known_ops
+
+let m_timeouts =
+  Metrics.counter ~help:"decide requests that hit their time budget"
+    "ric_request_timeouts_total"
 
 type t = {
   registry : Session.registry;
@@ -23,22 +45,42 @@ type t = {
   mutable pool_stats : (unit -> Pool.stats) option;
 }
 
+let with_lock t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+    Mutex.unlock t.mutex;
+    v
+  | exception e ->
+    Mutex.unlock t.mutex;
+    raise e
+
 let create ?root ?(default_search = Search_mode.Seq) () =
-  {
-    registry = Session.create ();
-    cache = Cache.create ();
-    mutex = Mutex.create ();
-    root;
-    started_at = Unix.gettimeofday ();
-    stop = Atomic.make false;
-    op_counts = Hashtbl.create 8;
-    search_counts = Hashtbl.create 4;
-    default_search;
-    requests = 0;
-    timeouts = 0;
-    journal = None;
-    pool_stats = None;
-  }
+  let t =
+    {
+      registry = Session.create ();
+      cache = Cache.create ();
+      mutex = Mutex.create ();
+      root;
+      started_at = Unix.gettimeofday ();
+      stop = Atomic.make false;
+      op_counts = Hashtbl.create 8;
+      search_counts = Hashtbl.create 4;
+      default_search;
+      requests = 0;
+      timeouts = 0;
+      journal = None;
+      pool_stats = None;
+    }
+  in
+  (* pull gauges: evaluated at scrape time, never inside [t.mutex] (the
+     registry snapshot runs pull functions outside its own lock, and
+     [handle_stats] snapshots before taking the service lock) *)
+  Metrics.gauge_fn ~help:"sessions currently open" "ric_sessions_open"
+    (fun () -> with_lock t (fun () -> Session.count t.registry));
+  Metrics.gauge_fn ~help:"live verdict-cache entries" "ric_cache_entries"
+    (fun () -> with_lock t (fun () -> (Cache.stats t.cache).Cache.entries));
+  t
 
 let shutdown_requested t = Atomic.get t.stop
 
@@ -54,16 +96,6 @@ let journal_entry t entry =
   match t.journal with
   | None -> ()
   | Some j -> ( try Journal.append j entry with Sys_error _ -> ())
-
-let with_lock t f =
-  Mutex.lock t.mutex;
-  match f () with
-  | v ->
-    Mutex.unlock t.mutex;
-    v
-  | exception e ->
-    Mutex.unlock t.mutex;
-    raise e
 
 (* ------------------------------------------------------------------ *)
 (* Response builders. *)
@@ -216,6 +248,7 @@ type computed = {
 }
 
 let note_timeout t =
+  Metrics.incr m_timeouts;
   with_lock t (fun () -> t.timeouts <- t.timeouts + 1)
 
 (* a request's effective search mode: its own "search" field, else the
@@ -475,7 +508,45 @@ let handle_close t ~session =
       else
         Protocol.error ~kind:"unknown_session" (Printf.sprintf "unknown session %S" session))
 
+(* the registry as structured JSON, for the [stats] op.  Histogram sums
+   are reported in integer microseconds: the wire format has no float. *)
+let json_of_metric (s : Metrics.sample) =
+  let base ty =
+    [
+      ("name", Json.Str s.Metrics.name);
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Metrics.labels));
+      ("type", Json.Str ty);
+    ]
+  in
+  match s.Metrics.value with
+  | Metrics.Counter n -> Json.Obj (base "counter" @ [ ("value", Json.Int n) ])
+  | Metrics.Gauge n -> Json.Obj (base "gauge" @ [ ("value", Json.Int n) ])
+  | Metrics.Histogram h ->
+    let bucket le count =
+      Json.Obj [ ("le", Json.Str le); ("count", Json.Int count) ]
+    in
+    Json.Obj
+      (base "histogram"
+      @ [
+          ("count", Json.Int h.Metrics.count);
+          ("sum_us", Json.Int (int_of_float (h.Metrics.sum *. 1e6)));
+          ( "buckets",
+            Json.List
+              (Array.to_list
+                 (Array.map
+                    (fun (le, c) -> bucket (Printf.sprintf "%.9g" le) c)
+                    h.Metrics.buckets)
+              @ [ bucket "+Inf" h.Metrics.inf_count ]) );
+        ])
+
+let hit_rate_str ~hits ~misses =
+  let lookups = hits + misses in
+  if lookups = 0 then "0.000"
+  else Printf.sprintf "%.3f" (float_of_int hits /. float_of_int lookups)
+
 let handle_stats t =
+  (* snapshot before taking the service lock: pull gauges take it *)
+  let metrics = Json.List (List.map json_of_metric (Metrics.snapshot ())) in
   with_lock t (fun () ->
       let sessions =
         List.map
@@ -519,26 +590,28 @@ let handle_stats t =
                  ("entries", Json.Int cs.Cache.entries);
                  ("hits", Json.Int cs.Cache.hits);
                  ("misses", Json.Int cs.Cache.misses);
+                 ( "hit_rate",
+                   Json.Str (hit_rate_str ~hits:cs.Cache.hits ~misses:cs.Cache.misses) );
                  ("carried", Json.Int cs.Cache.carried);
                  ("dropped", Json.Int cs.Cache.dropped);
                ] );
          ]
-        @
-        match t.pool_stats with
-        | None -> []
-        | Some f ->
-          let ps = f () in
-          [
-            ( "workers",
-              Json.Obj
-                [
-                  ("failures", Json.Int ps.Pool.failures);
-                  ("crashes", Json.Int ps.Pool.crashes);
-                  ("respawns", Json.Int ps.Pool.respawns);
-                  ("quarantined", Json.Int ps.Pool.quarantined);
-                  ("pending", Json.Int ps.Pool.pending);
-                ] );
-          ]))
+        @ (match t.pool_stats with
+           | None -> []
+           | Some f ->
+             let ps = f () in
+             [
+               ( "workers",
+                 Json.Obj
+                   [
+                     ("failures", Json.Int ps.Pool.failures);
+                     ("crashes", Json.Int ps.Pool.crashes);
+                     ("respawns", Json.Int ps.Pool.respawns);
+                     ("quarantined", Json.Int ps.Pool.quarantined);
+                     ("pending", Json.Int ps.Pool.pending);
+                   ] );
+             ])
+        @ [ ("metrics", metrics) ]))
 
 (* ------------------------------------------------------------------ *)
 (* crash recovery *)
@@ -591,12 +664,25 @@ let recover t path =
     retained;
   }
 
-let handle t req =
+let rec handle t req =
+  let op = Protocol.op_name req in
   with_lock t (fun () ->
       t.requests <- t.requests + 1;
-      let op = Protocol.op_name req in
       Hashtbl.replace t.op_counts op
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.op_counts op)));
+  (match List.assoc_opt op op_counters with
+   | Some c -> Metrics.incr c
+   | None -> ());
+  let dispatch () =
+    Trace.with_span "server.op" @@ fun sp ->
+    Trace.set_str sp "op" op;
+    dispatch_req t req
+  in
+  match List.assoc_opt op op_histograms with
+  | Some h -> Metrics.time h dispatch
+  | None -> dispatch ()
+
+and dispatch_req t req =
   match req with
   | Protocol.Ping -> ok [ ("pong", Json.Bool true) ]
   | Protocol.Open { path; source; name } -> handle_open t ~path ~source ~name

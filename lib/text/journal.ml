@@ -5,6 +5,19 @@ type entry =
   | Inserted of { id : string; rel : string; rows : Value.t list list }
   | Closed of { id : string }
 
+let m_appends =
+  Ric_obs.Metrics.counter ~help:"journal records appended"
+    "ric_journal_appends_total"
+
+let m_replayed =
+  Ric_obs.Metrics.counter ~help:"journal records replayed at recovery"
+    "ric_journal_replayed_total"
+
+let m_replay_skipped =
+  Ric_obs.Metrics.counter
+    ~help:"journal records skipped at recovery (unparseable or unknown)"
+    "ric_journal_replay_skipped_total"
+
 (* ------------------------------------------------------------------ *)
 (* Encoding: one compact JSON object per line.  [Json.to_string]
    escapes control characters, so a scenario source full of newlines
@@ -107,7 +120,8 @@ let append t entry =
    with e ->
      Mutex.unlock t.mutex;
      raise e);
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  Ric_obs.Metrics.incr m_appends
 
 let close t =
   Mutex.lock t.mutex;
@@ -150,4 +164,6 @@ let replay_file path =
      close_in_noerr ic;
      raise e);
   close_in_noerr ic;
+  Ric_obs.Metrics.add m_replayed (List.length !entries);
+  Ric_obs.Metrics.add m_replay_skipped !skipped;
   { entries = List.rev !entries; skipped = !skipped; torn_tail = !torn }

@@ -64,6 +64,52 @@ esac
 wait "$SERVER_PID"
 SERVER_PID=""
 
+echo "== metrics smoke test"
+MSOCKET="${TMPDIR:-/tmp}/ricd-check-$$-metrics.sock"
+
+cleanup_metrics() {
+  "$RIC" shutdown -S "$SOCKET" >/dev/null 2>&1 || true
+  wait "${SERVER_PID:-$$}" 2>/dev/null || true
+  rm -f "$SOCKET" "$MSOCKET"
+}
+trap cleanup_metrics EXIT INT TERM
+
+"$RIC" serve -S "$SOCKET" -d 2 --metrics "$MSOCKET" &
+SERVER_PID=$!
+i=0
+until "$RIC" request ping -S "$SOCKET" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "FAIL: ricd did not come up on $SOCKET" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# the Prometheus exposition is live and names the request counter
+SCRAPE=$("$RIC" scrape "$MSOCKET")
+case "$SCRAPE" in
+  *'# TYPE ric_requests_total counter'*) ;;
+  *) echo "FAIL: scrape does not expose ric_requests_total" >&2; exit 1 ;;
+esac
+PINGS_BEFORE=$(printf '%s\n' "$SCRAPE" | sed -n 's/^ric_requests_total{op="ping"} \([0-9]*\)$/\1/p')
+PINGS_BEFORE="${PINGS_BEFORE:-0}"
+
+# one more request must move the counter in the next scrape
+"$RIC" request ping -S "$SOCKET" >/dev/null
+PINGS_AFTER=$("$RIC" scrape "$MSOCKET" \
+  | sed -n 's/^ric_requests_total{op="ping"} \([0-9]*\)$/\1/p')
+echo "metrics: ping count ${PINGS_BEFORE} -> ${PINGS_AFTER:-?}"
+if [ -z "${PINGS_AFTER:-}" ] || [ "$PINGS_AFTER" -le "$PINGS_BEFORE" ]; then
+  echo "FAIL: ric_requests_total{op=\"ping\"} did not increment" >&2
+  exit 1
+fi
+
+"$RIC" shutdown -S "$SOCKET" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+rm -f "$MSOCKET"
+
 echo "== robustness smoke test"
 JOURNAL="${TMPDIR:-/tmp}/ricd-check-$$.journal"
 
@@ -155,5 +201,34 @@ case "$(cat "$BENCH_OUT")" in
   *) echo "FAIL: $BENCH_OUT does not record agreement" >&2; rm -f "$BENCH_OUT"; exit 1 ;;
 esac
 rm -f "$BENCH_OUT"
+
+echo "== bench guard (instrumentation must not slow the seq search)"
+# re-measure untraced seq steps/s at the committed baseline's step cap
+# and require it within RIC_BENCH_TOLERANCE_PCT (default 5) percent of
+# BENCH_search.json — the zero-cost-when-disabled contract, kept honest
+BASELINE="BENCH_search.json"
+if [ -f "$BASELINE" ]; then
+  TOL="${RIC_BENCH_TOLERANCE_PCT:-5}"
+  seq_sps() { sed -n 's/.*"mode":"seq"[^}]*"steps_per_sec":\([0-9]*\).*/\1/p' "$1"; }
+  BASE_SPS=$(seq_sps "$BASELINE")
+  BASE_CAP=$(sed -n 's/.*"step_cap":\([0-9]*\).*/\1/p' "$BASELINE")
+  GUARD_OUT="${TMPDIR:-/tmp}/ricd-check-$$-guard.json"
+  RIC_BENCH_STEPS="${BASE_CAP:-400000}" RIC_BENCH_OUT="$GUARD_OUT" \
+    _build/default/bench/main.exe search >/dev/null \
+    || { echo "FAIL: bench guard run failed" >&2; rm -f "$GUARD_OUT"; exit 1; }
+  FRESH_SPS=$(seq_sps "$GUARD_OUT")
+  rm -f "$GUARD_OUT"
+  if [ -z "$BASE_SPS" ] || [ -z "$FRESH_SPS" ]; then
+    echo "FAIL: could not extract seq steps_per_sec for the bench guard" >&2
+    exit 1
+  fi
+  echo "seq steps/s: baseline $BASE_SPS, fresh $FRESH_SPS (tolerance ${TOL}%)"
+  if [ $((FRESH_SPS * 100)) -lt $((BASE_SPS * (100 - TOL))) ]; then
+    echo "FAIL: seq search is more than ${TOL}% slower than $BASELINE" >&2
+    exit 1
+  fi
+else
+  echo "skip: no $BASELINE baseline committed"
+fi
 
 echo "== all checks passed"

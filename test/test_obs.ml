@@ -1,0 +1,392 @@
+(* Tests for the ric_obs telemetry layer: histogram bucket boundaries,
+   concurrent counter increments from two domains, the Prometheus text
+   exposition, the trace JSONL round-trip through the project's own
+   JSON parser plus the offline summarizer, and the guarantee that
+   turning tracing on changes no verdict on any scenario file. *)
+
+open Ric_obs
+module Scenario = Ric_text.Scenario
+module Trace_summary = Ric_text.Trace_summary
+open Ric_complete
+
+(* The registry is process-global and never resets, so every test
+   registers uniquely-named metrics and asserts on deltas. *)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_counter_basics () =
+  let c = Metrics.counter ~help:"test" "ric_test_counter_basics_total" in
+  let v0 = Metrics.counter_value c in
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" (v0 + 42) (Metrics.counter_value c);
+  let again = Metrics.counter ~help:"test" "ric_test_counter_basics_total" in
+  Metrics.incr again;
+  Alcotest.(check int) "re-registration returns the same counter" (v0 + 43)
+    (Metrics.counter_value c);
+  (match Metrics.gauge "ric_test_counter_basics_total" with
+   | (_ : Metrics.gauge) -> Alcotest.fail "kind clash must be rejected"
+   | exception Invalid_argument _ -> ());
+  match Metrics.counter "not a metric name" with
+  | (_ : Metrics.counter) -> Alcotest.fail "malformed name must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_labels_distinguish () =
+  let a = Metrics.counter ~labels:[ ("op", "a") ] "ric_test_labeled_total" in
+  let b = Metrics.counter ~labels:[ ("op", "b") ] "ric_test_labeled_total" in
+  Metrics.incr a;
+  Alcotest.(check int) "labels separate series" 0 (Metrics.counter_value b);
+  (* label order must not matter for identity *)
+  let a' =
+    Metrics.counter
+      ~labels:[ ("x", "1"); ("op", "a") ]
+      "ric_test_label_order_total"
+  and a'' =
+    Metrics.counter
+      ~labels:[ ("op", "a"); ("x", "1") ]
+      "ric_test_label_order_total"
+  in
+  Metrics.incr a';
+  Alcotest.(check int) "sorted label identity" 1 (Metrics.counter_value a'')
+
+let test_histogram_buckets () =
+  let bounds = Metrics.bucket_bounds in
+  Alcotest.(check int) "13 finite buckets" 13 (Array.length bounds);
+  Alcotest.(check (float 1e-12)) "first bound is 1µs" 1e-6 bounds.(0);
+  Array.iteri
+    (fun i b ->
+      if i > 0 then
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "bound %d is 4x bound %d" i (i - 1))
+          (4. *. bounds.(i - 1))
+          b)
+    bounds;
+  let h = Metrics.histogram ~help:"test" "ric_test_hist_seconds" in
+  (* one observation exactly on a bound (inclusive: le), one inside a
+     bucket, one beyond every bound, and a garbage value *)
+  Metrics.observe h 1e-6;
+  Metrics.observe h 5e-6;
+  (* (4µs, 16µs] *)
+  Metrics.observe h 1e9;
+  Metrics.observe h Float.nan;
+  (* clamped to 0, lands in the first bucket *)
+  let snap =
+    match
+      List.find_opt
+        (fun s -> s.Metrics.name = "ric_test_hist_seconds")
+        (Metrics.snapshot ())
+    with
+    | Some { Metrics.value = Metrics.Histogram snap; _ } -> snap
+    | _ -> Alcotest.fail "histogram missing from snapshot"
+  in
+  Alcotest.(check int) "count" 4 snap.Metrics.count;
+  (* the +Inf bucket is cumulative like the rest: it equals the count *)
+  Alcotest.(check int) "+Inf is cumulative" 4 snap.Metrics.inf_count;
+  let cumulative_at bound =
+    match
+      Array.find_opt (fun (b, _) -> b = bound) snap.Metrics.buckets
+    with
+    | Some (_, n) -> n
+    | None -> Alcotest.failf "no bucket with bound %g" bound
+  in
+  (* le semantics: the 1µs observation (and the clamped NaN) sit in the
+     first bucket, cumulative counts grow from there *)
+  Alcotest.(check int) "le 1µs" 2 (cumulative_at bounds.(0));
+  Alcotest.(check int) "le 4µs" 2 (cumulative_at bounds.(1));
+  Alcotest.(check int) "le 16µs" 3 (cumulative_at bounds.(2));
+  let top = cumulative_at bounds.(Array.length bounds - 1) in
+  Alcotest.(check int) "le top bound" 3 top;
+  Alcotest.(check int) "one observation overflowed every finite bucket" 1
+    (snap.Metrics.count - top);
+  Alcotest.(check bool) "sum includes the large outlier" true
+    (snap.Metrics.sum >= 1e9)
+
+let test_concurrent_increments () =
+  let c = Metrics.counter "ric_test_concurrent_total" in
+  let h = Metrics.histogram "ric_test_concurrent_seconds" in
+  let per_domain = 50_000 in
+  let worker () =
+    for _ = 1 to per_domain do
+      Metrics.incr c
+    done;
+    for _ = 1 to 1000 do
+      Metrics.observe h 1e-5
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost counter increments" (2 * per_domain)
+    (Metrics.counter_value c);
+  match
+    List.find_opt
+      (fun s -> s.Metrics.name = "ric_test_concurrent_seconds")
+      (Metrics.snapshot ())
+  with
+  | Some { Metrics.value = Metrics.Histogram snap; _ } ->
+    Alcotest.(check int) "no lost observations" 2000 snap.Metrics.count
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_gauge_fn () =
+  let v = ref 7 in
+  Metrics.gauge_fn ~help:"test" "ric_test_pull_gauge" (fun () -> !v);
+  let find () =
+    match
+      List.find_opt
+        (fun s -> s.Metrics.name = "ric_test_pull_gauge")
+        (Metrics.snapshot ())
+    with
+    | Some { Metrics.value = Metrics.Gauge g; _ } -> g
+    | _ -> Alcotest.fail "pull gauge missing from snapshot"
+  in
+  Alcotest.(check int) "pull gauge sampled" 7 (find ());
+  v := 9;
+  Alcotest.(check int) "resampled at snapshot" 9 (find ());
+  (* replacement: the latest registration wins *)
+  Metrics.gauge_fn "ric_test_pull_gauge" (fun () -> 123);
+  Alcotest.(check int) "re-registration replaces" 123 (find ());
+  (* a raising pull function must not poison the scrape *)
+  Metrics.gauge_fn "ric_test_pull_gauge_bad" (fun () -> failwith "boom");
+  ignore (Metrics.to_prometheus ())
+
+let test_prometheus_exposition () =
+  let c =
+    Metrics.counter ~help:{|weird "help" with \ and
+newline|} ~labels:[ ("mode", {|se"q\|}) ] "ric_test_promtext_total"
+  in
+  Metrics.add c 5;
+  ignore (Metrics.histogram ~help:"h" "ric_test_promtext_seconds");
+  let text = Metrics.to_prometheus () in
+  let has needle =
+    let nn = String.length needle and nt = String.length text in
+    let rec go i =
+      i + nn <= nt && (String.sub text i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle) true
+        (has needle))
+    [
+      (* HELP escapes backslash and newline but leaves quotes raw *)
+      "# HELP ric_test_promtext_total weird \"help\" with \\\\ and\\nnewline";
+      "# TYPE ric_test_promtext_total counter";
+      {|ric_test_promtext_total{mode="se\"q\\"} 5|};
+      "# TYPE ric_test_promtext_seconds histogram";
+      {|ric_test_promtext_seconds_bucket{le="1e-06"} 0|};
+      {|ric_test_promtext_seconds_bucket{le="+Inf"} 0|};
+      "ric_test_promtext_seconds_sum 0";
+      "ric_test_promtext_seconds_count 0";
+    ];
+  (* every line is a comment or a sample — no blank/garbage lines *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        Alcotest.(check bool)
+          (Printf.sprintf "line %S well-formed" line)
+          true
+          (String.length line > 0
+          && (line.[0] = '#'
+             || String.contains line ' ' (* sample: name/labels SP value *))))
+    (String.split_on_char '\n' text)
+
+(* ------------------------------------------------------------------ *)
+(* Trace: JSONL round-trip and summarize *)
+
+let with_trace_file f =
+  let path = Filename.temp_file "ric_obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.close ();
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_trace_roundtrip () =
+  with_trace_file @@ fun path ->
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  (* spans on the null sink must be free no-ops *)
+  let sp = Trace.start "ignored" in
+  Trace.set_int sp "k" 1;
+  Trace.finish sp;
+  Trace.open_file path;
+  Alcotest.(check bool) "enabled after open" true (Trace.enabled ());
+  Trace.with_span "outer" (fun outer ->
+      Trace.set_str outer "mode" "seq";
+      Trace.set_int outer "steps" 17;
+      Trace.set_int outer "steps" 42;
+      (* last write wins *)
+      Trace.set_str outer "quoting" "a\"b\\c\nd";
+      Trace.with_span "inner" (fun inner -> Trace.set_bool inner "found" true));
+  (match Trace.with_span "failing" (fun _ -> failwith "boom") with
+   | () -> Alcotest.fail "with_span must re-raise"
+   | exception Failure _ -> ());
+  Alcotest.(check int) "three spans written" 3 (Trace.spans_written ());
+  Trace.close ();
+  let { Trace_summary.spans; malformed } = Trace_summary.load path in
+  Alcotest.(check int) "no malformed lines" 0 malformed;
+  Alcotest.(check int) "three spans loaded" 3 (List.length spans);
+  let find name =
+    match List.find_opt (fun sp -> sp.Trace_summary.name = name) spans with
+    | Some sp -> sp
+    | None -> Alcotest.failf "span %s missing" name
+  in
+  let outer = find "outer" and inner = find "inner" and failing = find "failing" in
+  Alcotest.(check int) "outer is a root" 0 outer.Trace_summary.parent;
+  Alcotest.(check int) "inner parented under outer" outer.Trace_summary.id
+    inner.Trace_summary.parent;
+  Alcotest.(check bool) "last attr write wins" true
+    (List.assoc_opt "steps" outer.Trace_summary.attrs
+    = Some (Ric_text.Json.Int 42));
+  Alcotest.(check bool) "string attrs survive escaping" true
+    (List.assoc_opt "quoting" outer.Trace_summary.attrs
+    = Some (Ric_text.Json.Str "a\"b\\c\nd"));
+  Alcotest.(check bool) "bool attr round-trips" true
+    (List.assoc_opt "found" inner.Trace_summary.attrs
+    = Some (Ric_text.Json.Bool true));
+  Alcotest.(check bool) "exception recorded" true
+    (match List.assoc_opt "error" failing.Trace_summary.attrs with
+    | Some (Ric_text.Json.Str s) -> s <> ""
+    | _ -> false);
+  Alcotest.(check bool) "inner nested in outer's window" true
+    (inner.Trace_summary.start_us >= outer.Trace_summary.start_us
+    && inner.Trace_summary.start_us + inner.Trace_summary.dur_us
+       <= outer.Trace_summary.start_us + outer.Trace_summary.dur_us + 1)
+
+let test_trace_summarize () =
+  (* a hand-written fixture with known durations, a torn line, and a
+     steps/mode attribute per root *)
+  let path = Filename.temp_file "ric_obs_fixture" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        {|{"id":1,"parent":0,"name":"decide","start_us":100,"dur_us":900,"attrs":{"mode":"seq","steps":9000}}
+{"id":2,"parent":1,"name":"disjunct","start_us":150,"dur_us":700,"attrs":{}}
+{"id":3,"parent":0,"name":"decide","start_us":2000,"dur_us":100,"attrs":{"mode":"par","steps":500}}
+{"id":4,"parent":99,"name":"orphan","start_us":2500,"dur_us":10,"attrs":{}}
+this line is torn
+|};
+      close_out oc;
+      let { Trace_summary.spans; malformed } = Trace_summary.load path in
+      Alcotest.(check int) "torn line counted" 1 malformed;
+      Alcotest.(check int) "four spans" 4 (List.length spans);
+      let s = Trace_summary.summarize ~top:2 spans in
+      Alcotest.(check int) "top bounds slowest" 2 (List.length s.Trace_summary.slowest);
+      (match s.Trace_summary.slowest with
+       | first :: _ ->
+         Alcotest.(check int) "slowest is the 900µs decide" 1 first.Trace_summary.id
+       | [] -> Alcotest.fail "no slowest spans");
+      (* an orphan (unknown parent) counts as a root *)
+      Alcotest.(check int) "roots" 3 s.Trace_summary.roots;
+      Alcotest.(check int) "wall clock spans the file" 2410 s.Trace_summary.wall_us;
+      let phase name =
+        match
+          List.find_opt
+            (fun r -> r.Trace_summary.ph_name = name)
+            s.Trace_summary.phases
+        with
+        | Some r -> r
+        | None -> Alcotest.failf "phase %s missing" name
+      in
+      Alcotest.(check int) "decide phase total" 1000 (phase "decide").Trace_summary.ph_total_us;
+      Alcotest.(check int) "decide phase steps" 9500 (phase "decide").Trace_summary.ph_steps;
+      Alcotest.(check int) "decide phase max" 900 (phase "decide").Trace_summary.ph_max_us;
+      let mode m =
+        match
+          List.find_opt
+            (fun r -> r.Trace_summary.md_mode = m)
+            s.Trace_summary.modes
+        with
+        | Some r -> r
+        | None -> Alcotest.failf "mode %s missing" m
+      in
+      Alcotest.(check int) "seq mode steps" 9000 (mode "seq").Trace_summary.md_steps;
+      Alcotest.(check int) "par mode spans" 1 (mode "par").Trace_summary.md_count;
+      (* children: the 700µs disjunct hangs under span 1 *)
+      let root = List.find (fun sp -> sp.Trace_summary.id = 1) spans in
+      Alcotest.(check int) "one child under the slow decide" 1
+        (List.length (Trace_summary.children spans root));
+      (* the report renders without raising *)
+      let buf = Buffer.create 256 in
+      Trace_summary.pp (Format.formatter_of_buffer buf) ~malformed spans s;
+      Alcotest.(check bool) "report nonempty" true (Buffer.length buf > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Tracing must not change verdicts *)
+
+let scenarios_dir () =
+  let rec up d n =
+    if n = 0 then None
+    else
+      let cand = Filename.concat d "scenarios" in
+      if Sys.file_exists cand && Sys.is_directory cand then Some cand
+      else up (Filename.dirname d) (n - 1)
+  in
+  match up (Sys.getcwd ()) 6 with
+  | Some d -> d
+  | None -> Alcotest.fail "scenarios/ not found upward of cwd"
+
+let rcdp_label ~trace (s : Scenario.t) q =
+  let clock = Budget.create ~max_steps:20_000 () in
+  ignore trace;
+  match
+    Rcdp.decide ~clock ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+  with
+  | Rcdp.Complete -> "complete"
+  | Rcdp.Incomplete _ -> "incomplete"
+  | exception Rcdp.Unsupported _ -> "unsupported"
+  | exception Rcdp.Not_partially_closed _ -> "not_partially_closed"
+  | exception Budget.Exhausted reason -> "timeout:" ^ Budget.reason_name reason
+
+let test_tracing_changes_no_verdict () =
+  with_trace_file @@ fun path ->
+  let dir = scenarios_dir () in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ric")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "found scenario files" true (files <> []);
+  List.iter
+    (fun file ->
+      let s = Scenario.load (Filename.concat dir file) in
+      List.iter
+        (fun (qname, q) ->
+          let off = rcdp_label ~trace:false s q in
+          Trace.open_file path;
+          let on = rcdp_label ~trace:true s q in
+          let written = Trace.spans_written () in
+          Trace.close ();
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s verdict unchanged by tracing" file qname)
+            off on;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s traced run wrote spans" file qname)
+            true (written > 0))
+        s.Scenario.queries)
+    files
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "labels" `Quick test_labels_distinguish;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "two-domain increments" `Quick test_concurrent_increments;
+          Alcotest.test_case "pull gauges" `Quick test_gauge_fn;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "summarize fixture" `Quick test_trace_summarize;
+          Alcotest.test_case "tracing changes no verdict" `Quick
+            test_tracing_changes_no_verdict;
+        ] );
+    ]

@@ -311,6 +311,8 @@ let with_server ?(domains = 2) ?journal ?(recover = false) f =
             journal;
             recover;
             search = Ric_complete.Search_mode.Seq;
+            metrics = None;
+            trace = None;
           })
   in
   let finish () =

@@ -271,6 +271,39 @@ let test_modes_agree_on_scenarios () =
         s.Scenario.queries)
     files
 
+(* Exactly-once fork accounting: a complete verdict explores the whole
+   valuation space in every mode, and each child step must reach the
+   parent clock exactly once — so the par totals equal the seq total
+   (a double merge would inflate them, a lost child would deflate
+   them), and the partition width must not change the sum. *)
+let test_par_step_accounting () =
+  let dir = scenarios_dir () in
+  let s = Scenario.load (Filename.concat dir "crm.ric") in
+  let q =
+    match Scenario.find_query s "Q2" with
+    | Some q -> q
+    | None -> Alcotest.fail "crm.ric lost its Q2 query"
+  in
+  let steps_in ~search =
+    let clock = Budget.create ~max_steps:1_000_000 () in
+    (match
+       Rcdp.decide ~clock ~search ~schema:s.Scenario.db_schema
+         ~master:s.Scenario.master ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+     with
+     | Rcdp.Complete -> ()
+     | Rcdp.Incomplete _ -> Alcotest.fail "Q2 must be complete (full exploration)");
+    Budget.steps clock
+  in
+  let seq = steps_in ~search:Search_mode.Seq in
+  Alcotest.(check bool) "seq run ticked" true (seq > 0);
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "par:%d step total equals seq" n)
+        seq
+        (steps_in ~search:(Search_mode.Par n)))
+    [ 2; 3; 4 ]
+
 (* the incomplete case: a parallel first witness must terminate the
    search with the same verdict class, and the counterexample must
    revalidate like any sequential one *)
@@ -320,6 +353,7 @@ let () =
       ( "mode agreement",
         [
           Alcotest.test_case "all scenarios, all modes" `Quick test_modes_agree_on_scenarios;
+          Alcotest.test_case "par step totals equal seq" `Quick test_par_step_accounting;
           Alcotest.test_case "par witness revalidates" `Quick test_par_witness_is_valid;
         ] );
     ]

@@ -365,6 +365,58 @@ let test_service_close_purges () =
   let r = Service.handle service (rcdp sid "Q") in
   Alcotest.(check string) "session gone" "unknown_session" (get_str "kind" r)
 
+(* The stats op's telemetry contract (see protocol.mli): a decimal
+   hit_rate string, a metrics array mirroring the registry, and
+   counters that are process-lifetime totals — never reset, not even
+   by closing the session whose work they counted. *)
+let test_service_stats_telemetry () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let stats0 = Service.handle service Protocol.Stats in
+  assert_ok stats0;
+  let hits0 = get_int "hits" (get "cache" stats0) in
+  let misses0 = get_int "misses" (get "cache" stats0) in
+  let _ = Service.handle service (rcdp sid "Q") in
+  let _ = Service.handle service (rcdp sid "Q") in
+  let stats = Service.handle service Protocol.Stats in
+  assert_ok stats;
+  let cache = get "cache" stats in
+  Alcotest.(check int) "one more miss" (misses0 + 1) (get_int "misses" cache);
+  Alcotest.(check int) "one more hit" (hits0 + 1) (get_int "hits" cache);
+  Alcotest.(check bool) "entry count reported" true (get_int "entries" cache >= 1);
+  (* hit_rate is a decimal string recomputed from the running totals *)
+  let rate = get_str "hit_rate" cache in
+  let expected =
+    Printf.sprintf "%.3f"
+      (float_of_int (hits0 + 1) /. float_of_int (hits0 + misses0 + 2))
+  in
+  Alcotest.(check string) "hit_rate from totals" expected rate;
+  (* the metrics array mirrors the registry: the cache counters the
+     Prometheus socket exposes appear here with the same values *)
+  let metric name =
+    match get "metrics" stats with
+    | Json.List ms ->
+      (match
+         List.find_opt (fun m -> get_str "name" m = name) ms
+       with
+       | Some m -> m
+       | None -> Alcotest.failf "metric %s missing from stats" name)
+    | _ -> Alcotest.fail "metrics is not a list"
+  in
+  Alcotest.(check bool) "registry hits at least the service's" true
+    (get_int "value" (metric "ric_cache_hits_total") >= hits0 + 1);
+  (match get "buckets" (metric "ric_op_latency_seconds") with
+   | Json.List (_ :: _) -> ()
+   | _ -> Alcotest.fail "op latency histogram has no buckets");
+  (* never reset: closing the session purges its cache entries but the
+     lookup totals survive *)
+  let _ = Service.handle service (Protocol.Close { session = sid }) in
+  let after = Service.handle service Protocol.Stats in
+  let cache' = get "cache" after in
+  Alcotest.(check int) "hits survive close" (hits0 + 1) (get_int "hits" cache');
+  Alcotest.(check int) "misses survive close" (misses0 + 1) (get_int "misses" cache');
+  Alcotest.(check int) "entries purged" 0 (get_int "entries" cache')
+
 let test_service_bad_insert_rejected () =
   let service = Service.create () in
   let sid = open_session service in
@@ -396,6 +448,8 @@ let with_server ?(domains = 2) f =
             journal = None;
             recover = false;
             search = Ric_complete.Search_mode.Seq;
+            metrics = None;
+            trace = None;
           })
   in
   let finish () =
@@ -529,6 +583,7 @@ let () =
           Alcotest.test_case "audit cache drops on insert" `Quick
             test_service_audit_cached_and_dropped;
           Alcotest.test_case "close purges" `Quick test_service_close_purges;
+          Alcotest.test_case "stats telemetry" `Quick test_service_stats_telemetry;
           Alcotest.test_case "bad insert rejected" `Quick test_service_bad_insert_rejected;
         ] );
       ( "end to end",
