@@ -21,6 +21,7 @@
      ablation — design-choice ablations from DESIGN.md
      micro    — bechamel micro-benchmarks (one group per table)
      search   — seq/inc/par valuation-search strategies (BENCH_search.json)
+     match    — compiled match kernel vs naive oracle (BENCH_match.json)
      obs      — instrumentation overhead: traced vs untraced seq decide
 *)
 
@@ -779,6 +780,135 @@ let search_bench () =
   if not !all_agree then exit 1
 
 (* ================================================================== *)
+(* Match kernel microbench                                             *)
+(* ================================================================== *)
+
+(* BENCH_match.json: throughput of the compiled slot-addressed kernel
+   against the interpreted naive oracle on a fixed three-atom join
+   with an inequality, plus interning and index-reuse statistics.  The
+   two engines must agree on the solution count (a live differential,
+   not just a speed report), and check.sh guards the compiled solves/s
+   against the committed baseline. *)
+
+let match_bench () =
+  hr "Match kernel: compiled vs naive solve (three-atom join)";
+  let module Json = Ric_text.Json in
+  let module Metrics = Ric_obs.Metrics in
+  let n =
+    match Sys.getenv_opt "RIC_BENCH_MATCH_ROWS" with
+    | Some s -> (try int_of_string (String.trim s) with Failure _ -> 60)
+    | None -> 60
+  in
+  let sch =
+    Schema.make
+      [
+        Schema.relation "E" [ Schema.attribute "src"; Schema.attribute "dst" ];
+        Schema.relation "L" [ Schema.attribute "x" ];
+      ]
+  in
+  (* sparse ring with chords, labels on every third node: small enough
+     that the full-scan oracle terminates, joined enough that index
+     probes matter *)
+  let db =
+    let add db rel vals =
+      Database.add_tuple db rel (Tuple.make (List.map Value.int vals))
+    in
+    let db = ref (Database.empty sch) in
+    for i = 0 to n - 1 do
+      db := add !db "E" [ i; (i + 1) mod n ];
+      db := add !db "E" [ i; ((i * 7) + 3) mod n ];
+      if i mod 3 = 0 then db := add !db "L" [ i ]
+    done;
+    !db
+  in
+  let atoms =
+    [
+      Atom.make "E" [ v "x"; v "y" ];
+      Atom.make "E" [ v "y"; v "z" ];
+      Atom.make "L" [ v "z" ];
+    ]
+  in
+  let neqs = [ (v "x", v "z") ] in
+  let lookup rel = Database.relation db rel in
+  let store = Kernel.Store.create () in
+  let solutions naive =
+    let c = ref 0 in
+    let (_ : bool) =
+      Match_engine.solve ~lookup ~neqs ~naive ~store atoms (fun _ ->
+          incr c;
+          false)
+    in
+    !c
+  in
+  let naive_count = solutions true in
+  let compiled_count = solutions false in
+  Printf.printf "  instance: E %d rows, L %d rows, %d solutions\n"
+    (Relation.cardinal (Database.relation db "E"))
+    (Relation.cardinal (Database.relation db "L"))
+    compiled_count;
+  if naive_count <> compiled_count then begin
+    Printf.printf "  DIVERGENCE: naive %d vs compiled %d solutions\n"
+      naive_count compiled_count;
+    exit 1
+  end;
+  (* solves/s, best of three timed loops calibrated to >= ~0.15 s *)
+  let rate f =
+    let (_, once) = time f in
+    let iters = max 3 (int_of_float (0.15 /. (once +. 1e-9)) + 1) in
+    let best = ref 0.0 in
+    for _ = 1 to 3 do
+      let (), secs =
+        time (fun () ->
+            for _ = 1 to iters do
+              ignore (f ())
+            done)
+      in
+      best := Float.max !best (float_of_int iters /. (secs +. 1e-9))
+    done;
+    !best
+  in
+  let naive_sps = rate (fun () -> solutions true) in
+  let compiled_sps = rate (fun () -> solutions false) in
+  let speedup = compiled_sps /. naive_sps in
+  let builds = Metrics.counter "ric_match_index_builds_total" in
+  let reuses = Metrics.counter "ric_match_index_reuses_total" in
+  Printf.printf "  naive    %12.0f solves/s\n" naive_sps;
+  Printf.printf "  compiled %12.0f solves/s  (%.1fx)\n" compiled_sps speedup;
+  Printf.printf "  intern entries %d, index builds %d, reuses %d\n"
+    (Intern.size ())
+    (Metrics.counter_value builds)
+    (Metrics.counter_value reuses);
+  if speedup < 1.0 then begin
+    Printf.printf "  FAIL: compiled kernel slower than the naive oracle\n";
+    exit 1
+  end;
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "match_kernel");
+        ("ring_size", Json.Int n);
+        ("e_rows", Json.Int (Relation.cardinal (Database.relation db "E")));
+        ("l_rows", Json.Int (Relation.cardinal (Database.relation db "L")));
+        ("solutions", Json.Int compiled_count);
+        ("naive_solves_per_sec", Json.Int (int_of_float naive_sps));
+        ("compiled_solves_per_sec", Json.Int (int_of_float compiled_sps));
+        ("speedup", Json.Str (Printf.sprintf "%.2f" speedup));
+        ("intern_entries", Json.Int (Intern.size ()));
+        ("index_builds", Json.Int (Metrics.counter_value builds));
+        ("index_reuses", Json.Int (Metrics.counter_value reuses));
+      ]
+  in
+  let out =
+    Sys.getenv_opt "RIC_BENCH_MATCH_OUT"
+    |> Option.value ~default:"BENCH_match.json"
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
+(* ================================================================== *)
 (* Instrumentation overhead                                            *)
 (* ================================================================== *)
 
@@ -843,6 +973,7 @@ let () =
       ("ablation", ablation);
       ("micro", micro);
       ("search", search_bench);
+      ("match", match_bench);
       ("obs", obs_bench);
     ]
   in

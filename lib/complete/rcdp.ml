@@ -303,6 +303,9 @@ let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(fresh_values = 2
   in
   let candidates = Array.of_list candidate_tuples in
   let qd = Lang.eval db q in
+  (* one compiled checker over the fixed base for the whole subset
+     enumeration: RHS projections cached, deltas joined as overlays *)
+  let comp = Compiled.create ~base:db ~master ccs in
   let found = ref None in
   (* Enumerate subsets of at most [max_tuples] candidates (indices
      strictly increasing), smallest first. *)
@@ -313,7 +316,7 @@ let semi_decide ?(clock = Budget.unlimited) ?(max_tuples = 2) ?(fresh_values = 2
       if count > 0 then begin
         let combined = Database.union db delta in
         if
-          Containment.holds_all ~db:combined ~master ccs
+          Compiled.check comp ~db:combined ~delta
           && not (Relation.equal (Lang.eval combined q) qd)
         then begin
           (* shrink to the answer tuple difference for the report *)

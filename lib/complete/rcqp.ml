@@ -411,12 +411,17 @@ let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
   Trace.with_span "rcqp.candidate_pool" @@ fun sp ->
   Trace.set_bool sp "truncating" truncate;
   (* a singleton's parent state is the empty database, so the delta
-     check applies whenever the empty database is consistent *)
+     check applies whenever the empty database is consistent; both
+     paths run on the compiled kernel with the singleton as the
+     interned overlay over an empty base *)
+  let empty_db = Database.empty schema in
+  let empty_comp = lazy (Compiled.create ~base:empty_db ~master ccs) in
   let singleton_ok single rel tuple =
     match checker with
     | Some inc when Incremental.empty_ok inc ->
-      Incremental.check_add inc ~db:single ~rel ~tuple
-    | _ -> Containment.holds_all ~db:single ~master ccs
+      Incremental.check_add_overlay inc ~base:empty_db ~delta:single ~db:single
+        ~rel ~tuple
+    | _ -> Compiled.check (Lazy.force empty_comp) ~db:single ~delta:single
   in
   let pool = ref [] in
   let count = ref 0 in
@@ -648,11 +653,14 @@ let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
      root is the empty database — so when the empty database passes
      the full check, every [dv'] here grows a consistent parent by one
      tuple and the delta check applies. *)
+  let empty_db = Database.empty schema in
+  let empty_comp = lazy (Compiled.create ~base:empty_db ~master ccs) in
   let consistent_add dv' rel tuple =
     match checker with
     | Some inc when Incremental.empty_ok inc ->
-      Incremental.check_add inc ~db:dv' ~rel ~tuple
-    | _ -> Containment.holds_all ~db:dv' ~master ccs
+      Incremental.check_add_overlay inc ~base:empty_db ~delta:dv' ~db:dv' ~rel
+        ~tuple
+    | _ -> Compiled.check (Lazy.force empty_comp) ~db:dv' ~delta:dv'
   in
   let found = ref None in
   let rec dfs members dv bvals =
@@ -709,6 +717,9 @@ let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
 let greedy_maximal_witness ?(clock = Budget.unlimited) ~budget ~schema ~master ~ccs ~adom tableaux =
   Trace.with_span "rcqp.witness_greedy" @@ fun _sp ->
   let dw = ref (Database.empty schema) in
+  (* one compiled checker for the whole greedy pass: RHS projections
+     evaluated once, candidate databases joined as interned overlays *)
+  let comp = Compiled.create ~base:(Database.empty schema) ~master ccs in
   let count = ref 0 in
   let exceeded = ref false in
   List.iter
@@ -728,7 +739,8 @@ let greedy_maximal_witness ?(clock = Budget.unlimited) ~budget ~schema ~master ~
                 if Tableau.neqs_ok tab mu then begin
                   let delta = Tableau.instantiate tab mu in
                   let candidate = Database.union !dw delta in
-                  if Containment.holds_all ~db:candidate ~master ccs then dw := candidate
+                  if Compiled.check comp ~db:candidate ~delta:candidate then
+                    dw := candidate
                 end;
                 false
               end)

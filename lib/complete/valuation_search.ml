@@ -49,8 +49,19 @@ let resolve checker ~mode =
      | `Delta_only -> if Incremental.empty_ok inc then Some inc else None
      | `Against_base db -> if Incremental.full inc ~db then Some inc else None)
 
-let run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init
-    (tab : Tableau.t) visit =
+(* [base_of mode tab] — the fixed part of every checked database; the
+   per-step checkers index it once and overlay the growing delta. *)
+let base_of mode (tab : Tableau.t) =
+  match mode with
+  | `Against_base db -> db
+  | `Delta_only -> Database.empty tab.Tableau.schema
+
+(* [chk] is the per-step constraint checker, resolved once per search:
+   [`Inc] when the incremental checker's parent invariant holds at the
+   root, else [`Full], a compiled whole-check over the same base.
+   Both receive the delta explicitly so joins run over persistent
+   base indexes plus a small interned overlay. *)
+let run ~budget ~chk ~mode ~adom ~on_prune ~init (tab : Tableau.t) visit =
   Budget.check_now budget;
   let var_doms = Tableau.var_domains tab in
   let cands x =
@@ -80,11 +91,7 @@ let run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init
        | None -> None
        | Some (a, _) -> Some (a, remove_one a atoms))
   in
-  let base =
-    match mode with
-    | `Against_base db -> db
-    | `Delta_only -> Database.empty tab.Tableau.schema
-  in
+  let base = base_of mode tab in
   let rec go mu delta combined atoms =
     match pick mu atoms with
     | None -> if neqs_ground_ok tab mu then visit mu delta else false
@@ -95,9 +102,11 @@ let run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init
         (fun partial ->
           Budget.tick budget;
           let mu' =
-            List.fold_left
-              (fun m (x, c) -> Valuation.add x c m)
-              mu (Valuation.bindings partial)
+            if Valuation.is_empty mu then partial
+            else
+              List.fold_left
+                (fun m (x, c) -> Valuation.add x c m)
+                mu (Valuation.bindings partial)
           in
           if not (neqs_ground_ok tab mu') then false
           else
@@ -112,10 +121,11 @@ let run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init
                 | `Delta_only -> delta'
               in
               let ok =
-                match inc with
-                | Some c ->
-                  Incremental.check_add c ~db:check_db ~rel:a.Atom.rel ~tuple
-                | None -> Containment.holds_all ~db:check_db ~master ccs
+                match chk with
+                | `Inc c ->
+                  Incremental.check_add_overlay c ~base ~delta:delta'
+                    ~db:check_db ~rel:a.Atom.rel ~tuple
+                | `Full comp -> Compiled.check comp ~db:check_db ~delta:delta'
               in
               if ok then go mu' delta' combined' rest
               else begin
@@ -128,9 +138,12 @@ let run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init
 let iter_valid ?(budget = Budget.unlimited) ?checker ~master ~ccs ~mode ~adom
     ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
   Budget.check_now budget;
-  let inc = resolve checker ~mode in
-  run ~budget ~inc ~master ~ccs ~mode ~adom ~on_prune ~init:Valuation.empty tab
-    visit
+  let chk =
+    match resolve checker ~mode with
+    | Some c -> `Inc c
+    | None -> `Full (Compiled.create ~base:(base_of mode tab) ~master ccs)
+  in
+  run ~budget ~chk ~mode ~adom ~on_prune ~init:Valuation.empty tab visit
 
 (* Parallel top-level search: partition the candidates of one split
    variable (the first variable of the pattern atoms) across a
@@ -154,7 +167,14 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
   | Some _ when domains <= 1 ->
     iter_valid ~budget ?checker ~master ~ccs ~mode ~adom ~on_prune tab visit
   | Some x ->
-    let inc = resolve checker ~mode in
+    (* one checker for every branch: the compiled store and the
+       incremental counters are mutex/atomic-guarded, so sharing across
+       worker domains is safe and keeps index reuse across branches *)
+    let chk =
+      match resolve checker ~mode with
+      | Some c -> `Inc c
+      | None -> `Full (Compiled.create ~base:(base_of mode tab) ~master ccs)
+    in
     let var_doms = Tableau.var_domains tab in
     let cands_x =
       match List.assoc_opt x var_doms with
@@ -211,8 +231,7 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
         ignore (Atomic.fetch_and_add consumed (Budget.steps child))
       in
       match
-        run ~budget:child ~inc ~master ~ccs ~mode ~adom
-          ~on_prune:on_prune_sync
+        run ~budget:child ~chk ~mode ~adom ~on_prune:on_prune_sync
           ~init:(Valuation.add x v Valuation.empty)
           tab visit_sync
       with

@@ -1,0 +1,117 @@
+open Ric_relational
+open Ric_query
+
+(* Compiled containment-constraint checker for the sequential search
+   path: the per-candidate-step equivalent of [Containment.holds_all],
+   with everything loop-invariant hoisted out of the step.
+
+   Per decide (well, per [create]):
+   - the RHS projection of each CC is evaluated against the master
+     once and frozen both as a relation (for the fallback path) and as
+     a hash set of interned rows;
+   - every UCQ-able LHS disjunct is compiled into a slot-addressed
+     kernel plan.
+
+   Per check, the LHS disjuncts join over the fixed [base] database's
+   persistent indexes plus the small changing [delta] as an interned
+   overlay, stopping at the first answer escaping the cached RHS.
+   FO/FP or unsafe LHSs keep the full-evaluation path so they raise
+   (or recurse) exactly as the interpreted checker would. *)
+
+type disjunct = {
+  d_plan : Kernel.plan;
+  d_head : int array;
+}
+
+type body =
+  | Plans of disjunct list
+  | Eval of Lang.t
+
+type entry = {
+  rhs_rel : Relation.t;
+  rhs_ids : Kernel.Rowset.t;
+  body : body;
+}
+
+type t = {
+  base : Database.t;
+  entries : entry list;
+  store : Kernel.Store.t;
+}
+
+exception Not_compilable
+
+let compile_lhs lhs =
+  match Lang.as_ucq lhs with
+  | None -> raise Not_compilable
+  | Some ucq ->
+    List.filter_map
+      (fun cq ->
+        match Cq.normalize cq with
+        | None -> None (* statically unsatisfiable: contributes nothing *)
+        | Some n ->
+          (* unsafe disjuncts must keep raising from the evaluator *)
+          let avars = List.concat_map Atom.vars n.Cq.n_atoms in
+          let covered = function
+            | Term.Const _ -> true
+            | Term.Var x -> List.mem x avars
+          in
+          if
+            not
+              (List.for_all covered n.Cq.n_head
+               && List.for_all
+                    (fun (s, u) -> covered s && covered u)
+                    n.Cq.n_neqs)
+          then raise Not_compilable;
+          let d_plan = Kernel.compile n.Cq.n_atoms n.Cq.n_neqs in
+          Some { d_plan; d_head = Kernel.encode_terms d_plan n.Cq.n_head })
+      ucq
+
+let create ~base ~master ccs =
+  let entries =
+    List.map
+      (fun (cc : Containment.t) ->
+        let rhs_rel = Projection.eval master cc.Containment.rhs in
+        let body =
+          match compile_lhs cc.Containment.lhs with
+          | ds -> Plans ds
+          | exception Not_compilable -> Eval cc.Containment.lhs
+        in
+        { rhs_rel; rhs_ids = Kernel.Rowset.of_relation rhs_rel; body })
+      ccs
+  in
+  { base; entries; store = Kernel.Store.create () }
+
+let check t ~db ~delta =
+  (* interned overlay rows per relation, shared by every plan of this
+     check; deltas are at most a handful of tuples *)
+  let cache : (string, int array list) Hashtbl.t = Hashtbl.create 8 in
+  let extra rel =
+    match Hashtbl.find_opt cache rel with
+    | Some rows -> rows
+    | None ->
+      let rows =
+        match Database.relation delta rel with
+        | r -> Relation.fold (fun tu acc -> Intern.row tu :: acc) r []
+        | exception Not_found -> []
+      in
+      Hashtbl.add cache rel rows;
+      rows
+  in
+  let lookup rel =
+    try Database.relation t.base rel with Not_found -> Relation.empty
+  in
+  List.for_all
+    (fun e ->
+      match e.body with
+      | Eval lhs -> Relation.subset (Lang.eval db lhs) e.rhs_rel
+      | Plans ds ->
+        not
+          (List.exists
+             (fun d ->
+               Kernel.run t.store ~lookup ~extra d.d_plan (fun regs ->
+                   match Kernel.term_ids d.d_head regs with
+                   | Some ids -> not (Kernel.Rowset.mem e.rhs_ids ids)
+                   | None -> false))
+             ds))
+    t.entries

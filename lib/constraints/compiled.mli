@@ -1,0 +1,31 @@
+(** Compiled containment-constraint checker: the sequential search's
+    per-step replacement for {!Containment.holds_all}.
+
+    [create] hoists everything that is loop-invariant across the
+    candidate steps of one decide — the RHS projections against the
+    (immutable) master, interned RHS row sets, compiled kernel plans
+    for every UCQ-able LHS disjunct, and a persistent index store over
+    [base].  [check] then decides [Containment.holds_all ~db ~master
+    ccs] for [db = base ∪ delta] by joining each LHS over [base]'s
+    cached indexes with [delta] as an interned overlay, short-cutting
+    at the first answer that escapes the cached RHS.
+
+    Verdict-equivalent to the interpreted checker: FO/FP and unsafe
+    LHSs fall back to full evaluation against the cached RHS, so they
+    raise exactly where the uncompiled path would.  Domain-safe: the
+    internal store and interner serialise, so one checker may be
+    shared by the parallel search's worker domains. *)
+
+open Ric_relational
+
+type t
+
+val create : base:Database.t -> master:Database.t -> Containment.t list -> t
+(** [base] is the fixed part every checked database extends (the
+    search's base database, or an empty database for delta-only
+    searches). *)
+
+val check : t -> db:Database.t -> delta:Database.t -> bool
+(** [check t ~db ~delta] — [Containment.holds_all ~db ~master ccs],
+    where [db] must equal [base ∪ delta].  [db] itself is only
+    evaluated on the non-compilable fallback path. *)

@@ -11,6 +11,16 @@ type probe = {
   p_rest : Atom.t list;
   p_head : Term.t list;
   p_neqs : (Term.t * Term.t) list;
+  p_c : cprobe;
+}
+
+(* Compiled twin of a probe: pinned arguments, rest-of-disjunct plan
+   and head all encoded against one slot space, so a probe run is int
+   unification + a kernel join over persistent indexes. *)
+and cprobe = {
+  cp_args : int array;
+  cp_plan : Kernel.plan;
+  cp_head : int array;
 }
 
 (* [Delta] plans cover monotone LHS queries with a UCQ form: every
@@ -25,6 +35,7 @@ type plan =
 type entry = {
   cc : Containment.t;
   rhs_cache : Relation.t;
+  rhs_ids : Kernel.Rowset.t;
   plan : plan;
 }
 
@@ -32,6 +43,7 @@ type t = {
   entries : entry array;
   by_rel : (string, int list) Hashtbl.t;
   empty_ok : bool;
+  store : Kernel.Store.t;
   delta_checks : int Atomic.t;
   full_checks : int Atomic.t;
 }
@@ -83,12 +95,21 @@ let plan_of_lhs lhs =
                List.iteri
                  (fun i (a : Atom.t) ->
                    let rest = List.filteri (fun j _ -> j <> i) n.Cq.n_atoms in
+                   let cp_plan =
+                     Kernel.compile ~extra_vars:(Atom.vars a) rest n.Cq.n_neqs
+                   in
                    let probe =
                      {
                        p_args = a.Atom.args;
                        p_rest = rest;
                        p_head = n.Cq.n_head;
                        p_neqs = n.Cq.n_neqs;
+                       p_c =
+                         {
+                           cp_args = Kernel.encode_terms cp_plan a.Atom.args;
+                           cp_plan;
+                           cp_head = Kernel.encode_terms cp_plan n.Cq.n_head;
+                         };
                      }
                    in
                    let prev =
@@ -105,9 +126,11 @@ let create ~schema ~master ccs =
     Array.of_list
       (List.map
          (fun (cc : Containment.t) ->
+           let rhs_cache = Projection.eval master cc.Containment.rhs in
            {
              cc;
-             rhs_cache = Projection.eval master cc.Containment.rhs;
+             rhs_cache;
+             rhs_ids = Kernel.Rowset.of_relation rhs_cache;
              plan = plan_of_lhs cc.Containment.lhs;
            })
          ccs)
@@ -135,6 +158,7 @@ let create ~schema ~master ccs =
     entries;
     by_rel;
     empty_ok;
+    store = Kernel.Store.create ();
     delta_checks = Atomic.make 0;
     full_checks = Atomic.make 0;
   }
@@ -185,7 +209,44 @@ let probe_holds ~db ~rhs ~tuple probes =
                | None -> false)))
     probes
 
-let check_add (t : t) ~db ~rel ~tuple =
+(* Compiled probe run: unify the interned tuple against the pinned
+   argument vector, then join the rest of the disjunct over [base]'s
+   persistent indexes with [delta]'s interned rows as an overlay.
+   Requires [base ∪ delta] = the post-insertion database.  Overlay
+   rows also present in [base] may be enumerated twice, which is
+   harmless for this existence-style check. *)
+let probe_holds_compiled (t : t) ~base ~delta ~rhs_ids ~tuple probes =
+  let row = Intern.row tuple in
+  let cache : (string, int array list) Hashtbl.t = Hashtbl.create 4 in
+  let extra rel =
+    match Hashtbl.find_opt cache rel with
+    | Some rows -> rows
+    | None ->
+      let rows =
+        match Database.relation delta rel with
+        | r -> Relation.fold (fun tu acc -> Intern.row tu :: acc) r []
+        | exception Not_found -> []
+      in
+      Hashtbl.add cache rel rows;
+      rows
+  in
+  let base_lookup rel =
+    try Database.relation base rel with Not_found -> Relation.empty
+  in
+  List.for_all
+    (fun p ->
+      match Kernel.unify_encoded p.p_c.cp_args row with
+      | None -> true (* tuple does not match this atom position *)
+      | Some init ->
+        not
+          (Kernel.run t.store ~lookup:base_lookup ~extra ~init p.p_c.cp_plan
+             (fun regs ->
+               match Kernel.term_ids p.p_c.cp_head regs with
+               | Some ids -> not (Kernel.Rowset.mem rhs_ids ids)
+               | None -> false)))
+    probes
+
+let check_add_with (t : t) ~overlay ~db ~rel ~tuple =
   match Hashtbl.find_opt t.by_rel rel with
   | None -> true (* no CC reads [rel] *)
   | Some idxs ->
@@ -200,8 +261,17 @@ let check_add (t : t) ~db ~rel ~tuple =
            | Some probes ->
              Atomic.incr t.delta_checks;
              Ric_obs.Metrics.incr m_delta_checks;
-             probe_holds ~db ~rhs:e.rhs_cache ~tuple probes))
+             (match overlay with
+              | Some (base, delta) ->
+                probe_holds_compiled t ~base ~delta ~rhs_ids:e.rhs_ids ~tuple
+                  probes
+              | None -> probe_holds ~db ~rhs:e.rhs_cache ~tuple probes)))
       idxs
+
+let check_add t ~db ~rel ~tuple = check_add_with t ~overlay:None ~db ~rel ~tuple
+
+let check_add_overlay t ~base ~delta ~db ~rel ~tuple =
+  check_add_with t ~overlay:(Some (base, delta)) ~db ~rel ~tuple
 
 let full t ~db =
   Array.for_all (fun e -> entry_holds_full t ~db e) t.entries

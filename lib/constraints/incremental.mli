@@ -51,6 +51,21 @@ val check_add : t -> db:Database.t -> rel:string -> tuple:Tuple.t -> bool
     reading [rel] are touched, and monotone-UCQ CCs only through the
     inserted tuple. *)
 
+val check_add_overlay :
+  t ->
+  base:Database.t ->
+  delta:Database.t ->
+  db:Database.t ->
+  rel:string ->
+  tuple:Tuple.t ->
+  bool
+(** Like {!check_add}, with [db] split as [base ∪ delta] ([delta]
+    containing the inserted tuple): delta probes run on the compiled
+    kernel — joins probe persistent column indexes over the fixed
+    [base] and treat [delta]'s interned rows as a small overlay, so no
+    index is ever rebuilt per step.  Verdict-identical to
+    {!check_add}; [db] is still what full-evaluation fallbacks see. *)
+
 val full : t -> db:Database.t -> bool
 (** Full check of every CC against [db] (still using the cached RHS
     relations).  Used to establish the parent invariant at search

@@ -1,19 +1,17 @@
 open Ric_relational
 
+(* The default path compiles the body into a slot-addressed plan and
+   runs it over persistent Rix indexes (see [Kernel]); the [naive]
+   path below is the original interpreted engine — first-atom order,
+   full scans, string-map valuations — kept verbatim as the
+   differential-testing oracle and ablation baseline. *)
+
 (* A neq (s, t) is checked as soon as both sides are ground under the
    current valuation; [pending] tracks the ones not yet checkable. *)
 let neq_ok v (s, t) =
   match Valuation.term_value v s, Valuation.term_value v t with
   | Some a, Some b -> if Value.equal a b then `Violated else `Ok
   | _ -> `Pending
-
-let ground_count v (a : Atom.t) =
-  List.fold_left
-    (fun n t ->
-      match t with
-      | Term.Const _ -> n + 1
-      | Term.Var x -> if Valuation.mem x v then n + 1 else n)
-    0 a.Atom.args
 
 (* Try to extend [v] so that [a] maps onto [tuple]. *)
 let unify v (a : Atom.t) tuple =
@@ -32,44 +30,7 @@ let unify v (a : Atom.t) tuple =
     in
     go v 0 a.Atom.args
 
-(* Lazily built hash indexes: (relation, column, value) → tuples.
-   Built once per solve per (relation, column) on first use; turns the
-   per-atom scan into a bucket probe when at least one argument is
-   ground. *)
-module Index = struct
-  type t = (string * int, (Value.t, Tuple.t list) Hashtbl.t) Hashtbl.t
-
-  let create () : t = Hashtbl.create 16
-
-  let get (idx : t) ~lookup rel col =
-    match Hashtbl.find_opt idx (rel, col) with
-    | Some h -> h
-    | None ->
-      let h = Hashtbl.create 64 in
-      Relation.iter
-        (fun tuple ->
-          let key = Tuple.get tuple col in
-          Hashtbl.replace h key (tuple :: Option.value ~default:[] (Hashtbl.find_opt h key)))
-        (lookup rel);
-      Hashtbl.replace idx (rel, col) h;
-      h
-
-  (* the first ground argument position of [a] under [v], if any *)
-  let ground_position v (a : Atom.t) =
-    let rec go i = function
-      | [] -> None
-      | Term.Const c :: _ -> Some (i, c)
-      | Term.Var x :: rest ->
-        (match Valuation.find x v with
-         | Some c -> Some (i, c)
-         | None -> go (i + 1) rest)
-    in
-    go 0 a.Atom.args
-end
-
-let solve ~lookup ?(neqs = []) ?(init = Valuation.empty) ?(naive = false) atoms visit =
-  (* Partition the inequality checks: check what is ground now, defer
-     the rest; re-examined after every atom is matched. *)
+let naive_solve ~lookup ~neqs ~init atoms visit =
   let check_neqs v pending =
     let rec go ok acc = function
       | [] -> if ok then Some acc else None
@@ -81,55 +42,35 @@ let solve ~lookup ?(neqs = []) ?(init = Valuation.empty) ?(naive = false) atoms 
     in
     go true [] pending
   in
-  let pick_best v = function
-    | [] -> None
-    | atoms ->
-      if naive then
-        match atoms with
-        | a :: rest -> Some (a, rest)
-        | [] -> None
-      else begin
-        let score (a : Atom.t) =
-          let bound = ground_count v a in
-          let size = Relation.cardinal (lookup a.Atom.rel) in
-          (* prefer more bound arguments, then smaller relations *)
-          (-bound, size)
-        in
-        let best =
-          List.fold_left
-            (fun acc a ->
-              match acc with
-              | None -> Some (a, score a)
-              | Some (_, sb) ->
-                let sa = score a in
-                if compare sa sb < 0 then Some (a, sa) else acc)
-            None atoms
-        in
-        match best with
-        | None -> None
-        | Some (a, _) -> Some (a, List.filter (fun x -> x != a) atoms)
-      end
-  in
-  let idx = Index.create () in
   let rec go v pending atoms =
     match check_neqs v pending with
     | None -> false
     | Some pending ->
-      (match pick_best v atoms with
-       | None -> visit v
-       | Some (a, rest) ->
-         let try_tuple tuple =
-           match unify v a tuple with
-           | Some v' -> go v' pending rest
-           | None -> false
-         in
-         (match if naive then None else Index.ground_position v a with
-          | Some (col, value) ->
-            let h = Index.get idx ~lookup a.Atom.rel col in
-            List.exists try_tuple (Option.value ~default:[] (Hashtbl.find_opt h value))
-          | None -> Relation.exists try_tuple (lookup a.Atom.rel)))
+      (match atoms with
+       | [] -> visit v
+       | a :: rest ->
+         Relation.exists
+           (fun tuple ->
+             match unify v a tuple with
+             | Some v' -> go v' pending rest
+             | None -> false)
+           (lookup a.Atom.rel))
   in
   go init neqs atoms
+
+let solve ~lookup ?(neqs = []) ?(init = Valuation.empty) ?(naive = false)
+    ?store atoms visit =
+  if naive then naive_solve ~lookup ~neqs ~init atoms visit
+  else begin
+    let plan = Kernel.plan_for atoms neqs in
+    let store =
+      match store with
+      | Some s -> s
+      | None -> Kernel.Store.create ()
+    in
+    Kernel.run store ~lookup ~init:(Kernel.init_binds plan init) plan
+      (fun regs -> visit (Kernel.valuation_of plan ~init regs))
+  end
 
 let all ~lookup ?(neqs = []) ?(init = Valuation.empty) atoms =
   let out = ref [] in

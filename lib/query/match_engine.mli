@@ -3,12 +3,13 @@
 
     Finds all extensions of an initial valuation that map every atom of
     a conjunctive body into the relations supplied by [lookup], subject
-    to inequality side conditions.  Atoms are ordered greedily (most
-    ground arguments first, then smallest relation), and candidate
-    tuples for an atom with a ground argument come from a lazily built
-    hash index on that (relation, column) instead of a scan — together
-    the difference between polynomial joins and a cross product on
-    realistic bodies; see the [ablation] bench. *)
+    to inequality side conditions.  The body is compiled once into a
+    slot-addressed {!Kernel} plan (memoised across calls): atoms are
+    ordered greedily (most bound arguments first, then smallest
+    relation), and candidate tuples for an atom with a ground argument
+    come from a persistent {!Ric_relational.Rix} column index instead
+    of a scan — together the difference between polynomial joins and a
+    cross product on realistic bodies; see the [ablation] bench. *)
 
 open Ric_relational
 
@@ -17,6 +18,7 @@ val solve :
   ?neqs:(Term.t * Term.t) list ->
   ?init:Valuation.t ->
   ?naive:bool ->
+  ?store:Kernel.Store.t ->
   Atom.t list ->
   (Valuation.t -> bool) ->
   bool
@@ -27,8 +29,12 @@ val solve :
     soon as [visit] returns [true]; the result reports whether any
     visit did.  Inequalities mentioning variables that never become
     ground are ignored (callers ensure range restriction).
-    [~naive:true] disables the greedy atom ordering (kept for the
-    ablation bench). *)
+    [~naive:true] bypasses the compiled kernel entirely and runs the
+    original interpreted engine in first-atom order with full scans —
+    the differential-testing oracle and ablation baseline.  [?store]
+    supplies a shared index cache so consecutive solves over the same
+    physical relations skip re-indexing; without it each call builds
+    (and drops) its own. *)
 
 val all : lookup:(string -> Relation.t) ->
   ?neqs:(Term.t * Term.t) list ->

@@ -10,20 +10,20 @@ let find = SMap.find_opt
 let add = SMap.add
 let mem = SMap.mem
 let cardinal = SMap.cardinal
+let is_empty = SMap.is_empty
 
+exception Conflict
+
+(* Bail out of the merge at the first disagreeing binding instead of
+   finishing the whole union just to discard it. *)
 let union a b =
-  let ok = ref true in
-  let merged =
+  match
     SMap.union
-      (fun _ va vb ->
-        if Value.equal va vb then Some va
-        else begin
-          ok := false;
-          Some va
-        end)
+      (fun _ va vb -> if Value.equal va vb then Some va else raise Conflict)
       a b
-  in
-  if !ok then Some merged else None
+  with
+  | merged -> Some merged
+  | exception Conflict -> None
 
 let term v = function
   | Term.Var x as t -> (match SMap.find_opt x v with Some c -> Term.Const c | None -> t)

@@ -23,6 +23,8 @@ val mem : string -> t -> bool
 
 val cardinal : t -> int
 
+val is_empty : t -> bool
+
 val union : t -> t -> t option
 (** [union a b] merges two valuations; [None] if they disagree on a
     shared variable. *)

@@ -40,9 +40,23 @@ let relation d name =
   | Some r -> r
   | None -> raise Not_found
 
+(* Single-tuple fast path: the existing relation was validated when it
+   was installed, so only the inserted tuple needs a conformance check
+   — [set_relation] would rescan the whole relation per insert, an
+   O(n) toll the valuation search used to pay twice per step. *)
 let add_tuple d name t =
   match SMap.find_opt name d.rels with
-  | Some existing -> set_relation d name (Relation.add t existing)
+  | Some existing ->
+    let rs =
+      try Schema.find d.sch name
+      with Not_found ->
+        invalid_arg (Printf.sprintf "Database: unknown relation %S" name)
+    in
+    if not (Tuple.conforms rs t) then
+      invalid_arg
+        (Format.asprintf "Database: tuple %a does not conform to %a" Tuple.pp t
+           Schema.pp_relation rs);
+    { d with rels = SMap.add name (Relation.add t existing) d.rels }
   | None -> invalid_arg (Printf.sprintf "Database: unknown relation %S" name)
 
 let add_tuples d pairs = List.fold_left (fun d (name, t) -> add_tuple d name t) d pairs

@@ -1,0 +1,58 @@
+(* Process-wide hash-consing of values into dense integer ids.  The
+   compiled match kernel unifies and compares interned rows with plain
+   [int] equality; the table only ever grows, so an id, once handed
+   out, stays valid for the life of the process.
+
+   Concurrency: [id]/[row] serialise on one mutex (interning happens in
+   batches — index builds, delta rows — so the lock is coarse but
+   cold); [value]/[size] are lock-free.  The reverse array is published
+   via [Atomic] only after the new entry is written, and ids travel to
+   other domains through synchronised structures (index stores,
+   checkers built before spawning), so every read of [rev.(i)] is
+   ordered after the write of entry [i]. *)
+
+let mx = Mutex.create ()
+let tbl : (Value.t, int) Hashtbl.t = Hashtbl.create 1024
+let rev : Value.t array Atomic.t = Atomic.make (Array.make 1024 (Value.Int 0))
+let next = ref 0 (* guarded by [mx] *)
+let count = Atomic.make 0
+
+let intern_locked v =
+  match Hashtbl.find_opt tbl v with
+  | Some i -> i
+  | None ->
+    let i = !next in
+    let arr = Atomic.get rev in
+    (if i < Array.length arr then arr.(i) <- v
+     else begin
+       let bigger = Array.make (2 * Array.length arr) v in
+       Array.blit arr 0 bigger 0 (Array.length arr);
+       bigger.(i) <- v;
+       Atomic.set rev bigger
+     end);
+    next := i + 1;
+    Hashtbl.add tbl v i;
+    Atomic.incr count;
+    i
+
+let id v =
+  Mutex.lock mx;
+  let i = intern_locked v in
+  Mutex.unlock mx;
+  i
+
+let row t =
+  let n = Tuple.arity t in
+  Mutex.lock mx;
+  let r = Array.init n (fun i -> intern_locked (Tuple.get t i)) in
+  Mutex.unlock mx;
+  r
+
+let value i = (Atomic.get rev).(i)
+
+let size () = Atomic.get count
+
+let () =
+  Ric_obs.Metrics.gauge_fn
+    ~help:"distinct values in the process-wide interning table"
+    "ric_intern_entries" size

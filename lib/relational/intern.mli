@@ -1,0 +1,21 @@
+(** Process-wide hash-consing of {!Value.t} into dense integer ids.
+
+    Equal values always receive the same id, so unification and tuple
+    equality in the compiled match kernel reduce to [int] compares.
+    The table is append-only and domain-safe: interning serialises on
+    an internal mutex, reverse lookup is lock-free.  Exposes its size
+    as the [ric_intern_entries] pull gauge. *)
+
+val id : Value.t -> int
+(** Intern one value.  Stable for the life of the process. *)
+
+val value : int -> Value.t
+(** Reverse lookup.  Only valid for ids previously returned by {!id}
+    or {!row}. *)
+
+val row : Tuple.t -> int array
+(** Intern every component of a tuple under a single lock
+    acquisition. *)
+
+val size : unit -> int
+(** Number of distinct values interned so far. *)

@@ -4,58 +4,83 @@ module TSet = Set.Make (struct
   let compare = Tuple.compare
 end)
 
-type t = TSet.t
+(* The arity and cardinality ride along with the set: the arity probe
+   used to [choose] a witness tuple on every insert, and
+   [Set.cardinal] is linear — both showed up in the match engine's
+   per-node atom scoring.  [arity] is [-1] exactly when the relation
+   is empty. *)
+type t = {
+  arity : int;
+  card : int;
+  set : TSet.t;
+}
 
-let empty = TSet.empty
+let empty = { arity = -1; card = 0; set = TSet.empty }
 
-let check_arity t set =
-  match TSet.choose_opt set with
-  | Some witness when Tuple.arity witness <> Tuple.arity t ->
+let of_set set =
+  if TSet.is_empty set then empty
+  else
+    {
+      arity = Tuple.arity (TSet.choose set);
+      card = TSet.cardinal set;
+      set;
+    }
+
+let add t r =
+  if r.card = 0 then { arity = Tuple.arity t; card = 1; set = TSet.singleton t }
+  else if Tuple.arity t <> r.arity then
     invalid_arg
       (Printf.sprintf "Relation: arity mismatch (%d vs %d)" (Tuple.arity t)
-         (Tuple.arity witness))
-  | _ -> ()
-
-let add t set =
-  check_arity t set;
-  TSet.add t set
+         r.arity)
+  else
+    let set = TSet.add t r.set in
+    (* [TSet.add] returns the set itself when [t] was already there *)
+    if set == r.set then r else { r with card = r.card + 1; set }
 
 let of_tuples ts = List.fold_left (fun acc t -> add t acc) empty ts
 let of_int_rows rows = of_tuples (List.map Tuple.of_ints rows)
 let of_str_rows rows = of_tuples (List.map Tuple.of_strs rows)
 
-let mem = TSet.mem
-let cardinal = TSet.cardinal
-let is_empty = TSet.is_empty
-let subset = TSet.subset
+let mem t r = TSet.mem t r.set
+let cardinal r = r.card
+let is_empty r = r.card = 0
+let subset a b = TSet.subset a.set b.set
+let arity r = if r.card = 0 then None else Some r.arity
 
 let union a b =
-  (match TSet.choose_opt a, TSet.choose_opt b with
-   | Some x, Some y when Tuple.arity x <> Tuple.arity y ->
-     invalid_arg "Relation.union: arity mismatch"
-   | _ -> ());
-  TSet.union a b
+  if a.card > 0 && b.card > 0 && a.arity <> b.arity then
+    invalid_arg "Relation.union: arity mismatch";
+  if a.card = 0 then b
+  else if b.card = 0 then a
+  else
+    let set = TSet.union a.set b.set in
+    if set == a.set then a
+    else if set == b.set then b
+    else { a with card = TSet.cardinal set; set }
 
-let diff = TSet.diff
-let inter = TSet.inter
-let equal = TSet.equal
-let compare = TSet.compare
-let fold = TSet.fold
-let iter = TSet.iter
-let exists = TSet.exists
-let for_all = TSet.for_all
-let filter = TSet.filter
-let elements = TSet.elements
+let diff a b = of_set (TSet.diff a.set b.set)
+let inter a b = of_set (TSet.inter a.set b.set)
+let equal a b = TSet.equal a.set b.set
+let compare a b = TSet.compare a.set b.set
+let fold f r acc = TSet.fold f r.set acc
+let iter f r = TSet.iter f r.set
+let exists f r = TSet.exists f r.set
+let for_all f r = TSet.for_all f r.set
+let filter f r = of_set (TSet.filter f r.set)
+let elements r = TSet.elements r.set
 
-let project cols set = TSet.fold (fun t acc -> TSet.add (Tuple.project cols t) acc) set TSet.empty
+let project cols r =
+  of_set
+    (TSet.fold (fun t acc -> TSet.add (Tuple.project cols t) acc) r.set
+       TSet.empty)
 
-let map f set = TSet.fold (fun t acc -> TSet.add (f t) acc) set TSet.empty
+let map f r = of_set (TSet.fold (fun t acc -> TSet.add (f t) acc) r.set TSet.empty)
 
-let values set =
-  TSet.fold (fun t acc -> List.rev_append (Tuple.values t) acc) set []
+let values r =
+  TSet.fold (fun t acc -> List.rev_append (Tuple.values t) acc) r.set []
   |> List.sort_uniq Value.compare
 
-let pp ppf set =
+let pp ppf r =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Tuple.pp)
-    (elements set)
+    (elements r)

@@ -18,6 +18,10 @@ val add : Tuple.t -> t -> t
 val mem : Tuple.t -> t -> bool
 
 val cardinal : t -> int
+(** O(1): the count is stored on the relation, not recomputed. *)
+
+val arity : t -> int option
+(** Stored arity of the tuples; [None] when empty. *)
 
 val is_empty : t -> bool
 

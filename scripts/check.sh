@@ -202,6 +202,39 @@ case "$(cat "$BENCH_OUT")" in
 esac
 rm -f "$BENCH_OUT"
 
+echo "== match-kernel bench smoke test"
+# compiled kernel vs naive oracle: the bench exits nonzero when the
+# solution counts diverge or the compiled path is slower than the oracle
+MATCH_OUT="${TMPDIR:-/tmp}/ricd-check-$$-match.json"
+RIC_BENCH_MATCH_OUT="$MATCH_OUT" _build/default/bench/main.exe match \
+  || { echo "FAIL: match-kernel bench failed" >&2; rm -f "$MATCH_OUT"; exit 1; }
+
+echo "== match-kernel bench guard"
+# fresh compiled solves/s must stay within RIC_BENCH_MATCH_TOLERANCE_PCT
+# (default 25 — a microbench is noisier than the step-metered search)
+# of the committed BENCH_match.json baseline
+MATCH_BASELINE="BENCH_match.json"
+if [ -f "$MATCH_BASELINE" ]; then
+  MTOL="${RIC_BENCH_MATCH_TOLERANCE_PCT:-25}"
+  match_sps() { sed -n 's/.*"compiled_solves_per_sec":\([0-9]*\).*/\1/p' "$1"; }
+  MBASE=$(match_sps "$MATCH_BASELINE")
+  MFRESH=$(match_sps "$MATCH_OUT")
+  if [ -z "$MBASE" ] || [ -z "$MFRESH" ]; then
+    echo "FAIL: could not extract compiled_solves_per_sec for the match guard" >&2
+    rm -f "$MATCH_OUT"
+    exit 1
+  fi
+  echo "compiled solves/s: baseline $MBASE, fresh $MFRESH (tolerance ${MTOL}%)"
+  if [ $((MFRESH * 100)) -lt $((MBASE * (100 - MTOL))) ]; then
+    echo "FAIL: compiled kernel is more than ${MTOL}% slower than $MATCH_BASELINE" >&2
+    rm -f "$MATCH_OUT"
+    exit 1
+  fi
+else
+  echo "skip: no $MATCH_BASELINE baseline committed"
+fi
+rm -f "$MATCH_OUT"
+
 echo "== bench guard (instrumentation must not slow the seq search)"
 # re-measure untraced seq steps/s at the committed baseline's step cap
 # and require it within RIC_BENCH_TOLERANCE_PCT (default 5) percent of
