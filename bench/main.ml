@@ -22,6 +22,7 @@
      micro    — bechamel micro-benchmarks (one group per table)
      search   — seq/inc/par valuation-search strategies (BENCH_search.json)
      match    — compiled match kernel vs naive oracle (BENCH_match.json)
+     mine     — constraint mining seq vs pool-parallel (BENCH_mine.json)
      obs      — instrumentation overhead: traced vs untraced seq decide
 *)
 
@@ -909,6 +910,88 @@ let match_bench () =
   Printf.printf "  wrote %s\n" out
 
 (* ================================================================== *)
+(* Constraint mining                                                   *)
+(* ================================================================== *)
+
+(* BENCH_mine.json: throughput of the mining pipeline (enumerate →
+   prune → kernel-score → accept) on the crm and supply_chain
+   scenarios, sequential scoring vs pool-parallel.  The two modes must
+   accept the same constraint set (a live differential, not just a
+   speed report), and check.sh guards the sequential candidates/s
+   against the committed baseline.  On a single-core host the parallel
+   figure records pool overhead rather than a win — that is the honest
+   number. *)
+
+let mine_bench () =
+  hr "Constraint mining: candidates/s (seq vs pool-parallel)";
+  let module Json = Ric_text.Json in
+  let module Mine = Ric_mining.Mine in
+  let dir =
+    if Sys.file_exists "scenarios" then "scenarios" else "../../../scenarios"
+  in
+  let par_workers = 2 in
+  let bench_one file =
+    let s = Ric_text.Scenario.load (Filename.concat dir file) in
+    let open Ric_text.Scenario in
+    let run workers =
+      Mine.run
+        ~config:{ Mine.default with Mine.workers }
+        ~db_schema:s.db_schema ~master_schema:s.master_schema ~db:s.db
+        ~master:s.master ()
+    in
+    let keys (r : Mine.result) =
+      List.map
+        (fun sc -> sc.Ric_mining.Score.candidate.Ric_mining.Enumerate.key)
+        r.Mine.accepted_scored
+    in
+    let seq_r = run 1 in
+    let par_r = run par_workers in
+    if keys seq_r <> keys par_r then begin
+      Printf.printf "  DIVERGENCE on %s: seq accepted %d vs par accepted %d\n"
+        file
+        (List.length seq_r.Mine.accepted)
+        (List.length par_r.Mine.accepted);
+      exit 1
+    end;
+    let enumerated = seq_r.Mine.stats.Mine.enumerated in
+    let rate workers =
+      let best = ref 0.0 in
+      for _ = 1 to 3 do
+        let (_ : Mine.result), secs = time (fun () -> run workers) in
+        best := Float.max !best (float_of_int enumerated /. (secs +. 1e-9))
+      done;
+      !best
+    in
+    let seq_cps = rate 1 in
+    let par_cps = rate par_workers in
+    Printf.printf "  %-18s %6d candidates, %3d accepted\n" file enumerated
+      seq_r.Mine.stats.Mine.accepted;
+    Printf.printf "    seq        %12.0f candidates/s\n" seq_cps;
+    Printf.printf "    par (w=%d)  %12.0f candidates/s  (%.2fx)\n" par_workers
+      par_cps (par_cps /. seq_cps);
+    Json.Obj
+      [
+        ("scenario", Json.Str file);
+        ("enumerated", Json.Int enumerated);
+        ("accepted", Json.Int seq_r.Mine.stats.Mine.accepted);
+        ("seq_candidates_per_sec", Json.Int (int_of_float seq_cps));
+        ("par_candidates_per_sec", Json.Int (int_of_float par_cps));
+        ("par_workers", Json.Int par_workers);
+        ("speedup", Json.Str (Printf.sprintf "%.2f" (par_cps /. seq_cps)));
+      ]
+  in
+  let rows = List.map bench_one [ "crm.ric"; "supply_chain.ric" ] in
+  let json = Json.Obj [ ("bench", Json.Str "mine"); ("scenarios", Json.List rows) ] in
+  let out =
+    Sys.getenv_opt "RIC_BENCH_MINE_OUT" |> Option.value ~default:"BENCH_mine.json"
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
+(* ================================================================== *)
 (* Instrumentation overhead                                            *)
 (* ================================================================== *)
 
@@ -974,6 +1057,7 @@ let () =
       ("micro", micro);
       ("search", search_bench);
       ("match", match_bench);
+      ("mine", mine_bench);
       ("obs", obs_bench);
     ]
   in

@@ -383,6 +383,251 @@ let file_group =
     [ file_show_cmd; file_audit_cmd; file_rcdp_cmd; file_rcqp_cmd; file_worlds_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* Mining: induce containment constraints from a scenario's (Dm, D). *)
+
+let mine_cmd =
+  let module Mine = Ric_mining.Mine in
+  let module Enumerate = Ric_mining.Enumerate in
+  let module Score = Ric_mining.Score in
+  let module Scenario = Ric_text.Scenario in
+  let run path json check full workers min_support min_confidence max_atoms
+      max_width max_consts no_cover timeout_ms =
+    with_scenario path (fun s ->
+        let config =
+          {
+            Mine.enum =
+              { Enumerate.default with Enumerate.max_atoms; max_width; max_consts };
+            min_support;
+            min_confidence;
+            workers;
+            minimal_cover = not no_cover;
+          }
+        in
+        let budget ()
+            =
+          match timeout_ms with
+          | None -> Budget.unlimited
+          | Some ms -> Budget.create ~deadline_after:(float_of_int ms /. 1000.) ()
+        in
+        if Database.is_empty s.Scenario.db then begin
+          Format.eprintf "%s: nothing to mine — the instance is empty@." path;
+          if json then
+            Format.printf "%a@." Ric_text.Json.pp
+              (Ric_text.Json.Obj
+                 [
+                   ("file", Ric_text.Json.Str path);
+                   ("accepted", Ric_text.Json.List []);
+                   ("note", Ric_text.Json.Str "empty instance");
+                 ]);
+          0
+        end
+        else begin
+          let r =
+            Mine.run ~config ~budget:(budget ())
+              ~db_schema:s.Scenario.db_schema
+              ~master_schema:s.Scenario.master_schema ~db:s.Scenario.db
+              ~master:s.Scenario.master ()
+          in
+          let checks =
+            if check && r.Mine.timed_out = None then
+              Mine.cross_check ?clock:None ~db_schema:s.Scenario.db_schema
+                ~db:s.Scenario.db ~master:s.Scenario.master
+                ~queries:s.Scenario.queries ~mined:r.Mine.accepted ()
+            else []
+          in
+          let line named =
+            String.trim (Format.asprintf "%a" Scenario.pp_named_constraint named)
+          in
+          if json then begin
+            let open Ric_text.Json in
+            let scored_json (sc : Score.scored) named =
+              Obj
+                [
+                  ("name", Str (fst named));
+                  ("family", Str sc.Score.candidate.Enumerate.family);
+                  ("support", Int sc.Score.support);
+                  ("confidence", Str (Printf.sprintf "%.3f" sc.Score.confidence));
+                  ("text", Str (line named));
+                ]
+            in
+            Format.printf "%a@." pp
+              (Obj
+                 ([
+                    ("file", Str path);
+                    ( "accepted",
+                      List (List.map2 (fun n sc -> scored_json sc n) r.Mine.accepted
+                              r.Mine.accepted_scored) );
+                    ( "near",
+                      List
+                        (List.map
+                           (fun (sc : Score.scored) ->
+                             Obj
+                               [
+                                 ("family", Str sc.Score.candidate.Enumerate.family);
+                                 ("support", Int sc.Score.support);
+                                 ( "confidence",
+                                   Str (Printf.sprintf "%.3f" sc.Score.confidence) );
+                               ])
+                           r.Mine.near) );
+                    ( "stats",
+                      Obj
+                        [
+                          ("enumerated", Int r.Mine.stats.Mine.enumerated);
+                          ("duplicates", Int r.Mine.stats.Mine.duplicates);
+                          ("pruned", Int r.Mine.stats.Mine.pruned);
+                          ("evaluated", Int r.Mine.stats.Mine.evaluated);
+                          ("accepted", Int r.Mine.stats.Mine.accepted);
+                        ] );
+                  ]
+                 @ (match r.Mine.timed_out with
+                    | Some reason -> [ ("timeout", Str (Budget.reason_name reason)) ]
+                    | None -> [])
+                 @
+                 if check then
+                   [
+                     ( "cross_check",
+                       List
+                         (List.map
+                            (fun (c : Mine.check_row) ->
+                              Obj
+                                [
+                                  ("query", Str c.Mine.cq_name);
+                                  ("before", Str c.Mine.before);
+                                  ("after", Str c.Mine.after);
+                                  ("flipped", Bool c.Mine.flipped);
+                                ])
+                            checks) );
+                   ]
+                 else []))
+          end
+          else begin
+            Format.printf
+              "# mined %d constraint%s from %s (enumerated %d, pruned %d, evaluated %d; support >= %d)@."
+              r.Mine.stats.Mine.accepted
+              (if r.Mine.stats.Mine.accepted = 1 then "" else "s")
+              path r.Mine.stats.Mine.enumerated r.Mine.stats.Mine.pruned
+              r.Mine.stats.Mine.evaluated min_support;
+            (match r.Mine.timed_out with
+             | Some reason ->
+               Format.printf "# timeout: %s (partial results)@."
+                 (Budget.reason_name reason)
+             | None -> ());
+            if full then
+              Format.printf "%a" Scenario.pp (Scenario.with_ccs s r.Mine.accepted)
+            else
+              List.iter
+                (fun named -> Format.printf "%s@." (line named))
+                r.Mine.accepted;
+            List.iter
+              (fun (sc : Score.scored) ->
+                Format.printf "# near miss (confidence %.3f, support %d): %s@."
+                  sc.Score.confidence sc.Score.support
+                  sc.Score.candidate.Enumerate.key)
+              r.Mine.near;
+            if check then begin
+              Format.printf "# cross-check (RCDP under mined V vs V = {}):@.";
+              List.iter
+                (fun (c : Mine.check_row) ->
+                  Format.printf "#   %s: %s -> %s%s@." c.Mine.cq_name c.Mine.before
+                    c.Mine.after
+                    (if c.Mine.flipped then "  [flipped to Complete]" else ""))
+                checks
+            end
+          end;
+          if r.Mine.stats.Mine.accepted = 0 && r.Mine.timed_out = None then
+            Format.eprintf
+              "%s: no constraints accepted (enumerated %d, evaluated %d)@." path
+              r.Mine.stats.Mine.enumerated r.Mine.stats.Mine.evaluated;
+          (match r.Mine.timed_out with
+           | Some reason ->
+             Format.eprintf "%s: budget exhausted (%s); results are partial@." path
+               (Budget.reason_name reason)
+           | None -> ());
+          0
+        end)
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Fan candidate scoring out over $(docv) pool worker domains")
+  in
+  let min_support_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "min-support" ] ~docv:"N"
+          ~doc:"Accept only candidates with at least $(docv) witnesses in the instance")
+  in
+  let min_confidence_arg =
+    Arg.(
+      value & opt float 0.8
+      & info [ "min-confidence" ] ~docv:"C"
+          ~doc:
+            "Report near-miss candidates at or above confidence $(docv); emission \
+             always requires confidence 1.0 (the constraint must actually hold)")
+  in
+  let max_atoms_arg =
+    Arg.(
+      value & opt int Ric_mining.Enumerate.default.Ric_mining.Enumerate.max_atoms
+      & info [ "max-atoms" ] ~docv:"N" ~doc:"Body-size bound for candidate queries")
+  in
+  let max_width_arg =
+    Arg.(
+      value & opt int Ric_mining.Enumerate.default.Ric_mining.Enumerate.max_width
+      & info [ "max-width" ] ~docv:"N" ~doc:"Head / projection width bound")
+  in
+  let max_consts_arg =
+    Arg.(
+      value & opt int Ric_mining.Enumerate.default.Ric_mining.Enumerate.max_consts
+      & info [ "max-consts" ] ~docv:"N"
+          ~doc:
+            "Refine candidates with constants only on columns with at most $(docv) \
+             distinct values (0 disables)")
+  in
+  let no_cover_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cover" ]
+          ~doc:
+            "Keep every accepted constraint instead of reducing to a minimal cover \
+             (constraints implied by an accepted more-general one are normally dropped)")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Cross-check: re-run the RCDP decider on every scenario query with the \
+             mined constraints and report which ones flip to Complete")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Print the whole scenario with its constraint set replaced by the mined \
+             one (parseable as-is) instead of just the constraint block")
+  in
+  let mine_timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Give mining at most $(docv) milliseconds; past that the constraints \
+             accepted so far are emitted with a timeout marker instead of blocking")
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Induce containment constraints q(D) ⊆ p(Dm) from a scenario's data \
+          (support/confidence rule mining over the compiled match kernel)")
+    Term.(
+      const run $ file_arg $ json_arg $ check_arg $ full_arg $ workers_arg
+      $ min_support_arg $ min_confidence_arg $ max_atoms_arg $ max_width_arg
+      $ max_consts_arg $ no_cover_arg $ mine_timeout_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Trace files. *)
 
 let trace_group =
@@ -615,6 +860,31 @@ let request_simple_cmd op doc req =
   let run socket = rpc socket req in
   Cmd.v (Cmd.info op ~doc) Term.(const run $ socket_arg)
 
+let request_mine_cmd =
+  let run socket session nocache timeout_ms min_support workers =
+    rpc socket
+      (Ric_service.Protocol.Mine { session; nocache; timeout_ms; min_support; workers })
+  in
+  let min_support_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-support" ] ~docv:"N" ~doc:"Witness threshold (server default 1)")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:"Scoring fan-out over pool domains (server default sequential)")
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:"Induce containment constraints from a session's (Dm, D) pair")
+    Term.(
+      const run $ socket_arg $ session_pos $ nocache_arg $ timeout_ms_arg
+      $ min_support_arg $ workers_arg)
+
 let request_close_cmd =
   let run socket session = rpc socket (Ric_service.Protocol.Close { session }) in
   Cmd.v (Cmd.info "close" ~doc:"Close a session and purge its cached verdicts")
@@ -634,6 +904,7 @@ let request_group =
       request_decide_cmd "audit" "Full completeness audit of a session query"
         (fun ~session ~query ~nocache ~timeout_ms ~search ->
           Ric_service.Protocol.Audit { session; query; nocache; timeout_ms; search });
+      request_mine_cmd;
       request_insert_cmd;
       request_close_cmd;
       request_simple_cmd "ping" "Liveness probe" Ric_service.Protocol.Ping;
@@ -712,6 +983,7 @@ let () =
             rcdp_cmd;
             rcqp_cmd;
             reduction_cmd;
+            mine_cmd;
             file_group;
             trace_group;
             serve_cmd;

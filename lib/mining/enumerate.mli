@@ -1,0 +1,90 @@
+(** Candidate containment-constraint enumeration.
+
+    Given the database schema, the master schema and the instance [D],
+    generate a bounded space of candidate constraints [q(D) ⊆ p(Dm)]
+    in the AMIE shape: small connected conjunctive bodies, canonicalised
+    up to variable renaming (and atom order) so structurally equal
+    candidates are emitted once.  Four families:
+
+    - {b inclusion}: a single atom [R(x̄)], optionally refined by
+      binding one low-cardinality column to a constant seen in [D],
+      with a projection head into every master projection of the same
+      width — the paper's φ0/φ2 shapes;
+    - {b join}: two atoms sharing one variable (connected by
+      construction), projection head as above;
+    - {b closure}: a domain-closure denial
+      [R(..x..), x ≠ v1, .., x ≠ vk ⊆ ∅] for a column whose distinct
+      values in [D] are few — closing the column's active domain;
+    - {b cap}: the paper's φ1 counting shape —
+      [R(g,..,y0.., .., R(g,..,yk..), yi ≠ yj ⊆ ∅] when no group value
+      in [D] has more than [k] distinct counted values.
+
+    Enumeration only proposes; {!Score} decides.  The data-driven
+    families ([closure], [cap], constant refinements) read [D] but
+    every candidate is still re-verified by the scorer, so enumeration
+    never has to be trusted. *)
+
+open Ric_relational
+open Ric_query
+open Ric_constraints
+
+type config = {
+  max_atoms : int;  (** body size bound; the cap family needs [k+1] atoms *)
+  max_width : int;  (** head / projection width bound *)
+  max_consts : int;
+      (** bind a column to constants only when it has at most this many
+          distinct values in [D] (0 disables constant refinements) *)
+  closure_max : int;
+      (** emit a domain-closure denial for columns with at most this
+          many distinct values in [D] (0 disables the family) *)
+  cap_max : int;
+      (** emit a cap denial when every group has at most this many
+          distinct counted values (0 disables the family) *)
+}
+
+val default : config
+(** [{ max_atoms = 3; max_width = 2; max_consts = 2; closure_max = 3;
+      cap_max = 2 }] *)
+
+type candidate = {
+  family : string;  (** ["inclusion"], ["join"], ["closure"] or ["cap"] *)
+  head : Term.t list;
+  atoms : Atom.t list;
+  neqs : (Term.t * Term.t) list;
+  rhs : Projection.t;
+  key : string;  (** canonical form — dedup key and deterministic order *)
+  support_hint : int option;
+      (** enumeration-time support for the denial families, where the
+          body-with-inequalities has no witnesses by design: row count
+          backing a closure, number of at-cap groups for a cap *)
+}
+
+val canonical_key :
+  head:Term.t list ->
+  atoms:Atom.t list ->
+  neqs:(Term.t * Term.t) list ->
+  rhs:Projection.t ->
+  string
+(** Canonical rendering: variables renamed in first-occurrence order,
+    inequalities sorted, minimised over atom permutations (bodies of up
+    to four atoms), so alpha-equivalent candidates collide. *)
+
+type result = {
+  cands : candidate list;  (** deduplicated, in emission order *)
+  enumerated : int;  (** raw candidates visited, duplicates included *)
+  duplicates : int;  (** candidates dropped by canonical-key dedup *)
+  exhausted : Ric_complete.Budget.reason option;
+      (** set when the budget ran out mid-enumeration; [cands] then
+          holds the prefix generated so far *)
+}
+
+val generate :
+  ?config:config ->
+  ?budget:Ric_complete.Budget.t ->
+  db_schema:Schema.t ->
+  master_schema:Schema.t ->
+  db:Database.t ->
+  unit ->
+  result
+(** Never raises {!Ric_complete.Budget.Exhausted} — exhaustion is
+    reported in the result so callers can surface partial output. *)

@@ -1,0 +1,303 @@
+open Ric_relational
+open Ric_query
+open Ric_constraints
+module Budget = Ric_complete.Budget
+module Pool = Ric_complete.Pool
+
+type config = {
+  enum : Enumerate.config;
+  min_support : int;
+  min_confidence : float;
+  workers : int;
+  minimal_cover : bool;
+}
+
+let default =
+  {
+    enum = Enumerate.default;
+    min_support = 1;
+    min_confidence = 0.8;
+    workers = 1;
+    minimal_cover = true;
+  }
+
+type stats = {
+  enumerated : int;
+  duplicates : int;
+  pruned : int;
+  evaluated : int;
+  accepted : int;
+}
+
+type result = {
+  accepted : (string * Containment.t) list;
+  accepted_scored : Score.scored list;
+  near : Score.scored list;
+  stats : stats;
+  timed_out : Budget.reason option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let m_stage stage =
+  Ric_obs.Metrics.counter ~help:"mining candidates by pipeline stage"
+    ~labels:[ ("stage", stage) ]
+    "ric_mine_candidates_total"
+
+let m_enumerated = m_stage "enumerated"
+let m_pruned = m_stage "pruned"
+let m_evaluated = m_stage "evaluated"
+let m_accepted = m_stage "accepted"
+
+let m_eval_hist =
+  Ric_obs.Metrics.histogram ~help:"per-candidate kernel evaluation latency"
+    "ric_mine_eval_seconds"
+
+let m_runs = Ric_obs.Metrics.counter ~help:"mining passes" "ric_mine_runs_total"
+
+let m_timeouts =
+  Ric_obs.Metrics.counter ~help:"mining passes that exhausted their budget"
+    "ric_mine_timeouts_total"
+
+(* ------------------------------------------------------------------ *)
+
+(* Candidates that cannot reach acceptance, skipped without paying for
+   a kernel evaluation: a body atom over an empty db relation (support
+   is necessarily 0), or a projection into an empty / unknown master
+   relation (confidence is necessarily 0 at any support). *)
+let prunable ~db ~master (c : Enumerate.candidate) =
+  let empty_in d name =
+    match Database.relation d name with
+    | r -> Relation.is_empty r
+    | exception Not_found -> true
+  in
+  List.exists (fun (a : Atom.t) -> empty_in db a.Atom.rel) c.atoms
+  ||
+  match c.rhs with
+  | Projection.Empty -> false
+  | Projection.Proj { mrel; _ } -> empty_in master mrel
+
+let score_one ctx ~db budget c =
+  let s =
+    Ric_obs.Metrics.time m_eval_hist (fun () ->
+        Score.score ~budget ctx ~db c)
+  in
+  Ric_obs.Metrics.incr m_evaluated;
+  s
+
+let eval_seq budget ~db ~master cands timed_out =
+  let ctx = Score.ctx ~master () in
+  let out = ref [] in
+  (try
+     List.iter
+       (fun c ->
+         Budget.check_now budget;
+         out := score_one ctx ~db budget c :: !out)
+       cands
+   with Budget.Exhausted r ->
+     if !timed_out = None then timed_out := Some r);
+  !out
+
+let batch_size = 32
+
+let rec chunk n = function
+  | [] -> []
+  | l ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let b, rest = take n [] l in
+    b :: chunk n rest
+
+(* The valuation-search fan-out idiom: a shared stop flag, per-batch
+   forked budgets whose consumed steps fold back into the parent
+   exactly once, first-error / first-exhaustion recorded under a
+   mutex, partial output preserved. *)
+let eval_par workers budget ~db ~master cands timed_out =
+  let stop = Atomic.make false in
+  let mx = Mutex.create () in
+  let locked f =
+    Mutex.lock mx;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mx) f
+  in
+  let consumed = Atomic.make 0 in
+  let out = ref [] and exh = ref None and err = ref None in
+  let run_batch job =
+    if not (Atomic.get stop) then begin
+      let child =
+        Budget.fork ~cancel:stop ~extra_steps:(Atomic.get consumed) budget
+      in
+      let ctx = Score.ctx ~master () in
+      let acc = ref [] in
+      (try
+         List.iter
+           (fun c ->
+             if not (Atomic.get stop) then begin
+               Budget.check_now child;
+               acc := score_one ctx ~db child c :: !acc
+             end)
+           job
+       with
+      | Budget.Exhausted r ->
+        locked (fun () -> if !exh = None then exh := Some r);
+        Atomic.set stop true
+      | e ->
+        locked (fun () -> if !err = None then err := Some e);
+        Atomic.set stop true);
+      ignore (Atomic.fetch_and_add consumed (Budget.steps child));
+      locked (fun () -> out := List.rev_append !acc !out)
+    end
+  in
+  let pool =
+    Pool.create ~domains:workers ~capacity:(2 * workers)
+      ~worker:(fun f -> f ())
+      ()
+  in
+  List.iter
+    (fun job -> ignore (Pool.submit pool (fun () -> run_batch job)))
+    (chunk batch_size cands);
+  Pool.shutdown pool;
+  Budget.add_steps budget (Atomic.get consumed);
+  (match !err with Some e -> raise e | None -> ());
+  (match !exh with
+  | Some r when !timed_out = None -> timed_out := Some r
+  | _ -> ());
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance *)
+
+let order =
+  let cmp (a : Score.scored) (b : Score.scored) =
+    match compare b.Score.support a.Score.support with
+    | 0 ->
+      String.compare a.Score.candidate.Enumerate.key
+        b.Score.candidate.Enumerate.key
+    | c -> c
+  in
+  List.sort cmp
+
+(* [b] subsumes [a] when both project into the same master target and
+   q_a ⊆ q_b (Chandra–Merlin; inequality-free only): if q_b(D) ⊆ p
+   holds then q_a(D) ⊆ p is implied. *)
+let subsumes ~db_schema (a : Enumerate.candidate) (b : Enumerate.candidate) =
+  a.Enumerate.rhs = b.Enumerate.rhs
+  && a.Enumerate.neqs = [] && b.Enumerate.neqs = []
+  &&
+  try Cq.contained_in db_schema (Score.cq_of a) (Score.cq_of b)
+  with Invalid_argument _ -> false
+
+(* Pairwise, not greedy: a candidate is redundant when any {e other}
+   accepted one subsumes it — order-independent, so a constant-refined
+   body is dropped whenever its generalisation was also accepted.
+   Mutually-equivalent pairs keep the key-least representative. *)
+let minimal_cover ~db_schema sorted =
+  List.filter
+    (fun (s : Score.scored) ->
+      let c = s.Score.candidate in
+      not
+        (List.exists
+           (fun (k : Score.scored) ->
+             let kc = k.Score.candidate in
+             kc.Enumerate.key <> c.Enumerate.key
+             && subsumes ~db_schema c kc
+             && ((not (subsumes ~db_schema kc c))
+                 || kc.Enumerate.key < c.Enumerate.key))
+           sorted))
+    sorted
+
+let mined_name i = "mined-" ^ string_of_int (i + 1)
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(config = default) ?(budget = Budget.unlimited) ~db_schema
+    ~master_schema ~db ~master () =
+  Ric_obs.Metrics.incr m_runs;
+  let er = Enumerate.generate ~config:config.enum ~budget ~db_schema
+      ~master_schema ~db ()
+  in
+  Ric_obs.Metrics.add m_enumerated er.Enumerate.enumerated;
+  let timed_out = ref er.Enumerate.exhausted in
+  let pruned, to_eval = List.partition (prunable ~db ~master) er.Enumerate.cands in
+  Ric_obs.Metrics.add m_pruned (List.length pruned);
+  let scored =
+    if !timed_out <> None then []
+    else if config.workers <= 1 then eval_seq budget ~db ~master to_eval timed_out
+    else eval_par config.workers budget ~db ~master to_eval timed_out
+  in
+  let accepted_all =
+    order
+      (List.filter
+         (fun (s : Score.scored) ->
+           s.Score.support >= config.min_support && s.Score.confidence >= 1.0)
+         scored)
+  in
+  let accepted_scored =
+    if config.minimal_cover then minimal_cover ~db_schema accepted_all
+    else accepted_all
+  in
+  let near =
+    order
+      (List.filter
+         (fun (s : Score.scored) ->
+           s.Score.support >= config.min_support
+           && s.Score.confidence < 1.0
+           && s.Score.confidence >= config.min_confidence)
+         scored)
+  in
+  let accepted =
+    List.mapi
+      (fun i (s : Score.scored) ->
+        let n = mined_name i in
+        (n, Score.cc_of ~name:n s.Score.candidate))
+      accepted_scored
+  in
+  Ric_obs.Metrics.add m_accepted (List.length accepted);
+  if !timed_out <> None then Ric_obs.Metrics.incr m_timeouts;
+  {
+    accepted;
+    accepted_scored;
+    near;
+    stats =
+      {
+        enumerated = er.Enumerate.enumerated;
+        duplicates = er.Enumerate.duplicates;
+        pruned = List.length pruned;
+        evaluated = List.length scored;
+        accepted = List.length accepted;
+      };
+    timed_out = !timed_out;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check: does the mined knowledge promote queries to Complete? *)
+
+type check_row = {
+  cq_name : string;
+  before : string;
+  after : string;
+  flipped : bool;
+}
+
+let cross_check ?clock ~db_schema ~db ~master ~queries ~mined () =
+  let module Rcdp = Ric_complete.Rcdp in
+  let decide ccs q =
+    match
+      Rcdp.decide ?clock ~check_partially_closed:false ~schema:db_schema
+        ~master ~ccs ~db q
+    with
+    | Rcdp.Complete -> "Complete"
+    | Rcdp.Incomplete _ -> "Incomplete"
+    | exception Rcdp.Unsupported _ -> "unsupported"
+    | exception Budget.Exhausted r -> "timeout:" ^ Budget.reason_name r
+  in
+  let ccs = List.map snd mined in
+  List.map
+    (fun (cq_name, q) ->
+      let before = decide [] q in
+      let after = decide ccs q in
+      { cq_name; before; after; flipped = before <> "Complete" && after = "Complete" })
+    queries

@@ -347,6 +347,11 @@ let memo : (Atom.t list * (Term.t * Term.t) list, plan) Hashtbl.t =
 
 let memo_cap = 256
 
+let m_memo_evictions =
+  Ric_obs.Metrics.counter
+    ~help:"compiled plans dropped when the plan memo hit its cap"
+    "ric_kernel_memo_evictions_total"
+
 let plan_for atoms neqs =
   Mutex.lock memo_mx;
   match
@@ -354,7 +359,10 @@ let plan_for atoms neqs =
     | Some p -> p
     | None ->
       let p = compile atoms neqs in
-      if Hashtbl.length memo >= memo_cap then Hashtbl.reset memo;
+      if Hashtbl.length memo >= memo_cap then begin
+        Ric_obs.Metrics.add m_memo_evictions (Hashtbl.length memo);
+        Hashtbl.reset memo
+      end;
       Hashtbl.add memo (atoms, neqs) p;
       p
   with

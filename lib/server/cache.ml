@@ -1,4 +1,4 @@
-type kind = K_rcdp | K_rcqp | K_audit
+type kind = K_rcdp | K_rcqp | K_audit | K_mine
 
 type entry = {
   kind : kind;
@@ -130,3 +130,7 @@ let audit_key ~session ~fingerprint ~epoch ~query =
 let rcqp_key ~session ~fingerprint ~query =
   Printf.sprintf "%s/rcqp/%s/%s" (escape session) (escape fingerprint)
     (escape query)
+
+let mine_key ~session ~fingerprint ~epoch ~config =
+  Printf.sprintf "%s/e%d/mine/%s/%s" (escape session) epoch
+    (escape fingerprint) (escape config)

@@ -26,7 +26,7 @@
     hit/miss accounting.  No locking here — the service's mutex
     guards it. *)
 
-type kind = K_rcdp | K_rcqp | K_audit
+type kind = K_rcdp | K_rcqp | K_audit | K_mine
 
 type entry = {
   kind : kind;
@@ -88,6 +88,14 @@ val audit_key :
   session:string -> fingerprint:string -> epoch:int -> query:string -> string
 
 val rcqp_key : session:string -> fingerprint:string -> query:string -> string
+
+val mine_key :
+  session:string -> fingerprint:string -> epoch:int -> config:string -> string
+(** Epoch-keyed like RCDP entries — mined constraints depend on the
+    session's database, so any insert makes them unreachable (and the
+    insert migration drops them: unlike a verdict, a mined set has no
+    cheap revalidation).  [config] fingerprints the mining thresholds,
+    so requests with different knobs cache separately. *)
 
 val session_prefix : session:string -> string
 (** Prefix of every key of the session (for [close]). *)

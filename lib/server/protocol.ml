@@ -25,6 +25,13 @@ type request =
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
     }
+  | Mine of {
+      session : string;
+      nocache : bool;
+      timeout_ms : int option;
+      min_support : int option;
+      workers : int option;
+    }
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats
@@ -36,6 +43,7 @@ let op_name = function
   | Rcdp _ -> "rcdp"
   | Rcqp _ -> "rcqp"
   | Audit _ -> "audit"
+  | Mine _ -> "mine"
   | Insert _ -> "insert"
   | Close _ -> "close"
   | Stats -> "stats"
@@ -137,6 +145,13 @@ let of_json = function
           | "rcdp" -> Rcdp { session; query; nocache; timeout_ms; search }
           | "rcqp" -> Rcqp { session; query; nocache; timeout_ms; search }
           | _ -> Audit { session; query; nocache; timeout_ms; search })
+     | "mine" ->
+       let* session = str_field fields "session" in
+       let* nocache = bool_field_default fields "nocache" false in
+       let* timeout_ms = opt_int_field fields "timeout_ms" in
+       let* min_support = opt_int_field fields "min_support" in
+       let* workers = opt_int_field fields "workers" in
+       Ok (Mine { session; nocache; timeout_ms; min_support; workers })
      | "insert" ->
        let* session = str_field fields "session" in
        let* rel = str_field fields "rel" in
@@ -174,6 +189,14 @@ let to_json req =
       match search with
       | Some m -> [ ("search", Json.Str (Ric_complete.Search_mode.to_string m)) ]
       | None -> [])
+  | Mine { session; nocache; timeout_ms; min_support; workers } ->
+    let opt_int k = function Some n -> [ (k, Json.Int n) ] | None -> [] in
+    Json.Obj
+      ([ op; ("session", Json.Str session) ]
+      @ (if nocache then [ ("nocache", Json.Bool true) ] else [])
+      @ opt_int "timeout_ms" timeout_ms
+      @ opt_int "min_support" min_support
+      @ opt_int "workers" workers)
   | Insert { session; rel; rows } ->
     Json.Obj
       [

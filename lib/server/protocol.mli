@@ -16,6 +16,7 @@
     {"op": "rcdp",  "session": "s1", "query": "Q0"}
     {"op": "rcqp",  "session": "s1", "query": "Q0"}
     {"op": "audit", "session": "s1", "query": "Q0"}
+    {"op": "mine",  "session": "s1"}                    # induce constraints
     {"op": "insert", "session": "s1", "rel": "Cust",
      "rows": [["c2", "carol", 908]]}
     {"op": "close", "session": "s1"}
@@ -93,6 +94,19 @@ type request =
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
     }
+  | Mine of {
+      session : string;
+      nocache : bool;
+      timeout_ms : int option;
+      min_support : int option;  (** acceptance threshold (default 1) *)
+      workers : int option;  (** scoring fan-out (default sequential) *)
+    }
+      (** Induce containment constraints from the session's [(Dm, D)]
+          pair.  The response carries the accepted constraints in
+          concrete [.ric] syntax plus mining stats; results are cached
+          per session epoch like decides, so any [insert] invalidates
+          them.  A timed-out pass answers with the partial constraint
+          set and a ["timeout"] field instead of blocking. *)
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats

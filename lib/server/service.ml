@@ -12,7 +12,10 @@ module Trace = Ric_obs.Trace
 (* Per-op request counters and latency histograms, pre-registered so a
    scrape shows the full family at zero before the first request. *)
 let known_ops =
-  [ "ping"; "open"; "rcdp"; "rcqp"; "audit"; "insert"; "close"; "stats"; "shutdown" ]
+  [
+    "ping"; "open"; "rcdp"; "rcqp"; "audit"; "mine"; "insert"; "close"; "stats";
+    "shutdown";
+  ]
 
 let op_counter op =
   Metrics.counter ~help:"requests handled, by operation" ~labels:[ ("op", op) ]
@@ -410,6 +413,115 @@ let handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search =
          ~elapsed_us:elapsed result)
 
 (* ------------------------------------------------------------------ *)
+(* mine: induce containment constraints from the session's (Dm, D) *)
+
+let constraint_line named =
+  String.trim (Format.asprintf "%a" Scenario.pp_named_constraint named)
+
+let mine_json (r : Ric_mining.Mine.result) =
+  Json.Obj
+    ([
+       ( "accepted",
+         Json.List
+           (List.map2
+              (fun (name, cc) (s : Ric_mining.Score.scored) ->
+                Json.Obj
+                  [
+                    ("name", Json.Str name);
+                    ("family", Json.Str s.Ric_mining.Score.candidate.Ric_mining.Enumerate.family);
+                    ("support", Json.Int s.Ric_mining.Score.support);
+                    ( "confidence",
+                      Json.Str (Printf.sprintf "%.3f" s.Ric_mining.Score.confidence) );
+                    ("text", Json.Str (constraint_line (name, cc)));
+                  ])
+              r.Ric_mining.Mine.accepted r.Ric_mining.Mine.accepted_scored) );
+       ( "stats",
+         Json.Obj
+           [
+             ("enumerated", Json.Int r.Ric_mining.Mine.stats.Ric_mining.Mine.enumerated);
+             ("duplicates", Json.Int r.Ric_mining.Mine.stats.Ric_mining.Mine.duplicates);
+             ("pruned", Json.Int r.Ric_mining.Mine.stats.Ric_mining.Mine.pruned);
+             ("evaluated", Json.Int r.Ric_mining.Mine.stats.Ric_mining.Mine.evaluated);
+             ("accepted", Json.Int r.Ric_mining.Mine.stats.Ric_mining.Mine.accepted);
+           ] );
+     ]
+    @
+    match r.Ric_mining.Mine.timed_out with
+    | Some reason -> [ ("timeout", Json.Str (Budget.reason_name reason)) ]
+    | None -> [])
+
+let mine_response ~session ~epoch ~cached ~elapsed_us result =
+  ok
+    [
+      ("session", Json.Str session);
+      ("epoch", Json.Int epoch);
+      ("cached", Json.Bool cached);
+      ("elapsed_us", Json.Int elapsed_us);
+      ("result", result);
+    ]
+
+let handle_mine t ~session ~nocache ~timeout_ms ~min_support ~workers =
+  let info =
+    with_lock t (fun () ->
+        match Session.find t.registry session with
+        | None ->
+          Error
+            (Protocol.error ~kind:"unknown_session"
+               (Printf.sprintf "unknown session %S (%d open)" session
+                  (Session.count t.registry)))
+        | Some s ->
+          Ok (s.Session.db, s.Session.epoch, s.Session.ccs_fingerprint, s.Session.scenario))
+  in
+  match info with
+  | Error e -> e
+  | Ok (db, epoch, fingerprint, sc) ->
+    let config =
+      {
+        Ric_mining.Mine.default with
+        Ric_mining.Mine.min_support = Option.value ~default:1 min_support;
+        workers = Option.value ~default:1 workers;
+      }
+    in
+    (* workers is an execution detail — results are identical, so it
+       stays out of the config fingerprint, like search modes do *)
+    let config_fp = Printf.sprintf "s%d" config.Ric_mining.Mine.min_support in
+    let key = Cache.mine_key ~session ~fingerprint ~epoch ~config:config_fp in
+    let hit = if nocache then None else with_lock t (fun () -> Cache.find t.cache key) in
+    (match hit with
+     | Some e ->
+       mine_response ~session ~epoch ~cached:true ~elapsed_us:e.Cache.elapsed_us
+         e.Cache.result
+     | None ->
+       Faults.fire "decide";
+       let clock = clock_of_timeout timeout_ms in
+       let t0 = Unix.gettimeofday () in
+       let r =
+         Ric_mining.Mine.run ~config ~budget:clock
+           ~db_schema:sc.Scenario.db_schema
+           ~master_schema:sc.Scenario.master_schema ~db ~master:sc.Scenario.master
+           ()
+       in
+       if r.Ric_mining.Mine.timed_out <> None then note_timeout t;
+       let result = mine_json r in
+       let elapsed = elapsed_us t0 in
+       (* a timed-out pass is partial: answer with it, never cache it *)
+       if (not nocache) && r.Ric_mining.Mine.timed_out = None then
+         with_lock t (fun () ->
+             match Session.find t.registry session with
+             | Some s when s.Session.epoch = epoch ->
+               Cache.store t.cache key
+                 {
+                   Cache.kind = Cache.K_mine;
+                   query = config_fp;
+                   result;
+                   rcdp = None;
+                   elapsed_us = elapsed;
+                   revalidated = false;
+                 }
+             | _ -> ());
+       mine_response ~session ~epoch ~cached:false ~elapsed_us:elapsed result)
+
+(* ------------------------------------------------------------------ *)
 (* insert: apply, then migrate the old epoch's cache entries *)
 
 let revalidate_cex (scenario : Scenario.t) ~db (cex : Rcdp.counterexample) q =
@@ -453,6 +565,7 @@ let handle_insert t ~session ~rel ~rows =
                        Cache.audit_key ~session ~fingerprint ~epoch:new_epoch
                          ~query:e.Cache.query
                      | Cache.K_rcqp -> assert false (* not epoch-keyed *)
+                     | Cache.K_mine -> assert false (* never kept: dropped below *)
                    in
                    Cache.store t.cache key { e with Cache.revalidated = true };
                    Cache.note_carried t.cache;
@@ -692,6 +805,8 @@ and dispatch_req t req =
     handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
   | Protocol.Audit { session; query; nocache; timeout_ms; search } ->
     handle_audit t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
+  | Protocol.Mine { session; nocache; timeout_ms; min_support; workers } ->
+    handle_mine t ~session ~nocache ~timeout_ms ~min_support ~workers
   | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
   | Protocol.Close { session } -> handle_close t ~session
   | Protocol.Stats -> handle_stats t

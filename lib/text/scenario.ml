@@ -519,6 +519,25 @@ let pp_body ppf (q : Cq.t) =
 let pp_head ppf (q : Cq.t) =
   Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_term ppf q.Cq.head
 
+let pp_named_constraint ppf (name, cc) =
+  match cc.Containment.lhs with
+  | Lang.Q_cq q ->
+    let target ppf =
+      match cc.Containment.rhs with
+      | Projection.Empty -> Format.fprintf ppf "empty"
+      | Projection.Proj { mrel; cols } ->
+        Format.fprintf ppf "%s[%a]" mrel
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             Format.pp_print_int)
+          cols
+    in
+    Format.fprintf ppf "constraint %s(%a) :- %a => %t.@." name pp_head q
+      pp_body q target
+  | _ -> ()
+
+let with_ccs t ccs = { t with ccs }
+
 let pp ppf (t : t) =
   List.iter (pp_sig "schema" ppf) (Schema.relations t.db_schema);
   List.iter (pp_sig "master" ppf) (Schema.relations t.master_schema);
@@ -562,20 +581,4 @@ let pp ppf (t : t) =
           disjuncts
       | _ -> ())
     t.queries;
-  List.iter
-    (fun (name, cc) ->
-      match cc.Containment.lhs with
-      | Lang.Q_cq q ->
-        let target ppf =
-          match cc.Containment.rhs with
-          | Projection.Empty -> Format.fprintf ppf "empty"
-          | Projection.Proj { mrel; cols } ->
-            Format.fprintf ppf "%s[%a]" mrel
-              (Format.pp_print_list
-                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
-                 Format.pp_print_int)
-              cols
-        in
-        Format.fprintf ppf "constraint %s(%a) :- %a => %t.@." name pp_head q pp_body q target
-      | _ -> ())
-    t.ccs
+  List.iter (pp_named_constraint ppf) t.ccs

@@ -76,3 +76,14 @@ val as_cdatabase : t -> Ric_incomplete.Cdatabase.t
 val pp : Format.formatter -> t -> unit
 (** Print a scenario back in the concrete syntax (round-trips through
     {!parse} — property-tested). *)
+
+val pp_named_constraint :
+  Format.formatter -> string * Containment.t -> unit
+(** One [constraint Name(head) :- body => target.] line, as {!pp}
+    prints it — the emission format of the mined-constraint block.
+    Only CQ left-hand sides have concrete syntax; anything else prints
+    nothing. *)
+
+val with_ccs : t -> (string * Containment.t) list -> t
+(** The scenario with its constraint set replaced — e.g. by a mined
+    one, so the result can be printed, re-parsed and re-decided. *)

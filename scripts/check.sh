@@ -235,6 +235,78 @@ else
 fi
 rm -f "$MATCH_OUT"
 
+echo "== mining smoke test"
+# mining the crm scenario must emit a non-empty constraint block and
+# the cross-check must flip at least one query to Complete
+MINED=$("$RIC" mine scenarios/crm.ric --check)
+case "$MINED" in
+  *'constraint mined-1('*) ;;
+  *) echo "FAIL: ric mine emitted no constraints" >&2; exit 1 ;;
+esac
+case "$MINED" in
+  *'[flipped to Complete]'*) ;;
+  *) echo "FAIL: mined constraints flipped no query to Complete" >&2; exit 1 ;;
+esac
+# the mined block must survive a parser round trip
+MINE_RT="${TMPDIR:-/tmp}/ricd-check-$$-mined.ric"
+"$RIC" mine scenarios/crm.ric --full > "$MINE_RT"
+"$RIC" file show "$MINE_RT" >/dev/null \
+  || { echo "FAIL: mined scenario did not reparse" >&2; rm -f "$MINE_RT"; exit 1; }
+rm -f "$MINE_RT"
+# contract: an empty instance is a clean no-op, not an error
+EMPTY_RIC="${TMPDIR:-/tmp}/ricd-check-$$-empty.ric"
+printf 'schema R(a, b).\nmaster M(a).\nrows M { (m0) }.\n' > "$EMPTY_RIC"
+EMPTY_ERR=$("$RIC" mine "$EMPTY_RIC" 2>&1 >/dev/null) \
+  || { echo "FAIL: mine on an empty instance exited nonzero" >&2; rm -f "$EMPTY_RIC"; exit 1; }
+case "$EMPTY_ERR" in
+  *'nothing to mine'*) ;;
+  *) echo "FAIL: empty instance did not explain itself on stderr" >&2; rm -f "$EMPTY_RIC"; exit 1 ;;
+esac
+rm -f "$EMPTY_RIC"
+# contract: an exhausted budget yields partial results with a marker
+TIMED=$("$RIC" mine scenarios/crm.ric --timeout-ms 1 2>/dev/null) \
+  || { echo "FAIL: mine under a 1 ms budget exited nonzero" >&2; exit 1; }
+case "$TIMED" in
+  *'# timeout:'*'(partial results)'*) ;;
+  *) echo "FAIL: exhausted budget did not leave a timeout marker" >&2; exit 1 ;;
+esac
+echo "mine:    crm block mined, reparsed, flip observed; contracts hold"
+
+echo "== mining bench smoke test"
+# seq vs pool-parallel scoring must accept the same constraint set;
+# the bench exits nonzero on divergence
+MINE_OUT="${TMPDIR:-/tmp}/ricd-check-$$-mine.json"
+RIC_BENCH_MINE_OUT="$MINE_OUT" _build/default/bench/main.exe mine \
+  || { echo "FAIL: mining bench failed" >&2; rm -f "$MINE_OUT"; exit 1; }
+
+echo "== mining bench guard"
+# fresh sequential candidates/s on crm must stay within
+# RIC_BENCH_MINE_TOLERANCE_PCT (default 25) of the committed baseline
+MINE_BASELINE="BENCH_mine.json"
+if [ -f "$MINE_BASELINE" ]; then
+  NTOL="${RIC_BENCH_MINE_TOLERANCE_PCT:-25}"
+  # first occurrence = the crm row (greedy sed would grab the last)
+  mine_cps() {
+    grep -o '"seq_candidates_per_sec":[0-9]*' "$1" | head -n 1 | grep -o '[0-9]*$'
+  }
+  NBASE=$(mine_cps "$MINE_BASELINE")
+  NFRESH=$(mine_cps "$MINE_OUT")
+  if [ -z "$NBASE" ] || [ -z "$NFRESH" ]; then
+    echo "FAIL: could not extract seq_candidates_per_sec for the mine guard" >&2
+    rm -f "$MINE_OUT"
+    exit 1
+  fi
+  echo "mining candidates/s: baseline $NBASE, fresh $NFRESH (tolerance ${NTOL}%)"
+  if [ $((NFRESH * 100)) -lt $((NBASE * (100 - NTOL))) ]; then
+    echo "FAIL: mining is more than ${NTOL}% slower than $MINE_BASELINE" >&2
+    rm -f "$MINE_OUT"
+    exit 1
+  fi
+else
+  echo "skip: no $MINE_BASELINE baseline committed"
+fi
+rm -f "$MINE_OUT"
+
 echo "== bench guard (instrumentation must not slow the seq search)"
 # re-measure untraced seq steps/s at the committed baseline's step cap
 # and require it within RIC_BENCH_TOLERANCE_PCT (default 5) percent of
