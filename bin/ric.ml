@@ -673,7 +673,8 @@ let socket_arg =
     & info [ "S"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon")
 
 let serve_cmd =
-  let run socket domains queue root journal recover search metrics trace verbose =
+  let run socket domains queue max_conns read_deadline write_deadline root journal
+      recover search metrics trace verbose =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
     match
@@ -682,6 +683,9 @@ let serve_cmd =
           Ric_service.Server.socket_path = socket;
           domains;
           queue_capacity = queue;
+          max_connections = max_conns;
+          read_deadline_s = read_deadline;
+          write_deadline_s = write_deadline;
           root;
           journal;
           recover;
@@ -699,13 +703,41 @@ let serve_cmd =
     Arg.(
       value
       & opt int Ric_service.Server.default_config.Ric_service.Server.domains
-      & info [ "d"; "domains" ] ~doc:"Worker domains serving connections in parallel")
+      & info [ "d"; "domains" ] ~doc:"Worker domains running the deciders in parallel")
   in
   let queue_arg =
     Arg.(
       value
       & opt int Ric_service.Server.default_config.Ric_service.Server.queue_capacity
-      & info [ "queue" ] ~doc:"Pending-connection backlog before accepts block")
+      & info [ "queue" ]
+          ~doc:
+            "Admitted-request backlog; past it requests are shed with a structured \
+             overloaded reply carrying retry-after-ms")
+  in
+  let max_conns_arg =
+    Arg.(
+      value
+      & opt int Ric_service.Server.default_config.Ric_service.Server.max_connections
+      & info [ "max-connections" ]
+          ~doc:
+            "Connections the event loop holds open at once; beyond it new sockets \
+             get a best-effort overloaded frame and are closed")
+  in
+  let read_deadline_arg =
+    Arg.(
+      value
+      & opt float Ric_service.Server.default_config.Ric_service.Server.read_deadline_s
+      & info [ "read-deadline" ] ~docv:"S"
+          ~doc:
+            "Evict a connection that dangles a partial request frame for $(docv) \
+             seconds (slow-loris defense)")
+  in
+  let write_deadline_arg =
+    Arg.(
+      value
+      & opt float Ric_service.Server.default_config.Ric_service.Server.write_deadline_s
+      & info [ "write-deadline" ] ~docv:"S"
+          ~doc:"Evict a connection that accepts none of its reply bytes for $(docv) seconds")
   in
   let root_arg =
     Arg.(
@@ -752,12 +784,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run ricd: keep scenarios loaded, cache verdicts, decide in parallel")
     Term.(
-      const run $ socket_arg $ domains_arg $ queue_arg $ root_arg $ journal_arg
+      const run $ socket_arg $ domains_arg $ queue_arg $ max_conns_arg
+      $ read_deadline_arg $ write_deadline_arg $ root_arg $ journal_arg
       $ recover_arg $ search_arg $ metrics_arg $ trace_arg $ verbose_arg)
 
-let rpc socket req =
+let rpc ?receive_timeout socket req =
   match
-    Ric_service.Client.with_connection socket (fun c -> Ric_service.Client.rpc c req)
+    Ric_service.Client.with_connection ?receive_timeout socket (fun c ->
+        Ric_service.Client.rpc c req)
   with
   | response ->
     Format.printf "%a@." Ric_text.Json.pp response;
@@ -769,9 +803,27 @@ let rpc socket req =
     Format.eprintf "cannot reach ricd at %s: %s@." socket (Unix.error_message e);
     Format.eprintf "start it with: ric serve --socket %s@." socket;
     1
+  | exception Ric_service.Client.Timeout ->
+    (* still a structured result on stdout, like every other failure
+       kind, so scripted callers can parse it; 124 matches timeout(1) *)
+    Format.printf "%a@." Ric_text.Json.pp
+      (Ric_service.Protocol.error ~kind:"timeout"
+         (Printf.sprintf "no reply from ricd within %gs"
+            (Option.value ~default:0. receive_timeout)));
+    Format.eprintf "timed out waiting for a reply from ricd at %s@." socket;
+    124
   | exception Failure msg ->
     Format.eprintf "%s@." msg;
     1
+
+let receive_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "receive-timeout" ] ~docv:"S"
+        ~doc:
+          "Give up if no reply arrives within $(docv) seconds: print a structured \
+           timeout result and exit 124 instead of blocking")
 
 let session_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION" ~doc:"Session id")
@@ -783,8 +835,9 @@ let nocache_arg =
   Arg.(value & flag & info [ "nocache" ] ~doc:"Bypass the verdict cache for this request")
 
 let request_open_cmd =
-  let run socket file name =
-    rpc socket (Ric_service.Protocol.Open { path = Some file; source = None; name })
+  let run socket receive_timeout file name =
+    rpc ?receive_timeout socket
+      (Ric_service.Protocol.Open { path = Some file; source = None; name })
   in
   let file_pos =
     Arg.(
@@ -796,7 +849,7 @@ let request_open_cmd =
     Arg.(value & opt (some string) None & info [ "name" ] ~doc:"Label for the session")
   in
   Cmd.v (Cmd.info "open" ~doc:"Load a scenario into a new server session")
-    Term.(const run $ socket_arg $ file_pos $ name_arg)
+    Term.(const run $ socket_arg $ receive_timeout_arg $ file_pos $ name_arg)
 
 let timeout_ms_arg =
   Arg.(
@@ -817,13 +870,13 @@ let request_search_arg =
            $(b,par), $(b,par:N)); omitted, the server's default applies")
 
 let request_decide_cmd op doc ctor =
-  let run socket session query nocache timeout_ms search =
-    rpc socket (ctor ~session ~query ~nocache ~timeout_ms ~search)
+  let run socket receive_timeout session query nocache timeout_ms search =
+    rpc ?receive_timeout socket (ctor ~session ~query ~nocache ~timeout_ms ~search)
   in
   Cmd.v (Cmd.info op ~doc)
     Term.(
-      const run $ socket_arg $ session_pos $ query_pos $ nocache_arg $ timeout_ms_arg
-      $ request_search_arg)
+      const run $ socket_arg $ receive_timeout_arg $ session_pos $ query_pos
+      $ nocache_arg $ timeout_ms_arg $ request_search_arg)
 
 (* bare digits are integers; wrap a cell in double quotes to force a
    string (e.g. "01", matching the .ric row syntax) *)
@@ -837,8 +890,8 @@ let parse_cell s =
     | None -> Ric_relational.Value.Str s
 
 let request_insert_cmd =
-  let run socket session rel cells =
-    rpc socket
+  let run socket receive_timeout session rel cells =
+    rpc ?receive_timeout socket
       (Ric_service.Protocol.Insert
          { session; rel; rows = [ List.map parse_cell cells ] })
   in
@@ -854,15 +907,15 @@ let request_insert_cmd =
   Cmd.v
     (Cmd.info "insert"
        ~doc:"Insert one tuple into a session's database (epoch bump + cache migration)")
-    Term.(const run $ socket_arg $ session_pos $ rel_pos $ cells_pos)
+    Term.(const run $ socket_arg $ receive_timeout_arg $ session_pos $ rel_pos $ cells_pos)
 
 let request_simple_cmd op doc req =
-  let run socket = rpc socket req in
-  Cmd.v (Cmd.info op ~doc) Term.(const run $ socket_arg)
+  let run socket receive_timeout = rpc ?receive_timeout socket req in
+  Cmd.v (Cmd.info op ~doc) Term.(const run $ socket_arg $ receive_timeout_arg)
 
 let request_mine_cmd =
-  let run socket session nocache timeout_ms min_support workers =
-    rpc socket
+  let run socket receive_timeout session nocache timeout_ms min_support workers =
+    rpc ?receive_timeout socket
       (Ric_service.Protocol.Mine { session; nocache; timeout_ms; min_support; workers })
   in
   let min_support_arg =
@@ -882,13 +935,15 @@ let request_mine_cmd =
     (Cmd.info "mine"
        ~doc:"Induce containment constraints from a session's (Dm, D) pair")
     Term.(
-      const run $ socket_arg $ session_pos $ nocache_arg $ timeout_ms_arg
-      $ min_support_arg $ workers_arg)
+      const run $ socket_arg $ receive_timeout_arg $ session_pos $ nocache_arg
+      $ timeout_ms_arg $ min_support_arg $ workers_arg)
 
 let request_close_cmd =
-  let run socket session = rpc socket (Ric_service.Protocol.Close { session }) in
+  let run socket receive_timeout session =
+    rpc ?receive_timeout socket (Ric_service.Protocol.Close { session })
+  in
   Cmd.v (Cmd.info "close" ~doc:"Close a session and purge its cached verdicts")
-    Term.(const run $ socket_arg $ session_pos)
+    Term.(const run $ socket_arg $ receive_timeout_arg $ session_pos)
 
 let request_group =
   Cmd.group
@@ -913,9 +968,11 @@ let request_group =
     ]
 
 let shutdown_cmd =
-  let run socket = rpc socket Ric_service.Protocol.Shutdown in
+  let run socket receive_timeout =
+    rpc ?receive_timeout socket Ric_service.Protocol.Shutdown
+  in
   Cmd.v (Cmd.info "shutdown" ~doc:"Ask a running ricd to stop")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ receive_timeout_arg)
 
 (* A dependency-free scrape client for the --metrics socket, so the
    smoke tests (and curl-less machines) can read the exposition. *)

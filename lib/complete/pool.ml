@@ -146,6 +146,21 @@ let submit t payload =
   Mutex.unlock t.mutex;
   accepted
 
+(* Non-blocking admission for event-loop callers: a full queue is an
+   immediate [false] (the caller sheds) instead of a wait on
+   [not_full] — the select loop must never park on a condition. *)
+let try_submit t payload =
+  Mutex.lock t.mutex;
+  let accepted = (not t.stopping) && Queue.length t.jobs < t.capacity in
+  if accepted then begin
+    Queue.push { payload; attempts = 0 } t.jobs;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mutex;
+  accepted
+
+let capacity t = t.capacity
+
 let pending t =
   Mutex.lock t.mutex;
   let n = Queue.length t.jobs in

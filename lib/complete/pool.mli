@@ -48,6 +48,15 @@ val submit : 'a t -> 'a -> bool
 (** Enqueue a job, blocking while the queue is full.  [false] once
     {!shutdown} has begun — the job is not enqueued. *)
 
+val try_submit : 'a t -> 'a -> bool
+(** Non-blocking {!submit}: [false] immediately when the queue is at
+    capacity (the caller sheds the job) or shutdown has begun, instead
+    of parking the producer.  This is the admission-control entry point
+    for event-loop callers that must never block. *)
+
+val capacity : 'a t -> int
+(** The queue bound passed to {!create} (after the [max 1] clamp). *)
+
 val pending : 'a t -> int
 (** Jobs currently queued (racy snapshot, for stats). *)
 

@@ -1,7 +1,53 @@
 (** A minimal blocking client for the {!Protocol} wire format, used by
-    the [ric request] CLI, the smoke tests and the benches. *)
+    the [ric request] CLI, the smoke tests and the benches.
+
+    Overload behaviour: a server at capacity answers a structured
+    [overloaded] reply carrying [retry_after_ms] (see {!Protocol}).
+    {!rpc} hands that reply back verbatim; {!rpc_retrying} layers a
+    bounded retry budget on top, sleeping at least the server's hint
+    (plus jitter) between attempts, and can share a {!Breaker} so a
+    saturated or dead server makes callers fail fast instead of piling
+    retries onto it. *)
 
 type t
+
+exception Timeout
+(** The server did not answer within [receive_timeout].  The
+    connection is unusable afterwards (a reply may arrive
+    half-framed): close it and reconnect. *)
+
+exception Circuit_open
+(** Raised by {!rpc_retrying} without touching the wire when its
+    {!Breaker} is open. *)
+
+(** A circuit breaker shared by the connections of one logical client.
+
+    [threshold] consecutive failures (overloaded replies or timeouts)
+    open the circuit: {!allow} answers [false] and {!rpc_retrying}
+    fails fast with {!Circuit_open}.  After [cooldown] seconds one
+    caller is admitted as a half-open probe; success closes the
+    circuit, failure re-opens it for another full cooldown.
+    Thread-safe. *)
+module Breaker : sig
+  type state = Closed | Open | Half_open
+
+  type t
+
+  val create : ?threshold:int -> ?cooldown:float -> unit -> t
+  (** [threshold] defaults to 5 consecutive failures (clamped to
+      ≥ 1); [cooldown] to 2 s. *)
+
+  val state : t -> state
+
+  val allow : t -> bool
+  (** [true] when a call may proceed.  In the half-open window only
+      the {e first} caller gets [true] (the probe); the rest stay
+      blocked until the probe reports. *)
+
+  val note_success : t -> unit
+
+  val note_failure : t -> unit
+end
 
 val connect : ?retries:int -> ?receive_timeout:float -> string -> t
 (** Connect to a daemon's socket.  [retries] (default 0) retries a
@@ -9,19 +55,36 @@ val connect : ?retries:int -> ?receive_timeout:float -> string -> t
     jitter (10 ms doubling to a 500 ms cap — roughly 2 s of patience
     at [retries = 10]) — handy right after spawning a server.
     [receive_timeout] (seconds) bounds each wait for a response frame;
-    an expired wait raises [Failure], after which the connection is no
-    longer usable (a reply may arrive half-framed).
+    an expired wait raises {!Timeout}, after which the connection is
+    no longer usable.
     @raise Unix.Unix_error when the socket stays dead. *)
 
 val request : t -> Ric_text.Json.t -> Ric_text.Json.t
-(** Send one framed request and block for its response.
+(** Send one framed request and block for its response.  A broken-pipe
+    send still reads any reply the server wrote before hanging up (the
+    at-cap refusal answers-then-closes, and the send can race the
+    close); the original [Unix_error] is re-raised only when nothing
+    was salvageable.
+    @raise Timeout with [receive_timeout] set, when no reply arrives
+    in time.
     @raise Failure if the server closes the connection instead of
-    answering, answers with malformed JSON, or — with
-    [receive_timeout] set — does not answer (or stops answering
-    mid-frame) in time. *)
+    answering, answers with malformed JSON, or stops answering
+    mid-frame. *)
 
 val rpc : t -> Protocol.request -> Ric_text.Json.t
 (** [request] composed with {!Protocol.to_json}. *)
+
+val rpc_retrying :
+  ?breaker:Breaker.t -> ?max_retries:int -> t -> Protocol.request -> Ric_text.Json.t
+(** Like {!rpc}, but an [overloaded] reply is retried up to
+    [max_retries] times (default 3), sleeping at least the server's
+    [retry_after_ms] hint plus jittered exponential backoff between
+    attempts; the final shed reply is returned if the budget runs
+    out.  With [breaker]: overloaded replies and {!Timeout} count as
+    failures, any other reply as success, and an open circuit raises
+    {!Circuit_open} before touching the wire.
+    @raise Timeout as {!request} (timeouts are not retried here — the
+    connection is dead; reconnect first). *)
 
 val close : t -> unit
 

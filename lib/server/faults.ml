@@ -50,6 +50,15 @@ let fire point =
 let tear () =
   match take "tear_write" with Some (Tear n) -> Some n | Some _ | None -> None
 
+(* Client-side injection points: a harness thread consults these just
+   before writing a request frame, so the *server* experiences a
+   stalled or truncated incoming frame and must defend itself. *)
+let slow_read () =
+  match take "slow_read" with Some (Delay s) -> Some s | Some _ | None -> None
+
+let torn_read () =
+  match take "torn_read" with Some (Tear n) -> Some n | Some _ | None -> None
+
 let parse_action spec =
   match String.index_opt spec ':' with
   | None -> (

@@ -16,6 +16,14 @@
     - ["tear_write"] — consulted by the server's frame writer via
       {!tear}; arm [Tear n] to close the connection after writing only
       [n] bytes of a reply frame.
+    - ["slow_read"] — consulted by the {e client} frame writer via
+      {!slow_read}; arm a [Delay s] to make the client stall for [s]
+      seconds in the middle of a request frame, so the server sees a
+      slow-loris connection and must enforce its read deadline.
+    - ["torn_read"] — consulted by the {e client} frame writer via
+      {!torn_read}; arm [Tear n] to send only [n] bytes of a request
+      frame and then go silent, leaving the server with a permanently
+      partial incoming frame.
 
     [RIC_FAULTS] syntax: comma-separated [point=action] items, where
     action is [crash], [drop], [delay:<seconds>] or [tear:<bytes>],
@@ -46,6 +54,16 @@ val fire : string -> unit
 val tear : unit -> int option
 (** Consume one shot at the ["tear_write"] point: [Some n] when a
     [Tear n] fault is armed. *)
+
+val slow_read : unit -> float option
+(** Consume one shot at the ["slow_read"] point: [Some seconds] when a
+    [Delay] fault is armed.  Consulted by the client-side frame writer
+    (see {!Client}) to stall mid-request. *)
+
+val torn_read : unit -> int option
+(** Consume one shot at the ["torn_read"] point: [Some n] when a
+    [Tear n] fault is armed.  Consulted by the client-side frame
+    writer to truncate a request frame. *)
 
 val init_from_env : unit -> unit
 (** Arm faults from [RIC_FAULTS], warning on stderr about malformed

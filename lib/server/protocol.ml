@@ -52,6 +52,28 @@ let op_name = function
 let error ?(kind = "error") msg =
   Json.Obj [ ("ok", Json.Bool false); ("kind", Json.Str kind); ("error", Json.Str msg) ]
 
+(* The load-shedding reply: admission control answers this instead of
+   queueing past capacity, and [retry_after_ms] tells a well-behaved
+   client how long to back off before retrying. *)
+let overloaded ~retry_after_ms =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("kind", Json.Str "overloaded");
+      ( "error",
+        Json.Str
+          (Printf.sprintf "server at capacity; retry after %d ms" retry_after_ms) );
+      ("retry_after_ms", Json.Int retry_after_ms);
+    ]
+
+let retry_after_ms = function
+  | Json.Obj fields
+    when List.assoc_opt "kind" fields = Some (Json.Str "overloaded") -> (
+    match List.assoc_opt "retry_after_ms" fields with
+    | Some (Json.Int n) when n >= 0 -> Some n
+    | _ -> Some 0)
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Decoding. *)
 
@@ -252,20 +274,33 @@ let read_frame ?(timeout_raises = false) fd =
     Some (Bytes.unsafe_to_string payload)
   end
 
-let write_frame ?tear fd payload =
+let frame_bytes payload =
   let len = String.length payload in
   if len > max_frame then
     raise (Frame_error (Printf.sprintf "frame of %d bytes exceeds the %d limit" len max_frame));
   let buf = Bytes.create (4 + len) in
   Bytes.set_int32_be buf 0 (Int32.of_int len);
   Bytes.blit_string payload 0 buf 4 len;
-  let total = match tear with Some n -> min n (4 + len) | None -> 4 + len in
+  buf
+
+let write_frame ?tear ?stall fd payload =
+  let buf = frame_bytes payload in
+  let full = Bytes.length buf in
+  let total = match tear with Some n -> min n full | None -> full in
   let rec go ofs remaining =
     if remaining > 0 then begin
       let n = Unix.write fd buf ofs remaining in
       go (ofs + n) (remaining - n)
     end
   in
-  go 0 total;
-  if total < 4 + len then
+  (* [stall]: send a couple of header bytes, then freeze mid-frame for
+     that long — the slow-loris shape the server's read deadline must
+     defend against. *)
+  (match stall with
+   | Some seconds when total > 2 ->
+     go 0 2;
+     Unix.sleepf seconds;
+     go 2 (total - 2)
+   | _ -> go 0 total);
+  if total < full then
     raise (Frame_error (Printf.sprintf "frame torn after %d bytes (fault injection)" total))

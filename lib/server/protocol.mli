@@ -51,6 +51,30 @@
      "result": {"verdict": "incomplete", ...}}
     v}
 
+    {2 Overload}
+
+    When admission control sheds a request — the job queue is at
+    capacity, or the front end is at its connection limit — the server
+    still answers, with a structured shed reply rather than a dropped
+    connection:
+
+    {v
+    {"ok": false, "kind": "overloaded",
+     "error": "server at capacity; retry after 75 ms",
+     "retry_after_ms": 75}
+    v}
+
+    [retry_after_ms] scales with the current queue depth.  A
+    well-behaved client treats it as a {e floor} for its next retry
+    delay: {!Client.rpc_retrying} sleeps at least that long (plus
+    jitter) before resending, and the client's circuit breaker counts
+    consecutive [overloaded]/timeout replies so a saturated server
+    stops receiving retries entirely for a cooldown period.  Requests
+    that were {e admitted} are never shed retroactively: their queued
+    time counts against their [timeout_ms] deadline instead, so a
+    long-queued job answers [{"verdict": "timeout"}] rather than
+    running after its caller gave up.
+
     {2 Stats}
 
     [stats] reports the daemon's telemetry: [uptime_s], the legacy
@@ -126,6 +150,16 @@ val error : ?kind:string -> string -> Ric_text.Json.t
 (** [{"ok": false, "kind": kind, "error": msg}] (kind defaults to
     ["error"]). *)
 
+val overloaded : retry_after_ms:int -> Ric_text.Json.t
+(** The load-shedding reply (see {e Overload} above): [{"ok": false,
+    "kind": "overloaded", "error": ..., "retry_after_ms": n}]. *)
+
+val retry_after_ms : Ric_text.Json.t -> int option
+(** [Some n] when the response is an [overloaded] shed reply carrying
+    a retry hint ([Some 0] if the field is missing or negative);
+    [None] for every other response.  The client's retry loop keys on
+    this. *)
+
 (* ------------------------------------------------------------------ *)
 (** {2 Framing} *)
 
@@ -146,8 +180,14 @@ val read_frame : ?timeout_raises:bool -> Unix.file_descr -> string option
     instead (the client's receive-timeout mode — a half-delivered
     reply means the connection is unusable). *)
 
-val write_frame : ?tear:int -> Unix.file_descr -> string -> unit
+val frame_bytes : string -> bytes
+(** The on-wire form of one frame — length prefix plus payload — for
+    callers that buffer writes themselves (the event-loop front end).
+    @raise Frame_error if the payload exceeds {!max_frame}. *)
+
+val write_frame : ?tear:int -> ?stall:float -> Unix.file_descr -> string -> unit
 (** Write one frame.  [tear] (fault injection only) stops after that
     many bytes and raises [Frame_error] so the server tears the
-    connection down.  @raise Frame_error if the payload exceeds
-    {!max_frame}. *)
+    connection down.  [stall] (fault injection only) sleeps that many
+    seconds after the first two header bytes, emulating a slow-loris
+    peer.  @raise Frame_error if the payload exceeds {!max_frame}. *)

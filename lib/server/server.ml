@@ -1,10 +1,14 @@
 module Json = Ric_text.Json
 module Journal = Ric_text.Journal
+module Metrics = Ric_obs.Metrics
 
 type config = {
   socket_path : string;
   domains : int;
   queue_capacity : int;
+  max_connections : int;
+  read_deadline_s : float;
+  write_deadline_s : float;
   root : string option;
   journal : string option;
   recover : bool;
@@ -18,6 +22,11 @@ let default_config =
     socket_path = "/tmp/ricd.sock";
     domains = 2;
     queue_capacity = 64;
+    (* [Unix.select] tops out at FD_SETSIZE (1024) descriptors; leave
+       headroom for the listen sockets, the wake pipe and stdio *)
+    max_connections = 960;
+    read_deadline_s = 10.;
+    write_deadline_s = 10.;
     root = None;
     journal = None;
     recover = false;
@@ -27,61 +36,73 @@ let default_config =
   }
 
 let m_compactions =
-  Ric_obs.Metrics.counter ~help:"journal compactions performed at recovery"
+  Metrics.counter ~help:"journal compactions performed at recovery"
     "ric_journal_compactions_total"
 
 let m_scrapes =
-  Ric_obs.Metrics.counter ~help:"Prometheus scrapes served on the metrics socket"
+  Metrics.counter ~help:"Prometheus scrapes served on the metrics socket"
     "ric_metrics_scrapes_total"
+
+let m_shed =
+  Metrics.counter ~help:"requests answered with an overloaded shed reply"
+    "ric_server_shed_total"
+
+let m_evicted =
+  Metrics.counter
+    ~help:"connections evicted for blowing a read or write deadline"
+    "ric_server_evicted_slow_total"
+
+let m_queue_wait =
+  Metrics.histogram
+    ~help:"seconds a request spent in the job queue before a worker took it"
+    "ric_server_queue_wait_seconds"
 
 let src = Logs.Src.create "ricd" ~doc:"the ric completeness-checking daemon"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* A worker parks in [read_frame] between requests; this receive
-   timeout is its poll interval on the shutdown flag, so an idle
-   keep-alive connection cannot wedge {!Pool.shutdown}. *)
-let idle_poll_s = 0.25
+(* The event loop's select timeout: its poll interval on the shutdown
+   flag and on read/write deadlines, so both have ~this granularity. *)
+let tick_s = 0.1
 
-let serve_connection service fd =
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO idle_poll_s
-   with Unix.Unix_error _ -> ());
-  let rec loop () =
-    if Service.shutdown_requested service then ()
-    else
-      match Protocol.read_frame fd with
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-        loop ()
-      | None -> () (* client hung up *)
-      | Some payload ->
-        (* the request frame is consumed: a [Crash_worker] here kills
-           the domain mid-job, and the pool hands the connection to
-           another worker *)
-        Faults.fire "worker";
-        let t0 = Unix.gettimeofday () in
-        let op, response =
-          match Json.of_string payload with
-          | exception Json.Parse_error (msg, line, col) ->
-            ( "?",
-              Protocol.error ~kind:"parse_error"
-                (Printf.sprintf "request is not JSON: %d:%d: %s" line col msg) )
-          | json ->
-            (match Protocol.of_json json with
-             | Error msg -> ("?", Protocol.error ~kind:"bad_request" msg)
-             | Ok req -> (Protocol.op_name req, Service.handle service req))
-        in
-        Protocol.write_frame ?tear:(Faults.tear ()) fd (Json.to_string response);
-        Log.info (fun m ->
-            m "op=%s elapsed_us=%d" op
-              (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
-        loop ()
-  in
-  (try loop () with
-   | Protocol.Frame_error msg -> Log.warn (fun m -> m "dropping connection: %s" msg)
-   | Faults.Dropped -> Log.warn (fun m -> m "dropping connection: injected fault")
-   | Unix.Unix_error (e, _, _) ->
-     Log.warn (fun m -> m "dropping connection: %s" (Unix.error_message e)));
-  try Unix.close fd with Unix.Unix_error _ -> ()
+(* Per-connection cap on fully-parsed frames waiting for dispatch; at
+   the cap the loop stops reading from that connection (backpressure
+   through the socket buffer) rather than parsing without bound. *)
+let pending_cap = 64
+
+let read_chunk = 65536
+
+(* ------------------------------------------------------------------ *)
+(* Connection state.  Every field is owned by the event-loop thread;
+   workers receive the record opaquely and hand it back through the
+   completion queue without touching it. *)
+
+type wbuf = { buf : Bytes.t; mutable off : int }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable frame_deadline : float option;
+      (* armed while a partial frame sits in [rbuf]: the slow-loris
+         eviction clock *)
+  pending : string Queue.t;  (* parsed frames awaiting dispatch *)
+  mutable in_flight : bool;  (* one job at a time preserves reply order *)
+  wq : wbuf Queue.t;
+  mutable wq_progress_at : float;  (* last write progress: the flush clock *)
+  mutable close_after_flush : bool;
+  mutable eof : bool;  (* stop reading; still flush what is owed *)
+  mutable closed : bool;
+}
+
+type outcome =
+  | Reply of string
+  | Reply_close of string  (* answer, then hang up (quarantine) *)
+  | Hangup  (* injected Drop: no reply *)
+
+(* ------------------------------------------------------------------ *)
+(* Startup helpers (shared with the old blocking front end). *)
 
 (* Refuse to steal the socket from a live daemon, but clear out a
    stale file left by a crashed one. *)
@@ -99,24 +120,13 @@ let prepare_socket_path path =
     try Unix.unlink path with Unix.Unix_error _ -> ()
   end
 
-(* A job whose worker crashed twice: answer the client with an error
-   instead of silence, then tear the connection down. *)
-let quarantine_connection fd reason =
-  (try
-     Protocol.write_frame fd
-       (Json.to_string
-          (Protocol.error ~kind:"worker_crash"
-             (Printf.sprintf "request abandoned after repeated worker crashes: %s" reason)))
-   with _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
 let install_signal_handlers service =
   match Sys.os_type with
   | "Unix" ->
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let graceful signal_name _ =
-      (* flip the flag only: the accept loop and the workers notice on
-         their next idle poll and drain — safe in a signal context *)
+      (* flip the flag only: the event loop notices on its next tick
+         and drains — safe in a signal context *)
       ignore signal_name;
       Service.request_shutdown service
     in
@@ -128,13 +138,13 @@ let install_signal_handlers service =
    sent (closing with unread data provokes a RST that curl reports as
    an error), answer with a minimal HTTP/1.0 response carrying the
    registry snapshot, then close.  The short receive timeout keeps a
-   silent prober from wedging the accept loop. *)
+   silent prober from wedging the event loop. *)
 let serve_scrape fd =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25
    with Unix.Unix_error _ -> ());
   (try ignore (Unix.read fd (Bytes.create 4096) 0 4096)
    with Unix.Unix_error _ -> ());
-  let body = Ric_obs.Metrics.to_prometheus () in
+  let body = Metrics.to_prometheus () in
   let response =
     Printf.sprintf
       "HTTP/1.0 200 OK\r\n\
@@ -153,7 +163,7 @@ let serve_scrape fd =
      in
      write 0
    with Unix.Unix_error _ -> ());
-  Ric_obs.Metrics.incr m_scrapes;
+  Metrics.incr m_scrapes;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let setup_journal service config =
@@ -183,12 +193,49 @@ let setup_journal service config =
     (match Journal.open_append ~truncate:true path with
      | j ->
        List.iter (Journal.append j) retained;
-       if compacting then Ric_obs.Metrics.incr m_compactions;
+       if compacting then Metrics.incr m_compactions;
        Service.attach_journal service j;
        Some j
      | exception Sys_error msg ->
        Log.err (fun m -> m "cannot open journal %s: %s (running without durability)" path msg);
        None)
+
+(* ------------------------------------------------------------------ *)
+(* The worker side: parse + dispatch one frame, report through the
+   completion queue.  Never lets an ordinary exception escape (that
+   would just bump the pool's failure counter and leave the connection
+   waiting forever); only [Pool.Crash] propagates, and the pool's
+   retry/quarantine machinery owns that path. *)
+
+let run_job service push_completion (conn, payload, admitted_at) =
+  match
+    Faults.fire "worker";
+    Metrics.observe m_queue_wait (Unix.gettimeofday () -. admitted_at);
+    let t0 = Unix.gettimeofday () in
+    let op, response =
+      match Json.of_string payload with
+      | exception Json.Parse_error (msg, line, col) ->
+        ( "?",
+          Protocol.error ~kind:"parse_error"
+            (Printf.sprintf "request is not JSON: %d:%d: %s" line col msg) )
+      | json ->
+        (match Protocol.of_json json with
+         | Error msg -> ("?", Protocol.error ~kind:"bad_request" msg)
+         | Ok req -> (Protocol.op_name req, Service.handle service ~admitted_at req))
+    in
+    Log.info (fun m ->
+        m "op=%s conn=%d elapsed_us=%d" op conn.cid
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
+    Json.to_string response
+  with
+  | response -> push_completion (conn, Reply response)
+  | exception Faults.Dropped -> push_completion (conn, Hangup)
+  | exception Pool.Crash msg -> raise (Pool.Crash msg)
+  | exception e ->
+    push_completion
+      (conn, Reply (Json.to_string (Protocol.error (Printexc.to_string e))))
+
+(* ------------------------------------------------------------------ *)
 
 let run config =
   Faults.init_from_env ();
@@ -203,7 +250,8 @@ let run config =
   prepare_socket_path config.socket_path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
-  Unix.listen sock 64;
+  Unix.listen sock 128;
+  Unix.set_nonblock sock;
   let msock =
     match config.metrics with
     | None -> None
@@ -215,15 +263,46 @@ let run config =
       Log.app (fun m -> m "metrics socket on %s" path);
       Some (s, path)
   in
+
+  (* -- shared state ----------------------------------------------- *)
+  (* Everything below except [completions]/[active] is touched only by
+     the event-loop thread. *)
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let completions : (conn * outcome) Queue.t = Queue.create () in
+  let cmutex = Mutex.create () in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let active = Atomic.make 0 in
+  let jobs_outstanding = ref 0 in
+  let draining = ref false in
+  let next_cid = ref 0 in
+  let push_completion c =
+    Mutex.lock cmutex;
+    Queue.push c completions;
+    Mutex.unlock cmutex;
+    (* best-effort wake: a full pipe means a wake-up is already due *)
+    try ignore (Unix.write wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+
   let pool =
-    Pool.create ~on_quarantine:quarantine_connection ~domains:config.domains
-      ~capacity:config.queue_capacity
-      ~worker:(serve_connection service) ()
+    Pool.create
+      ~on_quarantine:(fun (conn, _, _) reason ->
+        push_completion
+          ( conn,
+            Reply_close
+              (Json.to_string
+                 (Protocol.error ~kind:"worker_crash"
+                    (Printf.sprintf
+                       "request abandoned after repeated worker crashes: %s" reason))) ))
+      ~domains:config.domains ~capacity:config.queue_capacity
+      ~worker:(run_job service push_completion) ()
   in
   Service.set_pool_stats service (fun () -> Pool.stats pool);
   (* worker-pool health as pull gauges, sampled at scrape time *)
   let pool_gauge name help f =
-    Ric_obs.Metrics.gauge_fn ~help name (fun () -> f (Pool.stats pool))
+    Metrics.gauge_fn ~help name (fun () -> f (Pool.stats pool))
   in
   pool_gauge "ric_pool_failures" "jobs that raised in a worker domain"
     (fun s -> s.Pool.failures);
@@ -235,45 +314,316 @@ let run config =
     (fun s -> s.Pool.quarantined);
   pool_gauge "ric_pool_pending" "jobs queued but not yet picked up"
     (fun s -> s.Pool.pending);
-  Log.app (fun m ->
-      m "ricd listening on %s (%d worker domain%s)" config.socket_path
-        (Pool.domains pool)
-        (if Pool.domains pool = 1 then "" else "s"));
-  let selectable = sock :: (match msock with Some (s, _) -> [ s ] | None -> []) in
-  let rec accept_loop () =
-    if Service.shutdown_requested service then ()
-    else begin
-      (match Unix.select selectable [] [] idle_poll_s with
-       | readable, _, _ ->
-         List.iter
-           (fun r ->
-             if r == sock then begin
-               match Unix.accept sock with
-               | fd, _ -> if not (Pool.submit pool fd) then Unix.close fd
-               | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
-                 ()
-             end
-             else
-               (* metrics connection: a snapshot is cheap and the
-                  client is local — serve it inline on the accept loop *)
-               match Unix.accept r with
-               | fd, _ -> serve_scrape fd
-               | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
-                 ())
-           readable
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      accept_loop ()
+  Metrics.gauge_fn ~help:"connections the front end is currently holding open"
+    "ric_server_connections_active" (fun () -> Atomic.get active);
+  Metrics.gauge_fn ~help:"jobs admitted but not yet picked up by a worker"
+    "ric_server_queue_depth" (fun () -> Pool.pending pool);
+
+  (* -- event-loop helpers ----------------------------------------- *)
+  let close_conn conn =
+    if not conn.closed then begin
+      conn.closed <- true;
+      Hashtbl.remove conns conn.fd;
+      Atomic.decr active;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ()
     end
   in
-  accept_loop ();
+  (* a connection dies once nothing more is owed on it: its replies are
+     flushed, and (on EOF or drain) no admitted work remains *)
+  let maybe_close conn =
+    if
+      (not conn.closed)
+      && Queue.is_empty conn.wq
+      && (conn.close_after_flush
+         || (conn.eof || !draining)
+            && (not conn.in_flight)
+            && Queue.is_empty conn.pending)
+    then close_conn conn
+  in
+  let enqueue_reply conn payload =
+    if not conn.closed then begin
+      match Protocol.frame_bytes payload with
+      | buf ->
+        (match Faults.tear () with
+         | Some n ->
+           (* injected torn write: truncate the frame, then hang up *)
+           Queue.push { buf = Bytes.sub buf 0 (min n (Bytes.length buf)); off = 0 } conn.wq;
+           conn.close_after_flush <- true
+         | None -> Queue.push { buf; off = 0 } conn.wq);
+        conn.wq_progress_at <- Unix.gettimeofday ()
+      | exception Protocol.Frame_error msg ->
+        Log.err (fun m -> m "conn=%d reply unframeable: %s" conn.cid msg);
+        close_conn conn
+    end
+  in
+  (* admission control lives here: a frame leaves [pending] either into
+     the job queue (stamped with its admission time) or — queue full —
+     straight back out as an [overloaded] reply, in request order *)
+  let rec dispatch conn =
+    if (not conn.closed) && (not conn.in_flight) && not (Queue.is_empty conn.pending)
+    then begin
+      let payload = Queue.pop conn.pending in
+      let admitted_at = Unix.gettimeofday () in
+      if Pool.try_submit pool (conn, payload, admitted_at) then begin
+        conn.in_flight <- true;
+        incr jobs_outstanding
+      end
+      else begin
+        Metrics.incr m_shed;
+        let depth = Pool.pending pool in
+        let retry_after_ms = min 5000 (25 * (depth + 1)) in
+        enqueue_reply conn (Json.to_string (Protocol.overloaded ~retry_after_ms));
+        dispatch conn
+      end
+    end
+  in
+  let protocol_error conn msg =
+    enqueue_reply conn (Json.to_string (Protocol.error ~kind:"parse_error" msg));
+    conn.close_after_flush <- true;
+    conn.eof <- true;
+    conn.rlen <- 0
+  in
+  let parse_frames conn =
+    let continue = ref true in
+    while !continue do
+      if conn.rlen >= 4 then begin
+        let len = Int32.to_int (Bytes.get_int32_be conn.rbuf 0) in
+        if len <= 0 || len > Protocol.max_frame then begin
+          protocol_error conn (Printf.sprintf "invalid frame length %d" len);
+          continue := false
+        end
+        else if conn.rlen >= 4 + len then begin
+          Queue.push (Bytes.sub_string conn.rbuf 4 len) conn.pending;
+          let rest = conn.rlen - 4 - len in
+          Bytes.blit conn.rbuf (4 + len) conn.rbuf 0 rest;
+          conn.rlen <- rest
+        end
+        else continue := false
+      end
+      else continue := false
+    done;
+    (* the slow-loris clock: armed while a partial frame lingers, and
+       anchored at the partial frame's first byte (not refreshed by a
+       slow drip of subsequent ones) *)
+    if conn.rlen = 0 then conn.frame_deadline <- None
+    else if conn.frame_deadline = None then
+      conn.frame_deadline <- Some (Unix.gettimeofday () +. config.read_deadline_s)
+  in
+  let handle_readable conn =
+    if (not conn.closed) && not conn.eof then begin
+      if Bytes.length conn.rbuf - conn.rlen < read_chunk then begin
+        let bigger = Bytes.create (Bytes.length conn.rbuf + read_chunk) in
+        Bytes.blit conn.rbuf 0 bigger 0 conn.rlen;
+        conn.rbuf <- bigger
+      end;
+      match Unix.read conn.fd conn.rbuf conn.rlen read_chunk with
+      | 0 ->
+        conn.eof <- true;
+        maybe_close conn
+      | n ->
+        conn.rlen <- conn.rlen + n;
+        parse_frames conn;
+        dispatch conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        ()
+      | exception Unix.Unix_error _ -> close_conn conn
+    end
+  in
+  let handle_writable conn =
+    if not conn.closed then begin
+      let progress = ref true in
+      while !progress && not (Queue.is_empty conn.wq) do
+        let w = Queue.peek conn.wq in
+        match Unix.write conn.fd w.buf w.off (Bytes.length w.buf - w.off) with
+        | n ->
+          w.off <- w.off + n;
+          conn.wq_progress_at <- Unix.gettimeofday ();
+          if w.off >= Bytes.length w.buf then ignore (Queue.pop conn.wq)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          progress := false
+        | exception Unix.Unix_error _ ->
+          close_conn conn;
+          progress := false
+      done;
+      maybe_close conn
+    end
+  in
+  let register_conn fd =
+    Unix.set_nonblock fd;
+    incr next_cid;
+    let conn =
+      {
+        fd;
+        cid = !next_cid;
+        rbuf = Bytes.create read_chunk;
+        rlen = 0;
+        frame_deadline = None;
+        pending = Queue.create ();
+        in_flight = false;
+        wq = Queue.create ();
+        wq_progress_at = Unix.gettimeofday ();
+        close_after_flush = false;
+        eof = false;
+        closed = false;
+      }
+    in
+    Hashtbl.replace conns fd conn;
+    Atomic.incr active
+  in
+  (* at the connection cap the front end still answers: a best-effort
+     overloaded frame on the doomed socket, never a silent RST *)
+  let refuse_connection fd =
+    Metrics.incr m_shed;
+    (try
+       Unix.set_nonblock fd;
+       let buf =
+         Protocol.frame_bytes
+           (Json.to_string (Protocol.overloaded ~retry_after_ms:1000))
+       in
+       ignore (Unix.write fd buf 0 (Bytes.length buf))
+     with Unix.Unix_error _ | Protocol.Frame_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let rec accept_all () =
+    match Unix.accept sock with
+    | fd, _ ->
+      if Atomic.get active >= config.max_connections then refuse_connection fd
+      else register_conn fd;
+      accept_all ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> accept_all ()
+  in
+  let drain_completions () =
+    Mutex.lock cmutex;
+    let batch = Queue.create () in
+    Queue.transfer completions batch;
+    Mutex.unlock cmutex;
+    Queue.iter
+      (fun (conn, outcome) ->
+        decr jobs_outstanding;
+        if not conn.closed then begin
+          conn.in_flight <- false;
+          (match outcome with
+           | Reply r ->
+             enqueue_reply conn r;
+             dispatch conn
+           | Reply_close r ->
+             enqueue_reply conn r;
+             conn.close_after_flush <- true
+           | Hangup ->
+             Log.warn (fun m -> m "conn=%d dropped: injected fault" conn.cid);
+             close_conn conn);
+          maybe_close conn
+        end)
+      batch
+  in
+  let evict_stale () =
+    let now = Unix.gettimeofday () in
+    let victims = ref [] in
+    Hashtbl.iter
+      (fun _ conn ->
+        let starved_read =
+          (not conn.eof)
+          && (match conn.frame_deadline with Some d -> now > d | None -> false)
+        in
+        let starved_write =
+          (not (Queue.is_empty conn.wq))
+          && now -. conn.wq_progress_at > config.write_deadline_s
+        in
+        if starved_read || starved_write then victims := conn :: !victims)
+      conns;
+    List.iter
+      (fun conn ->
+        Metrics.incr m_evicted;
+        Log.warn (fun m -> m "conn=%d evicted: deadline blown mid-frame" conn.cid);
+        close_conn conn)
+      !victims
+  in
+
+  Log.app (fun m ->
+      m "ricd listening on %s (%d worker domain%s, queue %d, max %d conns)"
+        config.socket_path (Pool.domains pool)
+        (if Pool.domains pool = 1 then "" else "s")
+        (Pool.capacity pool) config.max_connections);
+
+  (* -- the loop --------------------------------------------------- *)
+  let running = ref true in
+  while !running do
+    if Service.shutdown_requested service && not !draining then begin
+      draining := true;
+      Log.app (fun m ->
+          m "ricd draining: %d connection(s), %d job(s) outstanding"
+            (Hashtbl.length conns) !jobs_outstanding);
+      (* stop accepting immediately: close and unlink the listen socket
+         so new clients get ECONNREFUSED, not a hang *)
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+      (* frames already read are admitted work: push them at the pool *)
+      Hashtbl.iter (fun _ conn -> dispatch conn) conns
+    end;
+    if !draining then begin
+      Hashtbl.fold (fun _ c acc -> c :: acc) conns [] |> List.iter maybe_close;
+      if Hashtbl.length conns = 0 && !jobs_outstanding = 0 then running := false
+    end;
+    if !running then begin
+      let reads = ref [ wake_r ] in
+      if not !draining then begin
+        reads := sock :: !reads;
+        match msock with Some (s, _) -> reads := s :: !reads | None -> ()
+      end;
+      let writes = ref [] in
+      Hashtbl.iter
+        (fun fd conn ->
+          if
+            (not conn.eof)
+            && (not conn.close_after_flush)
+            && (not !draining)
+            && Queue.length conn.pending < pending_cap
+          then reads := fd :: !reads;
+          if not (Queue.is_empty conn.wq) then writes := fd :: !writes)
+        conns;
+      (match Unix.select !reads !writes [] tick_s with
+       | readable, writable, _ ->
+         List.iter
+           (fun fd ->
+             if fd == wake_r then (
+               try ignore (Unix.read wake_r (Bytes.create 256) 0 256)
+               with Unix.Unix_error _ -> ())
+             else if fd == sock then accept_all ()
+             else
+               match msock with
+               | Some (s, _) when fd == s -> (
+                 match Unix.accept s with
+                 | cfd, _ -> serve_scrape cfd
+                 | exception Unix.Unix_error _ -> ())
+               | _ -> (
+                 match Hashtbl.find_opt conns fd with
+                 | Some conn -> handle_readable conn
+                 | None -> () (* closed earlier this iteration *)))
+           readable;
+         List.iter
+           (fun fd ->
+             match Hashtbl.find_opt conns fd with
+             | Some conn -> handle_writable conn
+             | None -> ())
+           writable
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      drain_completions ();
+      evict_stale ()
+    end
+  done;
+
   Log.app (fun m -> m "ricd shutting down");
-  (try Unix.close sock with Unix.Unix_error _ -> ());
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Hashtbl.fold (fun _ c acc -> c :: acc) conns [] |> List.iter close_conn;
   (match msock with
    | Some (s, path) ->
      (try Unix.close s with Unix.Unix_error _ -> ());
      (try Unix.unlink path with Unix.Unix_error _ -> ())
    | None -> ());
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  (try Unix.close wake_w with Unix.Unix_error _ -> ());
   Pool.shutdown pool;
   (match journal with None -> () | Some j -> Journal.close j);
   match config.trace with Some _ -> Ric_obs.Trace.close () | None -> ()

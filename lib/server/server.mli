@@ -1,30 +1,57 @@
 (** [ricd]: the completeness-checking daemon.
 
-    Listens on a Unix-domain socket, frames requests per {!Protocol},
-    and serves each accepted connection on one domain of a {!Pool} —
-    concurrent connections run in parallel up to [domains].  Request
-    and latency logs go through the [logs] library under the ["ricd"]
-    source; install a reporter (the CLI uses [Logs_fmt]) to see them.
+    The front end is a single-threaded [Unix.select] event loop over
+    non-blocking sockets: it accepts connections, assembles framed
+    requests incrementally in per-connection buffers, and hands each
+    complete frame to a {!Pool} of worker domains — so the number of
+    open connections is bounded by [max_connections] (and ultimately
+    [FD_SETSIZE]), not by [domains].  Replies travel back through a
+    completion queue and per-connection write buffers; requests
+    pipelined on one connection are answered in order.
+
+    Overload behaviour: a frame is {e admitted} when it enters the
+    bounded job queue.  A full queue sheds instead — the client gets a
+    structured [overloaded] reply carrying [retry_after_ms] (scaled by
+    queue depth), never a silent drop; the same reply (best-effort) is
+    written to connections refused at [max_connections].  Admitted
+    requests have their [timeout_ms] deadline anchored at admission,
+    so time queued behind other jobs counts against it.  Connections
+    that stall mid-frame for [read_deadline_s], or stop draining their
+    replies for [write_deadline_s], are evicted (slow-loris defense).
 
     {!run} blocks until a [shutdown] request {e or} a SIGTERM/SIGINT
-    arrives, then stops accepting, drains in-flight connections,
-    removes the socket file and closes the journal.  A stale socket
-    file left by a crashed daemon is detected (nothing answers it) and
-    removed at startup; a live one makes {!run} raise rather than
-    steal it.
+    arrives, then drains: the listen socket closes immediately, every
+    admitted job is still answered, write buffers are flushed, and
+    only then do the workers join.  A stale socket file left by a
+    crashed daemon is detected (nothing answers it) and removed at
+    startup; a live one makes {!run} raise rather than steal it.
 
     With [journal] set, every session mutation is appended to a
     JSON-lines journal ({!Ric_text.Journal}); with [recover] it is
     replayed first, restoring the sessions (ids, databases, epochs) a
     crashed daemon had open.  Fault injection for the robustness tests
-    is armed via the [RIC_FAULTS] environment variable ({!Faults}). *)
+    is armed via the [RIC_FAULTS] environment variable ({!Faults}).
+
+    Request and latency logs go through the [logs] library under the
+    ["ricd"] source; install a reporter (the CLI uses [Logs_fmt]) to
+    see them. *)
 
 type config = {
   socket_path : string;
-  domains : int;  (** worker domains serving connections (min 1) *)
+  domains : int;  (** worker domains running the deciders (min 1) *)
   queue_capacity : int;
-      (** accepted-but-unserved connection backlog before the accept
-          loop blocks (backpressure) *)
+      (** admitted-but-unserved request backlog; a full queue sheds
+          with an [overloaded] reply instead of queueing further *)
+  max_connections : int;
+      (** connections the event loop will hold open at once; beyond
+          it, new sockets get a best-effort [overloaded] frame and are
+          closed (keep below [FD_SETSIZE] = 1024 with headroom) *)
+  read_deadline_s : float;
+      (** evict a connection that dangles a partial request frame this
+          long (slow-loris defense) *)
+  write_deadline_s : float;
+      (** evict a connection that accepts none of its buffered reply
+          bytes for this long *)
   root : string option;  (** base directory for [open] paths *)
   journal : string option;  (** session journal path; [None] = no durability *)
   recover : bool;  (** replay the journal at startup before serving *)
@@ -41,8 +68,9 @@ type config = {
 }
 
 val default_config : config
-(** [/tmp/ricd.sock], 2 domains, capacity 64, no root, no journal,
-    sequential search, no metrics socket, no tracing. *)
+(** [/tmp/ricd.sock], 2 domains, queue capacity 64, 960 connections,
+    10 s read/write deadlines, no root, no journal, sequential search,
+    no metrics socket, no tracing. *)
 
 val src : Logs.src
 (** The ["ricd"] log source. *)

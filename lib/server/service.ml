@@ -265,9 +265,22 @@ let resolve_search t requested =
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.search_counts name)));
   mode
 
-let clock_of_timeout timeout_ms =
+(* A request's deadline is anchored at [admitted_at] (when the front
+   end accepted it), not at decider start: time spent waiting in the
+   job queue counts against [timeout_ms], so a long-queued job answers
+   a timeout verdict quickly instead of running after its caller gave
+   up.  A deadline already in the past yields a budget that raises on
+   its first tick. *)
+let clock_of_timeout ?admitted_at timeout_ms =
   match timeout_ms with
-  | Some ms -> Budget.create ~deadline_after:(float_of_int ms /. 1000.) ()
+  | Some ms ->
+    let d = float_of_int ms /. 1000. in
+    let d =
+      match admitted_at with
+      | Some t0 -> t0 +. d -. Unix.gettimeofday ()
+      | None -> d
+    in
+    Budget.create ~deadline_after:d ()
   | None -> Budget.unlimited
 
 (* serve one epoch-keyed decide (rcdp or audit) through the cache *)
@@ -310,9 +323,9 @@ let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
        verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
          ~elapsed_us:elapsed c.c_result)
 
-let compute_rcdp t ~timeout_ms ~search sn =
+let compute_rcdp t ?admitted_at ~timeout_ms ~search sn =
   let sc = sn.sn_scenario in
-  let clock = clock_of_timeout timeout_ms in
+  let clock = clock_of_timeout ?admitted_at timeout_ms in
   let stats = ref { Rcdp.valuations_visited = 0; branches_pruned = 0 } in
   match
     (* partial closure is tracked per-session and already checked;
@@ -333,9 +346,9 @@ let compute_rcdp t ~timeout_ms ~search sn =
       c_cacheable = false;
     }
 
-let compute_audit t ~timeout_ms ~search sn =
+let compute_audit t ?admitted_at ~timeout_ms ~search sn =
   let sc = sn.sn_scenario in
-  let clock = clock_of_timeout timeout_ms in
+  let clock = clock_of_timeout ?admitted_at timeout_ms in
   match
     Guidance.audit ~clock ~search ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
       ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
@@ -349,7 +362,7 @@ let compute_audit t ~timeout_ms ~search sn =
     note_timeout t;
     { c_result = timeout_result ~clock ~timeout_ms reason; c_rcdp = None; c_cacheable = false }
 
-let handle_rcdp t ~session ~query ~nocache ~timeout_ms ~search =
+let handle_rcdp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -357,9 +370,9 @@ let handle_rcdp t ~session ~query ~nocache ~timeout_ms ~search =
       Cache.rcdp_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
     cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~key
-      ~compute:(compute_rcdp t ~timeout_ms ~search) sn
+      ~compute:(compute_rcdp t ?admitted_at ~timeout_ms ~search) sn
 
-let handle_audit t ~session ~query ~nocache ~timeout_ms ~search =
+let handle_audit t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -367,9 +380,9 @@ let handle_audit t ~session ~query ~nocache ~timeout_ms ~search =
       Cache.audit_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
     cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~key
-      ~compute:(compute_audit t ~timeout_ms ~search) sn
+      ~compute:(compute_audit t ?admitted_at ~timeout_ms ~search) sn
 
-let handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search =
+let handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
@@ -383,7 +396,7 @@ let handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search =
      | None ->
        Faults.fire "decide";
        let sc = sn.sn_scenario in
-       let clock = clock_of_timeout timeout_ms in
+       let clock = clock_of_timeout ?admitted_at timeout_ms in
        let t0 = Unix.gettimeofday () in
        let result, cacheable =
          match
@@ -460,7 +473,7 @@ let mine_response ~session ~epoch ~cached ~elapsed_us result =
       ("result", result);
     ]
 
-let handle_mine t ~session ~nocache ~timeout_ms ~min_support ~workers =
+let handle_mine t ~admitted_at ~session ~nocache ~timeout_ms ~min_support ~workers =
   let info =
     with_lock t (fun () ->
         match Session.find t.registry session with
@@ -493,7 +506,7 @@ let handle_mine t ~session ~nocache ~timeout_ms ~min_support ~workers =
          e.Cache.result
      | None ->
        Faults.fire "decide";
-       let clock = clock_of_timeout timeout_ms in
+       let clock = clock_of_timeout ?admitted_at timeout_ms in
        let t0 = Unix.gettimeofday () in
        let r =
          Ric_mining.Mine.run ~config ~budget:clock
@@ -777,7 +790,7 @@ let recover t path =
     retained;
   }
 
-let rec handle t req =
+let rec handle t ?admitted_at req =
   let op = Protocol.op_name req in
   with_lock t (fun () ->
       t.requests <- t.requests + 1;
@@ -789,24 +802,27 @@ let rec handle t req =
   let dispatch () =
     Trace.with_span "server.op" @@ fun sp ->
     Trace.set_str sp "op" op;
-    dispatch_req t req
+    dispatch_req t ?admitted_at req
   in
   match List.assoc_opt op op_histograms with
   | Some h -> Metrics.time h dispatch
   | None -> dispatch ()
 
-and dispatch_req t req =
+and dispatch_req t ?admitted_at req =
   match req with
   | Protocol.Ping -> ok [ ("pong", Json.Bool true) ]
   | Protocol.Open { path; source; name } -> handle_open t ~path ~source ~name
   | Protocol.Rcdp { session; query; nocache; timeout_ms; search } ->
-    handle_rcdp t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
+    handle_rcdp t ~admitted_at ~session ~query ~nocache ~timeout_ms
+      ~search:(resolve_search t search)
   | Protocol.Rcqp { session; query; nocache; timeout_ms; search } ->
-    handle_rcqp t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
+    handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms
+      ~search:(resolve_search t search)
   | Protocol.Audit { session; query; nocache; timeout_ms; search } ->
-    handle_audit t ~session ~query ~nocache ~timeout_ms ~search:(resolve_search t search)
+    handle_audit t ~admitted_at ~session ~query ~nocache ~timeout_ms
+      ~search:(resolve_search t search)
   | Protocol.Mine { session; nocache; timeout_ms; min_support; workers } ->
-    handle_mine t ~session ~nocache ~timeout_ms ~min_support ~workers
+    handle_mine t ~admitted_at ~session ~nocache ~timeout_ms ~min_support ~workers
   | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
   | Protocol.Close { session } -> handle_close t ~session
   | Protocol.Stats -> handle_stats t

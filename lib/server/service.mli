@@ -24,13 +24,20 @@ val create :
     valuation-search strategy applied to decide requests that carry no
     ["search"] field of their own (defaults to [Seq]). *)
 
-val handle : t -> Protocol.request -> Ric_text.Json.t
+val handle : t -> ?admitted_at:float -> Protocol.request -> Ric_text.Json.t
 (** Serve one request.  Never raises: malformed scenarios, unknown
     sessions/queries/relations and unsupported language combinations
     all come back as JSON (either [{"ok": false, ...}] or an
     ["unsupported"] verdict).  A [Shutdown] request flips
     {!shutdown_requested} and still returns a response for the
-    transport to flush. *)
+    transport to flush.
+
+    [admitted_at] (a [Unix.gettimeofday] stamp) anchors the request's
+    [timeout_ms] deadline at the moment the front end admitted it, so
+    time spent queued behind other jobs counts against the budget; a
+    deadline already spent answers a ["timeout"] verdict on the
+    decider's first tick.  Omitted, the deadline starts when the
+    decider does (the legacy behaviour, used by direct callers). *)
 
 val shutdown_requested : t -> bool
 

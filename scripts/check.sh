@@ -188,6 +188,55 @@ wait "$SERVER_PID"
 SERVER_PID=""
 rm -f "$JOURNAL"
 
+echo "== soak smoke test"
+# >= 200 concurrent clients hammering a forked daemon for a few
+# seconds; the harness itself exits nonzero on any protocol-level
+# failure (a connection dropped without a structured reply), an
+# unclean SIGTERM drain, or a shed counter inconsistent with the
+# overloaded replies the clients observed
+SOAK_OUT="${TMPDIR:-/tmp}/ricd-check-$$-soak.json"
+RIC_SOAK_CLIENTS="${RIC_SOAK_CLIENTS:-200}" \
+  RIC_SOAK_SECONDS="${RIC_SOAK_SECONDS:-3}" \
+  RIC_SOAK_OUT="$SOAK_OUT" \
+  _build/default/bench/service.exe soak \
+  || { echo "FAIL: soak smoke failed" >&2; rm -f "$SOAK_OUT"; exit 1; }
+case "$(cat "$SOAK_OUT")" in
+  *'"protocol_failures":0'*) ;;
+  *) echo "FAIL: soak dropped connections without a structured reply" >&2
+     rm -f "$SOAK_OUT"; exit 1 ;;
+esac
+case "$(cat "$SOAK_OUT")" in
+  *'"clean_exit":true'*) ;;
+  *) echo "FAIL: daemon did not drain cleanly under SIGTERM" >&2
+     rm -f "$SOAK_OUT"; exit 1 ;;
+esac
+
+echo "== soak p99 guard"
+# fresh p99 latency must not regress by more than
+# RIC_BENCH_SERVE_TOLERANCE_PCT (default 25) percent over the
+# committed BENCH_serve.json baseline (same 200-client smoke scale)
+SERVE_BASELINE="BENCH_serve.json"
+if [ -f "$SERVE_BASELINE" ]; then
+  STOL="${RIC_BENCH_SERVE_TOLERANCE_PCT:-25}"
+  soak_p99() { sed -n 's/.*"p99_us":\([0-9]*\).*/\1/p' "$1"; }
+  SBASE=$(soak_p99 "$SERVE_BASELINE")
+  SFRESH=$(soak_p99 "$SOAK_OUT")
+  if [ -z "$SBASE" ] || [ -z "$SFRESH" ]; then
+    echo "FAIL: could not extract p99_us for the soak guard" >&2
+    rm -f "$SOAK_OUT"
+    exit 1
+  fi
+  echo "soak p99 (us): baseline $SBASE, fresh $SFRESH (tolerance ${STOL}%)"
+  if [ $((SFRESH * 100)) -gt $((SBASE * (100 + STOL))) ]; then
+    echo "FAIL: soak p99 is more than ${STOL}% above $SERVE_BASELINE" >&2
+    rm -f "$SOAK_OUT"
+    exit 1
+  fi
+else
+  echo "skip: no $SERVE_BASELINE baseline committed"
+fi
+rm -f "$SOAK_OUT"
+
 echo "== search-mode bench smoke test"
 # all three valuation-search strategies on the hostile instance with a
 # small step budget; the bench exits nonzero if any scenario query gets

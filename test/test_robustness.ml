@@ -294,7 +294,8 @@ let test_faults_env_parsing () =
 (* ------------------------------------------------------------------ *)
 (* end to end under faults *)
 
-let with_server ?(domains = 2) ?journal ?(recover = false) f =
+let with_server ?(domains = 2) ?(queue_capacity = 16) ?(read_deadline = 2.) ?journal
+    ?(recover = false) f =
   let socket_path =
     Printf.sprintf "%s/ric-rob-%d-%d.sock"
       (Filename.get_temp_dir_name ())
@@ -306,7 +307,10 @@ let with_server ?(domains = 2) ?journal ?(recover = false) f =
           {
             Server.socket_path;
             domains;
-            queue_capacity = 16;
+            queue_capacity;
+            max_connections = 960;
+            read_deadline_s = read_deadline;
+            write_deadline_s = 2.;
             root = None;
             journal;
             recover;
@@ -342,9 +346,7 @@ let test_e2e_client_receive_timeout () =
           Faults.arm "decide" (Faults.Delay 1.5);
           (match Client.rpc c (rcdp ~nocache:true sid "Q") with
            | _ -> Alcotest.fail "expected a client-side timeout"
-           | exception Failure msg ->
-             Alcotest.(check bool) "timeout message" true
-               (String.length msg > 0)));
+           | exception Client.Timeout -> ()));
       (* the server survives; a patient client gets an answer *)
       Client.with_connection ~retries:40 socket_path (fun c ->
           let pong = Client.rpc c Protocol.Ping in
@@ -352,13 +354,11 @@ let test_e2e_client_receive_timeout () =
 
 let test_e2e_worker_crash_respawn () =
   with_server ~domains:2 (fun socket_path ->
-      Client.with_connection ~retries:40 ~receive_timeout:0.5 socket_path (fun c ->
+      Client.with_connection ~retries:40 ~receive_timeout:2.0 socket_path (fun c ->
           Faults.arm "worker" Faults.Crash_worker;
-          (* the worker dies after consuming this frame: no reply *)
-          (match Client.rpc c Protocol.Ping with
-           | _ -> Alcotest.fail "crashed worker should not reply"
-           | exception Failure _ -> ());
-          (* the pool requeued the connection to a fresh worker *)
+          (* the worker dies holding this request; the pool requeues
+             the job to a fresh worker, which answers — a single crash
+             is invisible to the client under the event-loop front end *)
           let pong = Client.rpc c Protocol.Ping in
           Alcotest.(check bool) "served after respawn" true (get_bool "pong" pong));
       Client.with_connection ~retries:40 socket_path (fun c ->
@@ -369,13 +369,11 @@ let test_e2e_worker_crash_respawn () =
 
 let test_e2e_double_crash_quarantines () =
   with_server ~domains:2 (fun socket_path ->
-      Client.with_connection ~retries:40 ~receive_timeout:0.5 socket_path (fun c ->
+      Client.with_connection ~retries:40 ~receive_timeout:2.0 socket_path (fun c ->
           Faults.arm ~times:2 "worker" Faults.Crash_worker;
-          (match Client.rpc c Protocol.Ping with
-           | _ -> Alcotest.fail "crashed worker should not reply"
-           | exception Failure _ -> ());
-          (* second frame crashes the job's second worker: the pool
-             quarantines it and answers with a structured error *)
+          (* the request crashes its first worker, is retried, and
+             crashes the replacement too: the pool quarantines it and
+             the front end answers a structured error, then hangs up *)
           let r = Client.rpc c Protocol.Ping in
           Alcotest.(check bool) "refused" false (get_bool "ok" r);
           Alcotest.(check string) "kind" "worker_crash" (get_str "kind" r));
@@ -425,6 +423,149 @@ let test_e2e_timeout_verdict_over_socket () =
           (* the daemon is immediately useful again *)
           let pong = Client.rpc c Protocol.Ping in
           Alcotest.(check bool) "pong" true (get_bool "pong" pong)))
+
+(* ------------------------------------------------------------------ *)
+(* overload: admission control, load shedding, slow-loris eviction,
+   graceful drain, and the client-side circuit breaker *)
+
+(* raw-socket plumbing: the shed and drain tests need to pipeline
+   requests from several connections without blocking on replies,
+   which the blocking [Client] cannot do *)
+let raw_connect socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  fd
+
+let raw_reply fd =
+  match Protocol.read_frame fd with
+  | Some payload -> Json.of_string payload
+  | None -> Alcotest.fail "connection closed without a reply"
+
+let ping_payload = Json.to_string (Protocol.to_json Protocol.Ping)
+
+(* [raw_connect] has no startup-retry loop, so make sure the daemon is
+   accepting before the raw sockets pile in *)
+let wait_ready socket_path =
+  Client.with_connection ~retries:40 socket_path (fun c ->
+      ignore (Client.rpc c Protocol.Ping))
+
+let test_e2e_queue_full_sheds () =
+  with_server ~domains:1 ~queue_capacity:1 (fun socket_path ->
+      wait_ready socket_path;
+      let s1 = raw_connect socket_path in
+      let s2 = raw_connect socket_path in
+      let s3 = raw_connect socket_path in
+      (* the only worker sleeps on s1's request; s2's fills the
+         one-slot queue; s3's finds it full and must be shed *)
+      Faults.arm "worker" (Faults.Delay 0.8);
+      Protocol.write_frame s1 ping_payload;
+      Unix.sleepf 0.3;
+      Protocol.write_frame s2 ping_payload;
+      Unix.sleepf 0.2;
+      Protocol.write_frame s3 ping_payload;
+      let r3 = raw_reply s3 in
+      Alcotest.(check bool) "shed, not served" false (get_bool "ok" r3);
+      Alcotest.(check string) "kind" "overloaded" (get_str "kind" r3);
+      (match Protocol.retry_after_ms r3 with
+       | Some ms -> Alcotest.(check bool) "positive retry hint" true (ms > 0)
+       | None -> Alcotest.fail "shed reply carries no retry_after_ms");
+      (* admitted requests are never shed: both get their pong *)
+      Alcotest.(check bool) "in-worker request served" true (get_bool "pong" (raw_reply s1));
+      Alcotest.(check bool) "queued request served" true (get_bool "pong" (raw_reply s2));
+      List.iter Unix.close [ s1; s2; s3 ])
+
+let test_e2e_slow_loris_evicted () =
+  with_server ~read_deadline:0.5 (fun socket_path ->
+      wait_ready socket_path;
+      let loris = raw_connect socket_path in
+      (* two header bytes, then silence: a partial frame that dangles *)
+      ignore (Unix.write loris (Bytes.make 2 '\000') 0 2);
+      (* the event loop is not wedged while the loris dangles *)
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          let pong = Client.rpc c Protocol.Ping in
+          Alcotest.(check bool) "served next to a loris" true (get_bool "pong" pong));
+      (* past the read deadline the loris is evicted, not served *)
+      Unix.sleepf 1.0;
+      (match Unix.read loris (Bytes.create 16) 0 16 with
+       | 0 -> ()
+       | n -> Alcotest.failf "expected eviction, read %d byte(s)" n
+       | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ());
+      Unix.close loris;
+      (* and the daemon keeps serving afterwards *)
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          let pong = Client.rpc c Protocol.Ping in
+          Alcotest.(check bool) "alive after eviction" true (get_bool "pong" pong)))
+
+let test_e2e_sigterm_drains_queue () =
+  with_server ~domains:1 ~queue_capacity:8 (fun socket_path ->
+      wait_ready socket_path;
+      let s1 = raw_connect socket_path in
+      let s2 = raw_connect socket_path in
+      let s3 = raw_connect socket_path in
+      (* park the only worker on s1's request so s2's and s3's are
+         still queued when the signal lands *)
+      Faults.arm "worker" (Faults.Delay 0.6);
+      Protocol.write_frame s1 ping_payload;
+      Unix.sleepf 0.2;
+      Protocol.write_frame s2 ping_payload;
+      Protocol.write_frame s3 ping_payload;
+      Unix.sleepf 0.2;
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      (* graceful drain: every admitted job is answered before exit *)
+      List.iter
+        (fun fd ->
+          Alcotest.(check bool) "answered during drain" true
+            (get_bool "pong" (raw_reply fd));
+          Unix.close fd)
+        [ s1; s2; s3 ])
+
+let test_breaker_opens_and_half_opens () =
+  let open Client.Breaker in
+  let b = create ~threshold:2 ~cooldown:0.2 () in
+  Alcotest.(check bool) "closed admits" true (allow b);
+  note_failure b;
+  Alcotest.(check bool) "below threshold stays closed" true (allow b);
+  note_failure b;
+  Alcotest.(check bool) "threshold opens" false (allow b);
+  Alcotest.(check bool) "state open" true (state b = Open);
+  Unix.sleepf 0.25;
+  Alcotest.(check bool) "cooldown elapsed: half-open" true (state b = Half_open);
+  Alcotest.(check bool) "one probe admitted" true (allow b);
+  Alcotest.(check bool) "second caller waits behind the probe" false (allow b);
+  note_failure b;
+  Alcotest.(check bool) "failed probe re-opens" false (allow b);
+  Alcotest.(check bool) "state open again" true (state b = Open);
+  Unix.sleepf 0.25;
+  Alcotest.(check bool) "probe again" true (allow b);
+  note_success b;
+  Alcotest.(check bool) "successful probe closes" true (state b = Closed);
+  Alcotest.(check bool) "closed admits again" true (allow b)
+
+let test_e2e_retry_honours_hint () =
+  with_server ~domains:1 ~queue_capacity:1 (fun socket_path ->
+      wait_ready socket_path;
+      let s1 = raw_connect socket_path in
+      let s2 = raw_connect socket_path in
+      (* saturate: worker parked on s1, queue filled by s2 *)
+      Faults.arm "worker" (Faults.Delay 0.6);
+      Protocol.write_frame s1 ping_payload;
+      Unix.sleepf 0.2;
+      Protocol.write_frame s2 ping_payload;
+      Unix.sleepf 0.1;
+      (* a retrying client is shed at first but succeeds once the
+         backlog clears, sleeping at least the server's hint between
+         attempts — no exception, a real pong *)
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          (* a generous threshold: this test is about riding out the
+             shed with retries, not about opening the circuit *)
+          let breaker = Client.Breaker.create ~threshold:50 () in
+          let r = Client.rpc_retrying ~breaker ~max_retries:20 c Protocol.Ping in
+          Alcotest.(check bool) "served after retrying" true (get_bool "pong" r);
+          Alcotest.(check bool) "breaker stayed closed" true
+            (Client.Breaker.state breaker = Client.Breaker.Closed));
+      Alcotest.(check bool) "parked request served" true (get_bool "pong" (raw_reply s1));
+      Alcotest.(check bool) "queued request served" true (get_bool "pong" (raw_reply s2));
+      List.iter Unix.close [ s1; s2 ])
 
 (* ------------------------------------------------------------------ *)
 (* journal + crash recovery *)
@@ -598,6 +739,18 @@ let () =
           Alcotest.test_case "dropped connection" `Quick test_e2e_dropped_connection;
           Alcotest.test_case "timeout verdict over socket" `Quick
             test_e2e_timeout_verdict_over_socket;
+        ] );
+      ( "overload",
+        [
+          Alcotest.test_case "queue full sheds with retry hint" `Quick
+            test_e2e_queue_full_sheds;
+          Alcotest.test_case "slow loris evicted" `Quick test_e2e_slow_loris_evicted;
+          Alcotest.test_case "SIGTERM drains the queue" `Quick
+            test_e2e_sigterm_drains_queue;
+          Alcotest.test_case "breaker opens and half-opens" `Quick
+            test_breaker_opens_and_half_opens;
+          Alcotest.test_case "retrying client rides out a shed" `Quick
+            test_e2e_retry_honours_hint;
         ] );
       ( "crash recovery",
         [

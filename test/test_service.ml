@@ -444,6 +444,9 @@ let with_server ?(domains = 2) f =
             Server.socket_path;
             domains;
             queue_capacity = 16;
+            max_connections = 960;
+            read_deadline_s = 2.;
+            write_deadline_s = 2.;
             root = None;
             journal = None;
             recover = false;
