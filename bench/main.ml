@@ -673,39 +673,141 @@ let search_bench () =
     | Some q -> q
     | None -> failwith "hard.ric has no query QH"
   in
-  (* best of three: steps/s feeds the check.sh regression guard, and a
-     single run's scheduler noise would drown a real 5% slowdown *)
-  let timed mode =
-    let once () =
-      let clock = Budget.create ~max_steps:step_cap () in
-      let (label, secs) =
-        time (fun () -> decide_labelled ~clock ~search:mode hard qh)
-      in
-      (label, Budget.steps clock, secs)
+  (* interleaved best-of-five: steps/s feeds the check.sh regression
+     guard and the par-vs-seq gate, and both compare modes measured by
+     the same bench run — so each round times every mode once and the
+     per-mode best is taken across rounds.  Back-to-back repeats would
+     let one transient load spike sink whichever mode's window it hit;
+     interleaving spreads it over all of them.  Each mode also records
+     how often the interning mutex was taken per million search steps
+     — the lock-free fast path's headline number (the acceptance bar
+     is a >= 10x reduction in par mode vs the old per-row locking,
+     which took the mutex on every step). *)
+  let run_once mode =
+    let locks0 = Intern.lock_acquisitions () in
+    let clock = Budget.create ~max_steps:step_cap () in
+    let (label, secs) =
+      time (fun () -> decide_labelled ~clock ~search:mode hard qh)
     in
-    let (label, steps, secs) =
-      List.fold_left
-        (fun acc _ ->
-          let (_, _, best_secs) = acc in
-          let (_, _, secs) as run = once () in
-          if secs < best_secs then run else acc)
-        (once ()) [ 1; 2 ]
-    in
-    let sps = float_of_int steps /. (secs +. 1e-9) in
-    Printf.printf "  %-6s %-22s %9d steps in %7.1f ms  (%10.0f steps/s)\n"
-      (Search_mode.to_string mode) label steps (1e3 *. secs) sps;
-    (mode, label, steps, secs, sps)
+    (label, Budget.steps clock, secs, Intern.lock_acquisitions () - locks0)
   in
-  ignore (timed Search_mode.Seq) (* warm-up: page in the scenario and code *);
-  let runs = List.map timed modes in
+  ignore (run_once Search_mode.Seq) (* warm-up: page in scenario + code *);
+  let table = List.map (fun m -> (m, ref None, ref 0, ref 0)) modes in
+  (* the par-vs-seq gate compares the two modes within the same round
+     (measurements seconds apart) and keeps the best round: run-to-run
+     load on a shared host swings absolute steps/s by ~10%, which would
+     drown the 5% gate, while a real coordination regression shows up
+     in every round *)
+  let pair_ratio = ref 0.0 in
+  for _ = 1 to 5 do
+    let sps_now =
+      List.map
+        (fun (m, best, locks, steps_sum) ->
+          let (label, steps, secs, lock_acq) = run_once m in
+          locks := !locks + lock_acq;
+          steps_sum := !steps_sum + steps;
+          (match !best with
+          | Some (_, _, best_secs) when best_secs <= secs -> ()
+          | _ -> best := Some (label, steps, secs));
+          (m, float_of_int steps /. (secs +. 1e-9)))
+        table
+    in
+    match
+      ( List.assoc_opt Search_mode.Seq sps_now,
+        List.assoc_opt (Search_mode.Par 4) sps_now )
+    with
+    | Some s, Some p when s > 0. -> pair_ratio := Float.max !pair_ratio (p /. s)
+    | _ -> ()
+  done;
+  let runs =
+    List.map
+      (fun (m, best, locks, steps_sum) ->
+        let (label, steps, secs) = Option.get !best in
+        let lock_per_msteps =
+          1e6 *. float_of_int !locks /. float_of_int (max 1 !steps_sum)
+        in
+        let sps = float_of_int steps /. (secs +. 1e-9) in
+        Printf.printf
+          "  %-6s %-22s %9d steps in %7.1f ms  (%10.0f steps/s, %.2f intern \
+           locks/Msteps)\n"
+          (Search_mode.to_string m) label steps (1e3 *. secs) sps
+          lock_per_msteps;
+        (m, label, steps, secs, sps, lock_per_msteps))
+      table
+  in
   let sps_of m =
-    match List.find_opt (fun (m', _, _, _, _) -> m' = m) runs with
-    | Some (_, _, _, _, sps) -> sps
+    match List.find_opt (fun (m', _, _, _, _, _) -> m' = m) runs with
+    | Some (_, _, _, _, sps, _) -> sps
     | None -> nan
   in
   let speedup m = sps_of m /. sps_of Search_mode.Seq in
-  Printf.printf "  speedup vs seq: inc %.2fx, par:4 %.2fx\n"
-    (speedup Search_mode.Inc) (speedup (Search_mode.Par 4));
+  Printf.printf "  speedup vs seq: inc %.2fx, par:4 %.2fx (best paired round %.2fx)\n"
+    (speedup Search_mode.Inc) (speedup (Search_mode.Par 4)) !pair_ratio;
+  (* scaling sweep: RIC_SEARCH_FORCE_WORKERS un-clamps the worker count
+     so par:N really spawns N domains even on a small host.  On a
+     1-core box wall clock cannot scale — what the sweep asserts is
+     that the frontier works: steals happen (tasks cross workers) and
+     every worker executes steps (utilisation), recorded per N for the
+     check.sh gate and EXPERIMENTS.  Exits nonzero if a forced
+     multi-worker run steals nothing — that means the frontier
+     degenerated to one sequential branch. *)
+  let m_steals =
+    Ric_obs.Metrics.counter
+      ~help:"frontier tasks popped by a worker other than their producer"
+      "ric_search_steal_total"
+  in
+  let m_worker_steps w =
+    Ric_obs.Metrics.counter
+      ~help:"search steps executed per parallel worker (utilisation)"
+      ~labels:[ ("worker", string_of_int w) ]
+      "ric_search_worker_steps_total"
+  in
+  let steal_gate_failed = ref false in
+  let scaling =
+    List.map
+      (fun w ->
+        Unix.putenv "RIC_SEARCH_FORCE_WORKERS" (string_of_int w);
+        let steals0 = Ric_obs.Metrics.counter_value m_steals in
+        let per_worker0 =
+          List.init w (fun i -> Ric_obs.Metrics.counter_value (m_worker_steps i))
+        in
+        let clock = Budget.create ~max_steps:step_cap () in
+        let (label, secs) =
+          time (fun () ->
+            decide_labelled ~clock ~search:(Search_mode.Par w) hard qh)
+        in
+        Unix.putenv "RIC_SEARCH_FORCE_WORKERS" "";
+        let steps = Budget.steps clock in
+        let sps = float_of_int steps /. (secs +. 1e-9) in
+        let steals = Ric_obs.Metrics.counter_value m_steals - steals0 in
+        let per_worker =
+          List.mapi
+            (fun i v0 -> Ric_obs.Metrics.counter_value (m_worker_steps i) - v0)
+            per_worker0
+        in
+        let busy = List.length (List.filter (fun s -> s > 0) per_worker) in
+        if w > 1 && steals = 0 then begin
+          steal_gate_failed := true;
+          Printf.printf
+            "  STEAL GATE: par:%d with forced workers performed 0 steals\n" w
+        end;
+        Printf.printf
+          "  par:%d forced %-22s %9d steps (%10.0f steps/s) steals %d, \
+           workers busy %d/%d [%s]\n"
+          w label steps sps steals busy w
+          (String.concat " " (List.map string_of_int per_worker));
+        Json.Obj
+          [
+            ("workers", Json.Int w);
+            ("verdict", Json.Str label);
+            ("steps", Json.Int steps);
+            ("steps_per_sec", Json.Int (int_of_float sps));
+            ("steals", Json.Int steals);
+            ("workers_busy", Json.Int busy);
+            ("worker_steps", Json.List (List.map (fun s -> Json.Int s) per_worker));
+          ])
+      [ 1; 2; 4 ]
+  in
   (* verdict agreement across every scenario file and query *)
   let files =
     Sys.readdir dir |> Array.to_list
@@ -756,7 +858,7 @@ let search_bench () =
         ( "modes",
           Json.List
             (List.map
-               (fun (mode, label, steps, secs, sps) ->
+               (fun (mode, label, steps, secs, sps, lock_per_msteps) ->
                  Json.Obj
                    [
                      ("mode", Json.Str (Search_mode.to_string mode));
@@ -764,10 +866,15 @@ let search_bench () =
                      ("steps", Json.Int steps);
                      ("elapsed_ms", Json.Int (int_of_float (1e3 *. secs)));
                      ("steps_per_sec", Json.Int (int_of_float sps));
+                     ( "intern_lock_acq_per_msteps",
+                       Json.Str (Printf.sprintf "%.2f" lock_per_msteps) );
                    ])
                runs) );
         ("speedup_inc_vs_seq", Json.Str (Printf.sprintf "%.2f" (speedup Search_mode.Inc)));
         ("speedup_par_vs_seq", Json.Str (Printf.sprintf "%.2f" (speedup (Search_mode.Par 4))));
+        ( "par_vs_seq_best_round_ratio_pct",
+          Json.Int (int_of_float (100. *. !pair_ratio)) );
+        ("scaling", Json.List scaling);
         ("agreement", Json.List agreement);
         ("all_agree", Json.Bool !all_agree);
       ]
@@ -778,7 +885,8 @@ let search_bench () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "  wrote %s\n" out;
-  if not !all_agree then exit 1
+  if not !all_agree then exit 1;
+  if !steal_gate_failed then exit 1
 
 (* ================================================================== *)
 (* Match kernel microbench                                             *)

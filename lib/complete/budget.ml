@@ -38,10 +38,23 @@ type t = {
   max_steps : int;             (* max_int when unset *)
   cancel : bool Atomic.t list;
   mutable steps : int;
+  shared : int Atomic.t option;
+  (* When set, [max_steps] caps this process-wide counter instead of
+     the local [steps]: every tick does one [fetch_and_add], so a
+     family of workers sharing the counter enforces the cap exactly —
+     no overshoot, no job-end merge.  [steps] stays the per-worker
+     tally (poll stride + utilisation reporting). *)
 }
 
 let unlimited =
-  { limited = false; deadline = infinity; max_steps = max_int; cancel = []; steps = 0 }
+  {
+    limited = false;
+    deadline = infinity;
+    max_steps = max_int;
+    cancel = [];
+    steps = 0;
+    shared = None;
+  }
 
 let create ?deadline_after ?max_steps ?cancel () =
   let deadline =
@@ -55,9 +68,13 @@ let create ?deadline_after ?max_steps ?cancel () =
     max_steps = Option.value ~default:max_int max_steps;
     cancel = Option.to_list cancel;
     steps = 0;
+    shared = None;
   }
 
 let steps t = t.steps
+
+let remaining t =
+  if t.max_steps = max_int then max_int else max 0 (t.max_steps - t.steps)
 
 let is_unlimited t = not t.limited
 
@@ -82,12 +99,39 @@ let fork ?cancel ?(extra_steps = 0) t =
     cancel =
       (match cancel with Some flag -> flag :: t.cancel | None -> t.cancel);
     steps = 0;
+    shared = None;
   }
+
+(* A sibling-family child: ticks count against one process-wide atomic
+   the whole family shares, and [max_steps] caps that counter, so the
+   family as a whole can never overshoot the parent's remaining
+   allowance — unlike [fork], where each child polls its private
+   counter and concurrent children can collectively run past the cap
+   between merges. *)
+let fork_shared ~shared ?cancel t =
+  let max_steps =
+    if t.max_steps = max_int then max_int
+    else max 0 (t.max_steps - t.steps)
+  in
+  {
+    limited = true;
+    deadline = t.deadline;
+    max_steps;
+    cancel =
+      (match cancel with Some flag -> flag :: t.cancel | None -> t.cancel);
+    steps = 0;
+    shared = Some shared;
+  }
+
+(* Steps consumed against [max_steps]: the family total for a shared
+   child, the private counter otherwise. *)
+let consumed t =
+  match t.shared with Some c -> Atomic.get c | None -> t.steps
 
 let check_now t =
   if t.limited then begin
     Ric_obs.Metrics.incr m_polls;
-    if t.steps >= t.max_steps then exhaust Step_limit;
+    if consumed t >= t.max_steps then exhaust Step_limit;
     List.iter
       (fun flag -> if Atomic.get flag then exhaust Cancelled)
       t.cancel;
@@ -104,6 +148,9 @@ let mask = 255
 let tick t =
   if t.limited then begin
     t.steps <- t.steps + 1;
-    if t.steps >= t.max_steps then exhaust Step_limit
-    else if t.steps land mask = 0 then check_now t
+    (match t.shared with
+     | Some c ->
+       if 1 + Atomic.fetch_and_add c 1 >= t.max_steps then exhaust Step_limit
+     | None -> if t.steps >= t.max_steps then exhaust Step_limit);
+    if t.steps land mask = 0 then check_now t
   end

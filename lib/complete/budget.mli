@@ -48,6 +48,11 @@ val check_now : t -> unit
 val steps : t -> int
 (** Work done so far — the counter surfaced in timeout verdicts. *)
 
+val remaining : t -> int
+(** Step allowance left ([max_int] when unbounded) — what a
+    coordinator may still fold in with {!add_steps} without pushing
+    {!steps} past the cap. *)
+
 val is_unlimited : t -> bool
 
 val fork : ?cancel:bool Atomic.t -> ?extra_steps:int -> t -> t
@@ -69,7 +74,25 @@ val fork : ?cancel:bool Atomic.t -> ?extra_steps:int -> t -> t
     (it can only let concurrently-running children overshoot
     [max_steps] slightly, which the parent's own [check_now] bounds).
     The test suite pins this down by comparing par-mode and seq-mode
-    step totals on the same instance. *)
+    step totals on the same instance.
+
+    Prefer {!fork_shared} for a family of concurrent workers: it
+    enforces the cap exactly instead of per-child. *)
+
+val fork_shared : shared:int Atomic.t -> ?cancel:bool Atomic.t -> t -> t
+(** Like {!fork}, but every tick of every child built over the same
+    [shared] atomic counts against that one counter, and the parent's
+    remaining allowance caps the {e family total} — concurrent workers
+    can never collectively overshoot the step cap, and no job-end merge
+    is needed for enforcement.  Each child's {!steps} remains its
+    private tally (used for the 256-tick poll stride and per-worker
+    utilisation reporting).
+
+    Accounting contract under sharing: the coordinator folds
+    [min (Atomic.get shared) allowance] into the parent with a single
+    {!add_steps} after all children stop; it must {e not} also fold the
+    children's private {!steps} (the shared counter already holds the
+    family total). *)
 
 val add_steps : t -> int -> unit
 (** Fold a child's step count back into the parent after a join.

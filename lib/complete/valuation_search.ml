@@ -5,21 +5,41 @@ open Ric_constraints
 module Metrics = Ric_obs.Metrics
 module Trace = Ric_obs.Trace
 
-(* Par-mode observability: all counters live at the coordinator
-   granularity (per split / per branch / per stop-flag trip), never per
-   search leaf, so seq-mode throughput is untouched. *)
+(* Par-mode observability: counters live at coordinator/task
+   granularity (per search / per task / per steal / per stop-flag
+   trip), never per search leaf, so seq-mode throughput is untouched. *)
 let m_par_searches =
   Metrics.counter ~help:"parallel top-level searches started"
     "ric_search_par_searches_total"
 
-let m_par_branches =
-  Metrics.counter ~help:"split-variable branches submitted to the pool"
+let m_par_tasks =
+  Metrics.counter
+    ~help:"subtree tasks pushed onto the work-stealing frontier"
     "ric_search_par_branches_total"
 
 let m_par_cancels =
   Metrics.counter
-    ~help:"stop-flag trips propagated to sibling branches (first witness, exhaustion or error)"
+    ~help:"stop-flag trips propagated to sibling workers (first witness, exhaustion or error)"
     "ric_search_cancel_propagations_total"
+
+let m_steals =
+  Metrics.counter
+    ~help:"frontier tasks popped by a worker other than their producer"
+    "ric_search_steal_total"
+
+let m_worker_steps wid =
+  Metrics.counter
+    ~help:"search steps executed per parallel worker (utilisation)"
+    ~labels:[ ("worker", string_of_int wid) ]
+    "ric_search_worker_steps_total"
+
+(* Injection point for the fault harness: called at the start of every
+   frontier task a par worker executes.  The service layer arms it from
+   RIC_FAULTS (point "search_worker") at module init; the default is a
+   no-op.  A hook ref keeps the layering acyclic — ric_complete cannot
+   see ric_service's Faults module. *)
+let fault_hook : (unit -> unit) ref = ref ignore
+let set_fault_hook f = fault_hook := f
 
 let neqs_ground_ok (tab : Tableau.t) mu =
   List.for_all
@@ -56,6 +76,131 @@ let base_of mode (tab : Tableau.t) =
   | `Against_base db -> db
   | `Delta_only -> Database.empty tab.Tableau.schema
 
+(* The greedy fewest-unbound-first atom pick depends only on the {e
+   set} of bound variables — never on their values — and that set is
+   the same in every branch at the same tree position, so the whole
+   instantiation order can be computed once per search instead of once
+   per node.  [plan_levels] replays the pick: at each level the atom
+   with the fewest unbound variables is selected (earliest atom wins
+   ties, matching the old per-node fold), its unbound variables and
+   their candidate lists are recorded, and its variables are marked
+   bound.  Every branch then instantiates atoms in exactly this order,
+   which is what lets par-mode subtree tasks align with the sequential
+   tree: same nodes, same ticks, same prunes, same verdict. *)
+type level = {
+  l_atom : Atom.t;
+  l_doms : (string * Value.t list) list; (* unbound vars × candidates *)
+  l_width : int; (* candidate combinations at this level (capped) *)
+}
+
+let plan_levels ~adom ~init_vars (tab : Tableau.t) =
+  let var_doms = Tableau.var_domains tab in
+  let cands x =
+    match List.assoc_opt x var_doms with
+    | Some d -> Adom.candidates adom d
+    | None -> Adom.candidates adom Domain.Infinite
+  in
+  let bound = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace bound x ()) init_vars;
+  let unbound a =
+    List.filter (fun x -> not (Hashtbl.mem bound x)) (Atom.vars a)
+  in
+  let rec go acc atoms =
+    match atoms with
+    | [] -> List.rev acc
+    | _ ->
+      let best =
+        List.fold_left
+          (fun best a ->
+            let n = List.length (unbound a) in
+            match best with
+            | Some (_, m) when m <= n -> best
+            | _ -> Some (a, n))
+          None atoms
+      in
+      (match best with
+       | None -> List.rev acc
+       | Some (a, _) ->
+         let vars = unbound a in
+         let doms = List.map (fun x -> (x, cands x)) vars in
+         let width =
+           List.fold_left
+             (fun w (_, cs) -> min 1_000_000 (w * List.length cs))
+             1 doms
+         in
+         List.iter (fun x -> Hashtbl.replace bound x ()) vars;
+         go ({ l_atom = a; l_doms = doms; l_width = width } :: acc)
+           (remove_one a atoms))
+  in
+  Array.of_list (go [] tab.Tableau.patterns)
+
+(* Everything immutable a search shares across branches (and, in par
+   mode, across worker domains): the checker's internals are
+   mutex/atomic-guarded, the databases persistent. *)
+type ctx = {
+  c_tab : Tableau.t;
+  c_chk : [ `Inc of Incremental.t | `Full of Compiled.t ];
+  c_mode : [ `Against_base of Database.t | `Delta_only ];
+  c_base : Database.t;
+  c_levels : level array;
+}
+
+(* Enumerate every candidate instantiation of the atom at level [lv],
+   charging one budget tick per candidate, and call [child] with the
+   extended state for each candidate that passes the inequality and
+   constraint checks.  Exists-style: stops at the first [true]. *)
+let expand ctx ~budget ~on_prune lv mu delta combined child =
+  let { l_atom = a; l_doms = doms0; _ } = ctx.c_levels.(lv) in
+  (* par-mode pin-splitting seeds [mu] with some of this level's own
+     variables; enumerate only the rest (tick-neutral: the pinned
+     tasks' combo counts sum to the full level width).  The sequential
+     path never pins, so it keeps the precomputed list as-is. *)
+  let doms =
+    if List.exists (fun (x, _) -> Valuation.mem x mu) doms0 then
+      List.filter (fun (x, _) -> not (Valuation.mem x mu)) doms0
+    else doms0
+  in
+  Valuation.enumerate_iter doms (fun partial ->
+    Budget.tick budget;
+    let mu' =
+      if Valuation.is_empty mu then partial
+      else
+        List.fold_left
+          (fun m (x, c) -> Valuation.add x c m)
+          mu (Valuation.bindings partial)
+    in
+    if not (neqs_ground_ok ctx.c_tab mu') then false
+    else
+      match Valuation.tuple_of_terms mu' a.Atom.args with
+      | None -> assert false
+      | Some tuple ->
+        let delta' = Database.add_tuple delta a.Atom.rel tuple in
+        let combined' = Database.add_tuple combined a.Atom.rel tuple in
+        let check_db =
+          match ctx.c_mode with
+          | `Against_base _ -> combined'
+          | `Delta_only -> delta'
+        in
+        let ok =
+          match ctx.c_chk with
+          | `Inc c ->
+            Incremental.check_add_overlay c ~base:ctx.c_base ~delta:delta'
+              ~db:check_db ~rel:a.Atom.rel ~tuple
+          | `Full comp -> Compiled.check comp ~db:check_db ~delta:delta'
+        in
+        if ok then child mu' delta' combined'
+        else begin
+          on_prune ();
+          false
+        end)
+
+let rec dfs ctx ~budget ~on_prune ~visit lv mu delta combined =
+  if lv = Array.length ctx.c_levels then
+    if neqs_ground_ok ctx.c_tab mu then visit mu delta else false
+  else
+    expand ctx ~budget ~on_prune lv mu delta combined
+      (dfs ctx ~budget ~on_prune ~visit (lv + 1))
+
 (* [chk] is the per-step constraint checker, resolved once per search:
    [`Inc] when the incremental checker's parent invariant holds at the
    root, else [`Full], a compiled whole-check over the same base.
@@ -63,77 +208,23 @@ let base_of mode (tab : Tableau.t) =
    base indexes plus a small interned overlay. *)
 let run ~budget ~chk ~mode ~adom ~on_prune ~init (tab : Tableau.t) visit =
   Budget.check_now budget;
-  let var_doms = Tableau.var_domains tab in
-  let cands x =
-    match List.assoc_opt x var_doms with
-    | Some d -> Adom.candidates adom d
-    | None -> Adom.candidates adom Domain.Infinite
+  let levels =
+    plan_levels ~adom
+      ~init_vars:(List.map fst (Valuation.bindings init))
+      tab
   in
-  let unbound mu (a : Atom.t) =
-    List.filter (fun x -> not (Valuation.mem x mu)) (Atom.vars a)
+  let ctx =
+    {
+      c_tab = tab;
+      c_chk = chk;
+      c_mode = mode;
+      c_base = base_of mode tab;
+      c_levels = levels;
+    }
   in
-  (* Greedy atom order: fewest unbound variables first, so constrained
-     atoms prune before wide ones branch. *)
-  let pick mu atoms =
-    match atoms with
-    | [] -> None
-    | _ ->
-      let best =
-        List.fold_left
-          (fun acc a ->
-            let n = List.length (unbound mu a) in
-            match acc with
-            | Some (_, m) when m <= n -> acc
-            | _ -> Some (a, n))
-          None atoms
-      in
-      (match best with
-       | None -> None
-       | Some (a, _) -> Some (a, remove_one a atoms))
-  in
-  let base = base_of mode tab in
-  let rec go mu delta combined atoms =
-    match pick mu atoms with
-    | None -> if neqs_ground_ok tab mu then visit mu delta else false
-    | Some (a, rest) ->
-      let vars = unbound mu a in
-      Valuation.enumerate_iter
-        (List.map (fun x -> (x, cands x)) vars)
-        (fun partial ->
-          Budget.tick budget;
-          let mu' =
-            if Valuation.is_empty mu then partial
-            else
-              List.fold_left
-                (fun m (x, c) -> Valuation.add x c m)
-                mu (Valuation.bindings partial)
-          in
-          if not (neqs_ground_ok tab mu') then false
-          else
-            match Valuation.tuple_of_terms mu' a.Atom.args with
-            | None -> assert false
-            | Some tuple ->
-              let delta' = Database.add_tuple delta a.Atom.rel tuple in
-              let combined' = Database.add_tuple combined a.Atom.rel tuple in
-              let check_db =
-                match mode with
-                | `Against_base _ -> combined'
-                | `Delta_only -> delta'
-              in
-              let ok =
-                match chk with
-                | `Inc c ->
-                  Incremental.check_add_overlay c ~base ~delta:delta'
-                    ~db:check_db ~rel:a.Atom.rel ~tuple
-                | `Full comp -> Compiled.check comp ~db:check_db ~delta:delta'
-              in
-              if ok then go mu' delta' combined' rest
-              else begin
-                on_prune ();
-                false
-              end)
-  in
-  go init (Database.empty tab.Tableau.schema) base tab.Tableau.patterns
+  dfs ctx ~budget ~on_prune ~visit 0 init
+    (Database.empty tab.Tableau.schema)
+    ctx.c_base
 
 let iter_valid ?(budget = Budget.unlimited) ?checker ~master ~ccs ~mode ~adom
     ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
@@ -145,42 +236,91 @@ let iter_valid ?(budget = Budget.unlimited) ?checker ~master ~ccs ~mode ~adom
   in
   run ~budget ~chk ~mode ~adom ~on_prune ~init:Valuation.empty tab visit
 
-(* Parallel top-level search: partition the candidates of one split
-   variable (the first variable of the pattern atoms) across a
-   supervised pool of worker domains, each running the sequential
-   search seeded with that binding.  Valid valuations bind the split
-   variable to exactly one candidate, so the branches partition the
-   search space: visits are never duplicated, and verdicts coincide
-   with the sequential modes.  The first visit returning [true] trips a
-   stop flag every child budget polls, cancelling the siblings. *)
+(* A frontier task is one subtree of the sequential search tree: "all
+   levels below [t_lv] under this partial state".  Tasks exist only at
+   atom boundaries, so executing every task exactly once reproduces the
+   sequential tree node for node — step totals, prune counts and
+   verdicts all coincide with seq mode. *)
+type task = {
+  t_lv : int;
+  t_mu : Valuation.t;
+  t_delta : Database.t;
+  t_combined : Database.t;
+  t_depth : int; (* splits along this path, capped *)
+  t_producer : int; (* worker that pushed it, for the steal counter *)
+  mutable t_attempts : int; (* crash retries consumed *)
+}
+
+(* Splitting one level deeper than this buys nothing: subtrees near the
+   leaves are smaller than the push/pop they cost. *)
+let depth_cap = 8
+
+(* Parallel top-level search, reworked for OCaml 5 multicore.
+
+   Work-stealing over a subproblem frontier: the coordinator seeds a
+   Treiber-stack frontier with the root task; any worker that pops a
+   task either runs its whole subtree inline (the common case) or — when
+   the frontier is starved (fewer queued tasks than workers) and the
+   level still branches — expands just one level and pushes each
+   surviving child subtree for idle workers to steal.  Skewed
+   partitions therefore split below the first variable on demand
+   instead of degenerating to one long sequential branch.
+
+   Shared-state discipline: the hot path takes no locks ([Intern],
+   [Kernel.Store] and [Rix] publish through atomics; the frontier is a
+   CAS list; step accounting is one [Atomic.fetch_and_add] per tick via
+   {!Budget.fork_shared}, enforcing the step cap exactly instead of
+   merging per-child counts at job end).  Only [visit] / [on_prune]
+   delivery serialises on a mutex, at visit/task granularity.
+
+   A task that raises anything other than [Budget.Exhausted] (e.g. an
+   injected worker crash) is retried exactly once; a second failure
+   records the error, trips the stop flag and the coordinator re-raises
+   — a crash can cost duplicated work, never a hang or a wrong
+   verdict. *)
 let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
     ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
   Budget.check_now budget;
-  let split_var =
-    match List.concat_map Atom.vars tab.Tableau.patterns with
-    | [] -> None
-    | x :: _ -> Some x
+  (* [domains] partitions the work; the pool never runs more worker
+     domains than the machine has cores — oversubscribing a saturated
+     runtime only adds GC-synchronisation cost.  RIC_SEARCH_FORCE_WORKERS
+     overrides the clamp (scaling sweeps, concurrency tests). *)
+  let clamp =
+    match
+      Option.bind
+        (Sys.getenv_opt "RIC_SEARCH_FORCE_WORKERS")
+        int_of_string_opt
+    with
+    | Some n when n > 0 -> n
+    | _ -> Stdlib.Domain.recommended_domain_count ()
   in
-  match split_var with
-  | None ->
+  let workers = max 1 (min domains clamp) in
+  let levels = plan_levels ~adom ~init_vars:[] tab in
+  let splittable = Array.exists (fun l -> l.l_width >= 2) levels in
+  if workers <= 1 || not splittable then
+    (* one worker, or no level branches at all: the frontier cannot
+       produce parallelism, so run the sequential engine directly —
+       same tree, zero coordination overhead *)
     iter_valid ~budget ?checker ~master ~ccs ~mode ~adom ~on_prune tab visit
-  | Some _ when domains <= 1 ->
-    iter_valid ~budget ?checker ~master ~ccs ~mode ~adom ~on_prune tab visit
-  | Some x ->
-    (* one checker for every branch: the compiled store and the
-       incremental counters are mutex/atomic-guarded, so sharing across
-       worker domains is safe and keeps index reuse across branches *)
+  else begin
+    (* one checker for every worker: the compiled store and the
+       incremental counters are atomic/mutex-guarded, so sharing across
+       domains is safe and keeps index reuse across subtrees *)
     let chk =
       match resolve checker ~mode with
       | Some c -> `Inc c
       | None -> `Full (Compiled.create ~base:(base_of mode tab) ~master ccs)
     in
-    let var_doms = Tableau.var_domains tab in
-    let cands_x =
-      match List.assoc_opt x var_doms with
-      | Some d -> Adom.candidates adom d
-      | None -> Adom.candidates adom Domain.Infinite
+    let ctx =
+      {
+        c_tab = tab;
+        c_chk = chk;
+        c_mode = mode;
+        c_base = base_of mode tab;
+        c_levels = levels;
+      }
     in
+    let n_levels = Array.length levels in
     let stop = Atomic.make false in
     (* count each trip of the stop flag once, whoever races to it *)
     let trip_stop () =
@@ -190,12 +330,40 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
     let found = ref false in
     let exhausted = ref None in
     let error = ref None in
-    let consumed = Atomic.make 0 in
-    (* [domains] partitions the work; the pool never runs more worker
-       domains than the machine has cores — oversubscribing a
-       saturated runtime only adds GC-synchronisation cost *)
-    let workers =
-      max 1 (min domains (Stdlib.Domain.recommended_domain_count ()))
+    let shared = Atomic.make 0 in
+    (* Treiber stack of subtree tasks; [queued] feeds the starvation
+       check, [remaining] counts popped-but-unfinished plus queued
+       tasks for termination detection. *)
+    let frontier = Atomic.make [] in
+    let queued = Atomic.make 0 in
+    let remaining = Atomic.make 0 in
+    let pushed = Atomic.make 0 in
+    let push_cas t =
+      Atomic.incr queued;
+      let rec go () =
+        let cur = Atomic.get frontier in
+        if not (Atomic.compare_and_set frontier cur (t :: cur)) then go ()
+      in
+      go ()
+    in
+    let push_new t =
+      Atomic.incr remaining;
+      Atomic.incr pushed;
+      Metrics.incr m_par_tasks;
+      push_cas t
+    in
+    let pop () =
+      let rec go () =
+        match Atomic.get frontier with
+        | [] -> None
+        | t :: rest as cur ->
+          if Atomic.compare_and_set frontier cur rest then begin
+            Atomic.decr queued;
+            Some t
+          end
+          else go ()
+      in
+      go ()
     in
     let locked f =
       Mutex.lock mx;
@@ -207,10 +375,6 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
         Mutex.unlock mx;
         raise e
     in
-    (* a single-worker pool serialises the jobs by construction, and
-       [Pool.shutdown]'s join orders its writes before the
-       coordinator's reads — skip the per-visit mutex there *)
-    let locked f = if workers > 1 then locked f else f () in
     let visit_sync mu delta =
       locked (fun () ->
         let r = visit mu delta in
@@ -220,60 +384,173 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
         end;
         r)
     in
-    let on_prune_sync () = locked on_prune in
-    let job v () =
-      if Atomic.get stop then ()
-      else begin
-      let child =
-        Budget.fork ~cancel:stop ~extra_steps:(Atomic.get consumed) budget
-      in
-      let merge () =
-        ignore (Atomic.fetch_and_add consumed (Budget.steps child))
-      in
-      match
-        run ~budget:child ~chk ~mode ~adom ~on_prune:on_prune_sync
-          ~init:(Valuation.add x v Valuation.empty)
-          tab visit_sync
-      with
-      | (_ : bool) -> merge ()
-      | exception Budget.Exhausted reason ->
-        merge ();
+    (* prunes are counted locally and flushed under the visit mutex
+       once per task — a search prunes constantly, and a lock per prune
+       is exactly the coordination cost this path exists to avoid *)
+    let flush_prunes pr =
+      if !pr > 0 then begin
+        let n = !pr in
+        pr := 0;
         locked (fun () ->
-          (match reason with
-           | Budget.Cancelled when Atomic.get stop ->
-             () (* our own first-witness / stop cancellation *)
-           | r -> if !exhausted = None then exhausted := Some r);
-          trip_stop ())
-      | exception e ->
-        merge ();
-        locked (fun () ->
-          if !error = None then error := Some e;
-          trip_stop ())
+          for _ = 1 to n do
+            on_prune ()
+          done)
       end
     in
+    let exec_task wid child_budget pr t =
+      !fault_hook ();
+      let on_prune_local () = incr pr in
+      (* When the frontier is starved (fewer queued tasks than
+         workers), split the popped task instead of running it whole.
+         Preferred split: {e pin} the widest not-yet-pinned variable of
+         the current level — one child task per candidate value, no
+         ticks spent, so the widest variable (not blindly the first)
+         carries the partitioning and skewed partitions keep
+         subdividing on demand.  When every variable of the level is
+         pinned down to a single candidate, descend instead: expand the
+         level (its ticks and checks) and push one task per surviving
+         child subtree.  Tasks only ever cut the tree at variable or
+         atom boundaries, so step/prune/verdict parity with seq is
+         preserved. *)
+      let choice =
+        if t.t_depth >= depth_cap || Atomic.get queued >= workers then `Run
+        else begin
+          let unpinned =
+            List.filter
+              (fun (x, _) -> not (Valuation.mem x t.t_mu))
+              levels.(t.t_lv).l_doms
+          in
+          let widest =
+            List.fold_left
+              (fun best ((_, cs) as d) ->
+                match best with
+                | Some (_, bcs) when List.length bcs >= List.length cs -> best
+                | _ -> Some d)
+              None unpinned
+          in
+          match widest with
+          | Some (x, cs) when List.length cs >= 2 -> `Pin (x, cs)
+          | _ -> if t.t_lv + 1 < n_levels then `Descend else `Run
+        end
+      in
+      match choice with
+      | `Pin (x, cs) ->
+        List.iter
+          (fun v ->
+            push_new
+              {
+                t with
+                t_mu = Valuation.add x v t.t_mu;
+                t_depth = t.t_depth + 1;
+                t_producer = wid;
+                t_attempts = 0;
+              })
+          cs
+      | `Descend ->
+        (* a witness can only appear at a leaf, so the discarded bool
+           is always [false] here *)
+        ignore
+          (expand ctx ~budget:child_budget ~on_prune:on_prune_local t.t_lv
+             t.t_mu t.t_delta t.t_combined
+             (fun mu' delta' combined' ->
+               push_new
+                 {
+                   t_lv = t.t_lv + 1;
+                   t_mu = mu';
+                   t_delta = delta';
+                   t_combined = combined';
+                   t_depth = t.t_depth + 1;
+                   t_producer = wid;
+                   t_attempts = 0;
+                 };
+               false))
+      | `Run ->
+        ignore
+          (dfs ctx ~budget:child_budget ~on_prune:on_prune_local
+             ~visit:visit_sync t.t_lv t.t_mu t.t_delta t.t_combined)
+    in
+    let worker wid =
+      let child = Budget.fork_shared ~shared ~cancel:stop budget in
+      let pr = ref 0 in
+      let rec loop spins =
+        if Atomic.get stop then ()
+        else
+          match pop () with
+          | Some t ->
+            if t.t_producer <> wid then Metrics.incr m_steals;
+            let completed =
+              match exec_task wid child pr t with
+              | () -> true
+              | exception Budget.Exhausted reason ->
+                locked (fun () ->
+                  match reason with
+                  | Budget.Cancelled when Atomic.get stop ->
+                    () (* our own first-witness / stop cancellation *)
+                  | r -> if !exhausted = None then exhausted := Some r);
+                trip_stop ();
+                true
+              | exception e ->
+                if t.t_attempts = 0 then begin
+                  (* retry a crashed task exactly once: requeue it (it
+                     is still counted by [remaining]) so one injected
+                     worker crash costs duplicated work, not a verdict *)
+                  t.t_attempts <- 1;
+                  push_cas t;
+                  false
+                end
+                else begin
+                  locked (fun () -> if !error = None then error := Some e);
+                  trip_stop ();
+                  true
+                end
+            in
+            flush_prunes pr;
+            if completed then Atomic.decr remaining;
+            loop 0
+          | None ->
+            if Atomic.get remaining = 0 then ()
+            else begin
+              (* brief spin, then sleep: on an oversubscribed host an
+                 idle domain must yield the core or it starves the
+                 worker actually holding the work *)
+              if spins < 64 then Stdlib.Domain.cpu_relax ()
+              else Unix.sleepf 1e-4;
+              loop (spins + 1)
+            end
+      in
+      loop 0;
+      let local = Budget.steps child in
+      Metrics.add (m_worker_steps wid) local;
+      local
+    in
     Metrics.incr m_par_searches;
-    Metrics.add m_par_branches (List.length cands_x);
     let sp = Trace.start "search.par" in
-    Trace.set_str sp "split_var" x;
-    Trace.set_int sp "branches" (List.length cands_x);
     Trace.set_int sp "workers" workers;
-    (if workers = 1 then
-       (* one core: spawning a pool domain only adds per-minor-GC
-          stop-the-world handshakes; run the partitions inline instead.
-          Budget forks, the stop flag and the error/exhausted protocol
-          behave exactly as in the pooled path. *)
-       List.iter (fun v -> job v ()) cands_x
-     else begin
-       let pool =
-         Pool.create ~domains:workers ~capacity:(2 * domains)
-           ~worker:(fun f -> f ()) ()
-       in
-       List.iter (fun v -> ignore (Pool.submit pool (job v))) cands_x;
-       Pool.shutdown pool
-     end);
-    Trace.set_int sp "steps" (Atomic.get consumed);
+    Trace.set_int sp "levels" n_levels;
+    push_new
+      {
+        t_lv = 0;
+        t_mu = Valuation.empty;
+        t_delta = Database.empty tab.Tableau.schema;
+        t_combined = ctx.c_base;
+        t_depth = 0;
+        t_producer = 0;
+        t_attempts = 0;
+      };
+    let others =
+      List.init (workers - 1) (fun i ->
+        Stdlib.Domain.spawn (fun () -> worker (i + 1)))
+    in
+    let _self_steps = worker 0 in
+    List.iter (fun d -> ignore (Stdlib.Domain.join d)) others;
+    let total = Atomic.get shared in
+    Trace.set_int sp "steps" total;
+    Trace.set_int sp "tasks" (Atomic.get pushed);
     Trace.finish sp;
-    Budget.add_steps budget (Atomic.get consumed);
+    (* the shared counter already holds the family total; clamp the
+       fold so a cap-overshooting final tick race never inflates the
+       parent past its allowance *)
+    Budget.add_steps budget (min total (Budget.remaining budget));
     (match !error with Some e -> raise e | None -> ());
     if !found then true
     else begin
@@ -283,3 +560,4 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
       Budget.check_now budget;
       false
     end
+  end

@@ -54,19 +54,41 @@ val iter_valid_par :
   Tableau.t ->
   (Valuation.t -> Database.t -> bool) ->
   bool
-(** Like {!iter_valid}, but the candidates of the first pattern
-    variable are partitioned across [domains] worker domains (a
-    supervised {!Pool}).  [visit] and [on_prune] are serialised under
-    one mutex, so rcdp's counting visitors need no changes.  The first
-    visit returning [true] cancels the sibling workers through a
-    per-call stop flag ({!Budget.fork}); child step counts are folded
-    back into [budget] on join, and a child exhausting the shared
-    deadline/step allowance re-raises {!Budget.Exhausted} from the
-    coordinator.  Verdicts are identical to the sequential modes; with
-    [domains <= 1] or no pattern variables it degrades to
-    {!iter_valid}.  [domains] partitions the work but never spawns more
-    worker domains than [Stdlib.Domain.recommended_domain_count ()] —
-    oversubscribing a saturated runtime only costs GC synchronisation —
-    and on a single-core machine the partitions run inline on the
-    caller's domain (same splitting, budget forks and first-witness
-    cancellation, no pool). *)
+(** Like {!iter_valid}, but the search tree is explored by up to
+    [domains] worker domains stealing subtree tasks from a shared
+    lock-free frontier.  The instantiation order is computed once up
+    front (the greedy pick depends only on the bound-variable set), so
+    the parallel tree is node-for-node the sequential tree: verdicts,
+    step totals and prune counts all coincide with {!iter_valid} on
+    exhaustive searches.  A worker that pops a task runs its whole
+    subtree inline unless the frontier is starved (fewer queued tasks
+    than workers), in which case it expands one atom level and pushes
+    each surviving child subtree — skewed partitions split below the
+    first variable on demand instead of degenerating to one long
+    branch ([ric_search_steal_total] counts cross-worker pops).
+
+    [visit] and [on_prune] are serialised under one mutex (prunes are
+    batched per task), so rcdp's counting visitors need no changes.
+    The first visit returning [true] cancels the sibling workers
+    through a per-call stop flag.  Step accounting uses one shared
+    atomic counter ({!Budget.fork_shared}), so the family can never
+    overshoot the parent's step cap; the total is folded back into
+    [budget] on join, and exhaustion re-raises {!Budget.Exhausted}
+    from the coordinator.  A task raising anything else (e.g. an
+    injected worker crash) is retried once, then the error is
+    re-raised — never a hang.
+
+    With [domains <= 1], no branching level anywhere, or a one-core
+    clamp it degrades to {!iter_valid} (zero coordination overhead).
+    [domains] partitions the work but never spawns more worker domains
+    than [Stdlib.Domain.recommended_domain_count ()] — oversubscribing
+    a saturated runtime only costs GC synchronisation; the
+    [RIC_SEARCH_FORCE_WORKERS] environment variable overrides the
+    clamp for scaling sweeps and concurrency tests. *)
+
+val set_fault_hook : (unit -> unit) -> unit
+(** Install the fault-injection hook called at the start of every
+    frontier task a parallel worker executes (default: no-op).  The
+    service layer points it at its RIC_FAULTS harness (point
+    ["search_worker"]) so crash drills can exercise the retry-once /
+    structured-error path without a layering cycle. *)

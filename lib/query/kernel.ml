@@ -167,33 +167,62 @@ module Rowset = struct
   let mem h row = H.mem h row
 end
 
+(* The index cache is read-mostly: after the first few solves every
+   probe is a hit on an unchanged relation.  The hit path is
+   lock-free — one [Atomic.get] of a persistent-map snapshot plus a
+   physical-identity check — so concurrent search workers sharing a
+   store never contend.  Only a miss (new relation, or a relation that
+   changed identity) takes the mutex, double-checks against the latest
+   snapshot, builds, and publishes a new snapshot with [Atomic.set].
+   Publishing a persistent map wholesale means readers always see a
+   consistent (possibly slightly stale) cache; a stale read at worst
+   causes one redundant double-checked lookup under the lock, never a
+   wrong index: the [Rix.source] identity check validates every hit. *)
 module Store = struct
+  module SMap = Map.Make (String)
+
+  let m_lock_acquisitions =
+    Ric_obs.Metrics.counter
+      ~help:
+        "mutex acquisitions by kernel index stores (cache misses only; \
+         index-cache hits are lock-free)"
+      "ric_store_lock_acquisitions_total"
+
   type t = {
-    tbl : (string, Rix.t) Hashtbl.t;
+    snap : Rix.t SMap.t Atomic.t;
     mx : Mutex.t;
   }
 
-  let create () = { tbl = Hashtbl.create 16; mx = Mutex.create () }
+  let create () = { snap = Atomic.make SMap.empty; mx = Mutex.create () }
+
+  let build_locked st name rel =
+    (* another domain may have built it between our probe and the
+       lock — re-check the latest snapshot before paying for a build *)
+    match SMap.find_opt name (Atomic.get st.snap) with
+    | Some rx when Rix.source rx == rel ->
+      Ric_obs.Metrics.incr m_reuses;
+      rx
+    | _ ->
+      let rx = Rix.build rel in
+      Atomic.set st.snap (SMap.add name rx (Atomic.get st.snap));
+      Ric_obs.Metrics.incr m_builds;
+      rx
 
   let rix st name rel =
-    Mutex.lock st.mx;
-    match
-      match Hashtbl.find_opt st.tbl name with
-      | Some rx when Rix.source rx == rel ->
-        Ric_obs.Metrics.incr m_reuses;
-        rx
-      | _ ->
-        let rx = Rix.build rel in
-        Hashtbl.replace st.tbl name rx;
-        Ric_obs.Metrics.incr m_builds;
-        rx
-    with
-    | r ->
-      Mutex.unlock st.mx;
-      r
-    | exception e ->
-      Mutex.unlock st.mx;
-      raise e
+    match SMap.find_opt name (Atomic.get st.snap) with
+    | Some rx when Rix.source rx == rel ->
+      Ric_obs.Metrics.incr m_reuses;
+      rx
+    | _ ->
+      Mutex.lock st.mx;
+      Ric_obs.Metrics.incr m_lock_acquisitions;
+      (match build_locked st name rel with
+       | rx ->
+         Mutex.unlock st.mx;
+         rx
+       | exception e ->
+         Mutex.unlock st.mx;
+         raise e)
 end
 
 let run store ~lookup ?extra ?(init = []) plan on_match =

@@ -63,10 +63,20 @@ end
 
 (** Cache of {!Ric_relational.Rix} indexes keyed by relation name and
     validated by physical identity of the source relation — the
-    persistent replacement for per-solve index builds.  Mutex-guarded;
-    safe to share across domains.  Hits and misses are counted by the
-    [ric_match_index_reuses_total] / [ric_match_index_builds_total]
-    metrics. *)
+    persistent replacement for per-solve index builds.  Safe to share
+    across domains.
+
+    {b Publication contract (lock-free hit path).}  The cache is a
+    persistent map published through an [Atomic.t] snapshot: a hit is
+    one atomic read plus a physical-identity check and takes no lock,
+    so concurrent search workers sharing a store never contend.  Only
+    a miss takes the internal mutex, double-checks the latest
+    snapshot, builds, and republishes the whole map with [Atomic.set]
+    — a reader holding a stale snapshot at worst repeats the
+    double-checked lookup, never observes a wrong index.  Hits and
+    misses are counted by [ric_match_index_reuses_total] /
+    [ric_match_index_builds_total]; mutex acquisitions (misses only)
+    by [ric_store_lock_acquisitions_total]. *)
 module Store : sig
   type t
 

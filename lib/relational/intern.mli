@@ -2,20 +2,42 @@
 
     Equal values always receive the same id, so unification and tuple
     equality in the compiled match kernel reduce to [int] compares.
-    The table is append-only and domain-safe: interning serialises on
-    an internal mutex, reverse lookup is lock-free.  Exposes its size
-    as the [ric_intern_entries] pull gauge. *)
+    The table is append-only and domain-safe.
+
+    {b Publication contract (lock-free read path).}  Already-interned
+    values are resolved without taking any lock: lookups probe an
+    open-addressing cell table whose cells are each written exactly
+    once via [Atomic.set] after the entry is fully constructed, and
+    whose backing array is itself published through an [Atomic.t]
+    snapshot.  OCaml 5's release/acquire semantics for atomics make
+    any observed cell a fully published (value, id) pair.  A probe
+    miss — an empty cell or a stale pre-resize snapshot — falls back
+    to a single mutex acquisition over the authoritative hash table,
+    so misses are safe, never wrong.  Only genuinely new values
+    serialise on the mutex; each acquisition is counted by the
+    [ric_intern_lock_acquisitions_total] metric, making "the search
+    hot path takes zero intern locks" a testable property.  Exposes
+    its size as the [ric_intern_entries] pull gauge. *)
 
 val id : Value.t -> int
-(** Intern one value.  Stable for the life of the process. *)
+(** Intern one value.  Stable for the life of the process.  Lock-free
+    when [v] is already interned. *)
 
 val value : int -> Value.t
 (** Reverse lookup.  Only valid for ids previously returned by {!id}
     or {!row}. *)
 
 val row : Tuple.t -> int array
-(** Intern every component of a tuple under a single lock
-    acquisition. *)
+(** Intern every component of a tuple.  Lock-free when every component
+    is already interned (the common case inside the search: delta rows
+    repeat values the index build already interned); otherwise a
+    single lock acquisition covers the whole row. *)
 
 val size : unit -> int
 (** Number of distinct values interned so far. *)
+
+val lock_acquisitions : unit -> int
+(** Value of [ric_intern_lock_acquisitions_total]: how many times the
+    interning mutex has been taken since process start (never
+    resets).  The regression suite asserts this stays flat across
+    fully-interned [row]/[id] calls. *)

@@ -371,16 +371,46 @@ if [ -f "$BASELINE" ]; then
     _build/default/bench/main.exe search >/dev/null \
     || { echo "FAIL: bench guard run failed" >&2; rm -f "$GUARD_OUT"; exit 1; }
   FRESH_SPS=$(seq_sps "$GUARD_OUT")
-  rm -f "$GUARD_OUT"
   if [ -z "$BASE_SPS" ] || [ -z "$FRESH_SPS" ]; then
     echo "FAIL: could not extract seq steps_per_sec for the bench guard" >&2
+    rm -f "$GUARD_OUT"
     exit 1
   fi
   echo "seq steps/s: baseline $BASE_SPS, fresh $FRESH_SPS (tolerance ${TOL}%)"
   if [ $((FRESH_SPS * 100)) -lt $((BASE_SPS * (100 - TOL))) ]; then
     echo "FAIL: seq search is more than ${TOL}% slower than $BASELINE" >&2
+    rm -f "$GUARD_OUT"
     exit 1
   fi
+
+  echo "== par-vs-seq guard (parallel mode must not cost throughput)"
+  # same fresh run: the bench times seq and par:4 within each interleaved
+  # round and records the best paired par/seq ratio — that pairing
+  # cancels the ~10% run-to-run load swing of a shared host, so the
+  # gate can stay tight at RIC_BENCH_PAR_TOLERANCE_PCT (default 5)
+  # percent; on a one-core host the par engine degrades to seq, so
+  # anything below is coordination overhead leaking back in; scaling
+  # itself is asserted by the bench's forced worker sweep (steal
+  # counter + per-worker utilisation)
+  PTOL="${RIC_BENCH_PAR_TOLERANCE_PCT:-5}"
+  FRESH_RATIO=$(sed -n 's/.*"par_vs_seq_best_round_ratio_pct":\([0-9]*\).*/\1/p' "$GUARD_OUT")
+  rm -f "$GUARD_OUT"
+  if [ -z "$FRESH_RATIO" ]; then
+    echo "FAIL: could not extract par_vs_seq_best_round_ratio_pct for the par guard" >&2
+    exit 1
+  fi
+  echo "par:4 vs seq best paired-round ratio: ${FRESH_RATIO}% (floor $((100 - PTOL))%)"
+  if [ "$FRESH_RATIO" -lt $((100 - PTOL)) ]; then
+    echo "FAIL: par:4 is more than ${PTOL}% below seq in every round" >&2
+    exit 1
+  fi
+
+  # the committed baseline must carry the scaling sweep (steals and
+  # per-worker utilisation under forced workers)
+  case "$(cat "$BASELINE")" in
+    *'"scaling":'*'"steals":'*) ;;
+    *) echo "FAIL: $BASELINE has no scaling section" >&2; exit 1 ;;
+  esac
 else
   echo "skip: no $BASELINE baseline committed"
 fi

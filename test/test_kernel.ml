@@ -403,12 +403,38 @@ let test_overlay_differential =
         (triple (int_bound 7) (int_bound 3) (int_bound 3)))
     overlay_chain_prop
 
+(* Satellite regression: the already-interned fast path takes zero
+   locks.  The first [row] on fresh values may intern (locking at most
+   once for the whole row); every later [id]/[row] over the same values
+   must leave the acquisition counter untouched — that counter is what
+   the bench reports per million search steps. *)
+let test_intern_lock_free_fast_path () =
+  let t = Tuple.of_strs [ "lockfree-a"; "lockfree-b"; "lockfree-a" ] in
+  let first = Intern.row t in
+  let before = Intern.lock_acquisitions () in
+  for _ = 1 to 1_000 do
+    let again = Intern.row t in
+    assert (again = first);
+    ignore (Intern.id (Value.str "lockfree-b"))
+  done;
+  Alcotest.(check int) "fully interned row/id take zero locks" before
+    (Intern.lock_acquisitions ());
+  (* a genuinely new value still interns correctly — and pays *)
+  ignore (Intern.id (Value.str "lockfree-fresh"));
+  Alcotest.(check bool) "true interning is counted" true
+    (Intern.lock_acquisitions () > before)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "kernel"
     [
-      ("intern", [ Alcotest.test_case "round-trip" `Quick test_intern_roundtrip ]);
+      ( "intern",
+        [
+          Alcotest.test_case "round-trip" `Quick test_intern_roundtrip;
+          Alcotest.test_case "lock-free fast path" `Quick
+            test_intern_lock_free_fast_path;
+        ] );
       ("rix", [ Alcotest.test_case "buckets" `Quick test_rix_buckets ]);
       ( "relation",
         [

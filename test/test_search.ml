@@ -67,6 +67,33 @@ let test_budget_fork_cancel () =
   | () -> Alcotest.fail "parent cancel flag must propagate to forks"
   | exception Budget.Exhausted Budget.Cancelled -> ()
 
+(* Shared-counter families: the cap binds the family total exactly,
+   whichever child performs the tick — the par-mode fix for concurrent
+   branches collectively overshooting [step_cap] between job-end
+   merges. *)
+let test_budget_fork_shared_cap () =
+  let parent = Budget.create ~max_steps:100 () in
+  for _ = 1 to 10 do
+    Budget.tick parent
+  done;
+  let shared = Atomic.make 0 in
+  let a = Budget.fork_shared ~shared parent in
+  let b = Budget.fork_shared ~shared parent in
+  (* alternate ticks: the 90th family tick must trip, not the 90th of
+     either child *)
+  (match
+     for i = 1 to 200 do
+       Budget.tick (if i land 1 = 0 then a else b)
+     done
+   with
+   | () -> Alcotest.fail "shared family must stop at the parent's allowance"
+   | exception Budget.Exhausted Budget.Step_limit -> ());
+  Alcotest.(check int) "family total is exactly the allowance" 90
+    (Atomic.get shared);
+  Budget.add_steps parent (min (Atomic.get shared) (Budget.remaining parent));
+  Alcotest.(check int) "fold lands exactly on the cap" 100 (Budget.steps parent);
+  Alcotest.(check int) "nothing left to fold" 0 (Budget.remaining parent)
+
 (* ------------------------------------------------------------------ *)
 (* Satellite regression: duplicated physically-shared atoms.
 
@@ -332,6 +359,199 @@ let test_par_witness_is_valid () =
       | exception Rcdp.Unsupported _ -> ())
     s.Scenario.queries
 
+(* ------------------------------------------------------------------ *)
+(* The work-stealing engine with real worker domains.  The default
+   clamp would collapse to one worker on a small CI host, silently
+   skipping every concurrency path — RIC_SEARCH_FORCE_WORKERS un-clamps
+   it for the duration of a callback. *)
+
+let with_forced_workers n f =
+  Unix.putenv "RIC_SEARCH_FORCE_WORKERS" (string_of_int n);
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "RIC_SEARCH_FORCE_WORKERS" "")
+    f
+
+(* forced-domain variant of the exactly-once accounting test: the
+   frontier tasks partition the sequential tree, so even with real
+   concurrent workers the family's shared step total must equal the
+   sequential total on a fully explored (Complete) instance *)
+let test_par_step_accounting_forced () =
+  let dir = scenarios_dir () in
+  let s = Scenario.load (Filename.concat dir "crm.ric") in
+  let q =
+    match Scenario.find_query s "Q2" with
+    | Some q -> q
+    | None -> Alcotest.fail "crm.ric lost its Q2 query"
+  in
+  let steps_in ~search =
+    let clock = Budget.create ~max_steps:1_000_000 () in
+    (match
+       Rcdp.decide ~clock ~search ~schema:s.Scenario.db_schema
+         ~master:s.Scenario.master ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+     with
+     | Rcdp.Complete -> ()
+     | Rcdp.Incomplete _ -> Alcotest.fail "Q2 must be complete (full exploration)");
+    Budget.steps clock
+  in
+  let seq = steps_in ~search:Search_mode.Seq in
+  List.iter
+    (fun n ->
+      with_forced_workers n (fun () ->
+        Alcotest.(check int)
+          (Printf.sprintf "forced par:%d step total equals seq" n)
+          seq
+          (steps_in ~search:(Search_mode.Par n))))
+    [ 2; 3 ]
+
+(* a degenerate instance — every variable has a single candidate — has
+   no level to split on; par must degrade to the sequential engine
+   (same result, no stealing, no hang) even with forced workers *)
+let test_par_degenerate_falls_back () =
+  let m_steals =
+    Ric_obs.Metrics.counter
+      ~help:"frontier tasks popped by a worker other than their producer"
+      "ric_search_steal_total"
+  in
+  let tab = tableau_of [ Atom.make "R" [ v "x" ] ] in
+  let adom =
+    Adom.build ~master:no_master ~cc_constants:[] ~query_constants:[]
+      ~fresh_count:1 ()
+  in
+  with_forced_workers 4 (fun () ->
+    let steals0 = Ric_obs.Metrics.counter_value m_steals in
+    let seq_visits = ref 0 in
+    ignore
+      (Valuation_search.iter_valid ~master:no_master ~ccs:[] ~mode:`Delta_only
+         ~adom tab (fun _ _ ->
+           incr seq_visits;
+           false));
+    let par_visits = ref 0 in
+    ignore
+      (Valuation_search.iter_valid_par ~domains:4 ~master:no_master ~ccs:[]
+         ~mode:`Delta_only ~adom tab (fun _ _ ->
+           incr par_visits;
+           false));
+    Alcotest.(check int) "same visits as seq" !seq_visits !par_visits;
+    Alcotest.(check int) "no candidate to split: zero steals" steals0
+      (Ric_obs.Metrics.counter_value m_steals))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck differential: random instances × forced par:1..8 vs seq.
+
+   The parallel tree is node-for-node the sequential tree, so on an
+   uncapped run the verdicts must be identical.  Under a tiny step cap
+   the *exploration order* differs, so a run that times out under seq
+   may legitimately find a witness under par (and vice versa) — but
+   completes must still coincide, a timeout may never be reported with
+   more steps than the cap, and an impossible pairing (one side fully
+   explores and reports complete, the other claims a witness) is a
+   bug. *)
+
+let random_instance seed =
+  let open Ric_workloads in
+  let cfg =
+    { Random_gen.seed; relations = 2; arity = 2; tuples = 3; domain = 3 }
+  in
+  let schema = Random_gen.schema cfg in
+  let db = Random_gen.database cfg in
+  let master = Random_gen.master_of cfg db in
+  let ccs = List.map (Ind.to_cc schema) (Random_gen.inds cfg) in
+  (cfg, schema, db, master, ccs)
+
+let decide_steps ~cap ~search ~workers (schema, db, master, ccs, q) =
+  with_forced_workers workers (fun () ->
+    let clock = Budget.create ~max_steps:cap () in
+    let label =
+      match Rcdp.decide ~clock ~search ~schema ~master ~ccs ~db q with
+      | Rcdp.Complete -> "complete"
+      | Rcdp.Incomplete _ -> "incomplete"
+      | exception Rcdp.Unsupported _ -> "unsupported"
+      | exception Rcdp.Not_partially_closed _ -> "not_partially_closed"
+      | exception Budget.Exhausted reason -> "timeout:" ^ Budget.reason_name reason
+    in
+    (label, Budget.steps clock))
+
+let par_matches_seq_prop (seed, atoms, wsel, tight) =
+  let open Ric_workloads in
+  let (cfg, schema, db, master, ccs) = random_instance seed in
+  let q = Lang.Q_cq (Random_gen.random_cq cfg ~atoms:(1 + (atoms mod 3))) in
+  let inst = (schema, db, master, ccs, q) in
+  let workers = 1 + (wsel mod 8) in
+  let cap = if tight then 400 else 300_000 in
+  let (seq_label, seq_steps) =
+    decide_steps ~cap ~search:Search_mode.Seq ~workers:1 inst
+  in
+  let (par_label, par_steps) =
+    decide_steps ~cap ~search:(Search_mode.Par workers) ~workers inst
+  in
+  if seq_steps > cap then
+    QCheck2.Test.fail_reportf "seq reported %d steps over cap %d" seq_steps cap;
+  if par_steps > cap then
+    QCheck2.Test.fail_reportf "par:%d reported %d steps over cap %d" workers
+      par_steps cap;
+  let timeout l = String.length l >= 7 && String.sub l 0 7 = "timeout" in
+  let compatible =
+    seq_label = par_label
+    || (timeout seq_label && par_label = "incomplete")
+    || (timeout par_label && seq_label = "incomplete")
+  in
+  if not compatible then
+    QCheck2.Test.fail_reportf "par:%d %s vs seq %s (cap %d)" workers par_label
+      seq_label cap;
+  (* with a generous cap the exploration completes and the order cannot
+     matter: demand exact agreement *)
+  if (not tight) && seq_label <> par_label then
+    QCheck2.Test.fail_reportf "uncapped par:%d %s vs seq %s" workers par_label
+      seq_label;
+  true
+
+let test_par_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random instances × forced par:1..8 ≡ seq"
+       ~count:30
+       QCheck2.Gen.(
+         quad (int_bound 1000) (int_bound 2) (int_bound 7) bool)
+       par_matches_seq_prop)
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection: a worker crash mid-task is retried once (one
+   injected crash must not change the verdict); a permanent crash
+   surfaces as the injected error from the coordinator — a structured
+   reply at the service layer — and never hangs. *)
+
+exception Injected
+
+let test_par_crash_paths () =
+  let dir = scenarios_dir () in
+  let s = Scenario.load (Filename.concat dir "crm.ric") in
+  let q =
+    match Scenario.find_query s "Q2" with
+    | Some q -> q
+    | None -> Alcotest.fail "crm.ric lost its Q2 query"
+  in
+  let decide ~search =
+    Rcdp.decide ~search ~schema:s.Scenario.db_schema ~master:s.Scenario.master
+      ~ccs:(Scenario.all_ccs s) ~db:s.Scenario.db q
+  in
+  let expected = decide ~search:Search_mode.Seq in
+  with_forced_workers 2 (fun () ->
+    Fun.protect
+      ~finally:(fun () -> Valuation_search.set_fault_hook ignore)
+      (fun () ->
+        (* one crash, absorbed by the retry *)
+        let armed = Atomic.make true in
+        Valuation_search.set_fault_hook (fun () ->
+          if Atomic.exchange armed false then raise Injected);
+        Alcotest.(check bool) "one crash leaves the verdict intact" true
+          (decide ~search:(Search_mode.Par 2) = expected);
+        Alcotest.(check bool) "the crash really fired" false (Atomic.get armed);
+        (* permanent crash: the retry fails too, the error propagates *)
+        Valuation_search.set_fault_hook (fun () -> raise Injected);
+        match decide ~search:(Search_mode.Par 2) with
+        | (_ : Rcdp.verdict) ->
+          Alcotest.fail "permanent crash must not produce a verdict"
+        | exception Injected -> ()))
+
 let () =
   Alcotest.run "search"
     [
@@ -341,6 +561,7 @@ let () =
         [
           Alcotest.test_case "fork allowance + merge" `Quick test_budget_fork_allowance;
           Alcotest.test_case "fork cancel flags" `Quick test_budget_fork_cancel;
+          Alcotest.test_case "shared family cap is exact" `Quick test_budget_fork_shared_cap;
         ] );
       ( "regressions",
         [
@@ -355,5 +576,15 @@ let () =
           Alcotest.test_case "all scenarios, all modes" `Quick test_modes_agree_on_scenarios;
           Alcotest.test_case "par step totals equal seq" `Quick test_par_step_accounting;
           Alcotest.test_case "par witness revalidates" `Quick test_par_witness_is_valid;
+        ] );
+      ( "work stealing",
+        [
+          Alcotest.test_case "forced domains keep step parity" `Quick
+            test_par_step_accounting_forced;
+          Alcotest.test_case "degenerate split falls back to seq" `Quick
+            test_par_degenerate_falls_back;
+          test_par_differential;
+          Alcotest.test_case "crash retry and permanent crash" `Quick
+            test_par_crash_paths;
         ] );
     ]
