@@ -66,6 +66,7 @@ let with_server ~domains f =
             search = Ric_complete.Search_mode.Seq;
             metrics = None;
             trace = None;
+            flight = None;
           })
   in
   let finish () =
@@ -100,7 +101,17 @@ let open_session c =
   get_str "session" r
 
 let rcdp ?(nocache = false) c session query =
-  Client.rpc c (Protocol.Rcdp { session; query; nocache; timeout_ms = None; search = None })
+  Client.rpc c
+    (Protocol.Rcdp
+       {
+         session;
+         query;
+         nocache;
+         timeout_ms = None;
+         search = None;
+         req_id = None;
+         explain = false;
+       })
 
 (* ------------------------------------------------------------------ *)
 (* cache: cold vs warm vs migrated *)
@@ -294,11 +305,27 @@ let soak_worker ~socket_path ~stop ~seed tally =
         }
     else if n mod 5 = 0 then
       Protocol.Rcqp
-        { session = !session; query = "QS"; nocache = false; timeout_ms = Some 1000; search = None }
+        {
+          session = !session;
+          query = "QS";
+          nocache = false;
+          timeout_ms = Some 1000;
+          search = None;
+          req_id = None;
+          explain = false;
+        }
     else
       let q = [| "QR"; "QS"; "QJ" |].(n mod 3) in
       Protocol.Rcdp
-        { session = !session; query = q; nocache = n mod 4 = 0; timeout_ms = Some 1000; search = None }
+        {
+          session = !session;
+          query = q;
+          nocache = n mod 4 = 0;
+          timeout_ms = Some 1000;
+          search = None;
+          req_id = None;
+          explain = false;
+        }
   in
   (* shed-aware retry, counting every overloaded reply: sleep at least
      the server's hint, give up after a few attempts *)
@@ -424,6 +451,7 @@ let bench_soak () =
         search = Ric_complete.Search_mode.Seq;
         metrics = None;
         trace = None;
+        flight = None;
       };
     exit 0
   end;

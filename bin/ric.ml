@@ -383,6 +383,174 @@ let file_group =
     [ file_show_cmd; file_audit_cmd; file_rcdp_cmd; file_rcqp_cmd; file_worlds_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* Explain: one decide with a profile attached, rendered as tables —
+   where the steps went (per search level), what cut branches (per
+   constraint), and how much of the budget the profile can account
+   for. *)
+
+let explain_modes =
+  [
+    ("rcdp", `Rcdp, "is the database complete? (default)");
+    ("rcqp", `Rcqp, "does any complete database exist?");
+    ("audit", `Audit, "the full completeness audit");
+  ]
+
+let explain_cmd =
+  let module Profile = Ric_obs.Profile in
+  let run path qname mode search timeout_ms json =
+    with_scenario path (fun s ->
+        match pick_query s qname with
+        | Error m ->
+          Format.eprintf "%s@." m;
+          1
+        | Ok (name, q) ->
+          let schema = s.Ric_text.Scenario.db_schema in
+          let master = s.Ric_text.Scenario.master in
+          let ccs = Ric_text.Scenario.all_ccs s in
+          let db = s.Ric_text.Scenario.db in
+          let profile = Profile.create () in
+          let clock =
+            let deadline_after =
+              Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms
+            in
+            Budget.create ?deadline_after ()
+          in
+          (try
+             let verdict =
+               try
+                 match mode with
+                 | `Rcdp -> (
+                   match
+                     Rcdp.decide ~clock ~search ~profile ~schema ~master ~ccs ~db q
+                   with
+                   | Rcdp.Complete -> "complete"
+                   | Rcdp.Incomplete _ -> "incomplete")
+                 | `Rcqp -> (
+                   match Rcqp.decide ~clock ~search ~profile ~schema ~master ~ccs q with
+                   | Rcqp.Nonempty _ -> "nonempty"
+                   | Rcqp.Empty _ -> "empty"
+                   | Rcqp.Unknown _ -> "unknown")
+                 | `Audit -> (
+                   match
+                     Guidance.audit ~clock ~search ~profile ~schema ~master ~ccs ~db q
+                   with
+                   | Guidance.Already_complete -> "already_complete"
+                   | Guidance.Completable _ -> "completable"
+                   | Guidance.Not_completable _ -> "not_completable"
+                   | Guidance.Inconclusive _ -> "inconclusive")
+               with Budget.Exhausted reason ->
+                 (* a timed-out run still has a profile: the steps it
+                    did take are attributed like any other run's *)
+                 "timeout:" ^ Budget.reason_name reason
+             in
+             let snap = Profile.snapshot profile in
+             let steps = Budget.steps clock in
+             let attributed = Profile.attributed_steps snap in
+             let pct =
+               if steps = 0 then 100.
+               else 100. *. float_of_int attributed /. float_of_int steps
+             in
+             if json then begin
+               let open Ric_text.Json in
+               Format.printf "%a@." pp
+                 (Obj
+                    [
+                      ("query", Str name);
+                      ("verdict", Str verdict);
+                      ("steps", Int steps);
+                      ("attributed_steps", Int attributed);
+                      ( "levels",
+                        List
+                          (List.map
+                             (fun r ->
+                               Obj
+                                 [
+                                   ("level", Int r.Profile.lv_index);
+                                   ("atom", Str r.Profile.lv_name);
+                                   ("steps", Int r.Profile.lv_steps);
+                                   ("prunes", Int r.Profile.lv_prunes);
+                                 ])
+                             snap.Profile.levels) );
+                      ( "constraints",
+                        List
+                          (List.map
+                             (fun (cc, n) -> Obj [ ("name", Str cc); ("prunes", Int n) ])
+                             snap.Profile.constraints) );
+                      ( "counters",
+                        Obj (List.map (fun (k, n) -> (k, Int n)) snap.Profile.counters) );
+                      ( "notes",
+                        Obj (List.map (fun (k, v) -> (k, Str v)) snap.Profile.notes) );
+                    ])
+             end
+             else begin
+               Format.printf "%s: %s@." name verdict;
+               List.iter
+                 (fun (k, v) -> Format.printf "  %s=%s" k v)
+                 snap.Profile.notes;
+               if snap.Profile.notes <> [] then Format.printf "@.";
+               Format.printf "steps: %d  attributed: %d (%.1f%%)@." steps attributed pct;
+               if snap.Profile.levels <> [] then begin
+                 Format.printf "@.per-level fan-out@.";
+                 Format.printf "  %5s %-14s %12s %12s@." "level" "atom" "steps" "prunes";
+                 List.iter
+                   (fun r ->
+                     Format.printf "  %5d %-14s %12d %12d@." r.Profile.lv_index
+                       r.Profile.lv_name r.Profile.lv_steps r.Profile.lv_prunes)
+                   snap.Profile.levels
+               end;
+               if snap.Profile.constraints <> [] then begin
+                 Format.printf "@.prunes by constraint@.";
+                 Format.printf "  %-24s %12s@." "constraint" "prunes";
+                 List.iter
+                   (fun (cc, n) -> Format.printf "  %-24s %12d@." cc n)
+                   snap.Profile.constraints
+               end;
+               if snap.Profile.counters <> [] then begin
+                 Format.printf "@.counters@.";
+                 List.iter
+                   (fun (k, n) -> Format.printf "  %-24s %12d@." k n)
+                   snap.Profile.counters
+               end
+             end;
+             0
+           with
+           | Rcdp.Unsupported msg | Rcqp.Unsupported msg ->
+             Format.printf "undecidable: %s@." msg;
+             0
+           | Rcdp.Not_partially_closed msg ->
+             Format.printf "input rejected: %s@." msg;
+             0))
+  in
+  let mode_arg =
+    let doc =
+      "Decider to profile: "
+      ^ String.concat ", "
+          (List.map (fun (k, _, d) -> k ^ " (" ^ d ^ ")") explain_modes)
+    in
+    Arg.(
+      value
+      & opt (keyed "mode" explain_modes) (lookup3 explain_modes "rcdp")
+      & info [ "m"; "mode" ] ~doc)
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the decide; an exhausted run reports a \
+             timeout verdict with the partial profile.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Decide a scenario query with an explain profile: per-level step \
+          attribution, per-constraint prune counts, budget coverage")
+    Term.(
+      const run $ file_arg $ file_query_arg $ mode_arg $ search_arg
+      $ timeout_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 (* Mining: induce containment constraints from a scenario's (Dm, D). *)
 
 let mine_cmd =
@@ -632,14 +800,28 @@ let mine_cmd =
 
 let trace_group =
   let summarize_cmd =
-    let run path top =
+    let run path top req_id =
       match Ric_text.Trace_summary.load path with
       | { Ric_text.Trace_summary.spans; malformed } ->
-        let summary = Ric_text.Trace_summary.summarize ~top spans in
-        Format.printf "%a"
-          (fun ppf () -> Ric_text.Trace_summary.pp ppf ~malformed spans summary)
-          ();
-        0
+        let spans, not_found =
+          match req_id with
+          | None -> (spans, false)
+          | Some rid ->
+            let filtered = Ric_text.Trace_summary.filter_req_id rid spans in
+            (filtered, filtered = [])
+        in
+        if not_found then begin
+          Format.eprintf "no spans carry req_id %S (wrong id, or the run was not traced)@."
+            (Option.get req_id);
+          1
+        end
+        else begin
+          let summary = Ric_text.Trace_summary.summarize ~top spans in
+          Format.printf "%a"
+            (fun ppf () -> Ric_text.Trace_summary.pp ppf ~malformed spans summary)
+            ();
+          0
+        end
       | exception Sys_error msg ->
         Format.eprintf "%s@." msg;
         1
@@ -653,12 +835,21 @@ let trace_group =
     let top_arg =
       Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"How many slowest spans to list")
     in
+    let req_id_filter_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "req-id" ] ~docv:"ID"
+            ~doc:
+              "Keep only the spans of one request: those stamped with this \
+               correlation id, plus their whole subtrees")
+    in
     Cmd.v
       (Cmd.info "summarize"
          ~doc:
            "Reconstruct a --trace span file: slowest spans, per-phase step rates, \
             per-mode breakdown, and the slowest call tree")
-      Term.(const run $ trace_pos $ top_arg)
+      Term.(const run $ trace_pos $ top_arg $ req_id_filter_arg)
   in
   Cmd.group (Cmd.info "trace" ~doc:"Inspect span-trace files written by --trace")
     [ summarize_cmd ]
@@ -674,7 +865,7 @@ let socket_arg =
 
 let serve_cmd =
   let run socket domains queue max_conns read_deadline write_deadline root journal
-      recover search metrics trace verbose =
+      recover search metrics trace flight verbose =
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
     match
@@ -692,6 +883,7 @@ let serve_cmd =
           search;
           metrics;
           trace;
+          flight;
         }
     with
     | () -> 0
@@ -777,6 +969,16 @@ let serve_cmd =
             "Write JSON-lines span events to $(docv); summarize offline with ric \
              trace summarize $(docv)")
   in
+  let flight_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder dump target (default: the command socket path plus \
+             .flight.jsonl); the in-memory ring is written there on worker \
+             quarantine, fatal exit, SIGUSR1, or a dump request")
+  in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log every request with its latency")
   in
@@ -786,7 +988,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ domains_arg $ queue_arg $ max_conns_arg
       $ read_deadline_arg $ write_deadline_arg $ root_arg $ journal_arg
-      $ recover_arg $ search_arg $ metrics_arg $ trace_arg $ verbose_arg)
+      $ recover_arg $ search_arg $ metrics_arg $ trace_arg $ flight_arg
+      $ verbose_arg)
 
 let rpc ?receive_timeout socket req =
   match
@@ -869,14 +1072,35 @@ let request_search_arg =
           "Valuation-search strategy for this request ($(b,seq), $(b,inc), \
            $(b,par), $(b,par:N)); omitted, the server's default applies")
 
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Compute fresh (cache bypassed) and attach a structured profile to the \
+           reply: per-level step counts, per-constraint prunes, named counters")
+
+let req_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "req-id" ] ~docv:"ID"
+        ~doc:
+          "Correlation id for this request (minted automatically when omitted); \
+           echoed on the reply and stamped on the daemon's logs, spans and \
+           flight-recorder events")
+
 let request_decide_cmd op doc ctor =
-  let run socket receive_timeout session query nocache timeout_ms search =
-    rpc ?receive_timeout socket (ctor ~session ~query ~nocache ~timeout_ms ~search)
+  let run socket receive_timeout session query nocache timeout_ms search req_id
+      explain =
+    rpc ?receive_timeout socket
+      (ctor ~session ~query ~nocache ~timeout_ms ~search ~req_id ~explain)
   in
   Cmd.v (Cmd.info op ~doc)
     Term.(
       const run $ socket_arg $ receive_timeout_arg $ session_pos $ query_pos
-      $ nocache_arg $ timeout_ms_arg $ request_search_arg)
+      $ nocache_arg $ timeout_ms_arg $ request_search_arg $ req_id_arg
+      $ explain_flag)
 
 (* bare digits are integers; wrap a cell in double quotes to force a
    string (e.g. "01", matching the .ric row syntax) *)
@@ -951,20 +1175,26 @@ let request_group =
     [
       request_open_cmd;
       request_decide_cmd "rcdp" "Is the session's database complete for a query?"
-        (fun ~session ~query ~nocache ~timeout_ms ~search ->
-          Ric_service.Protocol.Rcdp { session; query; nocache; timeout_ms; search });
+        (fun ~session ~query ~nocache ~timeout_ms ~search ~req_id ~explain ->
+          Ric_service.Protocol.Rcdp
+            { session; query; nocache; timeout_ms; search; req_id; explain });
       request_decide_cmd "rcqp" "Can any database be complete for a session query?"
-        (fun ~session ~query ~nocache ~timeout_ms ~search ->
-          Ric_service.Protocol.Rcqp { session; query; nocache; timeout_ms; search });
+        (fun ~session ~query ~nocache ~timeout_ms ~search ~req_id ~explain ->
+          Ric_service.Protocol.Rcqp
+            { session; query; nocache; timeout_ms; search; req_id; explain });
       request_decide_cmd "audit" "Full completeness audit of a session query"
-        (fun ~session ~query ~nocache ~timeout_ms ~search ->
-          Ric_service.Protocol.Audit { session; query; nocache; timeout_ms; search });
+        (fun ~session ~query ~nocache ~timeout_ms ~search ~req_id ~explain ->
+          Ric_service.Protocol.Audit
+            { session; query; nocache; timeout_ms; search; req_id; explain });
       request_mine_cmd;
       request_insert_cmd;
       request_close_cmd;
       request_simple_cmd "ping" "Liveness probe" Ric_service.Protocol.Ping;
       request_simple_cmd "stats" "Sessions, cache hit rates, per-op counters"
         Ric_service.Protocol.Stats;
+      request_simple_cmd "dump"
+        "Write the daemon's flight recorder to its configured dump path"
+        Ric_service.Protocol.Dump;
     ]
 
 let shutdown_cmd =
@@ -975,59 +1205,247 @@ let shutdown_cmd =
     Term.(const run $ socket_arg $ receive_timeout_arg)
 
 (* A dependency-free scrape client for the --metrics socket, so the
-   smoke tests (and curl-less machines) can read the exposition. *)
+   smoke tests (and curl-less machines) can read the exposition.
+   Returns the response body (headers end at the first blank line).
+   @raise Unix.Unix_error when the socket is unreachable. *)
+let fetch_metrics socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+    ignore (Unix.write fd req 0 (Bytes.length req));
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let buf = Buffer.create 4096 in
+    let chunk = Bytes.create 4096 in
+    let rec drain () =
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+    in
+    drain ();
+    Buffer.contents buf
+  with
+  | response ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    let n = String.length response in
+    let rec find i =
+      if i + 4 > n then None
+      else if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
+      else find (i + 1)
+    in
+    (match find 0 with
+     | Some i -> String.sub response i (n - i)
+     | None -> response)
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let msocket_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SOCKET" ~doc:"The daemon's --metrics socket path")
+
 let scrape_cmd =
   let run socket =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    match
-      Unix.connect fd (Unix.ADDR_UNIX socket);
-      let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
-      ignore (Unix.write fd req 0 (Bytes.length req));
-      (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
-      let buf = Buffer.create 4096 in
-      let chunk = Bytes.create 4096 in
-      let rec drain () =
-        match Unix.read fd chunk 0 4096 with
-        | 0 -> ()
-        | n ->
-          Buffer.add_subbytes buf chunk 0 n;
-          drain ()
-      in
-      drain ();
-      Buffer.contents buf
-    with
-    | response ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      (* print the body only: headers end at the first blank line *)
-      let body =
-        let n = String.length response in
-        let rec find i =
-          if i + 4 > n then None
-          else if String.sub response i 4 = "\r\n\r\n" then Some (i + 4)
-          else find (i + 1)
-        in
-        match find 0 with
-        | Some i -> String.sub response i (n - i)
-        | None -> response
-      in
+    match fetch_metrics socket with
+    | body ->
       print_string body;
       0
     | exception Unix.Unix_error (e, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
       Format.eprintf "cannot scrape %s: %s@." socket (Unix.error_message e);
       Format.eprintf "serve metrics with: ric serve --metrics %s@." socket;
       1
-  in
-  let msocket_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"SOCKET" ~doc:"The daemon's --metrics socket path")
   in
   Cmd.v
     (Cmd.info "scrape"
        ~doc:"Fetch one Prometheus snapshot from a ricd --metrics socket (curl-free)")
     Term.(const run $ msocket_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top: a live dashboard over the metrics socket.  Scrapes the
+   Prometheus exposition at a fixed cadence, differences consecutive
+   snapshots into rates, and redraws in place with ANSI escapes. *)
+
+module Top = struct
+  (* One parsed sample line: full key (name + rendered label block,
+     exactly as exposed) to value.  Keeping the raw key sidesteps a
+     label parser; lookups below match by exact key or by prefix. *)
+  let parse body =
+    String.split_on_char '\n' body
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then None
+           else
+             match String.rindex_opt line ' ' with
+             | None -> None
+             | Some i ->
+               let key = String.sub line 0 i in
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+               |> Option.map (fun v -> (key, v)))
+
+  let value m key = match List.assoc_opt key m with Some v -> v | None -> 0.
+
+  (* sum over every label combination of one family, excluding the
+     _bucket/_sum/_count expansions of a histogram of the same stem *)
+  let sum_family m name =
+    List.fold_left
+      (fun acc (k, v) ->
+        if
+          String.length k >= String.length name
+          && String.sub k 0 (String.length name) = name
+          && (String.length k = String.length name
+             || k.[String.length name] = '{')
+        then acc +. v
+        else acc)
+      0. m
+
+  (* cumulative bucket counts of one histogram family, summed across
+     label sets, as (le, count) sorted by le *)
+  let buckets m name =
+    let prefix = name ^ "_bucket{" in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (k, v) ->
+        if
+          String.length k > String.length prefix
+          && String.sub k 0 (String.length prefix) = prefix
+        then begin
+          (* the le label is last in the block: le="..."} *)
+          match String.rindex_opt k '=' with
+          | Some i when i + 2 < String.length k ->
+            let raw = String.sub k (i + 2) (String.length k - i - 2) in
+            let raw =
+              match String.index_opt raw '"' with
+              | Some j -> String.sub raw 0 j
+              | None -> raw
+            in
+            let le =
+              if raw = "+Inf" then infinity else Option.value ~default:nan (float_of_string_opt raw)
+            in
+            if not (Float.is_nan le) then
+              Hashtbl.replace tbl le
+                (v +. Option.value ~default:0. (Hashtbl.find_opt tbl le))
+          | _ -> ()
+        end)
+      m;
+    Hashtbl.fold (fun le c acc -> (le, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  (* quantile of the *delta* histogram between two snapshots: the
+     latency distribution of just the last interval *)
+  let delta_quantile ~q prev cur name =
+    let pb = buckets prev name and cb = buckets cur name in
+    let delta =
+      List.map
+        (fun (le, c) ->
+          let p = try List.assoc le pb with Not_found -> 0. in
+          (le, max 0. (c -. p)))
+        cb
+    in
+    match List.rev delta with
+    | [] -> None
+    | (_, total) :: _ when total <= 0. -> None
+    | (_, total) :: _ ->
+      let want = q *. total in
+      List.find_opt (fun (_, c) -> c >= want) delta |> Option.map fst
+
+  let pp_quantile ppf = function
+    | None -> Format.fprintf ppf "%8s" "-"
+    | Some le when le = infinity -> Format.fprintf ppf "%8s" ">max"
+    | Some le ->
+      if le < 1. then Format.fprintf ppf "%6.2fms" (le *. 1000.)
+      else Format.fprintf ppf "%7.2fs" le
+
+  let rate dt a = if dt <= 0. then 0. else a /. dt
+
+  let draw ~socket ~dt ~frame prev cur =
+    let d name = value cur name -. value prev name in
+    let df name = sum_family cur name -. sum_family prev name in
+    let throughput = rate dt (df "ric_requests_total") in
+    let shed = rate dt (d "ric_server_shed_total") in
+    let queue = value cur "ric_server_queue_depth" in
+    let conns = value cur "ric_server_connections_active" in
+    let sessions = value cur "ric_sessions_open" in
+    let steps decider =
+      rate dt
+        (d (Printf.sprintf "ric_search_steps_total{decider=\"%s\"}" decider))
+    in
+    let intern = rate dt (d "ric_intern_lock_acquisitions_total") in
+    let hits = d "ric_cache_hits_total" and misses = d "ric_cache_misses_total" in
+    let hit_pct =
+      if hits +. misses <= 0. then nan else 100. *. hits /. (hits +. misses)
+    in
+    let p50 = delta_quantile ~q:0.5 prev cur "ric_op_latency_seconds" in
+    let p99 = delta_quantile ~q:0.99 prev cur "ric_op_latency_seconds" in
+    (* home + clear-to-end once per frame: repaint without scrollback *)
+    if frame = 0 then print_string "\027[2J";
+    print_string "\027[H";
+    Format.printf "ric top — %s  (interval %.1fs)\027[K@." socket dt;
+    Format.printf "@[<h>\027[K@]@.";
+    Format.printf "  requests   %8.1f/s    shed %8.1f/s    cache hit %s\027[K@."
+      throughput shed
+      (if Float.is_nan hit_pct then "   -" else Printf.sprintf "%3.0f%%" hit_pct);
+    Format.printf "  latency    p50 %a   p99 %a\027[K@."
+      pp_quantile p50 pp_quantile p99;
+    Format.printf "  queue      %8.0f depth   %8.0f conns   %8.0f sessions\027[K@."
+      queue conns sessions;
+    Format.printf "  steps/s    rcdp %10.0f    rcqp %10.0f\027[K@."
+      (steps "rcdp") (steps "rcqp");
+    Format.printf "  intern     %8.1f lock acquisitions/s\027[K@." intern;
+    Format.printf
+      "  pool       %8.0f pending  %8.0f failures  %8.0f crashes  %8.0f quarantined\027[K@."
+      (value cur "ric_pool_pending")
+      (value cur "ric_pool_failures")
+      (value cur "ric_pool_crashes")
+      (value cur "ric_pool_quarantined");
+    print_string "\027[J";
+    flush stdout
+end
+
+let top_cmd =
+  let run socket interval iterations =
+    let interval = max 0.1 interval in
+    let rec loop frame prev =
+      match fetch_metrics socket with
+      | body ->
+        let cur = Top.parse body in
+        (match prev with
+         | Some p -> Top.draw ~socket ~dt:interval ~frame p cur
+         | None -> ());
+        let next = frame + if prev = None then 0 else 1 in
+        if iterations > 0 && next >= iterations then 0
+        else begin
+          Unix.sleepf interval;
+          loop next (Some cur)
+        end
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "cannot scrape %s: %s@." socket (Unix.error_message e);
+        Format.eprintf "serve metrics with: ric serve --metrics %s@." socket;
+        1
+    in
+    loop 0 None
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "i"; "interval" ] ~docv:"S" ~doc:"Seconds between scrapes (min 0.1)")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "iterations" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit (0 = run until interrupted)")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard over a ricd --metrics socket: throughput, shed \
+          rate, queue depth, latency quantiles, per-decider step rates")
+    Term.(const run $ msocket_arg $ interval_arg $ iterations_arg)
 
 let () =
   let doc = "relative information completeness workbench (Fan & Geerts, PODS 2009)" in
@@ -1042,9 +1460,11 @@ let () =
             reduction_cmd;
             mine_cmd;
             file_group;
+            explain_cmd;
             trace_group;
             serve_cmd;
             request_group;
             shutdown_cmd;
             scrape_cmd;
+            top_cmd;
           ]))

@@ -34,6 +34,7 @@ let exhaust r =
 
 type t = {
   limited : bool;
+  label : string option;        (* correlation id of the owning request *)
   deadline : float;            (* absolute wall-clock time; infinity when unset *)
   max_steps : int;             (* max_int when unset *)
   cancel : bool Atomic.t list;
@@ -49,6 +50,7 @@ type t = {
 let unlimited =
   {
     limited = false;
+    label = None;
     deadline = infinity;
     max_steps = max_int;
     cancel = [];
@@ -56,7 +58,7 @@ let unlimited =
     shared = None;
   }
 
-let create ?deadline_after ?max_steps ?cancel () =
+let create ?deadline_after ?max_steps ?cancel ?label () =
   let deadline =
     match deadline_after with
     | Some d -> Unix.gettimeofday () +. d
@@ -64,6 +66,7 @@ let create ?deadline_after ?max_steps ?cancel () =
   in
   {
     limited = true;
+    label;
     deadline;
     max_steps = Option.value ~default:max_int max_steps;
     cancel = Option.to_list cancel;
@@ -72,6 +75,7 @@ let create ?deadline_after ?max_steps ?cancel () =
   }
 
 let steps t = t.steps
+let label t = t.label
 
 let remaining t =
   if t.max_steps = max_int then max_int else max 0 (t.max_steps - t.steps)
@@ -94,6 +98,7 @@ let fork ?cancel ?(extra_steps = 0) t =
   in
   {
     limited = true;
+    label = t.label;
     deadline = t.deadline;
     max_steps;
     cancel =
@@ -115,6 +120,7 @@ let fork_shared ~shared ?cancel t =
   in
   {
     limited = true;
+    label = t.label;
     deadline = t.deadline;
     max_steps;
     cancel =

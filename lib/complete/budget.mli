@@ -31,10 +31,18 @@ val unlimited : t
 (** The default everywhere: {!tick} on it is a no-op and never raises. *)
 
 val create :
-  ?deadline_after:float -> ?max_steps:int -> ?cancel:bool Atomic.t -> unit -> t
+  ?deadline_after:float ->
+  ?max_steps:int ->
+  ?cancel:bool Atomic.t ->
+  ?label:string ->
+  unit ->
+  t
 (** [deadline_after] is in seconds from now; [max_steps] caps the
     number of {!tick}s; [cancel] is polled so another domain can abort
-    the search.  Omitted dimensions are unbounded. *)
+    the search.  Omitted dimensions are unbounded.  [label] carries
+    the owning request's correlation id ([req_id]) down into the
+    deciders, which stamp it on their trace spans — it costs nothing
+    and limits nothing. *)
 
 val tick : t -> unit
 (** Count one unit of work.  Steps are compared every tick; the clock
@@ -47,6 +55,10 @@ val check_now : t -> unit
 
 val steps : t -> int
 (** Work done so far — the counter surfaced in timeout verdicts. *)
+
+val label : t -> string option
+(** The correlation id the budget carries ({!create}'s [label];
+    inherited by {!fork} and {!fork_shared} children). *)
 
 val remaining : t -> int
 (** Step allowance left ([max_int] when unbounded) — what a

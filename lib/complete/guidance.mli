@@ -30,6 +30,7 @@ type audit_result =
 val audit :
   ?clock:Budget.t ->
   ?search:Search_mode.t ->
+  ?profile:Ric_obs.Profile.t ->
   ?max_rounds:int ->
   schema:Schema.t ->
   master:Database.t ->
@@ -41,7 +42,9 @@ val audit :
     the database for up to [max_rounds] (default 64) iterations, and
     consults the RCQP decider before giving up.  [clock] bounds the
     whole audit (it is shared across every decide round); [search]
-    selects the valuation-search strategy of every round.
+    selects the valuation-search strategy of every round; [profile]
+    (explain mode) is shared across every round, so the profile sums
+    the whole audit's search work.
     @raise Rcdp.Unsupported for undecidable language combinations.
     @raise Budget.Exhausted when [clock] runs out. *)
 

@@ -104,8 +104,8 @@ let dynamic_ccs ccs rels =
    (condition C2, Proposition 3.3) to [μ(T_Q)] alone (condition C3,
    Corollary 3.4 — valid when every CC is an IND). *)
 
-let search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db ~qd
-    ~adom ~visited ~pruned ~disjunct (tab : Tableau.t) =
+let search_disjunct ~clock ~search ~checker ~profile ~master ~dyn_ccs
+    ~ind_mode ~db ~qd ~adom ~visited ~pruned ~disjunct (tab : Tableau.t) =
   let found = ref None in
   let mode = if ind_mode then `Delta_only else `Against_base db in
   let iter =
@@ -116,7 +116,7 @@ let search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db ~qd
       Valuation_search.iter_valid
   in
   let (_ : bool) =
-    iter ~budget:clock ?checker ~master ~ccs:dyn_ccs ~mode ~adom
+    iter ~budget:clock ?checker ?profile ~master ~ccs:dyn_ccs ~mode ~adom
       ~on_prune:(fun () -> incr pruned)
       tab
       (fun mu delta ->
@@ -139,9 +139,12 @@ let search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode ~db ~qd
 
 let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
     ?(search = Search_mode.Seq) ?(check_partially_closed = true)
-    ?collect_stats ~schema ~master ~ccs ~db ucq =
+    ?collect_stats ?profile ~schema ~master ~ccs ~db ucq =
   Trace.with_span "rcdp.decide" @@ fun sp ->
   Trace.set_str sp "mode" (Search_mode.to_string search);
+  (match Budget.label clock with
+   | Some rid -> Trace.set_str sp "req_id" rid
+   | None -> ());
   (* the clock may be shared across decide calls (Guidance.audit), so
      charge only this call's delta to the global step counter *)
   let steps0 = Budget.steps clock in
@@ -184,6 +187,13 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
     | Search_mode.Inc | Search_mode.Par _ ->
       Some (Incremental.create ~schema ~master dyn_ccs)
   in
+  (match profile with
+   | Some p ->
+     Ric_obs.Profile.note p "decider" "rcdp";
+     Ric_obs.Profile.note p "mode" (Search_mode.to_string search);
+     Ric_obs.Profile.note p "checker"
+       (match checker with Some _ -> "incremental" | None -> "compiled")
+   | None -> ());
   let visited = ref 0 and pruned = ref 0 in
   let record_stats () =
     (match collect_stats with
@@ -205,8 +215,8 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
         Trace.with_span "rcdp.disjunct" @@ fun dsp ->
         Trace.set_int dsp "disjunct" i;
         let r =
-          search_disjunct ~clock ~search ~checker ~master ~dyn_ccs ~ind_mode
-            ~db ~qd ~adom ~visited ~pruned ~disjunct:i tab
+          search_disjunct ~clock ~search ~checker ~profile ~master ~dyn_ccs
+            ~ind_mode ~db ~qd ~adom ~visited ~pruned ~disjunct:i tab
         in
         Trace.set_bool dsp "counterexample" (r <> None);
         r
@@ -229,7 +239,7 @@ let decide_ucq_with ~ind_mode ?(clock = Budget.unlimited)
     Trace.set_str sp "reason" (Budget.reason_name reason);
     raise e
 
-let decide ?clock ?search ?check_partially_closed ?collect_stats
+let decide ?clock ?search ?check_partially_closed ?collect_stats ?profile
     ?(minimize = false) ~schema ~master ~ccs ~db q =
   match Lang.as_ucq q with
   | None ->
@@ -240,7 +250,7 @@ let decide ?clock ?search ?check_partially_closed ?collect_stats
   | Some ucq ->
     let ucq = if minimize then List.map (Cq.minimize schema) ucq else ucq in
     decide_ucq_with ~ind_mode:false ?clock ?search ?check_partially_closed
-      ?collect_stats ~schema ~master ~ccs ~db ucq
+      ?collect_stats ?profile ~schema ~master ~ccs ~db ucq
 
 let decide_cq ?check_partially_closed ~schema ~master ~ccs ~db q =
   decide ?check_partially_closed ~schema ~master ~ccs ~db (Lang.Q_cq q)

@@ -52,6 +52,7 @@ val decide :
   ?search:Search_mode.t ->
   ?check_partially_closed:bool ->
   ?collect_stats:stats ref ->
+  ?profile:Ric_obs.Profile.t ->
   ?minimize:bool ->
   schema:Schema.t ->
   master:Database.t ->
@@ -73,6 +74,13 @@ val decide :
     can report how much work a timed-out decide had done.  [search]
     (default [Seq]) selects the execution strategy of the valuation
     search — see {!Search_mode}; verdicts are identical across modes.
+
+    [profile] (explain mode) accumulates a request-scoped explain
+    profile: per-search-level step and prune counts, per-constraint
+    prune attribution, and decider/mode/checker notes — see
+    {!Ric_obs.Profile}.  Partial counts survive budget exhaustion.
+    When omitted (the default) the hot path pays one option match per
+    candidate and allocates nothing.
 
     @raise Unsupported if [Q] is FO/FP or some CC has a
       non-monotone (FO) or FP left-hand side.

@@ -19,6 +19,7 @@ let verdict_name = function
 
 module Metrics = Ric_obs.Metrics
 module Trace = Ric_obs.Trace
+module Profile = Ric_obs.Profile
 
 (* Counters are folded in per phase (pool built, DFS finished, decide
    returned), never inside the nested enumerations. *)
@@ -161,7 +162,7 @@ let occurrences (tab : Tableau.t) x =
 (* ------------------------------------------------------------------ *)
 (* LC = INDs: Proposition 4.3 / Theorem 4.5(1).  Exact and cheap. *)
 
-let ind_witness ~clock ?checker ~budget ~schema ~master ~ccs ~adom tableaux =
+let ind_witness ~clock ?checker ?profile ~budget ~schema ~master ~ccs ~adom tableaux =
   let module VS = Set.Make (Value) in
   let witness = ref (Database.empty schema) in
   let count = ref 0 in
@@ -179,7 +180,7 @@ let ind_witness ~clock ?checker ~budget ~schema ~master ~ccs ~adom tableaux =
       let covered : (string, VS.t) Hashtbl.t = Hashtbl.create 8 in
       let got_any = ref false in
       let (_ : bool) =
-        Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
+        Valuation_search.iter_valid ~budget:clock ?checker ?profile ~master ~ccs
           ~mode:`Delta_only ~adom tab
           (fun mu delta ->
             incr count;
@@ -228,6 +229,9 @@ let ind_witness ~clock ?checker ~budget ~schema ~master ~ccs ~adom tableaux =
 let with_decide_obs ~name ~clock ~search f =
   Trace.with_span name @@ fun sp ->
   Trace.set_str sp "mode" (Search_mode.to_string search);
+  (match Budget.label clock with
+   | Some rid -> Trace.set_str sp "req_id" rid
+   | None -> ());
   let steps0 = Budget.steps clock in
   let account () =
     Metrics.incr m_decides;
@@ -247,7 +251,7 @@ let with_decide_obs ~name ~clock ~search f =
     Trace.set_str sp "reason" (Budget.reason_name reason);
     raise e
 
-let decide_ind_core ~clock ~search ~schema ~master ~inds q =
+let decide_ind_core ~clock ~search ~profile ~schema ~master ~inds q =
   Budget.check_now clock;
   let ucq = as_ucq_or_raise "RCQP" q in
   let ccs = List.map (Ind.to_cc schema) inds in
@@ -260,6 +264,13 @@ let decide_ind_core ~clock ~search ~schema ~master ~inds q =
     | Search_mode.Inc | Search_mode.Par _ ->
       Some (Incremental.create ~schema ~master ccs)
   in
+  (match profile with
+   | Some p ->
+     Profile.note p "decider" "rcqp_ind";
+     Profile.note p "mode" (Search_mode.to_string search);
+     Profile.note p "checker"
+       (match checker with Some _ -> "incremental" | None -> "compiled")
+   | None -> ());
   let inner_search =
     match search with Search_mode.Par _ -> Search_mode.Inc | s -> s
   in
@@ -275,8 +286,8 @@ let decide_ind_core ~clock ~search ~schema ~master ~inds q =
     let live =
       List.filter
         (fun tab ->
-          Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
-            ~mode:`Delta_only ~adom tab
+          Valuation_search.iter_valid ~budget:clock ?checker ?profile ~master
+            ~ccs ~mode:`Delta_only ~adom tab
             (fun _ _ -> true))
         tableaux
     in
@@ -319,15 +330,15 @@ let decide_ind_core ~clock ~search ~schema ~master ~inds q =
           }
       | None ->
         let witness =
-          ind_witness ~clock ?checker ~budget:default_budget ~schema ~master
-            ~ccs ~adom live
+          ind_witness ~clock ?checker ?profile ~budget:default_budget ~schema
+            ~master ~ccs ~adom live
         in
         let witness =
           match witness with
           | Some w
             when Containment.holds_all ~db:w ~master ccs
-                 && Rcdp.decide ~clock ~search:inner_search ~schema ~master
-                      ~ccs ~db:w q
+                 && Rcdp.decide ~clock ~search:inner_search ?profile ~schema
+                      ~master ~ccs ~db:w q
                     = Rcdp.Complete ->
             Some w
           | _ -> None
@@ -336,10 +347,10 @@ let decide_ind_core ~clock ~search ~schema ~master ~inds q =
     end
   end
 
-let decide_ind ?(clock = Budget.unlimited) ?(search = Search_mode.Seq) ~schema
-    ~master ~inds q =
+let decide_ind ?(clock = Budget.unlimited) ?(search = Search_mode.Seq) ?profile
+    ~schema ~master ~inds q =
   with_decide_obs ~name:"rcqp.decide_ind" ~clock ~search (fun () ->
-      decide_ind_core ~clock ~search ~schema ~master ~inds q)
+      decide_ind_core ~clock ~search ~profile ~schema ~master ~inds q)
 
 (* ------------------------------------------------------------------ *)
 (* General monotone LC: Proposition 4.2 / Corollary 4.4.
@@ -407,7 +418,7 @@ let visible_columns cc_tableaux =
   fun rel i -> Hashtbl.mem visible (rel, i)
 
 let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
-    ~budget ~schema ~master ~adom ccs =
+    ?profile ~budget ~schema ~master ~adom ccs =
   Trace.with_span "rcqp.candidate_pool" @@ fun sp ->
   Trace.set_bool sp "truncating" truncate;
   (* a singleton's parent state is the empty database, so the delta
@@ -425,6 +436,7 @@ let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
   in
   let pool = ref [] in
   let count = ref 0 in
+  let ticks = ref 0 in
   let cc_tabs = cc_lhs_tableaux ~schema ccs in
   let is_visible = visible_columns cc_tabs in
   let canonical =
@@ -432,6 +444,14 @@ let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
     | f :: _ -> f
     | [] -> Value.Int max_int
   in
+  (* the bump runs on every exit path (truncation, Budget_exceeded,
+     Exhausted) so partial pools still show up in explain profiles *)
+  Fun.protect
+    ~finally:(fun () ->
+      match profile with
+      | Some p -> Profile.bump p "pool_steps" !ticks
+      | None -> ())
+  @@ fun () ->
   (try
      List.iter
        (fun (tab : Tableau.t) ->
@@ -473,6 +493,7 @@ let candidate_pool ?(truncate = false) ?(clock = Budget.unlimited) ?checker
                          expected));
              let (_ : bool) =
                Valuation.enumerate_iter cands (fun nu ->
+                   incr ticks;
                    Budget.tick clock;
                    (match Valuation.tuple_of_terms nu a.Atom.args with
                     | None -> assert false
@@ -535,8 +556,8 @@ type e2_witness = {
    valid valuation [μ] that stays live — [(D_V ∪ μ(T), Dm) ⊨ V] — may
    leave such a variable outside [bvals].  Returns the first offending
    live valuation, or [None] when the condition holds. *)
-let e2_condition ~clock ~checker ~master ~ccs ~adom ~reserved ~tableaux ~dv
-    ~bvals =
+let e2_condition ~clock ~checker ~profile ~master ~ccs ~adom ~reserved
+    ~tableaux ~dv ~bvals =
   (* Witness preference: a live valuation whose stray output values
      all come from the reserved query-tier fresh values can never be
      bounded by any valuation set (the candidate pool cannot even
@@ -554,8 +575,8 @@ let e2_condition ~clock ~checker ~master ~ccs ~adom ~reserved ~tableaux ~dv
         | inf_vars ->
           let found_any = ref false in
           let (_ : bool) =
-            Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
-              ~mode:(`Against_base dv) ~adom tab
+            Valuation_search.iter_valid ~budget:clock ?checker ?profile ~master
+              ~ccs ~mode:(`Against_base dv) ~adom tab
               (fun mu delta ->
                 let unbounded =
                   List.filter_map
@@ -633,8 +654,8 @@ let may_block ~schema ~cc_tableaux c delta =
    blocking μ* needs at least one candidate tuple joined with μ*'s
    tuples, and bounding needs a summary hit), so directed branching is
    exact; memoisation collapses permutations of the same set. *)
-let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
-    ~tableaux pool =
+let e2_search ~clock ?checker ?profile ~budget ~schema ~master ~ccs ~adom
+    ~reserved ~tableaux pool =
   Trace.with_span "rcqp.e2_search" @@ fun sp ->
   let pool = Array.of_list pool in
   let n = Array.length pool in
@@ -674,8 +695,8 @@ let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
         if !nodes > budget.max_nodes then
           raise (Budget_exceeded "E2 search exceeded its node budget");
         match
-          e2_condition ~clock ~checker ~master ~ccs ~adom ~reserved ~tableaux
-            ~dv ~bvals
+          e2_condition ~clock ~checker ~profile ~master ~ccs ~adom ~reserved
+            ~tableaux ~dv ~bvals
         with
         | None -> found := Some dv
         | Some w ->
@@ -703,25 +724,34 @@ let e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom ~reserved
   Fun.protect
     ~finally:(fun () ->
       Metrics.add m_e2_nodes !nodes;
+      (match profile with
+       | Some p -> Profile.bump p "e2_nodes" !nodes
+       | None -> ());
       Trace.set_int sp "nodes" !nodes)
   @@ fun () ->
   dfs [] (Database.empty schema) VS.empty;
-  if Sys.getenv_opt "RIC_DEBUG" <> None then
-    Printf.eprintf "[e2_search] pool=%d nodes=%d found=%b\n%!" n !nodes (!found <> None);
   Trace.set_bool sp "found" (!found <> None);
   !found
 
 (* E1/E5 witness: a maximal collection of tableau instantiations over
    the active domain.  One pass suffices: rejections are final because
    violations persist under growth. *)
-let greedy_maximal_witness ?(clock = Budget.unlimited) ~budget ~schema ~master ~ccs ~adom tableaux =
+let greedy_maximal_witness ?(clock = Budget.unlimited) ?profile ~budget ~schema
+    ~master ~ccs ~adom tableaux =
   Trace.with_span "rcqp.witness_greedy" @@ fun _sp ->
   let dw = ref (Database.empty schema) in
   (* one compiled checker for the whole greedy pass: RHS projections
      evaluated once, candidate databases joined as interned overlays *)
   let comp = Compiled.create ~base:(Database.empty schema) ~master ccs in
   let count = ref 0 in
+  let ticks = ref 0 in
   let exceeded = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      match profile with
+      | Some p -> Profile.bump p "witness_steps" !ticks
+      | None -> ())
+  @@ fun () ->
   List.iter
     (fun (tab : Tableau.t) ->
       if not !exceeded then begin
@@ -729,6 +759,7 @@ let greedy_maximal_witness ?(clock = Budget.unlimited) ~budget ~schema ~master ~
         let cands = List.map (fun (x, d) -> (x, Adom.candidates adom d)) doms in
         let (_ : bool) =
           Valuation.enumerate_iter cands (fun mu ->
+              incr ticks;
               Budget.tick clock;
               incr count;
               if !count > budget.max_valuations then begin
@@ -858,9 +889,10 @@ let unconstrained_disjunct ~ccs tableaux =
         if List.exists (fun r -> List.mem r cc_rels) rels then None else Some (tab, y))
     tableaux
 
-let verify_witness ?clock ?search ~schema ~master ~ccs q w =
+let verify_witness ?clock ?search ?profile ~schema ~master ~ccs q w =
   Containment.holds_all ~db:w ~master ccs
-  && Rcdp.decide ?clock ?search ~schema ~master ~ccs ~db:w q = Rcdp.Complete
+  && Rcdp.decide ?clock ?search ?profile ~schema ~master ~ccs ~db:w q
+     = Rcdp.Complete
 
 (* Heuristic witness candidates, cheapest-and-likeliest first: the
    empty database, the greedy maximal collection of constant-valued
@@ -868,8 +900,8 @@ let verify_witness ?clock ?search ~schema ~master ~ccs q w =
    the master data in"), a few valid tableau instantiations, a few
    constraint-template instantiations, and a few pairwise unions.
    Each candidate costs a full RCDP run, so the list is kept short. *)
-let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
-    ~adom ~tableaux q =
+let heuristic_witness ~clock ?checker ?search ?profile ~budget ~schema ~master
+    ~ccs ~adom ~tableaux q =
   Trace.with_span "rcqp.witness_heuristic" @@ fun _sp ->
   let max_verifications = 24 in
   let constants_only =
@@ -877,7 +909,7 @@ let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
     let small =
       { budget with max_valuations = min budget.max_valuations 50_000 }
     in
-    greedy_maximal_witness ~budget:small ~schema ~master ~ccs
+    greedy_maximal_witness ?profile ~budget:small ~schema ~master ~ccs
       ~adom:
         (Adom.build ~schemas:[ schema ] ~master:(Database.empty (Database.schema master))
            ~cc_constants:(Adom.constants adom) ~query_constants:[] ~fresh_count:0 ())
@@ -888,8 +920,8 @@ let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
   List.iter
     (fun tab ->
       let (_ : bool) =
-        Valuation_search.iter_valid ~budget:clock ?checker ~master ~ccs
-          ~mode:`Delta_only ~adom tab
+        Valuation_search.iter_valid ~budget:clock ?checker ?profile ~master
+          ~ccs ~mode:`Delta_only ~adom tab
           (fun _ delta ->
             incr count;
             singles := delta :: !singles;
@@ -898,8 +930,8 @@ let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
       ())
     tableaux;
   let pool =
-    candidate_pool ~truncate:true ~clock ?checker ~budget ~schema ~master ~adom
-      ccs
+    candidate_pool ~truncate:true ~clock ?checker ?profile ~budget ~schema
+      ~master ~adom ccs
   in
   let template_singles =
     List.filteri (fun i _ -> i < 6) pool
@@ -916,9 +948,11 @@ let heuristic_witness ~clock ?checker ?search ~budget ~schema ~master ~ccs
     @ singles @ template_singles @ pairs
   in
   let candidates = List.filteri (fun i _ -> i < max_verifications) candidates in
-  List.find_opt (verify_witness ~clock ?search ~schema ~master ~ccs q) candidates
+  List.find_opt
+    (verify_witness ~clock ?search ?profile ~schema ~master ~ccs q)
+    candidates
 
-let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
+let decide_core ~clock ~search ~profile ~budget ~schema ~master ~ccs q =
   Budget.check_now clock;
   require_monotone_ccs ccs;
   (* one checker per decide call, threaded to every search site; [Par]
@@ -930,6 +964,13 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
     | Search_mode.Inc | Search_mode.Par _ ->
       Some (Incremental.create ~schema ~master ccs)
   in
+  (match profile with
+   | Some p ->
+     Profile.note p "decider" "rcqp";
+     Profile.note p "mode" (Search_mode.to_string search);
+     Profile.note p "checker"
+       (match checker with Some _ -> "incremental" | None -> "compiled")
+   | None -> ());
   let inner_search =
     match search with Search_mode.Par _ -> Search_mode.Inc | s -> s
   in
@@ -946,10 +987,13 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
     if List.for_all (fun tab -> infinite_summary_vars tab = []) tableaux then begin
       (* E1 / E5 *)
       let witness =
-        match greedy_maximal_witness ~clock ~budget ~schema ~master ~ccs ~adom tableaux with
+        match
+          greedy_maximal_witness ~clock ?profile ~budget ~schema ~master ~ccs
+            ~adom tableaux
+        with
         | Some w
-          when verify_witness ~clock ~search:inner_search ~schema ~master ~ccs
-                 q w ->
+          when verify_witness ~clock ~search:inner_search ?profile ~schema
+                 ~master ~ccs q w ->
           Some w
         | _ -> None
       in
@@ -974,7 +1018,7 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
       | None ->
         (try
            let pool =
-             candidate_pool ~clock ?checker ~budget ~schema ~master
+             candidate_pool ~clock ?checker ?profile ~budget ~schema ~master
                ~adom:adom_pool ccs
            in
            let reserved =
@@ -983,8 +1027,8 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
                (List.filter (fun f -> not (VS.mem f pool_fresh)) (Adom.fresh adom))
            in
            match
-             e2_search ~clock ?checker ~budget ~schema ~master ~ccs ~adom
-               ~reserved ~tableaux pool
+             e2_search ~clock ?checker ?profile ~budget ~schema ~master ~ccs
+               ~adom ~reserved ~tableaux pool
            with
            | Some dv ->
              let witness =
@@ -1003,7 +1047,9 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
                        w tab.Tableau.patterns)
                    dv tableaux
                in
-               if verify_witness ~clock ~search:inner_search ~schema ~master ~ccs q w
+               if
+                 verify_witness ~clock ~search:inner_search ?profile ~schema
+                   ~master ~ccs q w
                then Some w
                else None
              in
@@ -1017,8 +1063,8 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
                }
          with Budget_exceeded why ->
            (match
-              heuristic_witness ~clock ?checker ~search:inner_search ~budget
-                ~schema ~master ~ccs ~adom ~tableaux q
+              heuristic_witness ~clock ?checker ~search:inner_search ?profile
+                ~budget ~schema ~master ~ccs ~adom ~tableaux q
             with
             | Some w ->
               Nonempty
@@ -1027,9 +1073,9 @@ let decide_core ~clock ~search ~budget ~schema ~master ~ccs q =
   end
 
 let decide ?(clock = Budget.unlimited) ?(search = Search_mode.Seq)
-    ?(budget = default_budget) ~schema ~master ~ccs q =
+    ?(budget = default_budget) ?profile ~schema ~master ~ccs q =
   with_decide_obs ~name:"rcqp.decide" ~clock ~search (fun () ->
-      decide_core ~clock ~search ~budget ~schema ~master ~ccs q)
+      decide_core ~clock ~search ~profile ~budget ~schema ~master ~ccs q)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded witness search for the undecidable rows of Table II. *)

@@ -67,6 +67,7 @@ val default_budget : budget
 val decide_ind :
   ?clock:Budget.t ->
   ?search:Search_mode.t ->
+  ?profile:Ric_obs.Profile.t ->
   schema:Schema.t ->
   master:Database.t ->
   inds:Ind.t list ->
@@ -74,6 +75,8 @@ val decide_ind :
   verdict
 (** Exact decision for [LC] = INDs and [LQ ∈ {CQ, UCQ, ∃FO⁺}]
     (Proposition 4.3 / Theorem 4.5(1)).  Never returns [Unknown].
+    [profile] accumulates a request-scoped explain profile — see
+    {!decide}.
     @raise Unsupported for FO/FP queries.
     @raise Budget.Exhausted when [clock] runs out. *)
 
@@ -81,6 +84,7 @@ val decide :
   ?clock:Budget.t ->
   ?search:Search_mode.t ->
   ?budget:budget ->
+  ?profile:Ric_obs.Profile.t ->
   schema:Schema.t ->
   master:Database.t ->
   ccs:Containment.t list ->
@@ -95,6 +99,15 @@ val decide :
     constraint-checking strategy of the inner valuation searches —
     [Par] runs as [Inc] here, since RCQP has no single top-level
     fan-out point; verdicts are identical across modes.
+
+    [profile] (explain mode) accumulates a request-scoped explain
+    profile across every inner search: per-level steps and
+    per-constraint prunes from the valuation searches, plus the
+    decider-specific counters ["pool_steps"] (candidate-pool
+    instantiations), ["witness_steps"] (greedy witness valuations) and
+    ["e2_nodes"] (valuation-set DFS nodes — checked, not ticked, so
+    excluded from step attribution).  Partial counts survive budget
+    exhaustion.
     @raise Unsupported for FO/FP on either side.
     @raise Budget.Exhausted when [clock] runs out. *)
 

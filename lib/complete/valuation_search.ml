@@ -4,6 +4,7 @@ open Ric_constraints
 
 module Metrics = Ric_obs.Metrics
 module Trace = Ric_obs.Trace
+module Profile = Ric_obs.Profile
 
 (* Par-mode observability: counters live at coordinator/task
    granularity (per search / per task / per steal / per stop-flag
@@ -149,7 +150,12 @@ type ctx = {
    charging one budget tick per candidate, and call [child] with the
    extended state for each candidate that passes the inequality and
    constraint checks.  Exists-style: stops at the first [true]. *)
-let expand ctx ~budget ~on_prune lv mu delta combined child =
+(* [prof] is this worker's private explain recorder ([None] on the
+   production path): each budget tick is mirrored as a level step, and
+   a pruned branch asks the checker's explain twin which constraint
+   cut it.  The [None] arm adds exactly one option match per candidate
+   — no allocation, measured by the bench gate. *)
+let expand ctx ~budget ~prof ~on_prune lv mu delta combined child =
   let { l_atom = a; l_doms = doms0; _ } = ctx.c_levels.(lv) in
   (* par-mode pin-splitting seeds [mu] with some of this level's own
      variables; enumerate only the rest (tick-neutral: the pinned
@@ -161,6 +167,10 @@ let expand ctx ~budget ~on_prune lv mu delta combined child =
     else doms0
   in
   Valuation.enumerate_iter doms (fun partial ->
+    (* profile before tick: [tick] counts the step even when it raises
+       [Exhausted], so attributing first keeps a timed-out run's
+       profile in exact agreement with the budget's step total *)
+    (match prof with None -> () | Some sr -> Profile.step sr lv);
     Budget.tick budget;
     let mu' =
       if Valuation.is_empty mu then partial
@@ -181,32 +191,53 @@ let expand ctx ~budget ~on_prune lv mu delta combined child =
           | `Against_base _ -> combined'
           | `Delta_only -> delta'
         in
-        let ok =
-          match ctx.c_chk with
-          | `Inc c ->
-            Incremental.check_add_overlay c ~base:ctx.c_base ~delta:delta'
-              ~db:check_db ~rel:a.Atom.rel ~tuple
-          | `Full comp -> Compiled.check comp ~db:check_db ~delta:delta'
-        in
-        if ok then child mu' delta' combined'
-        else begin
-          on_prune ();
-          false
-        end)
+        (match prof with
+         | None ->
+           let ok =
+             match ctx.c_chk with
+             | `Inc c ->
+               Incremental.check_add_overlay c ~base:ctx.c_base ~delta:delta'
+                 ~db:check_db ~rel:a.Atom.rel ~tuple
+             | `Full comp -> Compiled.check comp ~db:check_db ~delta:delta'
+           in
+           if ok then child mu' delta' combined'
+           else begin
+             on_prune ();
+             false
+           end
+         | Some sr -> (
+           let violated =
+             match ctx.c_chk with
+             | `Inc c ->
+               Incremental.check_add_overlay_explain c ~base:ctx.c_base
+                 ~delta:delta' ~db:check_db ~rel:a.Atom.rel ~tuple
+             | `Full comp ->
+               Compiled.check_explain comp ~db:check_db ~delta:delta'
+           in
+           match violated with
+           | None -> child mu' delta' combined'
+           | Some _ as cc ->
+             Profile.prune sr lv cc;
+             on_prune ();
+             false)))
 
-let rec dfs ctx ~budget ~on_prune ~visit lv mu delta combined =
+let rec dfs ctx ~budget ~prof ~on_prune ~visit lv mu delta combined =
   if lv = Array.length ctx.c_levels then
     if neqs_ground_ok ctx.c_tab mu then visit mu delta else false
   else
-    expand ctx ~budget ~on_prune lv mu delta combined
-      (dfs ctx ~budget ~on_prune ~visit (lv + 1))
+    expand ctx ~budget ~prof ~on_prune lv mu delta combined
+      (dfs ctx ~budget ~prof ~on_prune ~visit (lv + 1))
+
+let level_names levels =
+  Array.map (fun l -> l.l_atom.Atom.rel) levels
 
 (* [chk] is the per-step constraint checker, resolved once per search:
    [`Inc] when the incremental checker's parent invariant holds at the
    root, else [`Full], a compiled whole-check over the same base.
    Both receive the delta explicitly so joins run over persistent
    base indexes plus a small interned overlay. *)
-let run ~budget ~chk ~mode ~adom ~on_prune ~init (tab : Tableau.t) visit =
+let run ~budget ~profile ~chk ~mode ~adom ~on_prune ~init (tab : Tableau.t)
+    visit =
   Budget.check_now budget;
   let levels =
     plan_levels ~adom
@@ -222,19 +253,30 @@ let run ~budget ~chk ~mode ~adom ~on_prune ~init (tab : Tableau.t) visit =
       c_levels = levels;
     }
   in
-  dfs ctx ~budget ~on_prune ~visit 0 init
-    (Database.empty tab.Tableau.schema)
-    ctx.c_base
+  match profile with
+  | None ->
+    dfs ctx ~budget ~prof:None ~on_prune ~visit 0 init
+      (Database.empty tab.Tableau.schema)
+      ctx.c_base
+  | Some p ->
+    (* merge even when the budget exhausts mid-search: a timeout
+       verdict still reports where the spent steps went *)
+    let sr = Profile.start_search p ~names:(level_names levels) in
+    Fun.protect ~finally:(fun () -> Profile.finish_search p sr) @@ fun () ->
+    dfs ctx ~budget ~prof:(Some sr) ~on_prune ~visit 0 init
+      (Database.empty tab.Tableau.schema)
+      ctx.c_base
 
-let iter_valid ?(budget = Budget.unlimited) ?checker ~master ~ccs ~mode ~adom
-    ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+let iter_valid ?(budget = Budget.unlimited) ?checker ?profile ~master ~ccs
+    ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
   Budget.check_now budget;
   let chk =
     match resolve checker ~mode with
     | Some c -> `Inc c
     | None -> `Full (Compiled.create ~base:(base_of mode tab) ~master ccs)
   in
-  run ~budget ~chk ~mode ~adom ~on_prune ~init:Valuation.empty tab visit
+  run ~budget ~profile ~chk ~mode ~adom ~on_prune ~init:Valuation.empty tab
+    visit
 
 (* A frontier task is one subtree of the sequential search tree: "all
    levels below [t_lv] under this partial state".  Tasks exist only at
@@ -278,8 +320,9 @@ let depth_cap = 8
    records the error, trips the stop flag and the coordinator re-raises
    — a crash can cost duplicated work, never a hang or a wrong
    verdict. *)
-let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
-    ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit =
+let iter_valid_par ?(budget = Budget.unlimited) ?checker ?profile ~domains
+    ~master ~ccs ~mode ~adom ?(on_prune = fun () -> ()) (tab : Tableau.t) visit
+    =
   Budget.check_now budget;
   (* [domains] partitions the work; the pool never runs more worker
      domains than the machine has cores — oversubscribing a saturated
@@ -301,7 +344,8 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
     (* one worker, or no level branches at all: the frontier cannot
        produce parallelism, so run the sequential engine directly —
        same tree, zero coordination overhead *)
-    iter_valid ~budget ?checker ~master ~ccs ~mode ~adom ~on_prune tab visit
+    iter_valid ~budget ?checker ?profile ~master ~ccs ~mode ~adom ~on_prune tab
+      visit
   else begin
     (* one checker for every worker: the compiled store and the
        incremental counters are atomic/mutex-guarded, so sharing across
@@ -397,7 +441,7 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
           done)
       end
     in
-    let exec_task wid child_budget pr t =
+    let exec_task wid child_budget sr pr t =
       !fault_hook ();
       let on_prune_local () = incr pr in
       (* When the frontier is starved (fewer queued tasks than
@@ -450,8 +494,8 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
         (* a witness can only appear at a leaf, so the discarded bool
            is always [false] here *)
         ignore
-          (expand ctx ~budget:child_budget ~on_prune:on_prune_local t.t_lv
-             t.t_mu t.t_delta t.t_combined
+          (expand ctx ~budget:child_budget ~prof:sr ~on_prune:on_prune_local
+             t.t_lv t.t_mu t.t_delta t.t_combined
              (fun mu' delta' combined' ->
                push_new
                  {
@@ -466,11 +510,19 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
                false))
       | `Run ->
         ignore
-          (dfs ctx ~budget:child_budget ~on_prune:on_prune_local
+          (dfs ctx ~budget:child_budget ~prof:sr ~on_prune:on_prune_local
              ~visit:visit_sync t.t_lv t.t_mu t.t_delta t.t_combined)
     in
+    let names = level_names levels in
     let worker wid =
       let child = Budget.fork_shared ~shared ~cancel:stop budget in
+      (* a private recorder per worker domain: plain array bumps on the
+         hot path, merged into the shared aggregate once at the end *)
+      let sr =
+        match profile with
+        | None -> None
+        | Some p -> Some (Profile.start_search p ~names)
+      in
       let pr = ref 0 in
       let rec loop spins =
         if Atomic.get stop then ()
@@ -479,7 +531,7 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
           | Some t ->
             if t.t_producer <> wid then Metrics.incr m_steals;
             let completed =
-              match exec_task wid child pr t with
+              match exec_task wid child sr pr t with
               | () -> true
               | exception Budget.Exhausted reason ->
                 locked (fun () ->
@@ -519,6 +571,9 @@ let iter_valid_par ?(budget = Budget.unlimited) ?checker ~domains ~master ~ccs
             end
       in
       loop 0;
+      (match profile, sr with
+       | Some p, Some s -> Profile.finish_search p s
+       | _ -> ());
       let local = Budget.steps child in
       Metrics.add (m_worker_steps wid) local;
       local

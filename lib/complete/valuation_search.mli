@@ -26,6 +26,7 @@ open Ric_constraints
 val iter_valid :
   ?budget:Budget.t ->
   ?checker:Incremental.t ->
+  ?profile:Ric_obs.Profile.t ->
   master:Database.t ->
   ccs:Containment.t list ->
   mode:[ `Against_base of Database.t | `Delta_only ] ->
@@ -40,11 +41,18 @@ val iter_valid :
     returns [true] and reports whether any visit did.  [budget]
     (default {!Budget.unlimited}) is checked on entry and ticked once
     per candidate atom instantiation, so an exhausted budget aborts
-    the search with {!Budget.Exhausted} before doing any work. *)
+    the search with {!Budget.Exhausted} before doing any work.
+
+    [profile] (explain mode) mirrors every tick as a per-level step in
+    the profile and attributes each pruned branch to the containment
+    constraint that cut it (via the checkers' explain twins); partial
+    counts are merged even when the budget exhausts mid-search.
+    Omitted, the only cost is one option match per candidate. *)
 
 val iter_valid_par :
   ?budget:Budget.t ->
   ?checker:Incremental.t ->
+  ?profile:Ric_obs.Profile.t ->
   domains:int ->
   master:Database.t ->
   ccs:Containment.t list ->
@@ -69,6 +77,9 @@ val iter_valid_par :
 
     [visit] and [on_prune] are serialised under one mutex (prunes are
     batched per task), so rcdp's counting visitors need no changes.
+    [profile] recording is per-worker (private arrays, merged once when
+    the worker stops); because the parallel tree is node-for-node the
+    sequential tree, the merged profile equals the sequential one.
     The first visit returning [true] cancels the sibling workers
     through a per-call stop flag.  Step accounting uses one shared
     atomic counter ({!Budget.fork_shared}), so the family can never

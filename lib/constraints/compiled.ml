@@ -28,6 +28,7 @@ type body =
   | Eval of Lang.t
 
 type entry = {
+  name : string;  (* the source cc's [cc_name], for explain profiles *)
   rhs_rel : Relation.t;
   rhs_ids : Kernel.Rowset.t;
   body : body;
@@ -77,16 +78,17 @@ let create ~base ~master ccs =
           | ds -> Plans ds
           | exception Not_compilable -> Eval cc.Containment.lhs
         in
-        { rhs_rel; rhs_ids = Kernel.Rowset.of_relation rhs_rel; body })
+        { name = cc.Containment.cc_name; rhs_rel;
+          rhs_ids = Kernel.Rowset.of_relation rhs_rel; body })
       ccs
   in
   { base; entries; store = Kernel.Store.create () }
 
-let check t ~db ~delta =
-  (* interned overlay rows per relation, shared by every plan of this
-     check; deltas are at most a handful of tuples *)
+(* interned overlay rows per relation, shared by every plan of one
+   check; deltas are at most a handful of tuples *)
+let overlay delta =
   let cache : (string, int array list) Hashtbl.t = Hashtbl.create 8 in
-  let extra rel =
+  fun rel ->
     match Hashtbl.find_opt cache rel with
     | Some rows -> rows
     | None ->
@@ -97,21 +99,35 @@ let check t ~db ~delta =
       in
       Hashtbl.add cache rel rows;
       rows
-  in
+
+let entry_holds t ~db ~extra ~lookup e =
+  match e.body with
+  | Eval lhs -> Relation.subset (Lang.eval db lhs) e.rhs_rel
+  | Plans ds ->
+    not
+      (List.exists
+         (fun d ->
+           Kernel.run t.store ~lookup ~extra d.d_plan (fun regs ->
+               match Kernel.term_ids d.d_head regs with
+               | Some ids -> not (Kernel.Rowset.mem e.rhs_ids ids)
+               | None -> false))
+         ds)
+
+let check t ~db ~delta =
+  let extra = overlay delta in
   let lookup rel =
     try Database.relation t.base rel with Not_found -> Relation.empty
   in
-  List.for_all
-    (fun e ->
-      match e.body with
-      | Eval lhs -> Relation.subset (Lang.eval db lhs) e.rhs_rel
-      | Plans ds ->
-        not
-          (List.exists
-             (fun d ->
-               Kernel.run t.store ~lookup ~extra d.d_plan (fun regs ->
-                   match Kernel.term_ids d.d_head regs with
-                   | Some ids -> not (Kernel.Rowset.mem e.rhs_ids ids)
-                   | None -> false))
-             ds))
-    t.entries
+  List.for_all (fun e -> entry_holds t ~db ~extra ~lookup e) t.entries
+
+let check_explain t ~db ~delta =
+  let extra = overlay delta in
+  let lookup rel =
+    try Database.relation t.base rel with Not_found -> Relation.empty
+  in
+  let rec first = function
+    | [] -> None
+    | e :: rest ->
+      if entry_holds t ~db ~extra ~lookup e then first rest else Some e.name
+  in
+  first t.entries

@@ -29,3 +29,8 @@ val check : t -> db:Database.t -> delta:Database.t -> bool
 (** [check t ~db ~delta] — [Containment.holds_all ~db ~master ccs],
     where [db] must equal [base ∪ delta].  [db] itself is only
     evaluated on the non-compilable fallback path. *)
+
+val check_explain : t -> db:Database.t -> delta:Database.t -> string option
+(** Like {!check} but, on failure, names the first violated
+    constraint (its [cc_name]) — the explain-profile path; [None]
+    means every constraint holds. *)

@@ -273,6 +273,40 @@ let check_add t ~db ~rel ~tuple = check_add_with t ~overlay:None ~db ~rel ~tuple
 let check_add_overlay t ~base ~delta ~db ~rel ~tuple =
   check_add_with t ~overlay:(Some (base, delta)) ~db ~rel ~tuple
 
+(* Explain twin of [check_add_with]: same per-entry predicates, but it
+   names the first violated constraint instead of answering a bare
+   [false] — the profile path only, so the plain checks stay lean. *)
+let check_add_explain_with (t : t) ~overlay ~db ~rel ~tuple =
+  match Hashtbl.find_opt t.by_rel rel with
+  | None -> None
+  | Some idxs ->
+    let entry_holds i =
+      let e = t.entries.(i) in
+      match e.plan with
+      | Full -> entry_holds_full t ~db e
+      | Delta tbl ->
+        (match Hashtbl.find_opt tbl rel with
+         | None -> true
+         | Some probes ->
+           Atomic.incr t.delta_checks;
+           Ric_obs.Metrics.incr m_delta_checks;
+           (match overlay with
+            | Some (base, delta) ->
+              probe_holds_compiled t ~base ~delta ~rhs_ids:e.rhs_ids ~tuple
+                probes
+            | None -> probe_holds ~db ~rhs:e.rhs_cache ~tuple probes))
+    in
+    let rec first = function
+      | [] -> None
+      | i :: rest ->
+        if entry_holds i then first rest
+        else Some t.entries.(i).cc.Containment.cc_name
+    in
+    first idxs
+
+let check_add_overlay_explain t ~base ~delta ~db ~rel ~tuple =
+  check_add_explain_with t ~overlay:(Some (base, delta)) ~db ~rel ~tuple
+
 let full t ~db =
   Array.for_all (fun e -> entry_holds_full t ~db e) t.entries
 

@@ -66,6 +66,19 @@ val check_add_overlay :
     index is ever rebuilt per step.  Verdict-identical to
     {!check_add}; [db] is still what full-evaluation fallbacks see. *)
 
+val check_add_overlay_explain :
+  t ->
+  base:Database.t ->
+  delta:Database.t ->
+  db:Database.t ->
+  rel:string ->
+  tuple:Tuple.t ->
+  string option
+(** Like {!check_add_overlay} but, on failure, names the first
+    violated constraint (its [cc_name]); [None] means the check
+    passed.  The explain-profile path — verdict-identical to
+    {!check_add_overlay}. *)
+
 val full : t -> db:Database.t -> bool
 (** Full check of every CC against [db] (still using the cached RHS
     relations).  Used to establish the parent invariant at search

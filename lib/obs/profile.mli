@@ -1,0 +1,79 @@
+(** Request-scoped explain profiles.
+
+    A {!t} accumulates, for one decide request, where the budgeted
+    search steps went: per search level (one level per tableau atom
+    instantiated, keyed by level index and atom relation), which
+    containment constraint pruned each cut branch, and a set of named
+    auxiliary counters for tick sites outside the valuation search
+    (candidate pools, witness growth, e2 nodes).
+
+    The accumulator is shared across the worker domains of a parallel
+    search: each worker records into a private {!search} handle (plain
+    mutable arrays, no synchronisation on the hot path) and merges it
+    into the aggregate under the profile's own mutex when its search
+    finishes.  Because the parallel tree is node-for-node the
+    sequential tree, the merged totals equal the sequential ones.
+
+    Everything here is optional plumbing: deciders take a
+    [?profile:t] and the per-candidate cost when no profile is
+    attached is a single [match] on the option — no allocation. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Per-search recording (valuation search)} *)
+
+type search
+(** One search invocation's private recorder: cheap int-array bumps,
+    single-owner, merged on {!finish_search}. *)
+
+val start_search : t -> names:string array -> search
+(** [names.(i)] labels level [i] — the relation of the atom
+    instantiated at that depth of the search plan. *)
+
+val step : search -> int -> unit
+(** One candidate instantiation at level [i] (mirror every
+    [Budget.tick] of the search with one [step]). *)
+
+val prune : search -> int -> string option -> unit
+(** A branch cut at level [i]; the constraint name when the checker
+    identified which containment constraint rejected the extension. *)
+
+val finish_search : t -> search -> unit
+(** Fold the search's counters into the aggregate (thread-safe). *)
+
+(** {2 Named counters and notes} *)
+
+val bump : t -> string -> int -> unit
+(** Add to a named counter.  By convention counters whose name ends in
+    ["_steps"] are tick sites outside the valuation search and count
+    toward {!attributed_steps}. *)
+
+val note : t -> string -> string -> unit
+(** Attach a key/value annotation (checker kind, search mode, ...);
+    last write wins. *)
+
+(** {2 Reading} *)
+
+type level_row = {
+  lv_index : int;
+  lv_name : string;  (** atom relation at this depth *)
+  lv_steps : int;  (** candidate fan-out: instantiations tried *)
+  lv_prunes : int;  (** branches the constraint check cut here *)
+}
+
+type snapshot = {
+  levels : level_row list;  (** by level index, then name *)
+  constraints : (string * int) list;  (** cc name -> prunes, by name *)
+  counters : (string * int) list;  (** by name *)
+  notes : (string * string) list;  (** by key *)
+}
+
+val snapshot : t -> snapshot
+(** A deterministic (sorted) copy of the aggregate so far. *)
+
+val attributed_steps : snapshot -> int
+(** Steps the profile can attribute: the sum of every level's
+    [lv_steps] plus every counter ending in ["_steps"].  Compare
+    against [Budget.steps] to bound what the profile missed. *)

@@ -1,0 +1,87 @@
+type event = {
+  seq : int;
+  t_us : int;
+  kind : string;
+  req_id : string;
+  conn : int;
+  detail : string;
+}
+
+type ring = { slots : event option Atomic.t array; cursor : int Atomic.t }
+
+let make_ring capacity =
+  { slots = Array.init capacity (fun _ -> Atomic.make None);
+    cursor = Atomic.make 0 }
+
+let ring = Atomic.make (make_ring 512)
+
+let set_capacity n =
+  let n = max 16 n in
+  Atomic.set ring (make_ring n)
+
+let now_us () = Int64.to_int (Int64.div (Monotonic_clock.now ()) 1000L)
+
+let record ~kind ?(req_id = "") ?(conn = -1) detail =
+  let r = Atomic.get ring in
+  let seq = Atomic.fetch_and_add r.cursor 1 in
+  let ev = { seq; t_us = now_us (); kind; req_id; conn; detail } in
+  Atomic.set r.slots.(seq mod Array.length r.slots) (Some ev)
+
+let recorded () = Atomic.get (Atomic.get ring).cursor
+
+let events () =
+  let r = Atomic.get ring in
+  Array.to_list r.slots
+  |> List.filter_map Atomic.get
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+(* Same escaping as Trace: compatible with [Ric_text.Json.of_string]
+   so dumps round-trip through the project's own parser. *)
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf {|\"|}
+      | '\\' -> Buffer.add_string buf {|\\|}
+      | '\n' -> Buffer.add_string buf {|\n|}
+      | '\r' -> Buffer.add_string buf {|\r|}
+      | '\t' -> Buffer.add_string buf {|\t|}
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let event_line buf ev =
+  Buffer.add_string buf "{\"seq\":";
+  Buffer.add_string buf (string_of_int ev.seq);
+  Buffer.add_string buf ",\"t_us\":";
+  Buffer.add_string buf (string_of_int ev.t_us);
+  Buffer.add_string buf ",\"kind\":";
+  add_json_string buf ev.kind;
+  if ev.req_id <> "" then begin
+    Buffer.add_string buf ",\"req_id\":";
+    add_json_string buf ev.req_id
+  end;
+  if ev.conn >= 0 then begin
+    Buffer.add_string buf ",\"conn\":";
+    Buffer.add_string buf (string_of_int ev.conn)
+  end;
+  Buffer.add_string buf ",\"detail\":";
+  add_json_string buf ev.detail;
+  Buffer.add_string buf "}\n"
+
+let dump path =
+  let evs = events () in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.clear buf;
+      event_line buf ev;
+      Buffer.output_buffer oc buf)
+    evs;
+  flush oc;
+  List.length evs

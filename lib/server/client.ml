@@ -148,7 +148,24 @@ let request t json =
      | reply -> reply
      | exception _ -> raise e)
 
-let rpc t req = request t (Protocol.to_json req)
+(* client-side correlation: every rpc carries a req_id, minted here
+   when the request did not bring its own, so daemon logs, spans and
+   flight-recorder events can be grepped by one id end to end *)
+let mint_counter = Atomic.make 0
+
+let mint_req_id () =
+  Printf.sprintf "ric-%d-%d-%d" (Unix.getpid ())
+    (int_of_float (Unix.gettimeofday () *. 1e3) land 0xffffff)
+    (Atomic.fetch_and_add mint_counter 1)
+
+let rpc t req =
+  let json = Protocol.to_json req in
+  let json =
+    match Protocol.req_id_of json with
+    | Some _ -> json
+    | None -> Protocol.with_req_id json (mint_req_id ())
+  in
+  request t json
 
 let rpc_retrying ?breaker ?(max_retries = 3) t req =
   let check_allowed () =

@@ -72,7 +72,10 @@ val request : t -> Ric_text.Json.t -> Ric_text.Json.t
     mid-frame. *)
 
 val rpc : t -> Protocol.request -> Ric_text.Json.t
-(** [request] composed with {!Protocol.to_json}. *)
+(** [request] composed with {!Protocol.to_json}.  A request without a
+    [req_id] gets one minted here ([ric-<pid>-…]) before it goes on
+    the wire; the server echoes it on the reply and stamps it on its
+    logs, spans and flight-recorder events. *)
 
 val rpc_retrying :
   ?breaker:Breaker.t -> ?max_retries:int -> t -> Protocol.request -> Ric_text.Json.t

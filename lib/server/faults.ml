@@ -1,3 +1,7 @@
+let src = Logs.Src.create "ricd.faults" ~doc:"fault-injection registry"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type action =
   | Delay of float
   | Drop
@@ -105,4 +109,4 @@ let init_from_env () =
              match parse_item item with
              | Some (point, action, times) -> arm ~times point action
              | None ->
-               Printf.eprintf "ricd: ignoring malformed RIC_FAULTS item %S\n%!" item)
+               Log.warn (fun m -> m "ignoring malformed RIC_FAULTS item %S" item))

@@ -10,6 +10,8 @@ type request =
       nocache : bool;
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
+      req_id : string option;
+      explain : bool;
     }
   | Rcqp of {
       session : string;
@@ -17,6 +19,8 @@ type request =
       nocache : bool;
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
+      req_id : string option;
+      explain : bool;
     }
   | Audit of {
       session : string;
@@ -24,6 +28,8 @@ type request =
       nocache : bool;
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
+      req_id : string option;
+      explain : bool;
     }
   | Mine of {
       session : string;
@@ -35,6 +41,7 @@ type request =
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats
+  | Dump
   | Shutdown
 
 let op_name = function
@@ -47,6 +54,7 @@ let op_name = function
   | Insert _ -> "insert"
   | Close _ -> "close"
   | Stats -> "stats"
+  | Dump -> "dump"
   | Shutdown -> "shutdown"
 
 let error ?(kind = "error") msg =
@@ -148,6 +156,7 @@ let of_json = function
     (match op with
      | "ping" -> Ok Ping
      | "stats" -> Ok Stats
+     | "dump" -> Ok Dump
      | "shutdown" -> Ok Shutdown
      | "open" ->
        let* path = opt_str_field fields "path" in
@@ -162,11 +171,16 @@ let of_json = function
        let* nocache = bool_field_default fields "nocache" false in
        let* timeout_ms = opt_int_field fields "timeout_ms" in
        let* search = opt_search_field fields "search" in
+       let* req_id = opt_str_field fields "req_id" in
+       let* explain = bool_field_default fields "explain" false in
        Ok
          (match op with
-          | "rcdp" -> Rcdp { session; query; nocache; timeout_ms; search }
-          | "rcqp" -> Rcqp { session; query; nocache; timeout_ms; search }
-          | _ -> Audit { session; query; nocache; timeout_ms; search })
+          | "rcdp" ->
+            Rcdp { session; query; nocache; timeout_ms; search; req_id; explain }
+          | "rcqp" ->
+            Rcqp { session; query; nocache; timeout_ms; search; req_id; explain }
+          | _ ->
+            Audit { session; query; nocache; timeout_ms; search; req_id; explain })
      | "mine" ->
        let* session = str_field fields "session" in
        let* nocache = bool_field_default fields "nocache" false in
@@ -197,16 +211,18 @@ let opt k = function Some s -> [ (k, Json.Str s) ] | None -> []
 let to_json req =
   let op = ("op", Json.Str (op_name req)) in
   match req with
-  | Ping | Stats | Shutdown -> Json.Obj [ op ]
+  | Ping | Stats | Dump | Shutdown -> Json.Obj [ op ]
   | Open { path; source; name } ->
     Json.Obj ((op :: opt "path" path) @ opt "source" source @ opt "name" name)
-  | Rcdp { session; query; nocache; timeout_ms; search }
-  | Rcqp { session; query; nocache; timeout_ms; search }
-  | Audit { session; query; nocache; timeout_ms; search } ->
+  | Rcdp { session; query; nocache; timeout_ms; search; req_id; explain }
+  | Rcqp { session; query; nocache; timeout_ms; search; req_id; explain }
+  | Audit { session; query; nocache; timeout_ms; search; req_id; explain } ->
     Json.Obj
       ([ op; ("session", Json.Str session); ("query", Json.Str query) ]
       @ (if nocache then [ ("nocache", Json.Bool true) ] else [])
       @ (match timeout_ms with Some ms -> [ ("timeout_ms", Json.Int ms) ] | None -> [])
+      @ opt "req_id" req_id
+      @ (if explain then [ ("explain", Json.Bool true) ] else [])
       @
       match search with
       | Some m -> [ ("search", Json.Str (Ric_complete.Search_mode.to_string m)) ]
@@ -228,6 +244,25 @@ let to_json req =
         ("rows", Json.List (List.map (fun row -> Json.List (List.map json_of_value row)) rows));
       ]
   | Close { session } -> Json.Obj [ op; ("session", Json.Str session) ]
+
+(* ------------------------------------------------------------------ *)
+(* Correlation ids.  [req_id] lives at the JSON level so every op —
+   not just the decide records above — can carry one: decode ignores
+   unknown fields, and the server reads the raw object before
+   dispatch. *)
+
+let req_id_of = function
+  | Json.Obj fields -> (
+    match List.assoc_opt "req_id" fields with
+    | Some (Json.Str s) when s <> "" -> Some s
+    | _ -> None)
+  | _ -> None
+
+let with_req_id json rid =
+  match json with
+  | Json.Obj fields when not (List.mem_assoc "req_id" fields) ->
+    Json.Obj (fields @ [ ("req_id", Json.Str rid) ])
+  | other -> other
 
 (* ------------------------------------------------------------------ *)
 (* Framing. *)

@@ -38,6 +38,30 @@
     default applies.  Verdicts are identical across modes, so cache
     keys ignore it.
 
+    {2 Correlation and explain}
+
+    {e Every} request may carry an optional ["req_id": "<string>"]
+    correlation id.  {!Client.rpc} mints one when the caller didn't;
+    the server mints one for raw clients that sent none.  The id is
+    echoed on the reply, stamped on the server's trace spans and log
+    lines, and recorded in the flight recorder — one grep joins a
+    request's whole story across all four.  Decode tolerates the field
+    on any op; only the decide ops carry it in the typed record.
+
+    [rcdp]/[rcqp]/[audit] additionally accept ["explain": true]: the
+    decider then accumulates a request-scoped explain profile
+    ({!Ric_obs.Profile}) and the reply carries it as a structured
+    ["profile"] object — per-search-level steps, per-constraint prune
+    attribution, decider counters and notes.  Explain computes fresh
+    (the cache is bypassed on read) so the profile always describes
+    {e this} run; the result may still land in the cache.  Without the
+    flag, replies carry no ["profile"] field and the deciders' hot
+    path pays nothing.
+
+    [{"op": "dump"}] asks the daemon to write its flight recorder to
+    the configured JSONL file and answers [{"ok": true, "path": ...,
+    "events": n}] — same effect as sending the process [SIGUSR1].
+
     {2 Responses}
 
     Every response is an object with an ["ok"] boolean.  Failures look
@@ -103,6 +127,8 @@ type request =
       nocache : bool;
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
+      req_id : string option;  (** correlation id (minted when absent) *)
+      explain : bool;  (** attach an explain profile to the reply *)
     }
   | Rcqp of {
       session : string;
@@ -110,6 +136,8 @@ type request =
       nocache : bool;
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
+      req_id : string option;
+      explain : bool;
     }
   | Audit of {
       session : string;
@@ -117,6 +145,8 @@ type request =
       nocache : bool;
       timeout_ms : int option;
       search : Ric_complete.Search_mode.t option;
+      req_id : string option;
+      explain : bool;
     }
   | Mine of {
       session : string;
@@ -134,6 +164,9 @@ type request =
   | Insert of { session : string; rel : string; rows : Value.t list list }
   | Close of { session : string }
   | Stats
+  | Dump
+      (** Write the flight recorder to the daemon's configured JSONL
+          path and report how many events were dumped. *)
   | Shutdown
 
 val of_json : Ric_text.Json.t -> (request, string) result
@@ -145,6 +178,16 @@ val to_json : request -> Ric_text.Json.t
 
 val op_name : request -> string
 (** The ["op"] string, for logs and stats. *)
+
+val req_id_of : Ric_text.Json.t -> string option
+(** The ["req_id"] field of a raw request (or reply) object, when
+    present and a non-empty string.  Works on {e any} op — correlation
+    ids live at the JSON level. *)
+
+val with_req_id : Ric_text.Json.t -> string -> Ric_text.Json.t
+(** Add ["req_id"] to a request object that doesn't already have one
+    (an existing id — even an ill-typed one — is left untouched).
+    Non-objects pass through unchanged. *)
 
 val error : ?kind:string -> string -> Ric_text.Json.t
 (** [{"ok": false, "kind": kind, "error": msg}] (kind defaults to

@@ -1,6 +1,7 @@
 module Json = Ric_text.Json
 module Journal = Ric_text.Journal
 module Metrics = Ric_obs.Metrics
+module Recorder = Ric_obs.Recorder
 
 type config = {
   socket_path : string;
@@ -15,6 +16,7 @@ type config = {
   search : Ric_complete.Search_mode.t;
   metrics : string option;
   trace : string option;
+  flight : string option;
 }
 
 let default_config =
@@ -33,7 +35,15 @@ let default_config =
     search = Ric_complete.Search_mode.Seq;
     metrics = None;
     trace = None;
+    flight = None;
   }
+
+(* the flight-recorder dump target: configured, or derived from the
+   command socket so every daemon has one without any flag *)
+let flight_path_of config =
+  match config.flight with
+  | Some p -> p
+  | None -> config.socket_path ^ ".flight.jsonl"
 
 let m_compactions =
   Metrics.counter ~help:"journal compactions performed at recovery"
@@ -120,6 +130,11 @@ let prepare_socket_path path =
     try Unix.unlink path with Unix.Unix_error _ -> ()
   end
 
+(* SIGUSR1 = "dump the flight recorder".  Same flag-flip discipline as
+   shutdown: the handler only sets this; the event loop does the file
+   write on its next tick. *)
+let dump_requested = Atomic.make false
+
 let install_signal_handlers service =
   match Sys.os_type with
   | "Unix" ->
@@ -131,7 +146,9 @@ let install_signal_handlers service =
       Service.request_shutdown service
     in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle (graceful "SIGTERM"));
-    Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful "SIGINT"))
+    Sys.set_signal Sys.sigint (Sys.Signal_handle (graceful "SIGINT"));
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> Atomic.set dump_requested true))
   | _ -> ()
 
 (* One scrape per connection: drain whatever HTTP request the client
@@ -207,25 +224,55 @@ let setup_journal service config =
    waiting forever); only [Pool.Crash] propagates, and the pool's
    retry/quarantine machinery owns that path. *)
 
+let mint_counter = Atomic.make 0
+
+(* server-side correlation fallback: a raw client that sent no req_id
+   still gets one, minted here before decode so the typed request (and
+   every span, log line and recorder event under it) carries it *)
+let mint_req_id () =
+  Printf.sprintf "ricd-%d-%d-%d" (Unix.getpid ())
+    (int_of_float (Unix.gettimeofday () *. 1e3) land 0xffffff)
+    (Atomic.fetch_and_add mint_counter 1)
+
 let run_job service push_completion (conn, payload, admitted_at) =
   match
     Faults.fire "worker";
     Metrics.observe m_queue_wait (Unix.gettimeofday () -. admitted_at);
     let t0 = Unix.gettimeofday () in
-    let op, response =
+    let op, req_id, response =
       match Json.of_string payload with
       | exception Json.Parse_error (msg, line, col) ->
         ( "?",
+          None,
           Protocol.error ~kind:"parse_error"
             (Printf.sprintf "request is not JSON: %d:%d: %s" line col msg) )
       | json ->
+        let rid =
+          match Protocol.req_id_of json with
+          | Some rid -> rid
+          | None -> mint_req_id ()
+        in
+        let json = Protocol.with_req_id json rid in
         (match Protocol.of_json json with
-         | Error msg -> ("?", Protocol.error ~kind:"bad_request" msg)
-         | Ok req -> (Protocol.op_name req, Service.handle service ~admitted_at req))
+         | Error msg -> ("?", Some rid, Protocol.error ~kind:"bad_request" msg)
+         | Ok req ->
+           Recorder.record ~kind:"request" ~req_id:rid ~conn:conn.cid
+             (Protocol.op_name req);
+           (Protocol.op_name req, Some rid, Service.handle service ~admitted_at req))
     in
+    let elapsed_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    Recorder.record ~kind:"reply" ?req_id ~conn:conn.cid
+      (Printf.sprintf "op=%s elapsed_us=%d" op elapsed_us);
     Log.info (fun m ->
-        m "op=%s conn=%d elapsed_us=%d" op conn.cid
-          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)));
+        m "op=%s conn=%d req_id=%s elapsed_us=%d" op conn.cid
+          (Option.value ~default:"-" req_id) elapsed_us);
+    (* echo the (possibly minted) id on every reply, errors included;
+       [with_req_id] is a no-op when Service.handle already stamped it *)
+    let response =
+      match req_id with
+      | Some rid -> Protocol.with_req_id response rid
+      | None -> response
+    in
     Json.to_string response
   with
   | response -> push_completion (conn, Reply response)
@@ -237,7 +284,13 @@ let run_job service push_completion (conn, payload, admitted_at) =
 
 (* ------------------------------------------------------------------ *)
 
-let run config =
+let dump_flight ~why flight_path =
+  match Recorder.dump flight_path with
+  | n -> Log.app (fun m -> m "flight recorder (%s): %d event(s) -> %s" why n flight_path)
+  | exception Sys_error msg ->
+    Log.err (fun m -> m "flight recorder dump to %s failed: %s" flight_path msg)
+
+let run_inner config ~flight_path =
   Faults.init_from_env ();
   (match config.trace with
    | Some path ->
@@ -245,6 +298,7 @@ let run config =
      Log.app (fun m -> m "tracing spans to %s" path)
    | None -> ());
   let service = Service.create ?root:config.root ~default_search:config.search () in
+  Service.set_flight_path service flight_path;
   install_signal_handlers service;
   let journal = setup_journal service config in
   prepare_socket_path config.socket_path;
@@ -289,6 +343,9 @@ let run config =
   let pool =
     Pool.create
       ~on_quarantine:(fun (conn, _, _) reason ->
+        Recorder.record ~kind:"crash" ~conn:conn.cid
+          ("worker quarantine: " ^ reason);
+        dump_flight ~why:"worker quarantine" flight_path;
         push_completion
           ( conn,
             Reply_close
@@ -372,6 +429,9 @@ let run config =
         Metrics.incr m_shed;
         let depth = Pool.pending pool in
         let retry_after_ms = min 5000 (25 * (depth + 1)) in
+        Recorder.record ~kind:"shed" ~conn:conn.cid
+          (Printf.sprintf "queue full: depth=%d retry_after_ms=%d" depth
+             retry_after_ms);
         enqueue_reply conn (Json.to_string (Protocol.overloaded ~retry_after_ms));
         dispatch conn
       end
@@ -475,6 +535,9 @@ let run config =
      overloaded frame on the doomed socket, never a silent RST *)
   let refuse_connection fd =
     Metrics.incr m_shed;
+    Recorder.record ~kind:"shed"
+      (Printf.sprintf "connection refused at max_connections=%d"
+         config.max_connections);
     (try
        Unix.set_nonblock fd;
        let buf =
@@ -537,6 +600,7 @@ let run config =
     List.iter
       (fun conn ->
         Metrics.incr m_evicted;
+        Recorder.record ~kind:"evict" ~conn:conn.cid "deadline blown mid-frame";
         Log.warn (fun m -> m "conn=%d evicted: deadline blown mid-frame" conn.cid);
         close_conn conn)
       !victims
@@ -611,7 +675,9 @@ let run config =
            writable
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       drain_completions ();
-      evict_stale ()
+      evict_stale ();
+      if Atomic.compare_and_set dump_requested true false then
+        dump_flight ~why:"SIGUSR1" flight_path
     end
   done;
 
@@ -627,3 +693,15 @@ let run config =
   Pool.shutdown pool;
   (match journal with None -> () | Some j -> Journal.close j);
   match config.trace with Some _ -> Ric_obs.Trace.close () | None -> ()
+
+(* The flight recorder's reason to exist: if the daemon dies on an
+   uncaught exception, the last window of traffic goes to disk before
+   the process does. *)
+let run config =
+  let flight_path = flight_path_of config in
+  try run_inner config ~flight_path
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Recorder.record ~kind:"crash" ("fatal: " ^ Printexc.to_string e);
+    dump_flight ~why:"fatal exit" flight_path;
+    Printexc.raise_with_backtrace e bt

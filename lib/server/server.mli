@@ -34,7 +34,19 @@
 
     Request and latency logs go through the [logs] library under the
     ["ricd"] source; install a reporter (the CLI uses [Logs_fmt]) to
-    see them. *)
+    see them.
+
+    Every request carries a correlation id: a client-supplied
+    [req_id], or one minted here ([ricd-<pid>-…]) before decode.  The
+    id is echoed on the reply, stamped on spans, printed in request
+    logs, and attached to flight-recorder events — one grep across
+    logs, traces and the flight dump follows one request end to end.
+
+    The flight recorder ({!Ric_obs.Recorder}) keeps the last window of
+    request/reply/shed/evict/crash events in a fixed-size in-memory
+    ring at all times; it is flushed to [flight] as JSONL on worker
+    quarantine, on a fatal (uncaught-exception) exit, on SIGUSR1, and
+    on a [dump] request. *)
 
 type config = {
   socket_path : string;
@@ -65,12 +77,18 @@ type config = {
   trace : string option;
       (** JSONL span-trace sink ({!Ric_obs.Trace}); [None] (default)
           keeps tracing disabled and free *)
+  flight : string option;
+      (** flight-recorder dump target ({!Ric_obs.Recorder}); [None]
+          (default) derives [socket_path ^ ".flight.jsonl"].  The
+          in-memory ring always records; it is written out on worker
+          quarantine, fatal exit, SIGUSR1, or a [dump] request *)
 }
 
 val default_config : config
 (** [/tmp/ricd.sock], 2 domains, queue capacity 64, 960 connections,
     10 s read/write deadlines, no root, no journal, sequential search,
-    no metrics socket, no tracing. *)
+    no metrics socket, no tracing, flight recorder beside the
+    socket. *)
 
 val src : Logs.src
 (** The ["ricd"] log source. *)

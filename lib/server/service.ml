@@ -14,7 +14,7 @@ module Trace = Ric_obs.Trace
 let known_ops =
   [
     "ping"; "open"; "rcdp"; "rcqp"; "audit"; "mine"; "insert"; "close"; "stats";
-    "shutdown";
+    "dump"; "shutdown";
   ]
 
 let op_counter op =
@@ -46,6 +46,7 @@ type t = {
   mutable timeouts : int;
   mutable journal : Journal.t option;
   mutable pool_stats : (unit -> Pool.stats) option;
+  mutable flight_path : string option;
 }
 
 let with_lock t f =
@@ -74,6 +75,7 @@ let create ?root ?(default_search = Search_mode.Seq) () =
       timeouts = 0;
       journal = None;
       pool_stats = None;
+      flight_path = None;
     }
   in
   (* pull gauges: evaluated at scrape time, never inside [t.mutex] (the
@@ -92,6 +94,8 @@ let request_shutdown t = Atomic.set t.stop true
 let attach_journal t j = t.journal <- Some j
 
 let set_pool_stats t f = t.pool_stats <- Some f
+
+let set_flight_path t path = t.flight_path <- Some path
 
 (* Callers hold no particular lock; [Journal.append] serialises
    internally, and journal-write failures must never fail a request. *)
@@ -132,17 +136,22 @@ let timeout_result ?rcdp_stats ~clock ~timeout_ms reason =
       ]
     | None -> [])
 
-let verdict_response ~session ~query ~epoch ~cached ~revalidated ~elapsed_us result =
+(* [profile] rides on the response, never inside [result]: the cache
+   stores [result] only, so a later cache hit — or an explain:false
+   request on the same key — can never replay a stale profile. *)
+let verdict_response ?profile ~session ~query ~epoch ~cached ~revalidated
+    ~elapsed_us result =
   ok
-    [
-      ("session", Json.Str session);
-      ("query", Json.Str query);
-      ("epoch", Json.Int epoch);
-      ("cached", Json.Bool cached);
-      ("revalidated", Json.Bool revalidated);
-      ("elapsed_us", Json.Int elapsed_us);
-      ("result", result);
-    ]
+    ([
+       ("session", Json.Str session);
+       ("query", Json.Str query);
+       ("epoch", Json.Int epoch);
+       ("cached", Json.Bool cached);
+       ("revalidated", Json.Bool revalidated);
+       ("elapsed_us", Json.Int elapsed_us);
+       ("result", result);
+     ]
+    @ match profile with Some p -> [ ("profile", p) ] | None -> [])
 
 let elapsed_us t0 = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
 
@@ -248,6 +257,7 @@ type computed = {
   c_result : Json.t;
   c_rcdp : Rcdp.verdict option;
   c_cacheable : bool;
+  c_profile : Json.t option;  (** explain profile of this fresh run *)
 }
 
 let note_timeout t =
@@ -271,7 +281,7 @@ let resolve_search t requested =
    a timeout verdict quickly instead of running after its caller gave
    up.  A deadline already in the past yields a budget that raises on
    its first tick. *)
-let clock_of_timeout ?admitted_at timeout_ms =
+let clock_of_timeout ?admitted_at ?label ?(explain = false) timeout_ms =
   match timeout_ms with
   | Some ms ->
     let d = float_of_int ms /. 1000. in
@@ -280,11 +290,54 @@ let clock_of_timeout ?admitted_at timeout_ms =
       | Some t0 -> t0 +. d -. Unix.gettimeofday ()
       | None -> d
     in
-    Budget.create ~deadline_after:d ()
-  | None -> Budget.unlimited
+    Budget.create ~deadline_after:d ?label ()
+  | None ->
+    (* [Budget.unlimited]'s tick is a no-op and the singleton cannot
+       carry a label, so explain mode and correlated requests get a
+       limited-but-unbounded budget: steps count (the profile's
+       ["steps"] denominator) and [Budget.label] carries the req_id
+       into the deciders' spans, at the cost of an increment and a
+       compare per candidate. *)
+    if explain || label <> None then Budget.create ?label ()
+    else Budget.unlimited
 
-(* serve one epoch-keyed decide (rcdp or audit) through the cache *)
-let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
+(* The explain profile as reply JSON.  ["steps"] is the budget's total
+   (the denominator the ≥95% attribution check divides by);
+   ["attributed_steps"] sums the per-level rows plus every counter
+   ending in ["_steps"]. *)
+let profile_json ~clock p =
+  let open Ric_obs.Profile in
+  let snap = snapshot p in
+  Json.Obj
+    [
+      ("steps", Json.Int (Budget.steps clock));
+      ("attributed_steps", Json.Int (attributed_steps snap));
+      ( "levels",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("level", Json.Int r.lv_index);
+                   ("atom", Json.Str r.lv_name);
+                   ("steps", Json.Int r.lv_steps);
+                   ("prunes", Json.Int r.lv_prunes);
+                 ])
+             snap.levels) );
+      ( "constraints",
+        Json.List
+          (List.map
+             (fun (name, prunes) ->
+               Json.Obj [ ("name", Json.Str name); ("prunes", Json.Int prunes) ])
+             snap.constraints) );
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
+      ("notes", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) snap.notes));
+    ]
+
+(* serve one epoch-keyed decide (rcdp or audit) through the cache; an
+   explain request bypasses the cache {e read} — the profile must
+   describe this very run — but its fresh verdict may still be stored *)
+let cached_decide t ~kind ~session ~query ~nocache ~explain ~key ~compute sn =
   match sn.sn_violation with
   | Some v ->
     (* not partially closed: the problem is undefined here — answer
@@ -293,7 +346,8 @@ let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
       ~elapsed_us:0 (not_closed_result v)
   | None ->
     let hit =
-      if nocache then None else with_lock t (fun () -> Cache.find t.cache key)
+      if nocache || explain then None
+      else with_lock t (fun () -> Cache.find t.cache key)
     in
     (match hit with
      | Some e ->
@@ -320,75 +374,122 @@ let cached_decide t ~kind ~session ~query ~nocache ~key ~compute sn =
                    revalidated = false;
                  }
              | _ -> ());
-       verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
-         ~elapsed_us:elapsed c.c_result)
+       verdict_response ?profile:c.c_profile ~session ~query ~epoch:sn.sn_epoch
+         ~cached:false ~revalidated:false ~elapsed_us:elapsed c.c_result)
 
-let compute_rcdp t ?admitted_at ~timeout_ms ~search sn =
+let compute_rcdp t ?admitted_at ?req_id ~explain ~timeout_ms ~search sn =
   let sc = sn.sn_scenario in
-  let clock = clock_of_timeout ?admitted_at timeout_ms in
+  let clock = clock_of_timeout ?admitted_at ?label:req_id ~explain timeout_ms in
+  let profile = if explain then Some (Ric_obs.Profile.create ()) else None in
+  (* built after the decide so timed-out runs report partial profiles *)
+  let prof () = Option.map (profile_json ~clock) profile in
   let stats = ref { Rcdp.valuations_visited = 0; branches_pruned = 0 } in
   match
     (* partial closure is tracked per-session and already checked;
        skip the decider's own O(|V|) re-verification *)
-    Rcdp.decide ~clock ~search ~collect_stats:stats ~check_partially_closed:false
-      ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc)
-      ~db:sn.sn_db sn.sn_query
+    Rcdp.decide ~clock ~search ~collect_stats:stats ?profile
+      ~check_partially_closed:false ~schema:sc.Scenario.db_schema
+      ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db
+      sn.sn_query
   with
   | verdict ->
-    { c_result = Report.rcdp_verdict verdict; c_rcdp = Some verdict; c_cacheable = true }
+    {
+      c_result = Report.rcdp_verdict verdict;
+      c_rcdp = Some verdict;
+      c_cacheable = true;
+      c_profile = prof ();
+    }
   | exception Rcdp.Unsupported msg ->
-    { c_result = unsupported_result msg; c_rcdp = None; c_cacheable = true }
+    {
+      c_result = unsupported_result msg;
+      c_rcdp = None;
+      c_cacheable = true;
+      c_profile = prof ();
+    }
   | exception Budget.Exhausted reason ->
     note_timeout t;
     {
       c_result = timeout_result ~rcdp_stats:!stats ~clock ~timeout_ms reason;
       c_rcdp = None;
       c_cacheable = false;
+      c_profile = prof ();
     }
 
-let compute_audit t ?admitted_at ~timeout_ms ~search sn =
+let compute_audit t ?admitted_at ?req_id ~explain ~timeout_ms ~search sn =
   let sc = sn.sn_scenario in
-  let clock = clock_of_timeout ?admitted_at timeout_ms in
+  let clock = clock_of_timeout ?admitted_at ?label:req_id ~explain timeout_ms in
+  let profile = if explain then Some (Ric_obs.Profile.create ()) else None in
+  let prof () = Option.map (profile_json ~clock) profile in
   match
-    Guidance.audit ~clock ~search ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
-      ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db sn.sn_query
+    Guidance.audit ~clock ~search ?profile ~schema:sc.Scenario.db_schema
+      ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc) ~db:sn.sn_db
+      sn.sn_query
   with
-  | result -> { c_result = Report.audit_result result; c_rcdp = None; c_cacheable = true }
+  | result ->
+    {
+      c_result = Report.audit_result result;
+      c_rcdp = None;
+      c_cacheable = true;
+      c_profile = prof ();
+    }
   | exception Rcdp.Unsupported msg ->
-    { c_result = unsupported_result msg; c_rcdp = None; c_cacheable = true }
+    {
+      c_result = unsupported_result msg;
+      c_rcdp = None;
+      c_cacheable = true;
+      c_profile = prof ();
+    }
   | exception Rcqp.Unsupported msg ->
-    { c_result = unsupported_result msg; c_rcdp = None; c_cacheable = true }
+    {
+      c_result = unsupported_result msg;
+      c_rcdp = None;
+      c_cacheable = true;
+      c_profile = prof ();
+    }
   | exception Budget.Exhausted reason ->
     note_timeout t;
-    { c_result = timeout_result ~clock ~timeout_ms reason; c_rcdp = None; c_cacheable = false }
+    {
+      c_result = timeout_result ~clock ~timeout_ms reason;
+      c_rcdp = None;
+      c_cacheable = false;
+      c_profile = prof ();
+    }
 
-let handle_rcdp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
+let handle_rcdp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search
+    ~req_id ~explain =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
     let key =
       Cache.rcdp_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
-    cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~key
-      ~compute:(compute_rcdp t ?admitted_at ~timeout_ms ~search) sn
+    cached_decide t ~kind:Cache.K_rcdp ~session ~query ~nocache ~explain ~key
+      ~compute:(compute_rcdp t ?admitted_at ?req_id ~explain ~timeout_ms ~search)
+      sn
 
-let handle_audit t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
+let handle_audit t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search
+    ~req_id ~explain =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
     let key =
       Cache.audit_key ~session ~fingerprint:sn.sn_fingerprint ~epoch:sn.sn_epoch ~query
     in
-    cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~key
-      ~compute:(compute_audit t ?admitted_at ~timeout_ms ~search) sn
+    cached_decide t ~kind:Cache.K_audit ~session ~query ~nocache ~explain ~key
+      ~compute:(compute_audit t ?admitted_at ?req_id ~explain ~timeout_ms ~search)
+      sn
 
-let handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
+let handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search
+    ~req_id ~explain =
   match snapshot t ~session ~query with
   | Error e -> e
   | Ok sn ->
     (* RCQP never looks at D: no epoch in the key, no closure guard *)
     let key = Cache.rcqp_key ~session ~fingerprint:sn.sn_fingerprint ~query in
-    let hit = if nocache then None else with_lock t (fun () -> Cache.find t.cache key) in
+    let hit =
+      if nocache || explain then None
+      else with_lock t (fun () -> Cache.find t.cache key)
+    in
     (match hit with
      | Some e ->
        verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:true
@@ -396,11 +497,12 @@ let handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
      | None ->
        Faults.fire "decide";
        let sc = sn.sn_scenario in
-       let clock = clock_of_timeout ?admitted_at timeout_ms in
+       let clock = clock_of_timeout ?admitted_at ?label:req_id ~explain timeout_ms in
+       let profile = if explain then Some (Ric_obs.Profile.create ()) else None in
        let t0 = Unix.gettimeofday () in
        let result, cacheable =
          match
-           Rcqp.decide ~clock ~search ~schema:sc.Scenario.db_schema
+           Rcqp.decide ~clock ~search ?profile ~schema:sc.Scenario.db_schema
              ~master:sc.Scenario.master ~ccs:(Scenario.all_ccs sc) sn.sn_query
          with
          | verdict -> (Report.rcqp_verdict verdict, true)
@@ -422,7 +524,9 @@ let handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms ~search =
                    elapsed_us = elapsed;
                    revalidated = false;
                  });
-       verdict_response ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
+       verdict_response
+         ?profile:(Option.map (profile_json ~clock) profile)
+         ~session ~query ~epoch:sn.sn_epoch ~cached:false ~revalidated:false
          ~elapsed_us:elapsed result)
 
 (* ------------------------------------------------------------------ *)
@@ -790,6 +894,25 @@ let recover t path =
     retained;
   }
 
+(* the correlation id the typed request carries (decide ops only; other
+   ops keep theirs at the JSON level, where the transport reads it) *)
+let req_id_of_request = function
+  | Protocol.Rcdp { req_id; _ }
+  | Protocol.Rcqp { req_id; _ }
+  | Protocol.Audit { req_id; _ } ->
+    req_id
+  | _ -> None
+
+let handle_dump t =
+  match t.flight_path with
+  | None ->
+    Protocol.error ~kind:"no_flight_recorder"
+      "no flight-recorder path configured (direct service caller?)"
+  | Some path -> (
+    match Ric_obs.Recorder.dump path with
+    | n -> ok [ ("path", Json.Str path); ("events", Json.Int n) ]
+    | exception Sys_error msg -> Protocol.error ~kind:"io_error" msg)
+
 let rec handle t ?admitted_at req =
   let op = Protocol.op_name req in
   with_lock t (fun () ->
@@ -799,33 +922,47 @@ let rec handle t ?admitted_at req =
   (match List.assoc_opt op op_counters with
    | Some c -> Metrics.incr c
    | None -> ());
+  let req_id = req_id_of_request req in
   let dispatch () =
     Trace.with_span "server.op" @@ fun sp ->
     Trace.set_str sp "op" op;
+    (match req_id with
+     | Some rid -> Trace.set_str sp "req_id" rid
+     | None -> ());
     dispatch_req t ?admitted_at req
   in
-  match List.assoc_opt op op_histograms with
-  | Some h -> Metrics.time h dispatch
-  | None -> dispatch ()
+  let reply =
+    match List.assoc_opt op op_histograms with
+    | Some h -> Metrics.time h dispatch
+    | None -> dispatch ()
+  in
+  (* echo the correlation id so a client can match pipelined replies *)
+  match req_id with
+  | Some rid -> Protocol.with_req_id reply rid
+  | None -> reply
 
 and dispatch_req t ?admitted_at req =
   match req with
   | Protocol.Ping -> ok [ ("pong", Json.Bool true) ]
   | Protocol.Open { path; source; name } -> handle_open t ~path ~source ~name
-  | Protocol.Rcdp { session; query; nocache; timeout_ms; search } ->
+  | Protocol.Rcdp { session; query; nocache; timeout_ms; search; req_id; explain }
+    ->
     handle_rcdp t ~admitted_at ~session ~query ~nocache ~timeout_ms
-      ~search:(resolve_search t search)
-  | Protocol.Rcqp { session; query; nocache; timeout_ms; search } ->
+      ~search:(resolve_search t search) ~req_id ~explain
+  | Protocol.Rcqp { session; query; nocache; timeout_ms; search; req_id; explain }
+    ->
     handle_rcqp t ~admitted_at ~session ~query ~nocache ~timeout_ms
-      ~search:(resolve_search t search)
-  | Protocol.Audit { session; query; nocache; timeout_ms; search } ->
+      ~search:(resolve_search t search) ~req_id ~explain
+  | Protocol.Audit { session; query; nocache; timeout_ms; search; req_id; explain }
+    ->
     handle_audit t ~admitted_at ~session ~query ~nocache ~timeout_ms
-      ~search:(resolve_search t search)
+      ~search:(resolve_search t search) ~req_id ~explain
   | Protocol.Mine { session; nocache; timeout_ms; min_support; workers } ->
     handle_mine t ~admitted_at ~session ~nocache ~timeout_ms ~min_support ~workers
   | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
   | Protocol.Close { session } -> handle_close t ~session
   | Protocol.Stats -> handle_stats t
+  | Protocol.Dump -> handle_dump t
   | Protocol.Shutdown ->
     Atomic.set t.stop true;
     ok [ ("stopping", Json.Bool true) ]

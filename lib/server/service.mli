@@ -37,7 +37,15 @@ val handle : t -> ?admitted_at:float -> Protocol.request -> Ric_text.Json.t
     time spent queued behind other jobs counts against the budget; a
     deadline already spent answers a ["timeout"] verdict on the
     decider's first tick.  Omitted, the deadline starts when the
-    decider does (the legacy behaviour, used by direct callers). *)
+    decider does (the legacy behaviour, used by direct callers).
+
+    A decide request carrying a [req_id] gets it stamped on the
+    ["server.op"] span (and, via {!Ric_complete.Budget.label}, on the
+    decider spans below it) and echoed as a ["req_id"] field on the
+    reply.  With [explain = true] the decide computes fresh — the
+    cache is bypassed on read, never poisoned on write (profiles ride
+    on the reply, not in the cached result) — and the reply carries a
+    structured ["profile"] object; see {!Protocol} for its shape. *)
 
 val shutdown_requested : t -> bool
 
@@ -55,6 +63,12 @@ val attach_journal : t -> Ric_text.Journal.t -> unit
 val set_pool_stats : t -> (unit -> Pool.stats) -> unit
 (** Let [stats] responses report the worker pool's failure /
     crash / respawn / quarantine counters. *)
+
+val set_flight_path : t -> string -> unit
+(** Where a [dump] request writes the flight recorder
+    ({!Ric_obs.Recorder.dump}).  Unset, [dump] answers a
+    ["no_flight_recorder"] error — the transport configures it at
+    startup. *)
 
 type recovery = {
   sessions_restored : int;  (** live sessions after replay *)

@@ -65,6 +65,41 @@ let load path =
   close_in_noerr ic;
   { spans = List.rev !spans; malformed = !malformed }
 
+(* Correlation filter: the spans stamped with a req_id plus their
+   whole subtrees.  Only the outer spans carry the attribute (the
+   server stamps "server.op", the deciders their roots), so keeping a
+   kept span's descendants is what makes the filter show the full
+   story of one request. *)
+let filter_req_id rid spans =
+  let module IS = Set.Make (Int) in
+  let stamped sp =
+    match List.assoc_opt "req_id" sp.attrs with
+    | Some (Json.Str s) -> s = rid
+    | _ -> false
+  in
+  let keep =
+    ref
+      (List.filter stamped spans
+      |> List.map (fun sp -> sp.id)
+      |> IS.of_list)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun sp ->
+        if
+          (not (IS.mem sp.id !keep))
+          && sp.parent <> sp.id
+          && IS.mem sp.parent !keep
+        then begin
+          keep := IS.add sp.id !keep;
+          changed := true
+        end)
+      spans
+  done;
+  List.filter (fun sp -> IS.mem sp.id !keep) spans
+
 type phase_row = {
   ph_name : string;
   ph_count : int;

@@ -22,6 +22,12 @@ type load_result = {
 val load : string -> load_result
 (** @raise Sys_error when the file cannot be read. *)
 
+val filter_req_id : string -> span list -> span list
+(** The spans whose ["req_id"] attribute equals the given id, plus all
+    their descendants — one request's complete span subtree, suitable
+    for feeding back into {!summarize}.  Empty when the id never
+    appears (wrong id, or the run was not traced). *)
+
 type phase_row = {
   ph_name : string;
   ph_count : int;

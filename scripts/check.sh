@@ -105,10 +105,93 @@ if [ -z "${PINGS_AFTER:-}" ] || [ "$PINGS_AFTER" -le "$PINGS_BEFORE" ]; then
   exit 1
 fi
 
+# ric top renders a live dashboard off the same exposition (two frames
+# at a short interval; the output is ANSI-redrawn but must carry the
+# throughput and latency rows)
+TOP=$("$RIC" top "$MSOCKET" -n 2 -i 0.2)
+case "$TOP" in
+  *'requests'*'latency'*'steps/s'*) ;;
+  *) echo "FAIL: ric top did not render the dashboard" >&2; exit 1 ;;
+esac
+echo "top:     dashboard rendered"
+
 "$RIC" shutdown -S "$SOCKET" >/dev/null
 wait "$SERVER_PID"
 SERVER_PID=""
 rm -f "$MSOCKET"
+
+echo "== explain smoke test"
+# profile attribution on the hostile instance under a 500 ms budget:
+# the profile's attributed steps must cover >= 95% of the budget's
+# step total (the tick sites are mirrored, so this should be 100%)
+EXPLAIN=$("$RIC" explain scenarios/hard.ric --timeout-ms 500)
+ESTEPS=$(printf '%s\n' "$EXPLAIN" | sed -n 's/^steps: \([0-9]*\).*/\1/p')
+EATTR=$(printf '%s\n' "$EXPLAIN" | sed -n 's/^steps: [0-9]*  attributed: \([0-9]*\).*/\1/p')
+echo "explain: steps $ESTEPS, attributed ${EATTR:-?}"
+if [ -z "${ESTEPS:-}" ] || [ -z "${EATTR:-}" ] || [ "$ESTEPS" -eq 0 ]; then
+  echo "FAIL: ric explain did not report a step attribution line" >&2
+  exit 1
+fi
+if [ $((EATTR * 100)) -lt $((ESTEPS * 95)) ]; then
+  echo "FAIL: explain attributed less than 95% of the budget's steps" >&2
+  exit 1
+fi
+
+echo "== flight recorder smoke test"
+FLIGHT="${TMPDIR:-/tmp}/ricd-check-$$.flight.jsonl"
+
+cleanup_flight() {
+  "$RIC" shutdown -S "$SOCKET" >/dev/null 2>&1 || true
+  wait "${SERVER_PID:-$$}" 2>/dev/null || true
+  rm -f "$SOCKET" "$FLIGHT"
+}
+trap cleanup_flight EXIT INT TERM
+
+"$RIC" serve -S "$SOCKET" -d 2 --flight "$FLIGHT" &
+SERVER_PID=$!
+i=0
+until "$RIC" request ping -S "$SOCKET" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "FAIL: ricd did not come up on $SOCKET" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# some traffic for the ring, then SIGUSR1 must dump it as JSONL
+OPEN=$("$RIC" request open scenarios/crm.ric -S "$SOCKET")
+FSESSION=$(printf '%s' "$OPEN" | sed 's/.*"session":"\([^"]*\)".*/\1/')
+"$RIC" request rcdp "$FSESSION" Q0 -S "$SOCKET" >/dev/null
+kill -USR1 "$SERVER_PID"
+i=0
+until [ -s "$FLIGHT" ]; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "FAIL: SIGUSR1 did not produce a flight dump at $FLIGHT" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+# every line is a flight event: the writer emits a fixed key order, so
+# a torn or interleaved line cannot match
+BAD=$(grep -cv '^{"seq":[0-9]*,"t_us":[0-9]*,"kind":"' "$FLIGHT" || true)
+if [ "${BAD:-1}" -ne 0 ]; then
+  echo "FAIL: $FLIGHT holds $BAD malformed lines" >&2
+  exit 1
+fi
+# the dump op rewrites the same file on demand and reports its size
+DUMP=$("$RIC" request dump -S "$SOCKET")
+echo "flight:  $DUMP"
+case "$DUMP" in
+  '{"ok":true,'*'"events":'*) ;;
+  *) echo "FAIL: the dump op did not report an event count" >&2; exit 1 ;;
+esac
+
+"$RIC" shutdown -S "$SOCKET" >/dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+rm -f "$FLIGHT"
 
 echo "== robustness smoke test"
 JOURNAL="${TMPDIR:-/tmp}/ricd-check-$$.journal"

@@ -370,6 +370,250 @@ let test_tracing_changes_no_verdict () =
         s.Scenario.queries)
     files
 
+(* ------------------------------------------------------------------ *)
+(* Profile: the explain accumulator *)
+
+let test_profile_accumulator () =
+  let p = Profile.create () in
+  let s = Profile.start_search p ~names:[| "R"; "S" |] in
+  Profile.step s 0;
+  Profile.step s 0;
+  Profile.step s 1;
+  Profile.prune s 1 (Some "cc1");
+  Profile.prune s 1 None;
+  Profile.finish_search p s;
+  (* a second search with the same plan merges, not replaces *)
+  let s2 = Profile.start_search p ~names:[| "R"; "S" |] in
+  Profile.step s2 0;
+  Profile.prune s2 0 (Some "cc1");
+  Profile.finish_search p s2;
+  Profile.bump p "pool_steps" 7;
+  Profile.bump p "e2_nodes" 3;
+  Profile.note p "mode" "seq";
+  Profile.note p "mode" "par:2";
+  let snap = Profile.snapshot p in
+  let level i =
+    match
+      List.find_opt (fun r -> r.Profile.lv_index = i) snap.Profile.levels
+    with
+    | Some r -> r
+    | None -> Alcotest.failf "level %d missing" i
+  in
+  Alcotest.(check string) "level 0 name" "R" (level 0).Profile.lv_name;
+  Alcotest.(check int) "level 0 steps merged" 3 (level 0).Profile.lv_steps;
+  Alcotest.(check int) "level 0 prunes" 1 (level 0).Profile.lv_prunes;
+  Alcotest.(check int) "level 1 steps" 1 (level 1).Profile.lv_steps;
+  Alcotest.(check int) "level 1 prunes (named + anonymous)" 2
+    (level 1).Profile.lv_prunes;
+  Alcotest.(check (list (pair string int))) "constraint attribution" [ ("cc1", 2) ]
+    snap.Profile.constraints;
+  Alcotest.(check (option int)) "counter bump" (Some 7)
+    (List.assoc_opt "pool_steps" snap.Profile.counters);
+  Alcotest.(check (option string)) "note last-write-wins" (Some "par:2")
+    (List.assoc_opt "mode" snap.Profile.notes);
+  (* e2_nodes is a diagnostic counter, not a tick site: only level
+     steps and *_steps counters count as attributed *)
+  Alcotest.(check int) "attributed = levels + *_steps counters" (3 + 1 + 7)
+    (Profile.attributed_steps snap)
+
+(* Exact parity with the budget: in the CQ decide paths every
+   [Budget.tick] is mirrored into the profile (search levels, pool,
+   witness growth), so the attributed steps equal [Budget.steps] — in
+   every search mode, including the parallel fan-out. *)
+
+let parity_source =
+  {|
+  schema R(k, w).
+  schema S(k, t).
+  master M(k, w).
+  master N(k).
+  rows R { (m0, v0) (m1, v1) }.
+  rows S { (m0, a) }.
+  rows M { (m0, v0) (m1, v1) (m2, v2) (m3, v3) (m4, v4) (m5, v5) }.
+  rows N { (m0) (m1) (m2) }.
+  query QJ(k) :- R(k, w), S(k, t).
+  constraint BR(k, w) :- R(k, w) => M[0, 1].
+  constraint BS(k) :- S(k, t) => N[0].
+|}
+
+let rcdp_profiled ~search s q =
+  let profile = Profile.create () in
+  let clock = Budget.create () in
+  let verdict =
+    match
+      Rcdp.decide ~clock ~search ~profile ~schema:s.Scenario.db_schema
+        ~master:s.Scenario.master ~ccs:(Scenario.all_ccs s)
+        ~db:s.Scenario.db q
+    with
+    | Rcdp.Complete -> "complete"
+    | Rcdp.Incomplete _ -> "incomplete"
+  in
+  (verdict, Budget.steps clock, Profile.snapshot profile)
+
+let test_profile_budget_parity () =
+  let s = Scenario.parse parity_source in
+  let q =
+    match Scenario.find_query s "QJ" with
+    | Some q -> q
+    | None -> Alcotest.fail "QJ missing"
+  in
+  let _, seq_steps, seq_snap = rcdp_profiled ~search:Search_mode.Seq s q in
+  Alcotest.(check bool) "the search did real work" true (seq_steps > 0);
+  List.iter
+    (fun search ->
+      let name = Search_mode.to_string search in
+      let verdict, steps, snap = rcdp_profiled ~search s q in
+      Alcotest.(check string) (name ^ " verdict unchanged") "incomplete" verdict;
+      Alcotest.(check int)
+        (name ^ " attributed steps = budget steps")
+        steps
+        (Profile.attributed_steps snap);
+      (* the parallel tree is node-for-node the sequential tree, so the
+         merged per-level totals are the sequential ones *)
+      Alcotest.(check bool)
+        (name ^ " per-level totals match seq")
+        true
+        (snap.Profile.levels = seq_snap.Profile.levels))
+    [ Search_mode.Seq; Search_mode.Inc; Search_mode.Par 2 ]
+
+let test_profile_deterministic () =
+  let s = Scenario.parse parity_source in
+  let q = Option.get (Scenario.find_query s "QJ") in
+  let _, steps1, snap1 = rcdp_profiled ~search:Search_mode.Seq s q in
+  let _, steps2, snap2 = rcdp_profiled ~search:Search_mode.Seq s q in
+  Alcotest.(check int) "steps deterministic" steps1 steps2;
+  Alcotest.(check bool) "snapshot deterministic" true (snap1 = snap2)
+
+let test_profile_rcqp_parity () =
+  let s = Scenario.parse parity_source in
+  let q = Option.get (Scenario.find_query s "QJ") in
+  let profile = Profile.create () in
+  let clock = Budget.create () in
+  let (_ : Rcqp.verdict) =
+    Rcqp.decide ~clock ~profile ~schema:s.Scenario.db_schema
+      ~master:s.Scenario.master ~ccs:(Scenario.all_ccs s) q
+  in
+  let snap = Profile.snapshot profile in
+  Alcotest.(check bool) "rcqp ticked" true (Budget.steps clock > 0);
+  Alcotest.(check int) "rcqp attributed = budget steps" (Budget.steps clock)
+    (Profile.attributed_steps snap)
+
+(* ------------------------------------------------------------------ *)
+(* Recorder: the flight-recorder ring *)
+
+let dump_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !lines
+
+let test_recorder_ring () =
+  Recorder.set_capacity 16;
+  let base = Recorder.recorded () in
+  for i = 1 to 20 do
+    Recorder.record ~kind:"request" ~req_id:(Printf.sprintf "r%d" i) ~conn:i
+      "de\"tail\nline"
+  done;
+  Alcotest.(check int) "total recorded" (base + 20) (Recorder.recorded ());
+  let evs = Recorder.events () in
+  Alcotest.(check int) "ring keeps only the window" 16 (List.length evs);
+  let seqs = List.map (fun e -> e.Recorder.seq) evs in
+  Alcotest.(check (list int)) "oldest first, contiguous" (List.sort compare seqs) seqs;
+  (match List.rev evs with
+   | last :: _ -> Alcotest.(check string) "newest survives" "r20" last.Recorder.req_id
+   | [] -> Alcotest.fail "ring empty");
+  let path = Filename.temp_file "ric_flight" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let written = Recorder.dump path in
+      Alcotest.(check int) "dump count" 16 written;
+      let lines = dump_lines path in
+      Alcotest.(check int) "one line per event" 16 (List.length lines);
+      List.iter
+        (fun line ->
+          match Ric_text.Json.of_string_result line with
+          | Error (msg, _, _) -> Alcotest.failf "dump line not JSON (%s): %s" msg line
+          | Ok (Ric_text.Json.Obj fields) ->
+            List.iter
+              (fun k ->
+                if not (List.mem_assoc k fields) then
+                  Alcotest.failf "dump line lacks %S: %s" k line)
+              [ "seq"; "t_us"; "kind"; "req_id"; "conn"; "detail" ];
+            Alcotest.(check bool) "detail escaping survives" true
+              (List.assoc "detail" fields = Ric_text.Json.Str "de\"tail\nline")
+          | Ok _ -> Alcotest.failf "dump line not an object: %s" line)
+        lines)
+
+let test_recorder_concurrent () =
+  Recorder.set_capacity 64;
+  let base = Recorder.recorded () in
+  let per_domain = 2000 in
+  let worker tag () =
+    for i = 1 to per_domain do
+      Recorder.record ~kind:"request" ~req_id:(Printf.sprintf "%s%d" tag i) "x"
+    done
+  in
+  let d1 = Domain.spawn (worker "a") and d2 = Domain.spawn (worker "b") in
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "no lost claims" (base + (2 * per_domain))
+    (Recorder.recorded ());
+  let path = Filename.temp_file "ric_flight_conc" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let written = Recorder.dump path in
+      Alcotest.(check int) "full window dumped" 64 written;
+      List.iter
+        (fun line ->
+          match Ric_text.Json.of_string_result line with
+          | Ok (Ric_text.Json.Obj _) -> ()
+          | _ -> Alcotest.failf "unparseable dump line under contention: %s" line)
+        (dump_lines path))
+
+(* ------------------------------------------------------------------ *)
+(* Trace summarize: the --req-id subtree filter *)
+
+let test_filter_req_id () =
+  let span ~id ~parent ~name ?req_id () =
+    {
+      Trace_summary.id;
+      parent;
+      name;
+      start_us = id * 10;
+      dur_us = 5;
+      attrs =
+        (match req_id with
+         | Some r -> [ ("req_id", Ric_text.Json.Str r) ]
+         | None -> []);
+    }
+  in
+  let spans =
+    [
+      span ~id:1 ~parent:0 ~name:"server.op" ~req_id:"a" ();
+      span ~id:2 ~parent:1 ~name:"rcdp.decide" ();
+      span ~id:3 ~parent:2 ~name:"search" ();
+      span ~id:4 ~parent:0 ~name:"server.op" ~req_id:"b" ();
+      span ~id:5 ~parent:4 ~name:"rcqp.decide" ();
+      span ~id:6 ~parent:0 ~name:"unrelated" ();
+    ]
+  in
+  let ids rid =
+    Trace_summary.filter_req_id rid spans
+    |> List.map (fun sp -> sp.Trace_summary.id)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "request a: stamped root + descendants" [ 1; 2; 3 ]
+    (ids "a");
+  Alcotest.(check (list int)) "request b" [ 4; 5 ] (ids "b");
+  Alcotest.(check (list int)) "unknown id matches nothing" [] (ids "zz")
+
 let () =
   Alcotest.run "obs"
     [
@@ -388,5 +632,20 @@ let () =
           Alcotest.test_case "summarize fixture" `Quick test_trace_summarize;
           Alcotest.test_case "tracing changes no verdict" `Quick
             test_tracing_changes_no_verdict;
+          Alcotest.test_case "req-id subtree filter" `Quick test_filter_req_id;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "accumulator" `Quick test_profile_accumulator;
+          Alcotest.test_case "budget parity across modes" `Quick
+            test_profile_budget_parity;
+          Alcotest.test_case "deterministic snapshots" `Quick
+            test_profile_deterministic;
+          Alcotest.test_case "rcqp parity" `Quick test_profile_rcqp_parity;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring + dump" `Quick test_recorder_ring;
+          Alcotest.test_case "concurrent records" `Quick test_recorder_concurrent;
         ] );
     ]

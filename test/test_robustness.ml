@@ -76,7 +76,8 @@ let hard_source =
 let open_req ?name source = Protocol.Open { path = None; source = Some source; name }
 
 let rcdp ?(nocache = false) ?timeout_ms ?search session query =
-  Protocol.Rcdp { session; query; nocache; timeout_ms; search }
+  Protocol.Rcdp
+    { session; query; nocache; timeout_ms; search; req_id = None; explain = false }
 
 let insert session rel rows =
   Protocol.Insert
@@ -317,6 +318,7 @@ let with_server ?(domains = 2) ?(queue_capacity = 16) ?(read_deadline = 2.) ?jou
             search = Ric_complete.Search_mode.Seq;
             metrics = None;
             trace = None;
+            flight = None;
           })
   in
   let finish () =

@@ -62,14 +62,17 @@ let scenario_source =
 let open_req ?name source =
   Protocol.Open { path = None; source = Some source; name }
 
-let rcdp ?(nocache = false) ?timeout_ms ?search session query =
-  Protocol.Rcdp { session; query; nocache; timeout_ms; search }
+let rcdp ?(nocache = false) ?timeout_ms ?search ?req_id ?(explain = false)
+    session query =
+  Protocol.Rcdp { session; query; nocache; timeout_ms; search; req_id; explain }
 
-let rcqp ?(nocache = false) ?timeout_ms ?search session query =
-  Protocol.Rcqp { session; query; nocache; timeout_ms; search }
+let rcqp ?(nocache = false) ?timeout_ms ?search ?req_id ?(explain = false)
+    session query =
+  Protocol.Rcqp { session; query; nocache; timeout_ms; search; req_id; explain }
 
-let audit ?(nocache = false) ?timeout_ms ?search session query =
-  Protocol.Audit { session; query; nocache; timeout_ms; search }
+let audit ?(nocache = false) ?timeout_ms ?search ?req_id ?(explain = false)
+    session query =
+  Protocol.Audit { session; query; nocache; timeout_ms; search; req_id; explain }
 
 let insert session rel rows =
   Protocol.Insert
@@ -95,10 +98,14 @@ let test_protocol_roundtrip () =
       rcdp ~timeout_ms:250 "s1" "Q0";
       rcdp ~search:Ric_complete.Search_mode.Inc "s1" "Q0";
       rcdp ~search:(Ric_complete.Search_mode.Par 4) "s1" "Q0";
+      rcdp ~req_id:"ric-1-2-3" ~explain:true "s1" "Q0";
       rcqp "s2" "Q";
+      rcqp ~req_id:"x" "s2" "Q";
       rcqp ~search:Ric_complete.Search_mode.Seq "s2" "Q";
       audit "s1" "Q2";
       audit ~search:(Ric_complete.Search_mode.Par 2) "s1" "Q2";
+      audit ~req_id:"a-1" ~explain:true "s1" "Q2";
+      Protocol.Dump;
       insert "s1" "Cust" [ [ "c1"; "bob" ] ];
       Protocol.Insert
         { session = "s1"; rel = "N"; rows = [ [ Ric_relational.Value.Int 42 ] ] };
@@ -428,6 +435,100 @@ let test_service_bad_insert_rejected () =
   let q = Service.handle service (rcdp sid "Q") in
   Alcotest.(check int) "epoch untouched" 0 (get_int "epoch" q)
 
+(* Explain profiles: the profile rides on the response, attributes the
+   budget's steps to named search levels, and never appears — stale or
+   otherwise — on an explain:false reply. *)
+let test_service_explain_profile () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let r = Service.handle service (rcdp ~explain:true sid "Q") in
+  assert_ok r;
+  let p = get "profile" r in
+  let steps = get_int "steps" p in
+  Alcotest.(check bool) "the decide did work" true (steps > 0);
+  (* every budget tick on the rcdp path is mirrored into the profile *)
+  Alcotest.(check int) "full attribution" steps (get_int "attributed_steps" p);
+  let level_steps, counter_steps =
+    ( (match get "levels" p with
+       | Json.List rows -> List.fold_left (fun a r -> a + get_int "steps" r) 0 rows
+       | _ -> Alcotest.fail "levels is not a list"),
+      match get "counters" p with
+      | Json.Obj fields ->
+        List.fold_left
+          (fun a (k, v) ->
+            let suffix = "_steps" in
+            let n = String.length suffix in
+            if
+              String.length k >= n
+              && String.sub k (String.length k - n) n = suffix
+            then a + (match v with Json.Int i -> i | _ -> 0)
+            else a)
+          0 fields
+      | _ -> Alcotest.fail "counters is not an object" )
+  in
+  Alcotest.(check int) "attribution decomposes into levels + *_steps counters"
+    (get_int "attributed_steps" p)
+    (level_steps + counter_steps);
+  (match get "levels" p with
+   | Json.List (row :: _) ->
+     Alcotest.(check string) "levels name the tableau atoms" "Cust"
+       (get_str "atom" row)
+   | _ -> Alcotest.fail "no levels in profile");
+  (* explain bypasses the cache read: this is never a cached reply *)
+  Alcotest.(check bool) "explain recomputes" false (get_bool "cached" r);
+  let again = Service.handle service (rcdp ~explain:true sid "Q") in
+  Alcotest.(check bool) "explain recomputes every time" false
+    (get_bool "cached" again);
+  (* plain requests — fresh or cached — carry no profile at all *)
+  let plain = Service.handle service (rcdp sid "Q") in
+  assert_ok plain;
+  Alcotest.(check bool) "no profile without explain" true
+    (obj_field "profile" plain = None);
+  let cached = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check bool) "cached" true (get_bool "cached" cached);
+  Alcotest.(check bool) "no profile on cache hits" true
+    (obj_field "profile" cached = None);
+  (* explain works for the other deciders too *)
+  let a = Service.handle service (audit ~explain:true sid "Q") in
+  assert_ok a;
+  Alcotest.(check bool) "audit profile attributes its steps" true
+    (get_int "attributed_steps" (get "profile" a) > 0);
+  let rq = Service.handle service (rcqp ~explain:true sid "Q") in
+  assert_ok rq;
+  let rqp = get "profile" rq in
+  Alcotest.(check int) "rcqp full attribution" (get_int "steps" rqp)
+    (get_int "attributed_steps" rqp)
+
+let test_service_dump () =
+  let service = Service.create () in
+  let r = Service.handle service Protocol.Dump in
+  Alcotest.(check string) "no path configured" "no_flight_recorder"
+    (get_str "kind" r);
+  let path = Filename.temp_file "ric_dump" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Service.set_flight_path service path;
+      Ric_obs.Recorder.record ~kind:"test" ~req_id:"dump-test" "dump op";
+      let r = Service.handle service Protocol.Dump in
+      assert_ok r;
+      Alcotest.(check string) "echoes the path" path (get_str "path" r);
+      Alcotest.(check bool) "counts the events" true (get_int "events" r >= 1);
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr n;
+           match Json.of_string_result line with
+           | Ok (Json.Obj _) -> ()
+           | _ -> Alcotest.failf "dump line not a JSON object: %s" line
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Alcotest.(check int) "file holds what the reply counted"
+        (get_int "events" r) !n)
+
 (* ------------------------------------------------------------------ *)
 (* End to end over a Unix-domain socket *)
 
@@ -453,6 +554,7 @@ let with_server ?(domains = 2) f =
             search = Ric_complete.Search_mode.Seq;
             metrics = None;
             trace = None;
+            flight = None;
           })
   in
   let finish () =
@@ -506,6 +608,35 @@ let test_e2e_garbage_request () =
           (* the connection survives a bad request *)
           let pong = Client.rpc c Protocol.Ping in
           Alcotest.(check bool) "still alive" true (get_bool "pong" pong)))
+
+(* Correlation ids: caller-supplied ids are echoed verbatim on every
+   reply (errors included); absent ones are minted — by the client in
+   [rpc] ("ric-" prefix), by the server for raw senders ("ricd-"). *)
+let test_e2e_req_id () =
+  let prefixed ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  with_server (fun socket_path ->
+      Client.with_connection ~retries:40 socket_path (fun c ->
+          let r =
+            Client.request c
+              (Json.Obj [ ("op", Json.Str "ping"); ("req_id", Json.Str "my-req-7") ])
+          in
+          Alcotest.(check string) "caller id echoed" "my-req-7" (get_str "req_id" r);
+          let r = Client.request c (Json.Obj [ ("op", Json.Str "ping") ]) in
+          Alcotest.(check bool) "server mints for raw senders" true
+            (prefixed ~prefix:"ricd-" (get_str "req_id" r));
+          let r = Client.rpc c Protocol.Ping in
+          Alcotest.(check bool) "client rpc mints its own" true
+            (prefixed ~prefix:"ric-" (get_str "req_id" r));
+          let r =
+            Client.request c
+              (Json.Obj [ ("op", Json.Str "teleport"); ("req_id", Json.Str "bad-1") ])
+          in
+          Alcotest.(check string) "rejected" "bad_request" (get_str "kind" r);
+          Alcotest.(check string) "error replies keep the id" "bad-1"
+            (get_str "req_id" r)))
 
 let test_e2e_concurrent_sessions () =
   with_server ~domains:2 (fun socket_path ->
@@ -588,11 +719,14 @@ let () =
           Alcotest.test_case "close purges" `Quick test_service_close_purges;
           Alcotest.test_case "stats telemetry" `Quick test_service_stats_telemetry;
           Alcotest.test_case "bad insert rejected" `Quick test_service_bad_insert_rejected;
+          Alcotest.test_case "explain profile" `Quick test_service_explain_profile;
+          Alcotest.test_case "flight-recorder dump op" `Quick test_service_dump;
         ] );
       ( "end to end",
         [
           Alcotest.test_case "socket round trip" `Quick test_e2e_roundtrip;
           Alcotest.test_case "garbage request" `Quick test_e2e_garbage_request;
+          Alcotest.test_case "req-id correlation" `Quick test_e2e_req_id;
           Alcotest.test_case "concurrent sessions" `Quick test_e2e_concurrent_sessions;
         ] );
     ]
