@@ -23,6 +23,7 @@
      search   — seq/inc/par valuation-search strategies (BENCH_search.json)
      match    — compiled match kernel vs naive oracle (BENCH_match.json)
      mine     — constraint mining seq vs pool-parallel (BENCH_mine.json)
+     load     — streaming columnar ingest vs slurp baseline (BENCH_load.json)
      obs      — instrumentation overhead: traced vs untraced seq decide
 *)
 
@@ -1100,6 +1101,153 @@ let mine_bench () =
   Printf.printf "  wrote %s\n" out
 
 (* ================================================================== *)
+(* Ingest: streaming columnar loader vs slurp baseline                 *)
+(* ================================================================== *)
+
+(* BENCH_load.json: parse throughput of the streaming columnar .ric
+   loader over a ladder of generated master-data files, against the
+   pre-streaming slurp-and-fold baseline.  A live differential — both
+   loaders must build equal databases on every rung — plus peak RSS
+   (VmHWM).  VmHWM is a process-lifetime high-water mark, so the top
+   rung streams {e first}, before anything slurps a file whole: the
+   peak it reports is the streaming path's own.  check.sh guards the
+   headline stream_tuples_per_sec against the committed baseline. *)
+
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:" ->
+        (try
+           Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+             (fun kb -> kb)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> 0)
+      | _ -> go ()
+    in
+    let kb = go () in
+    close_in_noerr ic;
+    kb
+
+let load_bench () =
+  hr "Ingest: streaming columnar loader vs slurp baseline (generated .ric)";
+  let module Json = Ric_text.Json in
+  let module Scenario = Ric_text.Scenario in
+  let top =
+    match Sys.getenv_opt "RIC_BENCH_LOAD_TUPLES" with
+    | Some s ->
+      (try max 1000 (int_of_string (String.trim s)) with Failure _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let top = min top Gen.max_tuples in
+  let rungs = top :: List.filter (fun n -> n < top) [ 100_000; 10_000 ] in
+  let seed = 7 in
+  let gen_file tuples =
+    let path = Filename.temp_file "ric_bench_load" ".ric" in
+    let oc = open_out path in
+    Gen.emit Gen.Triple ~tuples ~seed ~rung:1 (output_string oc);
+    close_out oc;
+    path
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in_noerr ic;
+    s
+  in
+  let headline = ref (0., 0., 0) (* stream sps, slurp sps, vmhwm kB *) in
+  let rung_rows =
+    List.map
+      (fun tuples ->
+        let path = gen_file tuples in
+        let rows = Gen.total_rows Gen.Triple ~tuples in
+        let is_top = tuples = top in
+        (* pre-size the interning structures once: a reserved bulk load
+           should never grow them mid-stream *)
+        if is_top then Intern.reserve (Intern.size () + (tuples / 10) + 64);
+        let growths0 = Intern.growths () in
+        let (stream_sc, stream_secs) = time (fun () -> Scenario.load path) in
+        let growths = Intern.growths () - growths0 in
+        let vmhwm = vm_hwm_kb () in
+        let stream_sps = float_of_int rows /. (stream_secs +. 1e-9) in
+        (* index build straight off the packed arrays (no re-interning) *)
+        let ((_ : Rix.t), rix_secs) =
+          time (fun () -> Rix.build (Database.relation stream_sc.Scenario.db "T"))
+        in
+        (* interner throughput: 3 data cells per T row, 1 per MEnt row *)
+        let cells = (3 * tuples) + (rows - tuples) in
+        let intern_cps = float_of_int cells /. (stream_secs +. 1e-9) in
+        (* slurp baseline + live differential *)
+        let src = read_file path in
+        let (slurp_sc, slurp_secs) = time (fun () -> Scenario.parse_slurp src) in
+        let slurp_sps = float_of_int rows /. (slurp_secs +. 1e-9) in
+        if
+          not
+            (Database.equal stream_sc.Scenario.db slurp_sc.Scenario.db
+            && Database.equal stream_sc.Scenario.master slurp_sc.Scenario.master)
+        then begin
+          Printf.printf
+            "  DIVERGENCE at %d tuples: streaming and slurp databases differ\n"
+            tuples;
+          exit 1
+        end;
+        (try Sys.remove path with Sys_error _ -> ());
+        let speedup = stream_sps /. (slurp_sps +. 1e-9) in
+        Printf.printf
+          "  %8d tuples : stream %9.0f t/s  slurp %9.0f t/s  (%4.1fx)  rix \
+           %6.1f ms  growths %d  VmHWM %d kB\n"
+          tuples stream_sps slurp_sps speedup (1e3 *. rix_secs) growths vmhwm;
+        if is_top then headline := (stream_sps, slurp_sps, vmhwm);
+        Json.Obj
+          [
+            ("tuples", Json.Int tuples);
+            ("rows", Json.Int rows);
+            ("stream_tuples_per_sec", Json.Int (int_of_float stream_sps));
+            ("slurp_tuples_per_sec", Json.Int (int_of_float slurp_sps));
+            ("speedup", Json.Str (Printf.sprintf "%.2f" speedup));
+            ("intern_cells_per_sec", Json.Int (int_of_float intern_cps));
+            ("rix_build_ms", Json.Int (int_of_float (1e3 *. rix_secs)));
+            ("intern_growths", Json.Int growths);
+            ("vmhwm_kb", Json.Int vmhwm);
+            ("databases_equal", Json.Bool true);
+          ])
+      rungs
+  in
+  let (stream_sps, slurp_sps, vmhwm) = !headline in
+  let speedup = stream_sps /. (slurp_sps +. 1e-9) in
+  Printf.printf
+    "  headline (%d tuples): stream %.0f t/s vs slurp %.0f t/s — %.1fx, peak \
+     RSS %d kB\n"
+    top stream_sps slurp_sps speedup vmhwm;
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "load");
+        ("family", Json.Str "triple");
+        ("seed", Json.Int seed);
+        ("top_tuples", Json.Int top);
+        ("rungs", Json.List rung_rows);
+        ("stream_tuples_per_sec", Json.Int (int_of_float stream_sps));
+        ("slurp_tuples_per_sec", Json.Int (int_of_float slurp_sps));
+        ("speedup", Json.Str (Printf.sprintf "%.2f" speedup));
+        ("vmhwm_kb", Json.Int vmhwm);
+        ("intern_entries", Json.Int (Intern.size ()));
+      ]
+  in
+  let out =
+    Sys.getenv_opt "RIC_BENCH_LOAD_OUT"
+    |> Option.value ~default:"BENCH_load.json"
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n" out
+
+(* ================================================================== *)
 (* Instrumentation overhead                                            *)
 (* ================================================================== *)
 
@@ -1166,6 +1314,7 @@ let () =
       ("search", search_bench);
       ("match", match_bench);
       ("mine", mine_bench);
+      ("load", load_bench);
       ("obs", obs_bench);
     ]
   in

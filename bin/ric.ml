@@ -1133,6 +1133,56 @@ let request_insert_cmd =
        ~doc:"Insert one tuple into a session's database (epoch bump + cache migration)")
     Term.(const run $ socket_arg $ receive_timeout_arg $ session_pos $ rel_pos $ cells_pos)
 
+(* Each SPEC is REL:v1,v2,... — one row.  Consecutive specs for the
+   same relation merge into one batch, so the whole command travels as
+   a single insert_bulk request: one epoch bump, one journal append,
+   one cache migration, however many rows it carries. *)
+let parse_row_spec s =
+  match String.index_opt s ':' with
+  | None | Some 0 ->
+    Error (Printf.sprintf "bad row spec %S (want REL:v1,v2,...)" s)
+  | Some i ->
+    let rel = String.sub s 0 i in
+    let cells = String.sub s (i + 1) (String.length s - i - 1) in
+    Ok (rel, List.map parse_cell (String.split_on_char ',' cells))
+
+let request_insert_bulk_cmd =
+  let run socket receive_timeout session specs =
+    let rec collect acc = function
+      | [] -> Ok (List.rev_map (fun (rel, rows) -> (rel, List.rev rows)) acc)
+      | spec :: rest -> (
+        match parse_row_spec spec with
+        | Error _ as e -> e
+        | Ok (rel, row) -> (
+          match acc with
+          | (rel', rows) :: tail when rel' = rel ->
+            collect ((rel', row :: rows) :: tail) rest
+          | acc -> collect ((rel, [ row ]) :: acc) rest))
+    in
+    match collect [] specs with
+    | Error msg ->
+      Format.eprintf "%s@." msg;
+      2
+    | Ok batches ->
+      rpc ?receive_timeout socket
+        (Ric_service.Protocol.Insert_bulk { session; batches })
+  in
+  let specs_pos =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"SPEC"
+          ~doc:
+            "Rows as REL:v1,v2,... (one spec per row; integers stay integers, \
+             quote a cell to force a string)")
+  in
+  Cmd.v
+    (Cmd.info "insert-bulk"
+       ~doc:
+         "Insert many rows across relations as one mutation (single epoch bump, \
+          journal append and cache migration)")
+    Term.(const run $ socket_arg $ receive_timeout_arg $ session_pos $ specs_pos)
+
 let request_simple_cmd op doc req =
   let run socket receive_timeout = rpc ?receive_timeout socket req in
   Cmd.v (Cmd.info op ~doc) Term.(const run $ socket_arg $ receive_timeout_arg)
@@ -1188,6 +1238,7 @@ let request_group =
             { session; query; nocache; timeout_ms; search; req_id; explain });
       request_mine_cmd;
       request_insert_cmd;
+      request_insert_bulk_cmd;
       request_close_cmd;
       request_simple_cmd "ping" "Liveness probe" Ric_service.Protocol.Ping;
       request_simple_cmd "stats" "Sessions, cache hit rates, per-op counters"
@@ -1447,6 +1498,67 @@ let top_cmd =
           rate, queue depth, latency quantiles, per-decider step rates")
     Term.(const run $ msocket_arg $ interval_arg $ iterations_arg)
 
+(* ------------------------------------------------------------------ *)
+(* gen: emit parameterised .ric scenario families at scale. *)
+
+let gen_cmd =
+  let family_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Gen.family_of_string s) in
+    let print ppf f = Format.pp_print_string ppf (Gen.family_to_string f) in
+    Arg.conv ~docv:"FAMILY" (parse, print)
+  in
+  let family_pos =
+    Arg.(
+      required
+      & pos 0 (some family_conv) None
+      & info [] ~docv:"FAMILY"
+          ~doc:"Scenario family: $(b,triple), $(b,telco) or $(b,ladder)")
+  in
+  let tuples_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "t"; "tuples" ] ~docv:"N"
+          ~doc:"Database rows for the bulk families (up to 1,000,000)")
+  in
+  let rung_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "r"; "rung" ] ~docv:"R"
+          ~doc:"Hardness rung for the ladder family")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout")
+  in
+  let run family tuples seed rung out =
+    let emit oc =
+      Gen.emit family ~tuples ~seed ~rung (output_string oc);
+      flush oc
+    in
+    match
+      match out with
+      | None -> emit stdout
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> emit oc)
+    with
+    | () -> 0
+    | exception Invalid_argument msg ->
+      Format.eprintf "%s@." msg;
+      1
+    | exception Sys_error msg ->
+      Format.eprintf "%s@." msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Emit a parameterised .ric scenario family, streamed row-by-row (memory \
+          stays bounded whatever --tuples)")
+    Term.(const run $ family_pos $ tuples_arg $ seed_arg $ rung_arg $ out_arg)
+
 let () =
   let doc = "relative information completeness workbench (Fan & Geerts, PODS 2009)" in
   let info = Cmd.info "ric" ~version:"1.0.0" ~doc in
@@ -1459,6 +1571,7 @@ let () =
             rcqp_cmd;
             reduction_cmd;
             mine_cmd;
+            gen_cmd;
             file_group;
             explain_cmd;
             trace_group;

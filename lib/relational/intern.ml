@@ -41,6 +41,14 @@ let m_lock_acquisitions =
        interning only; the already-interned fast path is lock-free)"
     "ric_intern_lock_acquisitions_total"
 
+let m_growths =
+  Ric_obs.Metrics.counter
+    ~help:
+      "capacity growths of the interning structures (probe-table \
+       snapshot swaps and reverse-array doublings); bulk loads that \
+       [reserve] first should leave this flat"
+    "ric_intern_growth_total"
+
 let mx = Mutex.create ()
 
 (* Authoritative mapping, guarded by [mx]. *)
@@ -85,11 +93,36 @@ let insert_into arr v id =
   in
   go (Value.hash v land mask)
 
-let grow_fast_locked () =
+(* Guarded by [mx].  [cells] is the desired cell count (rounded up to
+   a power of two, never below the current size). *)
+let grow_fast_locked_to cells =
   let arr = Atomic.get fast in
-  let bigger = Array.init (2 * Array.length arr) (fun _ -> Atomic.make None) in
-  Hashtbl.iter (fun v id -> insert_into bigger v id) tbl;
-  Atomic.set fast bigger
+  let want = ref (Array.length arr) in
+  while !want < cells do
+    want := 2 * !want
+  done;
+  if !want > Array.length arr then begin
+    let bigger = Array.init !want (fun _ -> Atomic.make None) in
+    Hashtbl.iter (fun v id -> insert_into bigger v id) tbl;
+    Ric_obs.Metrics.incr m_growths;
+    Atomic.set fast bigger
+  end
+
+let grow_fast_locked () = grow_fast_locked_to (2 * Array.length (Atomic.get fast))
+
+(* Guarded by [mx]: make [rev] hold at least [n] entries. *)
+let grow_rev_locked_to n =
+  let arr = Atomic.get rev in
+  if n > Array.length arr then begin
+    let want = ref (Array.length arr) in
+    while !want < n do
+      want := 2 * !want
+    done;
+    let bigger = Array.make !want (Value.Int 0) in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    Ric_obs.Metrics.incr m_growths;
+    Atomic.set rev bigger
+  end
 
 let intern_locked v =
   match Hashtbl.find_opt tbl v with
@@ -102,6 +135,7 @@ let intern_locked v =
        let bigger = Array.make (2 * Array.length arr) v in
        Array.blit arr 0 bigger 0 (Array.length arr);
        bigger.(i) <- v;
+       Ric_obs.Metrics.incr m_growths;
        Atomic.set rev bigger
      end);
     next := i + 1;
@@ -152,7 +186,19 @@ let value i = (Atomic.get rev).(i)
 
 let size () = Atomic.get count
 
+let reserve n =
+  if n > 0 then begin
+    lock ();
+    (* the probe table stays at most half full, so [n] live entries
+       need at least [2n] cells *)
+    grow_rev_locked_to n;
+    grow_fast_locked_to (2 * n);
+    Mutex.unlock mx
+  end
+
 let lock_acquisitions () = Ric_obs.Metrics.counter_value m_lock_acquisitions
+
+let growths () = Ric_obs.Metrics.counter_value m_growths
 
 let () =
   Ric_obs.Metrics.gauge_fn

@@ -36,6 +36,20 @@ val row : Tuple.t -> int array
 val size : unit -> int
 (** Number of distinct values interned so far. *)
 
+val reserve : int -> unit
+(** [reserve n] pre-sizes the table for at least [n] distinct values:
+    one probe-table snapshot swap and one reverse-array growth now,
+    instead of O(log n) mid-ingest resizes (each of which rebuilds the
+    whole probe table).  Idempotent and monotone — reserving less than
+    the current capacity is a no-op.  Bulk loaders call this before
+    interning a scenario's rows. *)
+
+val growths : unit -> int
+(** Value of [ric_intern_growth_total]: capacity growths of the
+    interning structures (probe-table swaps and reverse-array
+    doublings) since process start.  A bulk load that {!reserve}d
+    enough space leaves this flat while interning. *)
+
 val lock_acquisitions : unit -> int
 (** Value of [ric_intern_lock_acquisitions_total]: how many times the
     interning mutex has been taken since process start (never

@@ -60,4 +60,39 @@ val map : (Tuple.t -> Tuple.t) -> t -> t
 val values : t -> Value.t list
 (** All constants occurring anywhere in the relation, deduplicated. *)
 
+val packed_rows : t -> (Tuple.t array * int array array) option
+(** When the relation was built by {!Builder.finish}: its tuples and
+    the same rows as {!Intern} id arrays, both in increasing
+    {!Tuple.compare} order.  [Rix.build] reuses these arrays directly
+    instead of re-interning tuple by tuple.  [None] on the tree
+    backing.  Callers must not mutate the arrays. *)
+
 val pp : Format.formatter -> t -> unit
+
+(** Columnar bulk construction: interned cell ids are appended to one
+    flat row-major int buffer, and {!Builder.finish} sorts, dedupli-
+    cates and packs them into a relation in a single pass — no
+    per-tuple boxing, no tree insertion.  This is the ingest fast path
+    behind the streaming [.ric] loader. *)
+module Builder : sig
+  type builder
+
+  val create : unit -> builder
+
+  val add_cell : builder -> int -> unit
+  (** Append one {!Intern} id to the currently open row. *)
+
+  val end_row : builder -> unit
+  (** Close the open row.  The first closed row fixes the arity.
+      @raise Invalid_argument on a width mismatch with the first row
+      (formatted exactly like {!add}'s arity error); the offending row
+      is discarded and the builder stays usable. *)
+
+  val rows : builder -> int
+  (** Rows closed so far (before deduplication). *)
+
+  val finish : builder -> t
+  (** Pack everything appended so far into a relation whose iteration
+      order is increasing {!Tuple.compare}, indistinguishable from the
+      same rows folded through {!add}. *)
+end

@@ -20,15 +20,24 @@ type t = {
 
 let build rel =
   let n = Relation.cardinal rel in
-  let rows = Array.make n [||] in
-  let tuples = Array.make n (Tuple.make []) in
-  let i = ref 0 in
-  Relation.iter
-    (fun tu ->
-      tuples.(!i) <- tu;
-      rows.(!i) <- Intern.row tu;
-      incr i)
-    rel;
+  let tuples, rows =
+    (* a packed relation already holds exactly these two arrays (the
+       bulk loader interned while parsing); adopt them instead of
+       re-interning — neither side ever mutates them *)
+    match Relation.packed_rows rel with
+    | Some (tuples, rows) -> (tuples, rows)
+    | None ->
+      let rows = Array.make n [||] in
+      let tuples = Array.make n (Tuple.make []) in
+      let i = ref 0 in
+      Relation.iter
+        (fun tu ->
+          tuples.(!i) <- tu;
+          rows.(!i) <- Intern.row tu;
+          incr i)
+        rel;
+      (tuples, rows)
+  in
   let arity = if n = 0 then -1 else Tuple.arity tuples.(0) in
   {
     source = rel;

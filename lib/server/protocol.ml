@@ -39,6 +39,10 @@ type request =
       workers : int option;
     }
   | Insert of { session : string; rel : string; rows : Value.t list list }
+  | Insert_bulk of {
+      session : string;
+      batches : (string * Value.t list list) list;
+    }
   | Close of { session : string }
   | Stats
   | Dump
@@ -52,6 +56,7 @@ let op_name = function
   | Audit _ -> "audit"
   | Mine _ -> "mine"
   | Insert _ -> "insert"
+  | Insert_bulk _ -> "insert_bulk"
   | Close _ -> "close"
   | Stats -> "stats"
   | Dump -> "dump"
@@ -150,6 +155,21 @@ let rows_field fields =
 
 let ( let* ) = Result.bind
 
+let batches_field fields =
+  match field fields "batches" with
+  | Some (Json.List bs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Obj bf :: rest ->
+        let* rel = str_field bf "rel" in
+        let* rows = rows_field bf in
+        go ((rel, rows) :: acc) rest
+      | _ :: _ -> Error "each batch must be an object with \"rel\" and \"rows\""
+    in
+    go [] bs
+  | Some _ -> Error "field \"batches\" must be a list of batches"
+  | None -> Error "missing field \"batches\""
+
 let of_json = function
   | Json.Obj fields ->
     let* op = str_field fields "op" in
@@ -193,6 +213,10 @@ let of_json = function
        let* rel = str_field fields "rel" in
        let* rows = rows_field fields in
        Ok (Insert { session; rel; rows })
+     | "insert_bulk" ->
+       let* session = str_field fields "session" in
+       let* batches = batches_field fields in
+       Ok (Insert_bulk { session; batches })
      | "close" ->
        let* session = str_field fields "session" in
        Ok (Close { session })
@@ -242,6 +266,26 @@ let to_json req =
         ("session", Json.Str session);
         ("rel", Json.Str rel);
         ("rows", Json.List (List.map (fun row -> Json.List (List.map json_of_value row)) rows));
+      ]
+  | Insert_bulk { session; batches } ->
+    Json.Obj
+      [
+        op;
+        ("session", Json.Str session);
+        ( "batches",
+          Json.List
+            (List.map
+               (fun (rel, rows) ->
+                 Json.Obj
+                   [
+                     ("rel", Json.Str rel);
+                     ( "rows",
+                       Json.List
+                         (List.map
+                            (fun row -> Json.List (List.map json_of_value row))
+                            rows) );
+                   ])
+               batches) );
       ]
   | Close { session } -> Json.Obj [ op; ("session", Json.Str session) ]
 

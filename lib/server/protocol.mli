@@ -19,6 +19,9 @@
     {"op": "mine",  "session": "s1"}                    # induce constraints
     {"op": "insert", "session": "s1", "rel": "Cust",
      "rows": [["c2", "carol", 908]]}
+    {"op": "insert_bulk", "session": "s1",
+     "batches": [{"rel": "Cust", "rows": [["c3", "dave", 17]]},
+                 {"rel": "Supt", "rows": [["e1", "d2", "c3"]]}]}
     {"op": "close", "session": "s1"}
     {"op": "stats"}
     {"op": "shutdown"}
@@ -162,6 +165,18 @@ type request =
           them.  A timed-out pass answers with the partial constraint
           set and a ["timeout"] field instead of blocking. *)
   | Insert of { session : string; rel : string; rows : Value.t list list }
+  | Insert_bulk of {
+      session : string;
+      batches : (string * Value.t list list) list;
+    }
+      (** [{"op": "insert_bulk", "session": "s1", "batches":
+          [{"rel": "Cust", "rows": [[...], ...]}, ...]}] — several
+          relations' rows applied as {e one} mutation: one epoch bump,
+          one partial-closure re-check, one journal append and one
+          cache migration for the whole batch, instead of one of each
+          per [insert].  All-or-nothing: the first schema violation
+          rejects the entire request and leaves the session
+          untouched. *)
   | Close of { session : string }
   | Stats
   | Dump

@@ -13,8 +13,8 @@ module Trace = Ric_obs.Trace
    scrape shows the full family at zero before the first request. *)
 let known_ops =
   [
-    "ping"; "open"; "rcdp"; "rcqp"; "audit"; "mine"; "insert"; "close"; "stats";
-    "dump"; "shutdown";
+    "ping"; "open"; "rcdp"; "rcqp"; "audit"; "mine"; "insert"; "insert_bulk";
+    "close"; "stats"; "dump"; "shutdown";
   ]
 
 let op_counter op =
@@ -648,6 +648,74 @@ let revalidate_cex (scenario : Scenario.t) ~db (cex : Rcdp.counterexample) q =
   && Relation.mem cex.Rcdp.cex_answer (Lang.eval extended q)
   && not (Relation.mem cex.Rcdp.cex_answer (Lang.eval db q))
 
+(* After a successful mutation at [old_epoch] (caller holds the
+   service lock): migrate that epoch's cache entries — carry monotone
+   Complete verdicts, revalidate counterexamples, drop the rest — and
+   build the common insert reply. *)
+let inserted_response t ~session ~old_epoch ~inserted s =
+  let new_epoch = s.Session.epoch in
+  let fingerprint = s.Session.ccs_fingerprint in
+  let old_prefix = Cache.epoch_prefix ~session ~epoch:old_epoch in
+  let entries =
+    Cache.fold_prefix t.cache ~prefix:old_prefix
+      (fun acc key e -> (key, e) :: acc)
+      []
+  in
+  List.iter (fun (key, _) -> Cache.remove t.cache key) entries;
+  let carried = ref 0 and revalidated = ref 0 and dropped = ref 0 in
+  if Session.partially_closed s then
+    List.iter
+      (fun (_, e) ->
+        let keep ~why =
+          let key =
+            match e.Cache.kind with
+            | Cache.K_rcdp ->
+              Cache.rcdp_key ~session ~fingerprint ~epoch:new_epoch
+                ~query:e.Cache.query
+            | Cache.K_audit ->
+              Cache.audit_key ~session ~fingerprint ~epoch:new_epoch
+                ~query:e.Cache.query
+            | Cache.K_rcqp -> assert false (* not epoch-keyed *)
+            | Cache.K_mine -> assert false (* never kept: dropped below *)
+          in
+          Cache.store t.cache key { e with Cache.revalidated = true };
+          Cache.note_carried t.cache;
+          incr why
+        in
+        match (e.Cache.kind, e.Cache.rcdp) with
+        | Cache.K_rcdp, Some Rcdp.Complete ->
+          (* completeness is monotone under admissible growth:
+             every partially closed D″ ⊇ D′ extends D too *)
+          keep ~why:carried
+        | Cache.K_rcdp, Some (Rcdp.Incomplete cex) ->
+          (match Session.find_query s e.Cache.query with
+           | Some q
+             when revalidate_cex s.Session.scenario ~db:s.Session.db cex q ->
+             keep ~why:revalidated
+           | _ -> incr dropped)
+        | _ -> incr dropped)
+      entries
+  else dropped := List.length entries;
+  Cache.note_dropped t.cache !dropped;
+  ok
+    ([
+       ("session", Json.Str session);
+       ("epoch", Json.Int new_epoch);
+       ("inserted", Json.Int inserted);
+       ("partially_closed", Json.Bool (Session.partially_closed s));
+       ( "cache",
+         Json.Obj
+           [
+             ("carried", Json.Int !carried);
+             ("revalidated", Json.Int !revalidated);
+             ("dropped", Json.Int !dropped);
+           ] );
+     ]
+    @
+    match s.Session.closure_violation with
+    | Some v -> [ ("violation", violation_json v) ]
+    | None -> [])
+
 let handle_insert t ~session ~rel ~rows =
   with_lock t (fun () ->
       match Session.find t.registry session with
@@ -659,68 +727,25 @@ let handle_insert t ~session ~rel ~rows =
          | Error msg -> Protocol.error ~kind:"bad_insert" msg
          | Ok () ->
            journal_entry t (Journal.Inserted { id = session; rel; rows });
-           let new_epoch = s.Session.epoch in
-           let fingerprint = s.Session.ccs_fingerprint in
-           let old_prefix = Cache.epoch_prefix ~session ~epoch:old_epoch in
-           let entries =
-             Cache.fold_prefix t.cache ~prefix:old_prefix
-               (fun acc key e -> (key, e) :: acc)
-               []
+           inserted_response t ~session ~old_epoch ~inserted:(List.length rows) s))
+
+let handle_insert_bulk t ~session ~batches =
+  with_lock t (fun () ->
+      match Session.find t.registry session with
+      | None ->
+        Protocol.error ~kind:"unknown_session" (Printf.sprintf "unknown session %S" session)
+      | Some s ->
+        let old_epoch = s.Session.epoch in
+        (match Session.insert_batches s ~batches with
+         | Error msg -> Protocol.error ~kind:"bad_insert" msg
+         | Ok () ->
+           (* one journal append and one cache migration for the whole
+              batch — the per-request unit costs insert paid per call *)
+           journal_entry t (Journal.Inserted_bulk { id = session; batches });
+           let inserted =
+             List.fold_left (fun n (_, rows) -> n + List.length rows) 0 batches
            in
-           List.iter (fun (key, _) -> Cache.remove t.cache key) entries;
-           let carried = ref 0 and revalidated = ref 0 and dropped = ref 0 in
-           if Session.partially_closed s then
-             List.iter
-               (fun (_, e) ->
-                 let keep ~why =
-                   let key =
-                     match e.Cache.kind with
-                     | Cache.K_rcdp ->
-                       Cache.rcdp_key ~session ~fingerprint ~epoch:new_epoch
-                         ~query:e.Cache.query
-                     | Cache.K_audit ->
-                       Cache.audit_key ~session ~fingerprint ~epoch:new_epoch
-                         ~query:e.Cache.query
-                     | Cache.K_rcqp -> assert false (* not epoch-keyed *)
-                     | Cache.K_mine -> assert false (* never kept: dropped below *)
-                   in
-                   Cache.store t.cache key { e with Cache.revalidated = true };
-                   Cache.note_carried t.cache;
-                   incr why
-                 in
-                 match (e.Cache.kind, e.Cache.rcdp) with
-                 | Cache.K_rcdp, Some Rcdp.Complete ->
-                   (* completeness is monotone under admissible growth:
-                      every partially closed D″ ⊇ D′ extends D too *)
-                   keep ~why:carried
-                 | Cache.K_rcdp, Some (Rcdp.Incomplete cex) ->
-                   (match Session.find_query s e.Cache.query with
-                    | Some q
-                      when revalidate_cex s.Session.scenario ~db:s.Session.db cex q ->
-                      keep ~why:revalidated
-                    | _ -> incr dropped)
-                 | _ -> incr dropped)
-               entries
-           else dropped := List.length entries;
-           Cache.note_dropped t.cache !dropped;
-           ok
-             ([
-                ("session", Json.Str session);
-                ("epoch", Json.Int new_epoch);
-                ("inserted", Json.Int (List.length rows));
-                ("partially_closed", Json.Bool (Session.partially_closed s));
-                ( "cache",
-                  Json.Obj
-                    [
-                      ("carried", Json.Int !carried);
-                      ("revalidated", Json.Int !revalidated);
-                      ("dropped", Json.Int !dropped);
-                    ] );
-              ]
-             @
-             match s.Session.closure_violation with
-             | Some v -> [ ("violation", violation_json v) ]
-             | None -> [])))
+           inserted_response t ~session ~old_epoch ~inserted s))
 
 (* ------------------------------------------------------------------ *)
 (* the rest *)
@@ -872,6 +897,13 @@ let recover t path =
               | Ok () -> ()
               | Error _ -> incr failed)
             | None -> incr failed)
+          | Journal.Inserted_bulk { id; batches } -> (
+            match Session.find t.registry id with
+            | Some s -> (
+              match Session.insert_batches s ~batches with
+              | Ok () -> ()
+              | Error _ -> incr failed)
+            | None -> incr failed)
           | Journal.Closed { id } -> ignore (Session.close t.registry id))
         replay.Journal.entries);
   let retained =
@@ -882,7 +914,9 @@ let recover t path =
         List.filter
           (function
             | Journal.Closed _ -> false
-            | Journal.Opened { id; _ } | Journal.Inserted { id; _ } ->
+            | Journal.Opened { id; _ }
+            | Journal.Inserted { id; _ }
+            | Journal.Inserted_bulk { id; _ } ->
               Session.find t.registry id <> None)
           replay.Journal.entries)
   in
@@ -960,6 +994,8 @@ and dispatch_req t ?admitted_at req =
   | Protocol.Mine { session; nocache; timeout_ms; min_support; workers } ->
     handle_mine t ~admitted_at ~session ~nocache ~timeout_ms ~min_support ~workers
   | Protocol.Insert { session; rel; rows } -> handle_insert t ~session ~rel ~rows
+  | Protocol.Insert_bulk { session; batches } ->
+    handle_insert_bulk t ~session ~batches
   | Protocol.Close { session } -> handle_close t ~session
   | Protocol.Stats -> handle_stats t
   | Protocol.Dump -> handle_dump t

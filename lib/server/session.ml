@@ -86,16 +86,31 @@ let count reg = Hashtbl.length reg.sessions
 
 let list reg = Hashtbl.fold (fun _ s acc -> s :: acc) reg.sessions []
 
-let insert s ~rel ~rows =
+exception Reject of string
+
+let insert_batches s ~batches =
   match
-    List.fold_left (fun db row -> Database.add_tuple db rel (Tuple.make row)) s.db rows
+    List.fold_left
+      (fun db (rel, rows) ->
+        try
+          List.fold_left
+            (fun db row -> Database.add_tuple db rel (Tuple.make row))
+            db rows
+        with
+        | Invalid_argument msg -> raise (Reject msg)
+        | Not_found -> raise (Reject (Printf.sprintf "unknown relation %S" rel)))
+      s.db batches
   with
   | db ->
+    (* all batches validated against the staged database before any of
+       them lands: one epoch bump, one closure re-check, whatever the
+       batch count — and a rejected batch leaves the session untouched *)
     s.db <- db;
     s.epoch <- s.epoch + 1;
     (* a violation is monotone: once broken, stay broken without
        re-searching; otherwise re-check against the grown database *)
     if partially_closed s then s.closure_violation <- check_closure s.scenario db;
     Ok ()
-  | exception Invalid_argument msg -> Error msg
-  | exception Not_found -> Error (Printf.sprintf "unknown relation %S" rel)
+  | exception Reject msg -> Error msg
+
+let insert s ~rel ~rows = insert_batches s ~batches:[ (rel, rows) ]

@@ -64,3 +64,12 @@ val insert : t -> rel:string -> rows:Value.t list list -> (unit, string) result
     monotone, a violation can never be repaired by further inserts;
     it is the client's signal to fix its feed and open a fresh
     session. *)
+
+val insert_batches :
+  t -> batches:(string * Value.t list list) list -> (unit, string) result
+(** {!insert} for several relations at once, as one mutation: all
+    batches are validated against the staged database before any of
+    them lands, the epoch is bumped {e once} and partial closure is
+    re-checked {e once} — the unit cost that made per-tuple inserts a
+    bottleneck for bulk feeds.  [Error] (the first schema violation)
+    leaves the session completely untouched. *)

@@ -3,6 +3,10 @@ open Ric_relational
 type entry =
   | Opened of { id : string; name : string option; source : string }
   | Inserted of { id : string; rel : string; rows : Value.t list list }
+  | Inserted_bulk of {
+      id : string;
+      batches : (string * Value.t list list) list;
+    }
   | Closed of { id : string }
 
 let m_appends =
@@ -32,6 +36,9 @@ let value_of_json = function
   | Json.Str s -> Ok (Value.Str s)
   | _ -> Error "row cells must be strings or integers"
 
+let json_of_rows rows =
+  Json.List (List.map (fun row -> Json.List (List.map json_of_value row)) rows)
+
 let json_of_entry = function
   | Opened { id; name; source } ->
     Json.Obj
@@ -44,8 +51,19 @@ let json_of_entry = function
         ("r", Json.Str "insert");
         ("id", Json.Str id);
         ("rel", Json.Str rel);
-        ( "rows",
-          Json.List (List.map (fun row -> Json.List (List.map json_of_value row)) rows) );
+        ("rows", json_of_rows rows);
+      ]
+  | Inserted_bulk { id; batches } ->
+    Json.Obj
+      [
+        ("r", Json.Str "insert_bulk");
+        ("id", Json.Str id);
+        ( "batches",
+          Json.List
+            (List.map
+               (fun (rel, rows) ->
+                 Json.Obj [ ("rel", Json.Str rel); ("rows", json_of_rows rows) ])
+               batches) );
       ]
   | Closed { id } -> Json.Obj [ ("r", Json.Str "close"); ("id", Json.Str id) ]
 
@@ -95,6 +113,23 @@ let entry_of_json = function
           let* rows = rows_of_json rows in
           Ok (Inserted { id; rel; rows })
         | None -> Error "missing field \"rows\"")
+     | "insert_bulk" ->
+       (match field fields "batches" with
+        | Some (Json.List bs) ->
+          let rec go acc = function
+            | [] -> Ok (Inserted_bulk { id; batches = List.rev acc })
+            | Json.Obj bf :: rest ->
+              let* rel = str_field bf "rel" in
+              (match field bf "rows" with
+               | Some rows ->
+                 let* rows = rows_of_json rows in
+                 go ((rel, rows) :: acc) rest
+               | None -> Error "missing field \"rows\"")
+            | _ :: _ -> Error "each batch must be an object"
+          in
+          go [] bs
+        | Some _ -> Error "field \"batches\" must be a list"
+        | None -> Error "missing field \"batches\"")
      | "close" -> Ok (Closed { id })
      | other -> Error (Printf.sprintf "unknown journal record %S" other))
   | _ -> Error "a journal record must be a JSON object"

@@ -22,6 +22,12 @@ type entry =
       (** [source] is the scenario printed by {!Scenario.pp} (which
           round-trips through {!Scenario.parse}) *)
   | Inserted of { id : string; rel : string; rows : Value.t list list }
+  | Inserted_bulk of {
+      id : string;
+      batches : (string * Value.t list list) list;
+    }
+      (** one [insert_bulk] request: several relations' rows applied as
+          a single mutation — one journal record, one epoch *)
   | Closed of { id : string }
 
 val json_of_entry : entry -> Json.t

@@ -129,6 +129,180 @@ let tokenize src =
   emit EOF !line !col;
   List.rev !out
 
+(* ------------------------------------------------------------------ *)
+(* Streaming source: the same token language, pulled one token at a
+   time from a refill buffer instead of a whole-file string.  The
+   grammar needs at most two bytes of lookahead (the two-char
+   operators and the [-]digit rule), so a token split across refills
+   is handled by compacting the unread tail to the buffer's front and
+   topping up — memory stays bounded by the chunk size regardless of
+   input length, and positions are counted byte-for-byte exactly like
+   [tokenize]. *)
+
+type source = {
+  refill : bytes -> int -> int -> int;
+      (* [refill buf pos space] reads at most [space] bytes into [buf]
+         at [pos], returning 0 only at end of input (input semantics) *)
+  buf : bytes;
+  mutable pos : int; (* next unread byte *)
+  mutable len : int; (* valid bytes in [buf] *)
+  mutable eof : bool;
+  mutable line : int;
+  mutable col : int;
+  scratch : Buffer.t;
+}
+
+let make_source ~chunk refill =
+  {
+    refill;
+    buf = Bytes.create (max 2 chunk);
+    pos = 0;
+    len = 0;
+    eof = false;
+    line = 1;
+    col = 1;
+    scratch = Buffer.create 64;
+  }
+
+let of_channel ?(chunk = 65536) ic =
+  make_source ~chunk (fun buf pos space -> input ic buf pos space)
+
+(* [chunk] caps how many bytes each refill delivers, so the
+   chunk-boundary differential can force every possible token split. *)
+let of_string ?(chunk = 65536) src =
+  let served = ref 0 in
+  let n = String.length src in
+  make_source ~chunk (fun buf pos space ->
+      let k = min (min space chunk) (n - !served) in
+      Bytes.blit_string src !served buf pos k;
+      served := !served + k;
+      k)
+
+(* Make at least [k] (<= 2) unread bytes available, or hit EOF. *)
+let ensure s k =
+  while s.len - s.pos < k && not s.eof do
+    (if s.pos > 0 then begin
+       let rem = s.len - s.pos in
+       if rem > 0 then Bytes.blit s.buf s.pos s.buf 0 rem;
+       s.pos <- 0;
+       s.len <- rem
+     end);
+    let space = Bytes.length s.buf - s.len in
+    let n = s.refill s.buf s.len space in
+    if n = 0 then s.eof <- true else s.len <- s.len + n
+  done;
+  s.len - s.pos >= k
+
+let peek s = if s.pos < s.len || ensure s 1 then Some (Bytes.get s.buf s.pos) else None
+
+let peek2 s =
+  if s.len - s.pos >= 2 || ensure s 2 then Some (Bytes.get s.buf (s.pos + 1))
+  else None
+
+let advance_src s =
+  (if Bytes.get s.buf s.pos = '\n' then begin
+     s.line <- s.line + 1;
+     s.col <- 1
+   end
+   else s.col <- s.col + 1);
+  s.pos <- s.pos + 1
+
+let rec next s =
+  match peek s with
+  | None -> { tok = EOF; line = s.line; col = s.col }
+  | Some c ->
+    let l0 = s.line and c0 = s.col in
+    let tok t =
+      advance_src s;
+      { tok = t; line = l0; col = c0 }
+    in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then begin
+      advance_src s;
+      next s
+    end
+    else if c = '#' then begin
+      let continue = ref true in
+      while !continue do
+        match peek s with
+        | Some ch when ch <> '\n' -> advance_src s
+        | _ -> continue := false
+      done;
+      next s
+    end
+    else if is_digit c || (c = '-' && (match peek2 s with Some d -> is_digit d | None -> false))
+    then begin
+      Buffer.clear s.scratch;
+      if c = '-' then begin
+        Buffer.add_char s.scratch '-';
+        advance_src s
+      end;
+      let continue = ref true in
+      while !continue do
+        match peek s with
+        | Some d when is_digit d ->
+          Buffer.add_char s.scratch d;
+          advance_src s
+        | _ -> continue := false
+      done;
+      { tok = INT (int_of_string (Buffer.contents s.scratch)); line = l0; col = c0 }
+    end
+    else if is_ident_start c then begin
+      Buffer.clear s.scratch;
+      let continue = ref true in
+      while !continue do
+        match peek s with
+        | Some ch when is_ident_char ch ->
+          Buffer.add_char s.scratch ch;
+          advance_src s
+        | _ -> continue := false
+      done;
+      { tok = IDENT (Buffer.contents s.scratch); line = l0; col = c0 }
+    end
+    else if c = '"' then begin
+      advance_src s;
+      Buffer.clear s.scratch;
+      let closed = ref false in
+      let continue = ref true in
+      while !continue do
+        match peek s with
+        | Some '"' ->
+          closed := true;
+          advance_src s;
+          continue := false
+        | Some ch ->
+          Buffer.add_char s.scratch ch;
+          advance_src s
+        | None -> continue := false
+      done;
+      if not !closed then raise (Lex_error ("unterminated string", l0, c0));
+      { tok = STRING (Buffer.contents s.scratch); line = l0; col = c0 }
+    end
+    else begin
+      let two t =
+        advance_src s;
+        advance_src s;
+        { tok = t; line = l0; col = c0 }
+      in
+      match (c, peek2 s) with
+      | ':', Some '-' -> two TURNSTILE
+      | '=', Some '>' -> two ARROW
+      | '-', Some '>' -> two FDARROW
+      | '!', Some '=' -> two NEQ
+      | '(', _ -> tok LPAREN
+      | ')', _ -> tok RPAREN
+      | '{', _ -> tok LBRACE
+      | '}', _ -> tok RBRACE
+      | '[', _ -> tok LBRACKET
+      | ']', _ -> tok RBRACKET
+      | ',', _ -> tok COMMA
+      | '.', _ -> tok DOT
+      | '=', _ -> tok EQ
+      | ':', _ -> tok COLON
+      | '|', _ -> tok PIPE
+      | '?', _ -> tok QMARK
+      | c, _ -> raise (Lex_error (Printf.sprintf "illegal character %C" c, l0, c0))
+    end
+
 let describe = function
   | IDENT s -> Printf.sprintf "identifier %S" s
   | STRING s -> Printf.sprintf "string %S" s
@@ -150,3 +324,259 @@ let describe = function
   | PIPE -> "'|'"
   | QMARK -> "'?'"
   | EOF -> "end of input"
+
+(* ------------------------------------------------------------------ *)
+(* Fused rows-block scanner: the bulk-ingest fast path.  [scan_cells]
+   consumes a sequence of [(v, v, ...)] rows directly off the refill
+   buffer, interning each cell as it is recognised — identifiers hit a
+   string→id cache keyed by the raw token bytes, so a repeated value
+   costs a hash and a byte compare with no string, token record, or
+   Value.t allocated, and integers are parsed in place without ever
+   materialising text.  The scanner stops, consuming nothing but
+   insignificant bytes, at the first row boundary whose next token is
+   not '(' — the pull parser resumes there for the closing brace.
+   Anything off the happy path (quoted strings, oversized integer
+   literals, malformed rows) falls back to {!next}, so error messages
+   and positions match the token-at-a-time grammar exactly. *)
+
+(* Compact the unread tail to the front and top the buffer up once.
+   Returns false when no new bytes can arrive (end of input, or a
+   single token larger than the whole buffer). *)
+let refill_keep s =
+  if s.eof then false
+  else begin
+    (if s.pos > 0 then begin
+       let rem = s.len - s.pos in
+       if rem > 0 then Bytes.blit s.buf s.pos s.buf 0 rem;
+       s.pos <- 0;
+       s.len <- rem
+     end);
+    let space = Bytes.length s.buf - s.len in
+    if space = 0 then false
+    else begin
+      let n = s.refill s.buf s.len space in
+      if n = 0 then begin
+        s.eof <- true;
+        false
+      end
+      else begin
+        s.len <- s.len + n;
+        true
+      end
+    end
+  end
+
+(* Open-addressing string→id cache.  Empty slots hold the physically
+   unique [absent_key], so "" remains a legal key. *)
+let absent_key = Bytes.unsafe_to_string (Bytes.create 0)
+
+type icache = {
+  mutable ic_keys : string array;
+  mutable ic_ids : int array;
+  mutable ic_hashes : int array;
+  mutable ic_mask : int;
+  mutable ic_used : int;
+}
+
+let icache_create () =
+  let cap = 4096 in
+  {
+    ic_keys = Array.make cap absent_key;
+    ic_ids = Array.make cap 0;
+    ic_hashes = Array.make cap 0;
+    ic_mask = cap - 1;
+    ic_used = 0;
+  }
+
+(* FNV-1a over a byte range, truncated to a non-negative int. *)
+let icache_hash buf start len =
+  let h = ref 0x811c9dc5 in
+  for j = start to start + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get buf j)) * 0x01000193 land max_int
+  done;
+  !h
+
+let icache_grow c =
+  let cap = 2 * (c.ic_mask + 1) in
+  let keys = Array.make cap absent_key in
+  let ids = Array.make cap 0 in
+  let hashes = Array.make cap 0 in
+  let mask = cap - 1 in
+  Array.iteri
+    (fun slot k ->
+      if k != absent_key then begin
+        let h = c.ic_hashes.(slot) in
+        let j = ref (h land mask) in
+        while keys.(!j) != absent_key do
+          j := (!j + 1) land mask
+        done;
+        keys.(!j) <- k;
+        ids.(!j) <- c.ic_ids.(slot);
+        hashes.(!j) <- h
+      end)
+    c.ic_keys;
+  c.ic_keys <- keys;
+  c.ic_ids <- ids;
+  c.ic_hashes <- hashes;
+  c.ic_mask <- mask
+
+let bytes_eq buf start key len =
+  let rec go k =
+    k = len
+    || (Bytes.unsafe_get buf (start + k) = String.unsafe_get key k && go (k + 1))
+  in
+  go 0
+
+let icache_find_or_add c buf start len make_id =
+  let h = icache_hash buf start len in
+  let rec probe i =
+    let slot = (h + i) land c.ic_mask in
+    let k = Array.unsafe_get c.ic_keys slot in
+    if k == absent_key then begin
+      let w = Bytes.sub_string buf start len in
+      let id = make_id w in
+      c.ic_keys.(slot) <- w;
+      c.ic_ids.(slot) <- id;
+      c.ic_hashes.(slot) <- h;
+      c.ic_used <- c.ic_used + 1;
+      if 2 * c.ic_used > c.ic_mask then icache_grow c;
+      id
+    end
+    else if
+      Array.unsafe_get c.ic_hashes slot = h
+      && String.length k = len
+      && bytes_eq buf start k len
+    then Array.unsafe_get c.ic_ids slot
+    else probe (i + 1)
+  in
+  probe 0
+
+let scan_cells s ~fail ~cell ~end_row =
+  let cache = icache_create () in
+  let intern_str w = Ric_relational.Intern.id (Ric_relational.Value.Str w) in
+  let intern_int v = Ric_relational.Intern.id (Ric_relational.Value.Int v) in
+  (* skip whitespace and comments; false only at end of input *)
+  let rec skip_ws () =
+    if s.pos < s.len then begin
+      match Bytes.unsafe_get s.buf s.pos with
+      | ' ' | '\t' | '\r' ->
+        s.pos <- s.pos + 1;
+        s.col <- s.col + 1;
+        skip_ws ()
+      | '\n' ->
+        s.pos <- s.pos + 1;
+        s.line <- s.line + 1;
+        s.col <- 1;
+        skip_ws ()
+      | '#' -> skip_comment ()
+      | _ -> true
+    end
+    else if refill_keep s then skip_ws ()
+    else false
+  and skip_comment () =
+    if s.pos < s.len then
+      if Bytes.unsafe_get s.buf s.pos = '\n' then skip_ws ()
+      else begin
+        s.pos <- s.pos + 1;
+        s.col <- s.col + 1;
+        skip_comment ()
+      end
+    else if refill_keep s then skip_comment ()
+    else false
+  in
+  (* the generic tokenizer handles everything rare or malformed, so
+     fallback errors carry the usual messages and positions *)
+  let generic_cell () =
+    let p = next s in
+    match p.tok with
+    | IDENT w | STRING w -> cell (intern_str w)
+    | INT v -> cell (intern_int v)
+    | other ->
+      raise
+        (fail
+           (Printf.sprintf "expected a value, found %s" (describe other))
+           p.line p.col)
+  in
+  let rec ident_cell () =
+    let j = ref s.pos in
+    while !j < s.len && is_ident_char (Bytes.unsafe_get s.buf !j) do
+      incr j
+    done;
+    if !j = s.len && not s.eof then
+      (* token may continue past the buffer: top up and rescan *)
+      if refill_keep s then ident_cell () else generic_cell ()
+    else begin
+      let start = s.pos in
+      let len = !j - start in
+      let id = icache_find_or_add cache s.buf start len intern_str in
+      s.pos <- !j;
+      s.col <- s.col + len;
+      cell id
+    end
+  in
+  let rec int_cell () =
+    let start = s.pos in
+    let j = ref s.pos in
+    if Bytes.unsafe_get s.buf !j = '-' then incr j;
+    let d0 = !j in
+    while !j < s.len && is_digit (Bytes.unsafe_get s.buf !j) do
+      incr j
+    done;
+    if !j = s.len && not s.eof then begin
+      if refill_keep s then int_cell () else generic_cell ()
+    end
+    else if !j - d0 > 17 then generic_cell () (* near overflow: defer to int_of_string *)
+    else begin
+      let v = ref 0 in
+      for k = d0 to !j - 1 do
+        v := (!v * 10) + (Char.code (Bytes.unsafe_get s.buf k) - Char.code '0')
+      done;
+      let v = if Bytes.unsafe_get s.buf start = '-' then - !v else !v in
+      s.col <- s.col + (!j - start);
+      s.pos <- !j;
+      cell (intern_int v)
+    end
+  in
+  let cell_at () =
+    if not (skip_ws ()) then generic_cell () (* EOF: "found end of input" *)
+    else begin
+      let c = Bytes.unsafe_get s.buf s.pos in
+      if is_ident_start c then ident_cell ()
+      else if is_digit c then int_cell ()
+      else if c = '-' && ensure s 2 && is_digit (Bytes.get s.buf (s.pos + 1)) then
+        int_cell ()
+      else generic_cell () (* quoted strings, or a proper parse error *)
+    end
+  in
+  let expect_rparen () =
+    let p = next s in
+    raise
+      (fail
+         (Printf.sprintf "expected %s, found %s" (describe RPAREN)
+            (describe p.tok))
+         p.line p.col)
+  in
+  let rec rows_loop () =
+    if skip_ws () && Bytes.unsafe_get s.buf s.pos = '(' then begin
+      s.pos <- s.pos + 1;
+      s.col <- s.col + 1;
+      row_loop ();
+      rows_loop ()
+    end
+    (* row boundary that is not '(' (or EOF): the parser takes over *)
+  and row_loop () =
+    cell_at ();
+    if not (skip_ws ()) then expect_rparen ()
+    else
+      match Bytes.unsafe_get s.buf s.pos with
+      | ',' ->
+        s.pos <- s.pos + 1;
+        s.col <- s.col + 1;
+        row_loop ()
+      | ')' ->
+        s.pos <- s.pos + 1;
+        s.col <- s.col + 1;
+        end_row ()
+      | _ -> expect_rparen ()
+  in
+  rows_loop ()

@@ -35,6 +35,45 @@ val tokenize : string -> positioned list
 (** Comments run from [#] to end of line.  @raise Lex_error on an
     illegal character or an unterminated string. *)
 
+type source
+(** A streaming token source over a refill buffer: constant memory in
+    the input length, two bytes of lookahead, positions counted
+    byte-for-byte exactly like {!tokenize}.  The bulk loader reads
+    million-tuple [.ric] files through this without ever holding the
+    file as one string. *)
+
+val of_channel : ?chunk:int -> in_channel -> source
+(** Lex straight from a channel, reading at most [chunk] (default
+    64 KiB) bytes per refill. *)
+
+val of_string : ?chunk:int -> string -> source
+(** Lex an in-memory string, delivering at most [chunk] bytes per
+    refill — with [chunk:1] every multi-byte token crosses a refill
+    boundary, which is what the differential suite exercises. *)
+
+val next : source -> positioned
+(** The next token; {!EOF} (at the final position) forever once the
+    input is exhausted.  @raise Lex_error as {!tokenize}. *)
+
+val scan_cells :
+  source ->
+  fail:(string -> int -> int -> exn) ->
+  cell:(int -> unit) ->
+  end_row:(unit -> unit) ->
+  unit
+(** Bulk-scan the body of a [rows] block: a sequence of [(v, v, ...)]
+    rows, stopping — without consuming the offending token — at the
+    first row boundary that is not ['('] (normally the closing brace).
+    Each cell is interned straight off the input buffer and handed to
+    [cell] as its {!Ric_relational.Intern} id; [end_row] closes each
+    row.  Equivalent to pulling tokens through {!next} and interning
+    one cell at a time, but a repeated identifier costs only a hash
+    and a byte compare (no string, token record, or value is
+    allocated) and integers never materialise text.  On malformed
+    input, raises the exception built by [fail msg line col] with the
+    same message and position the token-at-a-time grammar reports;
+    exceptions from [cell]/[end_row] pass through. *)
+
 val is_ident_start : char -> bool
 val is_ident_char : char -> bool
 (** Character classes of {!IDENT} tokens; the printer uses them to

@@ -15,21 +15,42 @@ type t = {
 exception Parse_error of string * int * int
 
 (* ------------------------------------------------------------------ *)
-(* Parser state: a mutable cursor over the token list. *)
+(* Parser state: a pull-based token cursor with a two-token lookahead
+   window, fed either by the streaming lexer (the loader never holds
+   the file or the token list in memory) or by a slurped token list
+   (the legacy baseline kept for the ingest differential). *)
 
 type state = {
-  mutable toks : Lexer.positioned list;
+  next_tok : unit -> Lexer.positioned;
+  mutable la0 : Lexer.positioned option;
+  mutable la1 : Lexer.positioned option;
 }
 
 let peek st =
-  match st.toks with
-  | t :: _ -> t
-  | [] -> assert false (* EOF is always present *)
+  match st.la0 with
+  | Some t -> t
+  | None ->
+    let t = st.next_tok () in
+    st.la0 <- Some t;
+    t
+
+(* the token after {!peek} — [body_literal] disambiguates an atom from
+   a bare term by it *)
+let peek2 st =
+  ignore (peek st);
+  match st.la1 with
+  | Some t -> t
+  | None ->
+    let t = st.next_tok () in
+    st.la1 <- Some t;
+    t
 
 let advance st =
-  match st.toks with
-  | _ :: rest when rest <> [] -> st.toks <- rest
-  | _ -> ()
+  match peek st with
+  | { Lexer.tok = Lexer.EOF; _ } -> () (* EOF is sticky *)
+  | _ ->
+    st.la0 <- st.la1;
+    st.la1 <- None
 
 let fail_at (p : Lexer.positioned) msg = raise (Parse_error (msg, p.Lexer.line, p.Lexer.col))
 
@@ -135,7 +156,7 @@ type body_literal =
 let body_literal st =
   let p = peek st in
   match p.Lexer.tok with
-  | Lexer.IDENT name when (match st.toks with _ :: { Lexer.tok = Lexer.LPAREN; _ } :: _ -> true | _ -> false) ->
+  | Lexer.IDENT name when (peek2 st).Lexer.tok = Lexer.LPAREN ->
     advance st;
     expect st Lexer.LPAREN;
     let args = comma_separated st term in
@@ -164,10 +185,26 @@ let body st =
 (* ------------------------------------------------------------------ *)
 (* Items and the accumulating scenario. *)
 
+(* How a [rows] block travels from the parser to [build].  The fast
+   path interns every cell while parsing and packs the block into a
+   columnar relation on the spot — no [Value.t list] per row, no
+   per-tuple tree insertion at build time.  The slurp path keeps the
+   historical value-list representation (and the historical per-tuple
+   [Database.add_tuple] fold) as the ingest baseline. *)
+type row_block =
+  | Row_vals of Value.t list list
+  | Row_packed of Relation.t
+
+type rows_mode =
+  | Fast of Lexer.source
+      (* the underlying byte source, so the rows fast path can hand
+         the whole block to the fused scanner in {!Lexer.scan_cells} *)
+  | Slurp
+
 type acc = {
   mutable db_rels : Schema.relation_schema list;
   mutable m_rels : Schema.relation_schema list;
-  mutable rows : (string * Value.t list list * Lexer.positioned) list;
+  mutable rows : (string * row_block * Lexer.positioned) list;
   mutable crows : (string * Ric_incomplete.Ctable.cell list list * Lexer.positioned) list;
   mutable queries : (string * Lang.t) list;
   mutable raw_ccs : (string * Cq.t * [ `Empty | `Proj of string * int list ] * Lexer.positioned) list;
@@ -183,7 +220,7 @@ let check_atom_against acc (p : Lexer.positioned) (a : Atom.t) =
            (Schema.arity r) (Atom.arity a))
   | None -> fail_at p (Printf.sprintf "unknown database relation %S (declare it with 'schema' first)" a.Atom.rel)
 
-let parse_items st acc =
+let parse_items mode st acc =
   let rec loop () =
     let p = peek st in
     match p.Lexer.tok with
@@ -203,21 +240,64 @@ let parse_items st acc =
       let where = peek st in
       let name = ident st in
       expect st Lexer.LBRACE;
-      let rows = ref [] in
-      let rec read_rows () =
-        match (peek st).Lexer.tok with
-        | Lexer.LPAREN ->
-          advance st;
-          let vs = comma_separated st row_value in
-          expect st Lexer.RPAREN;
-          rows := vs :: !rows;
-          read_rows ()
-        | _ -> ()
+      let block =
+        match mode with
+        | Slurp ->
+          let rows = ref [] in
+          let rec read_rows () =
+            match (peek st).Lexer.tok with
+            | Lexer.LPAREN ->
+              advance st;
+              let vs = comma_separated st row_value in
+              expect st Lexer.RPAREN;
+              rows := vs :: !rows;
+              read_rows ()
+            | _ -> ()
+          in
+          read_rows ();
+          Row_vals (List.rev !rows)
+        | Fast src ->
+          (* cells go straight from the input buffer into the columnar
+             builder as interned ids; nothing per-token or per-row is
+             boxed.  The fused scanner requires an empty lookahead
+             window (its tokens are still in the byte buffer) — after
+             [expect LBRACE] both slots are clear, but fall back to
+             the token-at-a-time loop if that ever changes. *)
+          let b = Relation.Builder.create () in
+          (match (st.la0, st.la1) with
+          | None, None ->
+            (try
+               Lexer.scan_cells src
+                 ~fail:(fun msg line col -> Parse_error (msg, line, col))
+                 ~cell:(Relation.Builder.add_cell b)
+                 ~end_row:(fun () -> Relation.Builder.end_row b)
+             with Invalid_argument m -> fail_at where m)
+          | _ ->
+            let rec read_cells () =
+              Relation.Builder.add_cell b (Intern.id (row_value st));
+              match (peek st).Lexer.tok with
+              | Lexer.COMMA ->
+                advance st;
+                read_cells ()
+              | _ -> ()
+            in
+            let rec read_rows () =
+              match (peek st).Lexer.tok with
+              | Lexer.LPAREN ->
+                advance st;
+                read_cells ();
+                expect st Lexer.RPAREN;
+                (try Relation.Builder.end_row b
+                 with Invalid_argument m -> fail_at where m);
+                read_rows ()
+              | _ -> ()
+            in
+            read_rows ());
+          Row_packed (Relation.Builder.finish b)
       in
-      read_rows ();
       expect st Lexer.RBRACE;
       expect st Lexer.DOT;
-      acc.rows <- acc.rows @ [ (name, List.rev !rows, where) ];
+      acc.rows <- acc.rows @ [ (name, block, where) ];
       loop ()
     | Lexer.IDENT "crows" ->
       advance st;
@@ -334,21 +414,40 @@ let build acc =
   let db = ref (Database.empty db_schema) in
   let master = ref (Database.empty master_schema) in
   List.iter
-    (fun (name, rows, p) ->
+    (fun (name, block, p) ->
       let target =
         if Schema.mem db_schema name then `Db
         else if Schema.mem master_schema name then `Master
         else fail_at p (Printf.sprintf "rows for undeclared relation %S" name)
       in
-      List.iter
-        (fun vs ->
-          let tuple = Tuple.make vs in
-          try
-            match target with
-            | `Db -> db := Database.add_tuple !db name tuple
-            | `Master -> master := Database.add_tuple !master name tuple
-          with Invalid_argument m -> fail_at p m)
-        rows)
+      match block with
+      | Row_vals rows ->
+        List.iter
+          (fun vs ->
+            let tuple = Tuple.make vs in
+            try
+              match target with
+              | `Db -> db := Database.add_tuple !db name tuple
+              | `Master -> master := Database.add_tuple !master name tuple
+            with Invalid_argument m -> fail_at p m)
+          rows
+      | Row_packed rel ->
+        (* install the whole packed block at once: [Database.empty]
+           pre-populates every declared relation as [Relation.empty],
+           so the union below keeps the packed backing unless an
+           earlier block already filled this relation.  Conformance is
+           checked by [set_relation] — one pass, no tree inserts. *)
+        let into dbref =
+          let merged =
+            try Relation.union (Database.relation !dbref name) rel
+            with Invalid_argument m -> fail_at p m
+          in
+          try dbref := Database.set_relation !dbref name merged
+          with Invalid_argument m -> fail_at p m
+        in
+        (match target with
+         | `Db -> into db
+         | `Master -> into master))
     acc.rows;
   let ccs =
     List.map
@@ -418,24 +517,46 @@ let build acc =
     ctables;
   }
 
-let parse src =
+let parse_tokens mode next_tok =
+  let st = { next_tok; la0 = None; la1 = None } in
+  let acc =
+    { db_rels = []; m_rels = []; rows = []; crows = []; queries = []; raw_ccs = []; fds = [] }
+  in
+  (try parse_items mode st acc
+   with Lexer.Lex_error (m, l, c) -> raise (Parse_error (m, l, c)));
+  build acc
+
+let parse ?chunk src =
+  let s = Lexer.of_string ?chunk src in
+  parse_tokens (Fast s) (fun () -> Lexer.next s)
+
+(* The pre-streaming loader, verbatim in behaviour: whole-input token
+   list, value-list rows, per-tuple [Database.add_tuple] folds.  Kept
+   as the baseline the ingest bench and the loader differential
+   compare the fast path against. *)
+let parse_slurp src =
   let toks =
     try Lexer.tokenize src
     with Lexer.Lex_error (m, l, c) -> raise (Parse_error (m, l, c))
   in
-  let st = { toks } in
-  let acc =
-    { db_rels = []; m_rels = []; rows = []; crows = []; queries = []; raw_ccs = []; fds = [] }
+  let cursor = ref toks in
+  let next_tok () =
+    match !cursor with
+    | [ last ] -> last (* the final EOF, held forever *)
+    | t :: rest ->
+      cursor := rest;
+      t
+    | [] -> assert false (* tokenize always ends with EOF *)
   in
-  parse_items st acc;
-  build acc
+  parse_tokens Slurp next_tok
 
 let load path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  parse src
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let s = Lexer.of_channel ic in
+      parse_tokens (Fast s) (fun () -> Lexer.next s))
 
 let all_ccs (t : t) = List.map snd t.ccs
 
@@ -582,3 +703,11 @@ let pp ppf (t : t) =
       | _ -> ())
     t.queries;
   List.iter (pp_named_constraint ppf) t.ccs
+
+(* [pp] already streams — it never materialises the scenario as one
+   string — so writing to a channel-backed formatter keeps memory
+   bounded by one rows line regardless of cardinality. *)
+let output oc t =
+  let ppf = Format.formatter_of_out_channel oc in
+  pp ppf t;
+  Format.pp_print_flush ppf ()

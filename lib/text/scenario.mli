@@ -58,12 +58,25 @@ type t = {
 exception Parse_error of string * int * int
 (** message, line, column *)
 
-val parse : string -> t
+val parse : ?chunk:int -> string -> t
 (** @raise Parse_error on malformed input (with position), including
-    semantic errors such as unknown relations or arity mismatches. *)
+    semantic errors such as unknown relations or arity mismatches.
+    Runs the streaming columnar loader: [rows] cells are interned as
+    they are lexed and packed into {!Ric_relational.Relation} arrays
+    without per-tuple tree insertion.  [chunk] caps the refill size
+    (default 64 KiB) — the chunk-boundary differential drives it down
+    to one byte to force every token split. *)
+
+val parse_slurp : string -> t
+(** The pre-streaming loader — whole-input token list, per-tuple
+    [Database.add_tuple] folds — kept as the ingest baseline.  Accepts
+    exactly the language of {!parse} and builds an equal scenario; the
+    loader differential and [bench load] hold it to that. *)
 
 val load : string -> t
-(** Read and {!parse} a file.  @raise Sys_error on IO failure. *)
+(** {!parse} a file through the streaming lexer: memory stays bounded
+    by the refill chunk and the packed data, never the file size.
+    @raise Sys_error on IO failure. *)
 
 val all_ccs : t -> Containment.t list
 
@@ -75,7 +88,12 @@ val as_cdatabase : t -> Ric_incomplete.Cdatabase.t
 
 val pp : Format.formatter -> t -> unit
 (** Print a scenario back in the concrete syntax (round-trips through
-    {!parse} — property-tested). *)
+    {!parse} — property-tested).  Streams: nothing larger than one
+    row is ever materialised, whatever the sink. *)
+
+val output : out_channel -> t -> unit
+(** {!pp} to a channel and flush — the bounded-memory emission path
+    [ric gen] uses for million-tuple files. *)
 
 val pp_named_constraint :
   Format.formatter -> string * Containment.t -> unit

@@ -1,0 +1,44 @@
+(** Parameterised [.ric] scenario families for [ric gen].
+
+    Two bulk families stream their text row-by-row through the sink —
+    emitting a million-tuple file is bounded-memory — and one hardness
+    family wraps the Theorem 3.6 reduction.  All three are
+    deterministic: the same (family, tuples/rung, seed) always emits
+    byte-identical text, and the bulk instances are partially closed
+    by construction (every constrained value is drawn from the master
+    registry that bounds it). *)
+
+type family =
+  | Triple  (** RDF-style triple store [T(s, p, o)] over a master
+                entity registry; subjects and objects bounded. *)
+  | Telco  (** calls and bills over master customer/rate registries,
+               with an FD pinning each customer to one rate plan. *)
+  | Ladder  (** RCDP hardness rungs: the Theorem 3.6 encoding of a
+                random ∀*∃*-3SAT instance whose size grows with the
+                rung. *)
+
+val family_of_string : string -> (family, string) result
+val family_to_string : family -> string
+
+val max_tuples : int
+(** Upper bound on [tuples]: 1,000,000. *)
+
+val emit :
+  family -> tuples:int -> seed:int -> rung:int -> (string -> unit) -> unit
+(** Write one scenario through the sink.  [tuples] scales the bulk
+    families (ignored by [Ladder]); [rung] selects the ladder rung
+    (ignored by the bulk families).
+    @raise Invalid_argument when [tuples] is outside [1, max_tuples]. *)
+
+val to_string : family -> tuples:int -> seed:int -> rung:int -> string
+(** {!emit} into a string — tests and small files. *)
+
+val ladder_scenario : rung:int -> seed:int -> Ric_text.Scenario.t
+(** The ladder rung as a parsed scenario (what {!emit} prints). *)
+
+val ladder_params : int -> int * int * int
+(** [(n_forall, n_exists, n_clauses)] of a rung. *)
+
+val total_rows : family -> tuples:int -> int
+(** Total data rows an emission contains (database + master), the
+    denominator of the ingest bench's tuples/s.  0 for [Ladder]. *)

@@ -498,4 +498,76 @@ else
   echo "skip: no $BASELINE baseline committed"
 fi
 
+echo "== ric gen smoke test"
+# each generated family must emit, reparse, and (where tractable)
+# decide; the same (family, tuples, seed) must be byte-identical
+GEN_RIC="${TMPDIR:-/tmp}/ricd-check-$$-gen.ric"
+GEN_RIC2="${TMPDIR:-/tmp}/ricd-check-$$-gen2.ric"
+cleanup_gen() { rm -f "$GEN_RIC" "$GEN_RIC2"; }
+trap 'cleanup_gen; cleanup2' EXIT INT TERM
+"$RIC" gen triple --tuples 2000 --seed 11 -o "$GEN_RIC"
+"$RIC" gen triple --tuples 2000 --seed 11 -o "$GEN_RIC2"
+cmp -s "$GEN_RIC" "$GEN_RIC2" \
+  || { echo "FAIL: ric gen is not deterministic by seed" >&2; exit 1; }
+"$RIC" file show "$GEN_RIC" >/dev/null \
+  || { echo "FAIL: generated triple scenario did not reparse" >&2; exit 1; }
+GVERDICT=$("$RIC" file rcdp "$GEN_RIC" --query QT)
+case "$GVERDICT" in
+  *incomplete*) ;;
+  *) echo "FAIL: QT over generated triples must be incomplete" >&2; exit 1 ;;
+esac
+"$RIC" gen telco --tuples 2000 --seed 5 -o "$GEN_RIC"
+"$RIC" file show "$GEN_RIC" >/dev/null \
+  || { echo "FAIL: generated telco scenario did not reparse" >&2; exit 1; }
+"$RIC" gen ladder --rung 1 --seed 3 -o "$GEN_RIC"
+"$RIC" file rcdp "$GEN_RIC" --query QL >/dev/null \
+  || { echo "FAIL: ladder rung 1 did not decide" >&2; exit 1; }
+rm -f "$GEN_RIC" "$GEN_RIC2"
+echo "gen:     triple deterministic + incomplete, telco reparses, ladder decides"
+
+echo "== ingest bench smoke test"
+# streaming columnar loader vs slurp baseline on generated files; the
+# bench exits nonzero if the two loaders ever build different databases
+LOAD_OUT="${TMPDIR:-/tmp}/ricd-check-$$-load.json"
+LOAD_BASELINE="BENCH_load.json"
+if [ -f "$LOAD_BASELINE" ]; then
+  LBASE_TUPLES=$(sed -n 's/.*"top_tuples":\([0-9]*\).*/\1/p' "$LOAD_BASELINE")
+fi
+RIC_BENCH_LOAD_TUPLES="${RIC_BENCH_LOAD_TUPLES:-${LBASE_TUPLES:-1000000}}" \
+  RIC_BENCH_LOAD_OUT="$LOAD_OUT" \
+  _build/default/bench/main.exe load >/dev/null \
+  || { echo "FAIL: ingest bench failed (stream/slurp divergence?)" >&2; rm -f "$LOAD_OUT"; exit 1; }
+
+echo "== ingest bench guard"
+# fresh streaming tuples/s at the baseline's top rung must stay within
+# RIC_BENCH_LOAD_TOLERANCE_PCT (default 25) of BENCH_load.json; the
+# first stream_tuples_per_sec in the file is the top (headline) rung
+if [ -f "$LOAD_BASELINE" ]; then
+  LTOL="${RIC_BENCH_LOAD_TOLERANCE_PCT:-25}"
+  load_sps() {
+    grep -o '"stream_tuples_per_sec":[0-9]*' "$1" | head -n 1 | grep -o '[0-9]*$'
+  }
+  LBASE=$(load_sps "$LOAD_BASELINE")
+  LFRESH=$(load_sps "$LOAD_OUT")
+  LFRESH_TOP=$(sed -n 's/.*"top_tuples":\([0-9]*\).*/\1/p' "$LOAD_OUT")
+  if [ -z "$LBASE" ] || [ -z "$LFRESH" ]; then
+    echo "FAIL: could not extract stream_tuples_per_sec for the load guard" >&2
+    rm -f "$LOAD_OUT"
+    exit 1
+  fi
+  if [ "$LFRESH_TOP" != "${LBASE_TUPLES:-}" ]; then
+    echo "skip: fresh run at $LFRESH_TOP tuples, baseline at ${LBASE_TUPLES:-?} — not comparable"
+  else
+    echo "stream tuples/s: baseline $LBASE, fresh $LFRESH (tolerance ${LTOL}%)"
+    if [ $((LFRESH * 100)) -lt $((LBASE * (100 - LTOL))) ]; then
+      echo "FAIL: streaming ingest is more than ${LTOL}% slower than $LOAD_BASELINE" >&2
+      rm -f "$LOAD_OUT"
+      exit 1
+    fi
+  fi
+else
+  echo "skip: no $LOAD_BASELINE baseline committed"
+fi
+rm -f "$LOAD_OUT"
+
 echo "== all checks passed"

@@ -104,6 +104,72 @@ let test_relation_arity_mismatch () =
     (fun () -> ignore (Relation.add (Tuple.of_ints [ 1; 2 ]) a))
 
 (* ------------------------------------------------------------------ *)
+(* Columnar builder / packed backing *)
+
+let build_rows rows =
+  let b = Relation.Builder.create () in
+  List.iter
+    (fun row ->
+      List.iter (fun v -> Relation.Builder.add_cell b (Intern.id v)) row;
+      Relation.Builder.end_row b)
+    rows;
+  Relation.Builder.finish b
+
+let test_builder_matches_of_tuples () =
+  let rows =
+    [
+      [ Value.str "b"; Value.int 2 ];
+      [ Value.str "a"; Value.int 1 ];
+      [ Value.str "b"; Value.int 2 ] (* duplicate *);
+      [ Value.int 0; Value.str "z" ];
+    ]
+  in
+  let packed = build_rows rows in
+  let reference = Relation.of_tuples (List.map Tuple.make rows) in
+  Alcotest.check relation_testable "equal as sets" reference packed;
+  Alcotest.(check int) "deduplicated" 3 (Relation.cardinal packed);
+  (* elements come out in Tuple.compare order, exactly like a TSet *)
+  Alcotest.(check (list tuple_testable)) "same iteration order"
+    (Relation.elements reference) (Relation.elements packed);
+  Alcotest.(check bool) "mem hits" true
+    (Relation.mem (Tuple.make [ Value.str "a"; Value.int 1 ]) packed);
+  (* mutation falls back to set backing without losing rows *)
+  let grown = Relation.add (Tuple.of_ints [ 5; 5 ]) packed in
+  Alcotest.(check int) "add on packed" 4 (Relation.cardinal grown)
+
+let test_builder_large_block_sorted () =
+  (* enough rows to cross the radix-sort threshold, in reverse order *)
+  let n = 5000 in
+  let rows = List.init n (fun i -> [ Value.int (n - i); Value.int ((n - i) mod 7) ]) in
+  let packed = build_rows rows in
+  Alcotest.(check int) "all distinct" n (Relation.cardinal packed);
+  let sorted = Relation.elements packed in
+  Alcotest.(check bool) "rank-lex sorted" true
+    (List.for_all2 Tuple.equal sorted (List.sort Tuple.compare sorted))
+
+let test_builder_arity_mismatch () =
+  let b = Relation.Builder.create () in
+  Relation.Builder.add_cell b (Intern.id (Value.int 1));
+  Relation.Builder.add_cell b (Intern.id (Value.int 2));
+  Relation.Builder.end_row b;
+  Relation.Builder.add_cell b (Intern.id (Value.int 3));
+  Alcotest.check_raises "short row" (Invalid_argument "Relation: arity mismatch (1 vs 2)")
+    (fun () -> Relation.Builder.end_row b);
+  (* the offending row is discarded, the builder stays usable *)
+  Relation.Builder.add_cell b (Intern.id (Value.int 4));
+  Relation.Builder.add_cell b (Intern.id (Value.int 5));
+  Relation.Builder.end_row b;
+  Alcotest.(check int) "two good rows" 2 (Relation.cardinal (Relation.Builder.finish b))
+
+let test_intern_reserve () =
+  Intern.reserve (Intern.size () + 5000);
+  let before = Intern.growths () in
+  for i = 0 to 3999 do
+    ignore (Intern.id (Value.str (Printf.sprintf "reserve-probe-%d" i)))
+  done;
+  Alcotest.(check int) "no growth after reserve" before (Intern.growths ())
+
+(* ------------------------------------------------------------------ *)
 (* Database *)
 
 let test_database_basics () =
@@ -204,6 +270,13 @@ let () =
           Alcotest.test_case "set semantics" `Quick test_relation_set_semantics;
           Alcotest.test_case "algebra" `Quick test_relation_algebra;
           Alcotest.test_case "arity mismatch" `Quick test_relation_arity_mismatch;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "matches of_tuples" `Quick test_builder_matches_of_tuples;
+          Alcotest.test_case "large block sorted" `Quick test_builder_large_block_sorted;
+          Alcotest.test_case "arity mismatch" `Quick test_builder_arity_mismatch;
+          Alcotest.test_case "intern reserve" `Quick test_intern_reserve;
         ] );
       ( "database",
         [

@@ -582,6 +582,15 @@ let test_journal_roundtrip () =
           rel = "R";
           rows = [ [ Ric_relational.Value.Str "x"; Ric_relational.Value.Int 7 ] ];
         };
+      Journal.Inserted_bulk
+        {
+          id = "s1";
+          batches =
+            [
+              ("R", [ [ Ric_relational.Value.Str "y"; Ric_relational.Value.Int 8 ] ]);
+              ("S", [ [ Ric_relational.Value.Int 1 ]; [ Ric_relational.Value.Int 2 ] ]);
+            ];
+        };
       Journal.Closed { id = "s1" };
     ]
   in
@@ -643,7 +652,9 @@ let test_service_recovery () =
   Alcotest.(check bool) "closed session not retained" true
     (List.for_all
        (function
-         | Journal.Opened { id; _ } | Journal.Inserted { id; _ } -> id = sid
+         | Journal.Opened { id; _ }
+         | Journal.Inserted { id; _ }
+         | Journal.Inserted_bulk { id; _ } -> id = sid
          | Journal.Closed _ -> false)
        r.Service.retained);
   (* the recovered session answers under its original id, with the

@@ -82,6 +82,17 @@ let insert session rel rows =
       rows = List.map (List.map (fun s -> Ric_relational.Value.Str s)) rows;
     }
 
+let insert_bulk session batches =
+  Protocol.Insert_bulk
+    {
+      session;
+      batches =
+        List.map
+          (fun (rel, rows) ->
+            (rel, List.map (List.map (fun s -> Ric_relational.Value.Str s)) rows))
+          batches;
+    }
+
 (* ------------------------------------------------------------------ *)
 (* Protocol: request encode/decode round trip *)
 
@@ -109,6 +120,8 @@ let test_protocol_roundtrip () =
       insert "s1" "Cust" [ [ "c1"; "bob" ] ];
       Protocol.Insert
         { session = "s1"; rel = "N"; rows = [ [ Ric_relational.Value.Int 42 ] ] };
+      insert_bulk "s1" [ ("Cust", [ [ "c1"; "bob" ]; [ "c2"; "eve" ] ]); ("Supt", [ [ "e0"; "c1" ] ]) ];
+      Protocol.Insert_bulk { session = "s1"; batches = [] };
       Protocol.Close { session = "s1" };
     ]
   in
@@ -313,6 +326,42 @@ let test_service_insert_completes_query () =
      it was served from cache it must have been re-proven, which is
      impossible for an incomplete cex once its answer is in D *)
   Alcotest.(check string) "complete after covering inserts" "complete" (verdict_of q1)
+
+let test_service_insert_bulk () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let q0 = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check string) "incomplete before" "incomplete" (verdict_of q0);
+  let ins =
+    Service.handle service
+      (insert_bulk sid
+         [
+           ("Cust", [ [ "c1"; "bob" ] ]);
+           ("Cust", [ [ "c2"; "eve" ] ]);
+           ("Supt", [ [ "e0"; "c1" ] ]);
+         ])
+  in
+  assert_ok ins;
+  Alcotest.(check int) "one epoch bump for the whole batch" 1 (get_int "epoch" ins);
+  Alcotest.(check int) "rows counted across batches" 3 (get_int "inserted" ins);
+  Alcotest.(check bool) "still partially closed" true (get_bool "partially_closed" ins);
+  let q1 = Service.handle service (rcdp sid "Q") in
+  Alcotest.(check string) "complete after bulk insert" "complete" (verdict_of q1)
+
+let test_service_insert_bulk_all_or_nothing () =
+  let service = Service.create () in
+  let sid = open_session service in
+  let ins =
+    Service.handle service
+      (insert_bulk sid [ ("Cust", [ [ "c1"; "bob" ] ]); ("Nope", [ [ "x" ] ]) ])
+  in
+  Alcotest.(check bool) "rejected" false (get_bool "ok" ins);
+  (* the good leading batch rolled back with the bad one: no epoch
+     bump, no c1 row *)
+  let q = Service.handle service (rcdp sid "Q") in
+  assert_ok q;
+  Alcotest.(check int) "epoch untouched" 0 (get_int "epoch" q);
+  Alcotest.(check string) "still incomplete" "incomplete" (verdict_of q)
 
 let test_service_violating_insert_invalidates () =
   let service = Service.create () in
@@ -711,6 +760,9 @@ let () =
           Alcotest.test_case "verdict cache hit" `Quick test_service_cache_hit;
           Alcotest.test_case "insert migrates cache" `Quick test_service_insert_migrates_cache;
           Alcotest.test_case "insert completes query" `Quick test_service_insert_completes_query;
+          Alcotest.test_case "bulk insert" `Quick test_service_insert_bulk;
+          Alcotest.test_case "bulk insert all-or-nothing" `Quick
+            test_service_insert_bulk_all_or_nothing;
           Alcotest.test_case "violating insert invalidates" `Quick
             test_service_violating_insert_invalidates;
           Alcotest.test_case "rcqp survives insert" `Quick test_service_rcqp_survives_insert;

@@ -55,6 +55,147 @@ let test_lexer_errors () =
      with Lexer.Lex_error _ -> true)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming lexer: every refill size must yield the same positioned
+   token stream as the whole-input tokenizer, including tokens split
+   across a refill boundary (chunk:1 splits every multi-byte token). *)
+
+let drain_source s =
+  let rec go acc =
+    let p = Lexer.next s in
+    if p.Lexer.tok = Lexer.EOF then List.rev (p :: acc) else go (p :: acc)
+  in
+  go []
+
+(* lex errors count as part of the observable stream: both sides must
+   fail with the same message and position, or not at all *)
+let lex_result f =
+  match f () with
+  | toks -> Ok toks
+  | exception Lexer.Lex_error (m, l, c) -> Error (m, l, c)
+
+let same_stream src chunk =
+  lex_result (fun () -> Lexer.tokenize src)
+  = lex_result (fun () -> drain_source (Lexer.of_string ~chunk src))
+
+let lexable_corpus =
+  [
+    minimal;
+    "a\n  b";
+    {|R(a, "b c") :- => -> != = 42 -7 # comment
+x|};
+    "";
+    "# only a comment";
+    "x";
+    "rows T { (e0, k1, e2) (e1, k0, e0) }.";
+    "a-b -12 - 7 ?n \"\" \"two words\"";
+  ]
+
+let test_stream_chunk_differential () =
+  List.iter
+    (fun src ->
+      for chunk = 1 to 40 do
+        Alcotest.(check bool) (Printf.sprintf "chunk %d" chunk) true (same_stream src chunk)
+      done)
+    lexable_corpus
+
+(* random lexable text: legal fragments glued with random separators —
+   fragments may coalesce into longer tokens, which is fine, both
+   lexers see the same bytes *)
+let lexable_gen =
+  QCheck2.Gen.(
+    let punct =
+      oneofl
+        [ "("; ")"; "{"; "}"; "["; "]"; ","; "."; ":-"; "=>"; "->"; "!="; "="; ":"; "|"; "?" ]
+    in
+    let number = map string_of_int (int_range (-9999) 9999) in
+    let word =
+      map2
+        (fun c s -> Printf.sprintf "%c%s" c s)
+        (oneofl [ 'a'; 'z'; '_'; 'B' ])
+        (string_size ~gen:(oneofl [ 'a'; '0'; '\''; '-'; 'x' ]) (int_range 0 6))
+    in
+    let quoted =
+      map
+        (fun s -> "\"" ^ s ^ "\"")
+        (string_size ~gen:(oneofl [ 'a'; ' '; '.'; '('; '0' ]) (int_range 0 8))
+    in
+    let comment =
+      map (fun s -> "# " ^ s ^ "\n") (string_size ~gen:(oneofl [ 'a'; ' '; '"' ]) (int_range 0 8))
+    in
+    let sep = oneofl [ " "; "\t"; "\n"; "\r\n"; "" ] in
+    let frag = frequency [ (3, word); (2, number); (3, punct); (1, quoted); (1, comment) ] in
+    map
+      (fun pieces -> String.concat "" (List.concat_map (fun (f, w) -> [ f; w ]) pieces))
+      (list_size (int_range 0 50) (pair frag sep)))
+
+let stream_differential_prop =
+  QCheck2.Test.make ~name:"streaming lexer ≡ tokenize at every chunk size" ~count:300
+    lexable_gen (fun src ->
+      List.for_all (fun chunk -> same_stream src chunk) [ 1; 2; 3; 5; 8; 13; 64 ])
+
+(* ------------------------------------------------------------------ *)
+(* Loader differential: the streaming columnar fast path accepts the
+   same language and builds an equal scenario as the slurp baseline,
+   at every refill size — chunk:1 forces the fused rows scanner
+   through its compact-and-refill paths on every cell. *)
+
+let scenario_equal a b =
+  Database.equal a.Scenario.db b.Scenario.db
+  && Database.equal a.Scenario.master b.Scenario.master
+  && List.map fst a.Scenario.queries = List.map fst b.Scenario.queries
+  && List.map fst a.Scenario.ccs = List.map fst b.Scenario.ccs
+
+let test_parse_stream_vs_slurp () =
+  let srcs =
+    [
+      minimal;
+      "schema R(a).\nrows R { }.";
+      (* quoted cells, negatives, duplicates, comments inside the block *)
+      "schema R(a, b).\nrows R { (\"x y\", -7) # mid-block\n (e0, 42) (e0, 42) (\"\", 0) }.";
+      "schema R(a).\nmaster M(x).\nrows M { (longidentifier'with-kinks) }.\nrows R { (1) }.";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let slurp = Scenario.parse_slurp src in
+      List.iter
+        (fun chunk ->
+          let fast = Scenario.parse ~chunk src in
+          Alcotest.(check bool) (Printf.sprintf "chunk %d" chunk) true (scenario_equal fast slurp))
+        [ 1; 2; 3; 7; 64; 65536 ])
+    srcs
+
+let parse_err f =
+  match f () with
+  | (_ : Scenario.t) -> None
+  | exception Scenario.Parse_error (m, l, c) -> Some (m, l, c)
+
+(* malformed rows blocks: the fast scanner must report the same
+   message at the same position as the token-at-a-time grammar *)
+let test_parse_error_parity () =
+  List.iter
+    (fun src ->
+      let fast = parse_err (fun () -> Scenario.parse src) in
+      let slurp = parse_err (fun () -> Scenario.parse_slurp src) in
+      Alcotest.(check bool) (src ^ ": both fail") true (fast <> None);
+      Alcotest.(check bool) (src ^ ": same error") true (fast = slurp))
+    [
+      "schema R(a, b).\nrows R { (1 2) }.";
+      "schema R(a).\nrows R { (1, }.";
+      "schema R(a).\nrows R { (1; 2) }.";
+      "schema R(a).\nrows R { (1)";
+      "schema R(a).\nrows R { ( ) }.";
+    ];
+  (* intra-block arity mismatch: positions agree (the block header),
+     messages legitimately differ between the packed and per-tuple
+     paths — both must still be Parse_errors *)
+  let src = "schema R(a, b).\nrows R { (1, 2) (3) }." in
+  (match (parse_err (fun () -> Scenario.parse src), parse_err (fun () -> Scenario.parse_slurp src)) with
+  | Some (_, l1, c1), Some (_, l2, c2) ->
+    Alcotest.(check (pair int int)) "arity error position" (l2, c2) (l1, c1)
+  | _ -> Alcotest.fail "arity mismatch must fail in both loaders")
+
+(* ------------------------------------------------------------------ *)
 (* Parser: structure *)
 
 let test_parse_minimal () =
@@ -567,6 +708,13 @@ let () =
           Alcotest.test_case "tokens" `Quick test_lexer_tokens;
           Alcotest.test_case "positions" `Quick test_lexer_positions;
           Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "chunk-boundary corpus" `Quick test_stream_chunk_differential;
+          QCheck_alcotest.to_alcotest stream_differential_prop;
+          Alcotest.test_case "fast path ≡ slurp" `Quick test_parse_stream_vs_slurp;
+          Alcotest.test_case "error parity" `Quick test_parse_error_parity;
         ] );
       ( "parser",
         [

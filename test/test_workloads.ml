@@ -249,6 +249,85 @@ let prop_generated_db_partially_closed =
 let properties =
   List.map QCheck_alcotest.to_alcotest [ prop_keep_monotone; prop_generated_db_partially_closed ]
 
+(* ------------------------------------------------------------------ *)
+(* ric gen families *)
+
+module Scenario = Ric_text.Scenario
+
+let test_gen_deterministic () =
+  List.iter
+    (fun family ->
+      let name = Gen.family_to_string family in
+      let a = Gen.to_string family ~tuples:400 ~seed:3 ~rung:2 in
+      let b = Gen.to_string family ~tuples:400 ~seed:3 ~rung:2 in
+      let c = Gen.to_string family ~tuples:400 ~seed:4 ~rung:3 in
+      Alcotest.(check string) (name ^ ": same seed, same bytes") a b;
+      Alcotest.(check bool) (name ^ ": different seed, different bytes") true (a <> c))
+    [ Gen.Triple; Gen.Telco; Gen.Ladder ]
+
+let test_gen_triple_roundtrip () =
+  let src = Gen.to_string Gen.Triple ~tuples:300 ~seed:1 ~rung:1 in
+  let sc = Scenario.parse src in
+  (* generated data is partially closed by construction *)
+  Alcotest.(check bool) "partially closed" true
+    (Containment.holds_all ~db:sc.Scenario.db ~master:sc.Scenario.master
+       (Scenario.all_ccs sc));
+  (* row budget: data rows minus duplicates, never more *)
+  let emitted = Gen.total_rows Gen.Triple ~tuples:300 in
+  let landed =
+    Relation.cardinal (Database.relation sc.Scenario.db "T")
+    + Relation.cardinal (Database.relation sc.Scenario.master "MEnt")
+  in
+  Alcotest.(check bool) "row count bounded by emission" true (landed <= emitted && landed > 0);
+  (* pp ∘ parse round-trips the generated scenario *)
+  let printed = Format.asprintf "%a" Scenario.pp sc in
+  let sc2 = Scenario.parse printed in
+  Alcotest.(check bool) "db survives" true (Database.equal sc.Scenario.db sc2.Scenario.db);
+  Alcotest.(check bool) "master survives" true
+    (Database.equal sc.Scenario.master sc2.Scenario.master);
+  (* and the streaming loader agrees with the slurp baseline on it *)
+  let slurped = Scenario.parse_slurp src in
+  Alcotest.(check bool) "stream ≡ slurp" true
+    (Database.equal sc.Scenario.db slurped.Scenario.db
+     && Database.equal sc.Scenario.master slurped.Scenario.master)
+
+let test_gen_triple_decides () =
+  let sc = Scenario.parse (Gen.to_string Gen.Triple ~tuples:200 ~seed:7 ~rung:1) in
+  match Scenario.find_query sc "QT" with
+  | None -> Alcotest.fail "triple family must declare QT"
+  | Some q ->
+    (* an open predicate pool over a bounded registry: never complete *)
+    (match
+       Rcdp.decide ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+         ~ccs:(Scenario.all_ccs sc) ~db:sc.Scenario.db q
+     with
+    | Rcdp.Incomplete _ -> ()
+    | Rcdp.Complete -> Alcotest.fail "QT over generated triples cannot be complete")
+
+let test_gen_ladder_decides () =
+  let sc = Gen.ladder_scenario ~rung:1 ~seed:5 in
+  (* rung 1 is tiny: the Σ₂ᵖ decider must terminate with a verdict *)
+  match Scenario.find_query sc "QL" with
+  | None -> Alcotest.fail "ladder family must declare QL"
+  | Some q ->
+    (match
+       Rcdp.decide ~schema:sc.Scenario.db_schema ~master:sc.Scenario.master
+         ~ccs:(Scenario.all_ccs sc) ~db:sc.Scenario.db q
+     with
+    | Rcdp.Complete | Rcdp.Incomplete _ -> ())
+
+let test_gen_rejects_bad_sizes () =
+  List.iter
+    (fun tuples ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tuples %d rejected" tuples)
+        true
+        (try
+           ignore (Gen.to_string Gen.Triple ~tuples ~seed:0 ~rung:1);
+           false
+         with Invalid_argument _ -> true))
+    [ 0; -1; Gen.max_tuples + 1 ]
+
 let () =
   Alcotest.run "workloads"
     [
@@ -288,6 +367,14 @@ let () =
           Alcotest.test_case "role pinned by FD" `Quick test_erp_role_pinned_by_fd;
           Alcotest.test_case "billing hopeless" `Quick test_erp_billing_not_completable;
           Alcotest.test_case "projects of" `Quick test_erp_projects_of;
+        ] );
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic by seed" `Quick test_gen_deterministic;
+          Alcotest.test_case "triple round trip" `Quick test_gen_triple_roundtrip;
+          Alcotest.test_case "triple decides" `Quick test_gen_triple_decides;
+          Alcotest.test_case "ladder decides" `Quick test_gen_ladder_decides;
+          Alcotest.test_case "size bounds" `Quick test_gen_rejects_bad_sizes;
         ] );
       ("properties", properties);
     ]
